@@ -1,0 +1,185 @@
+//! Criterion micro-benchmarks of the reproduction's building blocks:
+//! multifile open/close with real threads, layout arithmetic, the szip
+//! codec, simmpi collectives, and full simulated experiments — one group
+//! per paper table/figure family plus the design-choice ablations called
+//! out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parfs::{simulate, Machine};
+use simmpi::{Comm, World};
+use sion::script::{sion_create, sion_par_write, task_local_create, SimSpec};
+use sion::{paropen_write, Alignment, FileLayout, Multifile, SionParams};
+use vfs::MemFs;
+
+/// Real-thread collective open/close (the code path behind Fig. 3's "SION
+/// create files"), at growing task counts.
+fn bench_paropen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paropen_close");
+    for &ntasks in &[4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(ntasks), &ntasks, |b, &n| {
+            b.iter(|| {
+                let fs = MemFs::with_block_size(4096);
+                World::run(n, |comm| {
+                    let params = SionParams::new(4096).with_nfiles(4.min(n as u32));
+                    let w = paropen_write(&fs, "bench.sion", &params, comm).unwrap();
+                    w.close().unwrap();
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Parallel write+read through the full library on MemFs.
+fn bench_write_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multifile_write_roundtrip");
+    let bytes_per_task = 256 * 1024u64;
+    for &ntasks in &[4usize, 16] {
+        g.throughput(Throughput::Bytes(bytes_per_task * ntasks as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(ntasks), &ntasks, |b, &n| {
+            let payload = vec![0xA5u8; bytes_per_task as usize];
+            b.iter(|| {
+                let fs = MemFs::with_block_size(64 * 1024);
+                World::run(n, |comm| {
+                    let params = SionParams::new(64 * 1024);
+                    let mut w = paropen_write(&fs, "wr.sion", &params, comm).unwrap();
+                    w.write(&payload).unwrap();
+                    w.close().unwrap();
+                });
+                let mf = Multifile::open(&fs, "wr.sion").unwrap();
+                criterion::black_box(mf.read_rank(0).unwrap());
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Pure layout arithmetic at large task counts (runs per collective open).
+fn bench_layout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("layout_compute");
+    for &ntasks in &[1024usize, 16384, 65536] {
+        let reqs = vec![8u64 << 20; ntasks];
+        g.bench_with_input(BenchmarkId::from_parameter(ntasks), &reqs, |b, reqs| {
+            b.iter(|| {
+                criterion::black_box(
+                    FileLayout::compute(reqs, 2 << 20, Alignment::FsBlock, false).unwrap(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+/// szip codec throughput on compressible and incompressible input.
+fn bench_szip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("szip");
+    let compressible = b"checkpoint block 0123456789 ".repeat(8192);
+    let mut incompressible = vec![0u8; compressible.len()];
+    let mut state = 0x12345678u64;
+    for b in incompressible.iter_mut() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        *b = (state >> 33) as u8;
+    }
+    for (name, data) in [("compressible", &compressible), ("random", &incompressible)] {
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(BenchmarkId::new("compress", name), data, |b, data| {
+            b.iter(|| criterion::black_box(szip::compress(data)));
+        });
+        let packed = szip::compress(data);
+        g.bench_with_input(BenchmarkId::new("decompress", name), &packed, |b, packed| {
+            b.iter(|| criterion::black_box(szip::decompress(packed).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+/// simmpi collective latency.
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simmpi_collectives");
+    for &n in &[4usize, 16] {
+        g.bench_with_input(BenchmarkId::new("allgather_u64", n), &n, |b, &n| {
+            b.iter(|| {
+                World::run(n, |comm| {
+                    for _ in 0..10 {
+                        criterion::black_box(comm.allgather_u64(comm.rank() as u64));
+                    }
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Simulated experiments: one benchmark per paper figure/table family, so
+/// `cargo bench` also exercises the machinery behind the `figures` binary.
+fn bench_paper_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_experiments");
+    g.sample_size(10);
+    let jugene = Machine::jugene();
+
+    g.bench_function("fig3a_create_64k_taskfiles", |b| {
+        b.iter(|| criterion::black_box(simulate(&jugene, &task_local_create(65536)).makespan));
+    });
+    g.bench_function("fig3a_create_64k_sion", |b| {
+        let spec = SimSpec::aligned(65536, 16, 0, jugene.fsblksize);
+        b.iter(|| criterion::black_box(simulate(&jugene, &sion_create(&spec)).makespan));
+    });
+    g.bench_function("fig4a_write_1tb_32files", |b| {
+        let spec = SimSpec::aligned(65536, 32, (1u64 << 40) / 65536, jugene.fsblksize);
+        let wl = sion_par_write(&spec);
+        b.iter(|| criterion::black_box(simulate(&jugene, &wl).write_bandwidth(&wl)));
+    });
+    g.finish();
+}
+
+/// Ablation benches for the design choices DESIGN.md calls out.
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+
+    // Rescue-header overhead on the real write path.
+    for (name, rescue) in [("write_plain", false), ("write_rescue", true)] {
+        g.bench_function(name, |b| {
+            let payload = vec![7u8; 64 * 1024];
+            b.iter(|| {
+                let fs = MemFs::with_block_size(4096);
+                World::run(4, |comm| {
+                    let mut params = SionParams::new(16 * 1024);
+                    params.rescue = rescue;
+                    let mut w = paropen_write(&fs, "r.sion", &params, comm).unwrap();
+                    w.write(&payload).unwrap();
+                    w.close().unwrap();
+                });
+            });
+        });
+    }
+
+    // Compression on/off on the real write path.
+    for (name, compressed) in [("write_uncompressed", false), ("write_compressed", true)] {
+        g.bench_function(name, |b| {
+            let payload = b"event trace record ".repeat(4096);
+            b.iter(|| {
+                let fs = MemFs::with_block_size(4096);
+                World::run(4, |comm| {
+                    let mut params = SionParams::new(64 * 1024);
+                    params.compressed = compressed;
+                    let mut w = paropen_write(&fs, "c.sion", &params, comm).unwrap();
+                    w.write(&payload).unwrap();
+                    w.close().unwrap();
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_paropen,
+    bench_write_read,
+    bench_layout,
+    bench_szip,
+    bench_collectives,
+    bench_paper_experiments,
+    bench_ablations
+);
+criterion_main!(benches);

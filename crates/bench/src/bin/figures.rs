@@ -1,0 +1,54 @@
+//! `figures [experiment ...] [--json <path>]` — regenerate the paper's
+//! tables and figures on the simulated machines.
+//!
+//! With no arguments, runs every experiment in paper order and prints TSV
+//! blocks. Individual experiments can be selected by name (`fig3a`,
+//! `table1`, ...); `--json <path>` additionally writes all rows as JSON.
+
+use bench::{run_experiment, to_tsv, Row, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            json_path = Some(it.next().unwrap_or_else(|| {
+                eprintln!("figures: --json needs a path");
+                std::process::exit(2);
+            }));
+        } else if a == "--list" {
+            for name in ALL_EXPERIMENTS {
+                println!("{name}");
+            }
+            return;
+        } else {
+            selected.push(a);
+        }
+    }
+    if selected.is_empty() {
+        selected = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut all_rows: Vec<Row> = Vec::new();
+    for name in &selected {
+        let Some(rows) = run_experiment(name) else {
+            eprintln!("figures: unknown experiment {name:?} (try --list)");
+            std::process::exit(2);
+        };
+        println!("# {name}");
+        print!("{}", to_tsv(&rows));
+        println!();
+        all_rows.extend(rows);
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&all_rows).expect("serializable rows");
+        std::fs::write(&path, json).unwrap_or_else(|e| {
+            eprintln!("figures: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {} rows to {path}", all_rows.len());
+    }
+}

@@ -1,0 +1,81 @@
+//! Experiment harness: every table and figure of the paper's evaluation
+//! (§4/§5), regenerated on the `parfs` machine models with workloads
+//! emitted by `sion::script` (i.e. by the real library's layout and
+//! protocol code).
+//!
+//! Each `fig*`/`table*` function returns machine-readable [`Row`]s; the
+//! `figures` binary prints them as TSV (and JSON) in the same
+//! series/axis structure as the paper's plots. EXPERIMENTS.md compares the
+//! output against the published numbers.
+
+pub mod experiments;
+
+pub use experiments::*;
+
+use serde::Serialize;
+
+/// One data point of a figure: a named series, an x value, and the
+/// measured y value.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Row {
+    /// Experiment id (e.g. `"fig3a"`).
+    pub experiment: &'static str,
+    /// Series label as it appears in the paper's legend.
+    pub series: String,
+    /// X coordinate (task count, file count, million particles, ...).
+    pub x: f64,
+    /// Y value (seconds or MB/s, per the experiment).
+    pub y: f64,
+    /// Unit of `y`.
+    pub unit: &'static str,
+}
+
+impl Row {
+    /// Construct a row.
+    pub fn new(
+        experiment: &'static str,
+        series: impl Into<String>,
+        x: f64,
+        y: f64,
+        unit: &'static str,
+    ) -> Row {
+        Row { experiment, series: series.into(), x, y, unit }
+    }
+}
+
+/// Render rows as a TSV block with a header.
+pub fn to_tsv(rows: &[Row]) -> String {
+    let mut out = String::from("experiment\tseries\tx\ty\tunit\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{:.4}\t{}\n",
+            r.experiment, r.series, r.x, r.y, r.unit
+        ));
+    }
+    out
+}
+
+/// Fetch the y value of a series at an x coordinate (for tests).
+pub fn lookup(rows: &[Row], series: &str, x: f64) -> Option<f64> {
+    rows.iter()
+        .find(|r| r.series == series && (r.x - x).abs() < 1e-9)
+        .map(|r| r.y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsv_and_lookup() {
+        let rows = vec![
+            Row::new("figX", "a", 1.0, 2.0, "s"),
+            Row::new("figX", "b", 1.0, 3.0, "s"),
+        ];
+        let tsv = to_tsv(&rows);
+        assert!(tsv.starts_with("experiment\tseries"));
+        assert_eq!(tsv.lines().count(), 3);
+        assert_eq!(lookup(&rows, "b", 1.0), Some(3.0));
+        assert_eq!(lookup(&rows, "c", 1.0), None);
+    }
+}

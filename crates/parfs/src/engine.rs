@@ -1,0 +1,730 @@
+//! The discrete-event engine: executes a [`ScriptSet`] on a [`Machine`].
+//!
+//! Each class is a sequential process; transfer and metadata operations
+//! become fluid jobs whose rates the [`FluidSolver`] recomputes at every
+//! job arrival/completion; collectives rendezvous across all classes with
+//! a log-depth tree latency plus a root-bandwidth term. The result is a
+//! [`SimReport`] with the makespan and per-operation start/end times, from
+//! which the benchmark harness derives the paper's figures.
+
+use crate::fluid::{FluidJobSpec, FluidSolver, ResourceId};
+use crate::machine::Machine;
+use crate::workload::{FileRef, IoOp, ScriptSet};
+#[cfg(test)]
+use crate::workload::ScriptClass;
+use std::collections::HashMap;
+
+/// Start/end time of one operation of one class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpTiming {
+    /// Class index in the workload.
+    pub class: usize,
+    /// Operation index within the class script.
+    pub op_index: usize,
+    /// Virtual time the operation began.
+    pub start: f64,
+    /// Virtual time it completed.
+    pub end: f64,
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Machine name.
+    pub machine: &'static str,
+    /// Virtual time at which the last class finished (seconds).
+    pub makespan: f64,
+    /// Per-operation timings, in completion order.
+    pub timings: Vec<OpTiming>,
+}
+
+impl SimReport {
+    /// Duration of one specific operation.
+    pub fn op_duration(&self, class: usize, op_index: usize) -> Option<f64> {
+        self.timings
+            .iter()
+            .find(|t| t.class == class && t.op_index == op_index)
+            .map(|t| t.end - t.start)
+    }
+
+    /// Earliest start and latest end over all ops selected by `pred`
+    /// (applied to the workload's op). Returns `None` if nothing matches.
+    pub fn phase_bounds(
+        &self,
+        wl: &ScriptSet,
+        pred: impl Fn(&IoOp) -> bool,
+    ) -> Option<(f64, f64)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for t in &self.timings {
+            let op = &wl.classes[t.class].ops[t.op_index];
+            if pred(op) {
+                lo = lo.min(t.start);
+                hi = hi.max(t.end);
+            }
+        }
+        (lo.is_finite()).then_some((lo, hi))
+    }
+
+    /// Aggregate write bandwidth (bytes/s) over the write phase.
+    pub fn write_bandwidth(&self, wl: &ScriptSet) -> f64 {
+        match self.phase_bounds(wl, |o| matches!(o, IoOp::Write { .. })) {
+            Some((lo, hi)) if hi > lo => wl.total_write_bytes() as f64 / (hi - lo),
+            _ => 0.0,
+        }
+    }
+
+    /// Aggregate read bandwidth (bytes/s) over the read phase.
+    pub fn read_bandwidth(&self, wl: &ScriptSet) -> f64 {
+        match self.phase_bounds(wl, |o| matches!(o, IoOp::Read { .. })) {
+            Some((lo, hi)) if hi > lo => wl.total_read_bytes() as f64 / (hi - lo),
+            _ => 0.0,
+        }
+    }
+
+    /// Render the per-operation timeline as TSV (one row per class-op, in
+    /// start order) — handy for inspecting what the simulated machine did.
+    pub fn timeline_tsv(&self, wl: &ScriptSet) -> String {
+        let mut rows = self.timings.clone();
+        rows.sort_by(|a, b| a.start.total_cmp(&b.start).then(a.class.cmp(&b.class)));
+        let mut out = String::from("class	count	op	start_s	end_s	duration_s
+");
+        for t in rows {
+            let class = &wl.classes[t.class];
+            let op = match class.ops[t.op_index] {
+                IoOp::Create(_) => "create".to_string(),
+                IoOp::Open(_) => "open".to_string(),
+                IoOp::Write { bytes, .. } => format!("write[{bytes}B]"),
+                IoOp::Read { bytes, .. } => format!("read[{bytes}B]"),
+                IoOp::Gather { bytes } => format!("gather[{bytes}B]"),
+                IoOp::Scatter { bytes } => format!("scatter[{bytes}B]"),
+                IoOp::Bcast { bytes } => format!("bcast[{bytes}B]"),
+                IoOp::Barrier => "barrier".to_string(),
+                IoOp::Compute { .. } => "compute".to_string(),
+            };
+            out.push_str(&format!(
+                "{}	{}	{}	{:.6}	{:.6}	{:.6}
+",
+                t.class,
+                class.count,
+                op,
+                t.start,
+                t.end,
+                t.end - t.start
+            ));
+        }
+        out
+    }
+}
+
+/// Execution state of one class.
+enum ClassState {
+    /// Ready to process its next op at the stored local time.
+    Ready(f64),
+    /// Blocked in a fluid job (index into `active`).
+    InFluid,
+    /// Arrived at its next collective at the stored time.
+    AtCollective(f64),
+    /// Script finished at the stored time.
+    Done(f64),
+}
+
+struct ActiveJob {
+    class: usize,
+    op_index: usize,
+    start: f64,
+    remaining_per_flow: f64,
+    /// Extra latency added after the fluid work completes.
+    tail_latency: f64,
+    spec: FluidJobSpec,
+}
+
+/// Resource ids for one run.
+struct Resources {
+    solver: FluidSolver,
+    mds_create: ResourceId,
+    mds_open: ResourceId,
+    client_stage: ResourceId,
+    agg_write: ResourceId,
+    agg_read: ResourceId,
+    server_write: Vec<ResourceId>,
+    server_read: Vec<ResourceId>,
+    /// Token-degradation resource per shared file, by file index.
+    per_file: HashMap<u32, ResourceId>,
+}
+
+fn shared_file_clients(wl: &ScriptSet) -> HashMap<u32, u64> {
+    let mut clients: HashMap<u32, u64> = HashMap::new();
+    for c in &wl.classes {
+        let mut touched: Vec<u32> = c
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                IoOp::Create(FileRef::Shared(k))
+                | IoOp::Open(FileRef::Shared(k))
+                | IoOp::Write { file: FileRef::Shared(k), .. }
+                | IoOp::Read { file: FileRef::Shared(k), .. } => Some(*k),
+                _ => None,
+            })
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for k in touched {
+            *clients.entry(k).or_insert(0) += c.count;
+        }
+    }
+    clients
+}
+
+fn build_resources(machine: &Machine, wl: &ScriptSet) -> Resources {
+    let mut solver = FluidSolver::new();
+    let mds_create = solver.add_resource(1.0 / machine.create_svc_s);
+    let mds_open = solver.add_resource(machine.open_parallelism / machine.open_svc_s);
+    let client_stage = solver.add_resource(machine.client_stage_bw(wl.ntasks));
+    let agg_write = solver.add_resource(machine.aggregate_bw_write);
+    let agg_read = solver.add_resource(machine.aggregate_bw_read);
+    let server_write =
+        (0..machine.nservers).map(|_| solver.add_resource(machine.server_bw_write)).collect();
+    let server_read =
+        (0..machine.nservers).map(|_| solver.add_resource(machine.server_bw_read)).collect();
+    let mut per_file = HashMap::new();
+    for (&k, &clients) in &shared_file_clients(wl) {
+        let stripes = machine.stripe_servers(k, machine.striping);
+        let cap = machine.per_file_cap(
+            clients,
+            stripes.len(),
+            machine.server_bw_write.max(machine.server_bw_read),
+        );
+        per_file.insert(k, solver.add_resource(cap));
+    }
+    Resources {
+        solver,
+        mds_create,
+        mds_open,
+        client_stage,
+        agg_write,
+        agg_read,
+        server_write,
+        server_read,
+        per_file,
+    }
+}
+
+/// Build the fluid job for a transfer op, or `None` if the op is not a
+/// fluid op.
+#[allow(clippy::too_many_arguments)]
+fn fluid_spec(
+    machine: &Machine,
+    res: &Resources,
+    op: &IoOp,
+    class_count: u64,
+    cache_hit: f64,
+) -> Option<(FluidJobSpec, f64, f64)> {
+    // Returns (spec, work_per_flow, tail_latency).
+    match *op {
+        IoOp::Create(_) => Some((
+            FluidJobSpec {
+                weight: class_count as f64,
+                rate_cap_per_flow: 1.0 / machine.create_svc_s,
+                usage: vec![(res.mds_create, 1.0)],
+            },
+            1.0,
+            machine.meta_latency_s,
+        )),
+        IoOp::Open(file) => {
+            // Opening N *distinct* files contends on the directory's
+            // metadata; N opens of the *same* physical file hit one cached
+            // dentry and proceed in parallel at the per-open service time.
+            let usage = match file {
+                FileRef::Own => vec![(res.mds_open, 1.0)],
+                FileRef::Shared(_) => Vec::new(),
+            };
+            Some((
+                FluidJobSpec {
+                    weight: class_count as f64,
+                    rate_cap_per_flow: 1.0 / machine.open_svc_s,
+                    usage,
+                },
+                1.0,
+                machine.meta_latency_s,
+            ))
+        }
+        IoOp::Write { file, bytes, sharers } => {
+            if bytes == 0 {
+                return None;
+            }
+            let eff = bytes as f64 * machine.sharing_factor(sharers, true);
+            let mut usage = vec![(res.client_stage, 1.0), (res.agg_write, 1.0)];
+            match file {
+                FileRef::Shared(k) => {
+                    let stripes = machine.stripe_servers(k, machine.striping);
+                    let coeff = 1.0 / stripes.len() as f64;
+                    for s in stripes {
+                        usage.push((res.server_write[s as usize], coeff));
+                    }
+                    usage.push((res.per_file[&k], 1.0));
+                }
+                FileRef::Own => {
+                    // Task-local files spread round-robin over all servers.
+                    let coeff = 1.0 / machine.nservers as f64;
+                    for &r in &res.server_write {
+                        usage.push((r, coeff));
+                    }
+                }
+            }
+            let eff = if matches!(file, FileRef::Own) {
+                eff / machine.own_file_efficiency
+            } else {
+                eff
+            };
+            Some((
+                FluidJobSpec {
+                    weight: class_count as f64,
+                    rate_cap_per_flow: machine.task_bw,
+                    usage,
+                },
+                eff,
+                0.0,
+            ))
+        }
+        IoOp::Read { file, bytes, sharers } => {
+            if bytes == 0 {
+                return None;
+            }
+            let eff = bytes as f64 * machine.sharing_factor(sharers, false);
+            // Cache hits bypass the storage stages: scale storage
+            // coefficients by the miss fraction.
+            let miss = (1.0 - cache_hit).max(0.0);
+            let mut usage =
+                vec![(res.client_stage, 1.0), (res.agg_read, miss.max(1e-9))];
+            match file {
+                FileRef::Shared(k) => {
+                    let stripes = machine.stripe_servers(k, machine.striping);
+                    let coeff = miss.max(1e-9) / stripes.len() as f64;
+                    for s in stripes {
+                        usage.push((res.server_read[s as usize], coeff));
+                    }
+                    usage.push((res.per_file[&k], 1.0));
+                }
+                FileRef::Own => {
+                    let coeff = miss.max(1e-9) / machine.nservers as f64;
+                    for &r in &res.server_read {
+                        usage.push((r, coeff));
+                    }
+                }
+            }
+            let eff = if matches!(file, FileRef::Own) {
+                eff / machine.own_file_efficiency
+            } else {
+                eff
+            };
+            Some((
+                FluidJobSpec {
+                    weight: class_count as f64,
+                    rate_cap_per_flow: machine.task_bw,
+                    usage,
+                },
+                eff,
+                0.0,
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Duration of a collective op over `ntasks` tasks.
+fn collective_duration(machine: &Machine, op: &IoOp, ntasks: u64) -> f64 {
+    let hops = (ntasks.max(2) as f64).log2().ceil();
+    let tree = hops * machine.collective_hop_latency_s;
+    match *op {
+        IoOp::Gather { bytes } | IoOp::Scatter { bytes } => {
+            // The root's link carries every task's payload.
+            tree + (ntasks as f64 * bytes as f64) / machine.master_nic_bw
+        }
+        IoOp::Bcast { bytes } => tree + bytes as f64 / machine.master_nic_bw,
+        IoOp::Barrier => tree,
+        _ => 0.0,
+    }
+}
+
+/// Run the workload on the machine and report timings.
+///
+/// Panics if the workload fails [`ScriptSet::validate`].
+pub fn simulate(machine: &Machine, wl: &ScriptSet) -> SimReport {
+    wl.validate().expect("invalid workload");
+    let res = build_resources(machine, wl);
+    let cache_hit = machine.cache_hit_fraction(wl.ntasks, wl.total_read_bytes());
+
+    let nclasses = wl.classes.len();
+    let mut state: Vec<ClassState> = wl.classes.iter().map(|_| ClassState::Ready(0.0)).collect();
+    let mut next_op: Vec<usize> = vec![0; nclasses];
+    let mut timings: Vec<OpTiming> = Vec::new();
+    let mut active: Vec<ActiveJob> = Vec::new();
+    let mut clock = 0.0f64;
+
+    loop {
+        // Phase 1: drive every Ready class forward until it blocks.
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for ci in 0..nclasses {
+                let ClassState::Ready(t) = state[ci] else { continue };
+                progressed = true;
+                let mut t = t;
+                loop {
+                    let oi = next_op[ci];
+                    if oi >= wl.classes[ci].ops.len() {
+                        state[ci] = ClassState::Done(t);
+                        break;
+                    }
+                    let op = wl.classes[ci].ops[oi];
+                    if op.is_collective() {
+                        state[ci] = ClassState::AtCollective(t);
+                        break;
+                    }
+                    if let IoOp::Compute { seconds } = op {
+                        timings.push(OpTiming { class: ci, op_index: oi, start: t, end: t + seconds });
+                        t += seconds;
+                        next_op[ci] += 1;
+                        continue;
+                    }
+                    match fluid_spec(machine, &res, &op, wl.classes[ci].count, cache_hit) {
+                        Some((spec, work, tail)) => {
+                            active.push(ActiveJob {
+                                class: ci,
+                                op_index: oi,
+                                start: t,
+                                remaining_per_flow: work,
+                                tail_latency: tail,
+                                spec,
+                            });
+                            state[ci] = ClassState::InFluid;
+                            break;
+                        }
+                        None => {
+                            // Degenerate op (0 bytes): instantaneous.
+                            timings.push(OpTiming { class: ci, op_index: oi, start: t, end: t });
+                            next_op[ci] += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Termination check.
+        if state.iter().all(|s| matches!(s, ClassState::Done(_))) {
+            break;
+        }
+
+        // Phase 2: resolve a collective if every unfinished class arrived.
+        let arrived: Vec<usize> = (0..nclasses)
+            .filter(|&ci| matches!(state[ci], ClassState::AtCollective(_)))
+            .collect();
+        let unfinished = state.iter().filter(|s| !matches!(s, ClassState::Done(_))).count();
+        if !arrived.is_empty() && arrived.len() == unfinished {
+            let t0 = arrived
+                .iter()
+                .map(|&ci| match state[ci] {
+                    ClassState::AtCollective(t) => t,
+                    _ => unreachable!(),
+                })
+                .fold(clock, f64::max);
+            let dur = arrived
+                .iter()
+                .map(|&ci| {
+                    collective_duration(machine, &wl.classes[ci].ops[next_op[ci]], wl.ntasks)
+                })
+                .fold(0.0, f64::max);
+            for &ci in &arrived {
+                let start = match state[ci] {
+                    ClassState::AtCollective(t) => t,
+                    _ => unreachable!(),
+                };
+                timings.push(OpTiming { class: ci, op_index: next_op[ci], start, end: t0 + dur });
+                next_op[ci] += 1;
+                state[ci] = ClassState::Ready(t0 + dur);
+            }
+            clock = t0 + dur;
+            continue;
+        }
+
+        // Phase 3: advance the fluid system to its next event — either a
+        // job activation (a job submitted with a start time in the future,
+        // e.g. after a Compute op) or the earliest completion among the
+        // currently running jobs.
+        assert!(
+            !active.is_empty(),
+            "deadlock: classes waiting at a collective while others are blocked"
+        );
+        let next_activation = active
+            .iter()
+            .filter(|j| j.start > clock + 1e-15)
+            .map(|j| j.start)
+            .fold(f64::INFINITY, f64::min);
+        let running: Vec<usize> = (0..active.len())
+            .filter(|&i| active[i].start <= clock + 1e-15)
+            .collect();
+        if running.is_empty() {
+            // Nothing flows until the next job activates.
+            clock = next_activation;
+            continue;
+        }
+        let specs: Vec<FluidJobSpec> = running.iter().map(|&i| active[i].spec.clone()).collect();
+        let rates = res.solver.rates(&specs);
+        let (winner_pos, dt) = running
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| (pos, active[i].remaining_per_flow / rates[pos].max(1e-30)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("running non-empty");
+        if clock + dt > next_activation {
+            // A new job joins first: progress everyone up to the activation
+            // and recompute rates next round.
+            let step = next_activation - clock;
+            for (pos, &i) in running.iter().enumerate() {
+                active[i].remaining_per_flow -= rates[pos] * step;
+            }
+            clock = next_activation;
+            continue;
+        }
+        let now = clock + dt;
+        for (pos, &i) in running.iter().enumerate() {
+            active[i].remaining_per_flow -= rates[pos] * dt;
+        }
+        let job = active.swap_remove(running[winner_pos]);
+        timings.push(OpTiming {
+            class: job.class,
+            op_index: job.op_index,
+            start: job.start,
+            end: now + job.tail_latency,
+        });
+        next_op[job.class] += 1;
+        state[job.class] = ClassState::Ready(now + job.tail_latency);
+        clock = now;
+    }
+
+    let makespan = state
+        .iter()
+        .map(|s| match s {
+            ClassState::Done(t) => *t,
+            _ => unreachable!(),
+        })
+        .fold(0.0, f64::max);
+    SimReport { machine: machine.name, makespan, timings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl(classes: Vec<ScriptClass>) -> ScriptSet {
+        let ntasks = classes.iter().map(|c| c.count).sum();
+        ScriptSet { ntasks, classes }
+    }
+
+    #[test]
+    fn serialized_creates_scale_linearly() {
+        let m = Machine::jugene();
+        let t_4k = simulate(
+            &m,
+            &wl(vec![ScriptClass { count: 4096, ops: vec![IoOp::Create(FileRef::Own)] }]),
+        )
+        .makespan;
+        let t_64k = simulate(
+            &m,
+            &wl(vec![ScriptClass { count: 65536, ops: vec![IoOp::Create(FileRef::Own)] }]),
+        )
+        .makespan;
+        let ratio = t_64k / t_4k;
+        assert!((14.0..18.0).contains(&ratio), "expected ~16x, got {ratio}");
+        // 64 Ki creates take minutes (paper: "more than five minutes").
+        assert!(t_64k > 300.0, "{t_64k}");
+    }
+
+    #[test]
+    fn opens_are_much_faster_than_creates() {
+        let m = Machine::jugene();
+        let creates = simulate(
+            &m,
+            &wl(vec![ScriptClass { count: 65536, ops: vec![IoOp::Create(FileRef::Own)] }]),
+        )
+        .makespan;
+        let opens = simulate(
+            &m,
+            &wl(vec![ScriptClass { count: 65536, ops: vec![IoOp::Open(FileRef::Own)] }]),
+        )
+        .makespan;
+        assert!(creates / opens > 4.0, "create {creates} open {opens}");
+    }
+
+    #[test]
+    fn write_bandwidth_saturates_aggregate() {
+        let m = Machine::jugene();
+        // 16 Ki tasks write 16 MiB each to a 32-file multifile: client
+        // injection (0.8 MB/s * 16 Ki = 13 GB/s) exceeds the 6 GB/s cap.
+        let classes: Vec<ScriptClass> = (0..32)
+            .map(|k| ScriptClass {
+                count: 512,
+                ops: vec![IoOp::Write {
+                    file: FileRef::Shared(k),
+                    bytes: 16 << 20,
+                    sharers: 1.0,
+                }],
+            })
+            .collect();
+        let w = wl(classes);
+        let rep = simulate(&m, &w);
+        let bw = rep.write_bandwidth(&w);
+        assert!(
+            (4.0e9..6.05e9).contains(&bw),
+            "expected saturation near 6 GB/s, got {bw:.3e}"
+        );
+    }
+
+    #[test]
+    fn few_tasks_are_client_limited() {
+        let m = Machine::jugene();
+        // 1 Ki tasks over 32 files (the Fig. 5(a) configuration): the
+        // client injection stage (~10 I/O-node links) is the bottleneck.
+        let w = wl((0..32)
+            .map(|k| ScriptClass {
+                count: 32,
+                ops: vec![IoOp::Write {
+                    file: FileRef::Shared(k),
+                    bytes: 16 << 20,
+                    sharers: 1.0,
+                }],
+            })
+            .collect());
+        let rep = simulate(&m, &w);
+        let bw = rep.write_bandwidth(&w);
+        // ~11 I/O-node links * 80 MB/s ≈ 0.88 GB/s.
+        assert!((0.6e9..1.0e9).contains(&bw), "{bw:.3e}");
+    }
+
+    #[test]
+    fn block_sharing_halves_bandwidth() {
+        let m = Machine::jugene();
+        let mk = |sharers: f64| {
+            wl((0..16)
+                .map(|k| ScriptClass {
+                    count: 2048,
+                    ops: vec![IoOp::Write { file: FileRef::Shared(k), bytes: 8 << 20, sharers }],
+                })
+                .collect())
+        };
+        let aligned = mk(1.0);
+        let misaligned = mk(128.0);
+        let bw_a = simulate(&m, &aligned).write_bandwidth(&aligned);
+        let bw_m = simulate(&m, &misaligned).write_bandwidth(&misaligned);
+        let ratio = bw_a / bw_m;
+        assert!((2.0..3.0).contains(&ratio), "Table 1 write ratio ≈ 2.5, got {ratio}");
+    }
+
+    #[test]
+    fn collectives_rendezvous_classes() {
+        let m = Machine::jugene();
+        let w = wl(vec![
+            ScriptClass {
+                count: 1,
+                ops: vec![IoOp::Compute { seconds: 5.0 }, IoOp::Barrier],
+            },
+            ScriptClass { count: 7, ops: vec![IoOp::Barrier] },
+        ]);
+        let rep = simulate(&m, &w);
+        // Fast class waits for the slow one: barrier ends after 5 s.
+        for t in &rep.timings {
+            if matches!(w.classes[t.class].ops[t.op_index], IoOp::Barrier) {
+                assert!(t.end >= 5.0);
+            }
+        }
+        assert!(rep.makespan >= 5.0);
+    }
+
+    #[test]
+    fn gather_cost_scales_with_root_payload() {
+        let m = Machine::jugene();
+        let mk = |bytes: u64| {
+            wl(vec![ScriptClass { count: 1024, ops: vec![IoOp::Gather { bytes }] }])
+        };
+        let small = simulate(&m, &mk(8)).makespan;
+        let big = simulate(&m, &mk(1 << 20)).makespan;
+        assert!(big > small * 100.0, "small {small} big {big}");
+    }
+
+    #[test]
+    fn more_files_help_until_servers_saturate() {
+        let m = Machine::jugene();
+        let bw_for = |nfiles: u32| {
+            let per = 65536 / nfiles as u64;
+            let w = wl((0..nfiles)
+                .map(|k| ScriptClass {
+                    count: per,
+                    ops: vec![IoOp::Write {
+                        file: FileRef::Shared(k),
+                        bytes: (1u64 << 40) / 65536,
+                        sharers: 1.0,
+                    }],
+                })
+                .collect());
+            simulate(&m, &w).write_bandwidth(&w)
+        };
+        let b1 = bw_for(1);
+        let b4 = bw_for(4);
+        let b32 = bw_for(32);
+        assert!(b1 < b4 && b4 <= b32 * 1.01, "1:{b1:.3e} 4:{b4:.3e} 32:{b32:.3e}");
+        assert!(b32 <= 6.05e9);
+    }
+
+    #[test]
+    fn timeline_lists_every_op_in_start_order() {
+        let m = Machine::jugene();
+        let w = wl(vec![ScriptClass {
+            count: 16,
+            ops: vec![
+                IoOp::Create(FileRef::Shared(0)),
+                IoOp::Write { file: FileRef::Shared(0), bytes: 1 << 20, sharers: 1.0 },
+                IoOp::Barrier,
+            ],
+        }]);
+        let rep = simulate(&m, &w);
+        let tsv = rep.timeline_tsv(&w);
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 3 ops
+        assert!(lines[1].contains("create"));
+        assert!(lines[2].contains("write[1048576B]"));
+        assert!(lines[3].contains("barrier"));
+        // Start times are non-decreasing.
+        let starts: Vec<f64> = lines[1..]
+            .iter()
+            .map(|l| l.split('\t').nth(3).unwrap().parse().unwrap())
+            .collect();
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn makespan_covers_all_ops() {
+        let m = Machine::jaguar();
+        let w = wl(vec![ScriptClass {
+            count: 128,
+            ops: vec![
+                IoOp::Create(FileRef::Shared(0)),
+                IoOp::Write { file: FileRef::Shared(0), bytes: 1 << 20, sharers: 1.0 },
+                IoOp::Barrier,
+                IoOp::Read { file: FileRef::Shared(0), bytes: 1 << 20, sharers: 1.0 },
+            ],
+        }]);
+        let rep = simulate(&m, &w);
+        assert_eq!(rep.timings.len(), 4);
+        for t in &rep.timings {
+            assert!(t.end <= rep.makespan + 1e-9);
+            assert!(t.start <= t.end);
+        }
+        // Ops of one class are sequential.
+        let mut sorted = rep.timings.clone();
+        sorted.sort_by(|a, b| a.op_index.cmp(&b.op_index));
+        for pair in sorted.windows(2) {
+            assert!(pair[1].start >= pair[0].end - 1e-9);
+        }
+    }
+}

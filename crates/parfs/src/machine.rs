@@ -1,0 +1,366 @@
+//! Machine models: parameters of the simulated I/O subsystem, with presets
+//! calibrated to the paper's two evaluation systems.
+//!
+//! The presets encode the *published* characteristics of the machines
+//! (paper §4): Jugene's GPFS scratch file system delivers at most 6 GB/s
+//! over 32 NSD server nodes with 2 MiB blocks and distributed metadata;
+//! Jaguar's Lustre delivers 40 GB/s over 72 OSSes with dedicated metadata
+//! servers and per-file-configurable striping. Service times that the
+//! paper reports only implicitly (per-create cost, per-open cost) are
+//! fitted to the endpoints of Fig. 3; EXPERIMENTS.md documents every
+//! fitted constant.
+
+/// Striping of one file across the I/O servers (Lustre: stripe factor and
+/// depth are per-file settings; GPFS: a fixed property of the file system).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StripingConfig {
+    /// Number of I/O servers one file's data is spread across.
+    pub stripe_count: u32,
+    /// Stripe depth in bytes (informational; throughput modelling uses the
+    /// stripe count).
+    pub stripe_depth: u64,
+}
+
+/// The simulated machine: metadata service, network, and storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Machine {
+    /// Human-readable name for reports.
+    pub name: &'static str,
+
+    // ---- metadata service ----------------------------------------------
+    /// Service time of one file *create* in a shared directory. Creates
+    /// serialize on the directory's i-node/allocation blocks, so the
+    /// effective capacity is `1/create_svc_s` ops/s regardless of client
+    /// count (the mechanism behind paper Fig. 3).
+    pub create_svc_s: f64,
+    /// Service time of one *open* of an existing file.
+    pub open_svc_s: f64,
+    /// Effective parallelism of the open path (hash-distributed lookups
+    /// allow some concurrency; paper §2 cites extendible hashing).
+    pub open_parallelism: f64,
+    /// Fixed client-side latency added to each metadata phase.
+    pub meta_latency_s: f64,
+
+    // ---- network ---------------------------------------------------------
+    /// Peak injection bandwidth of a single task (bytes/s) — what one
+    /// process can push through its I/O-forwarding path alone.
+    pub task_bw: f64,
+    /// Tasks per client I/O group (cores per Blue Gene I/O node; cores per
+    /// Cray node). Tasks of one group share one group link.
+    pub client_group_size: u64,
+    /// Bandwidth of one client I/O group link (bytes/s).
+    pub client_group_bw: f64,
+    /// Number of group links in the machine (I/O nodes / compute nodes).
+    pub client_groups_max: u64,
+    /// Bandwidth of the designated I/O master for gather/scatter payloads
+    /// (bytes/s) — the single-file-sequential bottleneck.
+    pub master_nic_bw: f64,
+    /// Per-hop latency of the collective tree.
+    pub collective_hop_latency_s: f64,
+
+    // ---- storage ----------------------------------------------------------
+    /// Number of I/O server nodes (GPFS NSD servers / Lustre OSSes).
+    pub nservers: u32,
+    /// Per-server write bandwidth (bytes/s).
+    pub server_bw_write: f64,
+    /// Per-server read bandwidth (bytes/s).
+    pub server_bw_read: f64,
+    /// Aggregate file-system write cap (bytes/s).
+    pub aggregate_bw_write: f64,
+    /// Aggregate file-system read cap (bytes/s).
+    pub aggregate_bw_read: f64,
+    /// Striping applied to shared files unless overridden per run.
+    pub striping: StripingConfig,
+    /// Striping applied to task-local (own) files.
+    pub own_file_striping: StripingConfig,
+    /// File-system block size (bytes).
+    pub fsblksize: u64,
+
+    // ---- contention models -----------------------------------------------
+    /// Concave per-file throughput model (GPFS): a shared file with `c`
+    /// writing clients delivers at most `per_file_unit_bw * c^per_file_alpha`
+    /// (clamped to the file's stripe capacity). Sub-linear growth in the
+    /// client count reproduces Fig. 4(a)'s slow saturation: single-file
+    /// throughput is bounded by the file's token/allocation management,
+    /// which parallelizes only partially with more clients. Set
+    /// `per_file_unit_bw = 0` to disable (Lustre: stripe capacity rules).
+    pub per_file_unit_bw: f64,
+    /// Exponent of the concave per-file model.
+    pub per_file_alpha: f64,
+    /// Lower bound on a shared file's throughput (bytes/s) regardless of
+    /// client count — a handful of clients still drives the file at a
+    /// reasonable fraction of its stripes. 0 disables.
+    pub per_file_floor_bw: f64,
+    /// Efficiency factor applied to task-local-file transfers (per-file
+    /// allocation/bookkeeping overhead of very large file counts).
+    pub own_file_efficiency: f64,
+    /// Write-bandwidth penalty per doubling of block sharers:
+    /// `factor = 1 + w * log2(sharers)` (paper Table 1: GPFS write locks
+    /// have FS-block granularity).
+    pub sharing_penalty_write_log2: f64,
+    /// Same for reads.
+    pub sharing_penalty_read_log2: f64,
+
+    // ---- client caching ----------------------------------------------------
+    /// Client-side cache per node (bytes) available for re-reads.
+    pub cache_per_node: f64,
+    /// Cores (tasks) per node, to translate task counts into node counts.
+    pub cores_per_node: u32,
+    /// Fraction of the ideal cache hit rate actually realized (covers
+    /// eviction and cold misses).
+    pub cache_effectiveness: f64,
+}
+
+impl Machine {
+    /// Jugene: IBM Blue Gene/P, 64 Ki cores, GPFS 3.2 scratch file system,
+    /// 6 GB/s peak, 2 MiB blocks, 32 NSD server nodes, distributed
+    /// metadata (paper §4, "Jugene").
+    pub fn jugene() -> Machine {
+        Machine {
+            name: "jugene",
+            // Fitted to Fig. 3(a): 64 Ki creates ≈ 370 s, 64 Ki opens ≈ 60 s.
+            create_svc_s: 5.6e-3,
+            open_svc_s: 7.4e-3,
+            open_parallelism: 8.0,
+            meta_latency_s: 2.0e-3,
+            // Fitted to Fig. 5(a): 1 Ki tasks engage ~10 I/O nodes at
+            // 80 MB/s each ≈ 0.8 GB/s; saturation at ≥ 8 Ki tasks.
+            task_bw: 50.0e6,
+            client_group_size: 100,
+            client_group_bw: 80.0e6,
+            client_groups_max: 152,
+            master_nic_bw: 40.0e6,
+            collective_hop_latency_s: 20.0e-6,
+            nservers: 32,
+            server_bw_write: 200.0e6,
+            server_bw_read: 180.0e6,
+            aggregate_bw_write: 6.0e9,
+            aggregate_bw_read: 5.0e9,
+            striping: StripingConfig { stripe_count: 16, stripe_depth: 2 << 20 },
+            own_file_striping: StripingConfig { stripe_count: 16, stripe_depth: 2 << 20 },
+            fsblksize: 2 << 20,
+            // Fitted to Fig. 4(a): 1 file ≈ 2.8 GB/s at 64 Ki clients,
+            // saturation at ≈ 8 files.
+            per_file_unit_bw: 3.58e6,
+            per_file_alpha: 0.6,
+            per_file_floor_bw: 0.55e9,
+            own_file_efficiency: 0.85,
+            // Fitted to Table 1: 128 sharers → 2.53× write, 1.78× read.
+            sharing_penalty_write_log2: 0.218,
+            sharing_penalty_read_log2: 0.112,
+            cache_per_node: 0.0, // 1 TB working sets defeat BG/P node caches
+            cores_per_node: 4,
+            cache_effectiveness: 0.0,
+        }
+    }
+
+    /// Jaguar: Cray XT4 partition, Lustre 1.6, 40 GB/s, 72 OSS nodes,
+    /// 3 dedicated MDS nodes, per-file striping (paper §4, "Jaguar").
+    pub fn jaguar() -> Machine {
+        Machine {
+            name: "jaguar",
+            // Fitted to Fig. 3(b): 12 Ki creates ≈ 300 s, 12 Ki opens ≈ 20 s.
+            create_svc_s: 25.0e-3,
+            open_svc_s: 6.8e-3,
+            open_parallelism: 4.0,
+            meta_latency_s: 1.0e-3,
+            // Fitted to Fig. 5(b): 128 tasks on 32 quad-core nodes reach
+            // ≈ 13 GB/s.
+            task_bw: 420.0e6,
+            client_group_size: 4,
+            client_group_bw: 420.0e6,
+            client_groups_max: 7832,
+            master_nic_bw: 1.2e9,
+            collective_hop_latency_s: 5.0e-6,
+            nservers: 72,
+            server_bw_write: 555.0e6,
+            server_bw_read: 555.0e6,
+            aggregate_bw_write: 40.0e9,
+            aggregate_bw_read: 40.0e9,
+            // Lustre default: stripe over 4 OSTs, 1 MiB depth.
+            striping: StripingConfig { stripe_count: 4, stripe_depth: 1 << 20 },
+            own_file_striping: StripingConfig { stripe_count: 4, stripe_depth: 1 << 20 },
+            fsblksize: 2 << 20,
+            per_file_unit_bw: 0.0,
+            per_file_alpha: 0.0,
+            per_file_floor_bw: 0.0,
+            own_file_efficiency: 0.88,
+            // "Preliminary tests on Jaguar did not confirm this effect."
+            sharing_penalty_write_log2: 0.0,
+            sharing_penalty_read_log2: 0.0,
+            cache_per_node: 2.0e9,
+            cores_per_node: 4,
+            cache_effectiveness: 0.12,
+        }
+    }
+
+    /// Jaguar with the paper's "optimized" striping: 64 OSTs, 8 MiB depth
+    /// (Fig. 4(b), second configuration).
+    pub fn jaguar_optimized_striping() -> Machine {
+        let mut m = Machine::jaguar();
+        m.striping = StripingConfig { stripe_count: 64, stripe_depth: 8 << 20 };
+        m
+    }
+
+    /// Override the shared-file striping (Lustre `lfs setstripe`).
+    pub fn with_striping(mut self, stripe_count: u32, stripe_depth: u64) -> Machine {
+        self.striping = StripingConfig { stripe_count, stripe_depth };
+        self
+    }
+
+    /// The set of servers file `k` is striped over: `stripe_count`
+    /// consecutive servers starting at a round-robin offset, mirroring how
+    /// both GPFS and Lustre allocate stripes.
+    pub fn stripe_servers(&self, filenum: u32, striping: StripingConfig) -> Vec<u32> {
+        let n = self.nservers;
+        let count = striping.stripe_count.min(n).max(1);
+        let start = (filenum * count) % n;
+        (0..count).map(|i| (start + i) % n).collect()
+    }
+
+    /// Block-sharing penalty factor for a given mean sharer count.
+    pub fn sharing_factor(&self, sharers: f64, write: bool) -> f64 {
+        if sharers <= 1.0 {
+            return 1.0;
+        }
+        let per_log2 = if write {
+            self.sharing_penalty_write_log2
+        } else {
+            self.sharing_penalty_read_log2
+        };
+        1.0 + per_log2 * sharers.log2()
+    }
+
+    /// Throughput cap of one shared file with `clients` tasks, striped over
+    /// `stripe_servers` servers of per-server bandwidth `server_bw`.
+    pub fn per_file_cap(&self, clients: u64, nstripes: usize, server_bw: f64) -> f64 {
+        let raw = nstripes as f64 * server_bw;
+        if self.per_file_unit_bw > 0.0 {
+            let concave = self.per_file_unit_bw * (clients.max(1) as f64).powf(self.per_file_alpha);
+            raw.min(concave.max(self.per_file_floor_bw))
+        } else {
+            raw
+        }
+    }
+
+    /// Aggregate capacity of the client-side injection stage for `ntasks`
+    /// tasks: engaged group links times their bandwidth.
+    pub fn client_stage_bw(&self, ntasks: u64) -> f64 {
+        let groups = ntasks.div_ceil(self.client_group_size).min(self.client_groups_max).max(1);
+        groups as f64 * self.client_group_bw
+    }
+
+    /// Ideal cache hit fraction for re-reading `data_bytes` with `ntasks`
+    /// tasks.
+    pub fn cache_hit_fraction(&self, ntasks: u64, data_bytes: u64) -> f64 {
+        if data_bytes == 0 || self.cache_per_node <= 0.0 {
+            return 0.0;
+        }
+        let nodes = (ntasks as f64 / self.cores_per_node as f64).max(1.0);
+        let cache = nodes * self.cache_per_node;
+        self.cache_effectiveness * (cache / data_bytes as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        for m in [Machine::jugene(), Machine::jaguar()] {
+            assert!(m.create_svc_s > m.open_svc_s / m.open_parallelism);
+            assert!(m.aggregate_bw_write <= m.nservers as f64 * m.server_bw_write * 1.2);
+            assert!(m.task_bw > 0.0);
+            assert!(m.client_group_bw >= m.task_bw || m.client_group_size == 1);
+            assert!(m.fsblksize > 0);
+        }
+    }
+
+    #[test]
+    fn fig3_endpoint_fits() {
+        let j = Machine::jugene();
+        // 64 Ki serialized creates land in the 5-7 minute window.
+        let t = 65536.0 * j.create_svc_s;
+        assert!((300.0..450.0).contains(&t), "{t}");
+        // 64 Ki opens land around a minute.
+        let t = 65536.0 * j.open_svc_s / j.open_parallelism;
+        assert!((40.0..90.0).contains(&t), "{t}");
+
+        let g = Machine::jaguar();
+        let t = 12288.0 * g.create_svc_s;
+        assert!((250.0..400.0).contains(&t), "{t}");
+        let t = 12288.0 * g.open_svc_s / g.open_parallelism;
+        assert!((12.0..30.0).contains(&t), "{t}");
+    }
+
+    #[test]
+    fn table1_penalty_fit() {
+        let j = Machine::jugene();
+        // 16 KiB chunks on 2 MiB blocks: 128 sharers.
+        let w = j.sharing_factor(128.0, true);
+        let r = j.sharing_factor(128.0, false);
+        assert!((2.3..2.8).contains(&w), "{w}");
+        assert!((1.6..2.0).contains(&r), "{r}");
+        assert_eq!(j.sharing_factor(1.0, true), 1.0);
+    }
+
+    #[test]
+    fn stripe_servers_round_robin() {
+        let j = Machine::jaguar();
+        let s0 = j.stripe_servers(0, j.striping);
+        let s1 = j.stripe_servers(1, j.striping);
+        assert_eq!(s0, vec![0, 1, 2, 3]);
+        assert_eq!(s1, vec![4, 5, 6, 7]);
+        // 18 files of stripe 4 cover all 72 servers disjointly; file 18
+        // wraps around.
+        let s18 = j.stripe_servers(18, j.striping);
+        assert_eq!(s18, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn stripe_count_clamped_to_servers() {
+        let j = Machine::jugene().with_striping(128, 1 << 20);
+        assert_eq!(j.stripe_servers(0, j.striping).len(), 32);
+    }
+
+    #[test]
+    fn per_file_cap_is_concave_in_clients() {
+        let j = Machine::jugene();
+        let bw = j.server_bw_write;
+        let c1 = j.per_file_cap(65536, 16, bw);
+        let c2 = j.per_file_cap(32768, 16, bw);
+        // Fig. 4(a) fit: one file with all 64 Ki clients ≈ 2.3-3.2 GB/s.
+        assert!((2.0e9..3.3e9).contains(&c1), "{c1:e}");
+        // Halving the clients reduces the cap by less than half (concave).
+        assert!(c2 > c1 / 2.0 && c2 < c1);
+        // Clamped by the stripe capacity for tiny files.
+        assert!(j.per_file_cap(1, 16, bw) <= 16.0 * bw);
+        // Lustre: stripe capacity only.
+        let g = Machine::jaguar();
+        assert_eq!(g.per_file_cap(2048, 4, g.server_bw_write), 4.0 * g.server_bw_write);
+    }
+
+    #[test]
+    fn client_stage_scales_then_saturates() {
+        let j = Machine::jugene();
+        let b1k = j.client_stage_bw(1024);
+        let b8k = j.client_stage_bw(8192);
+        let b64k = j.client_stage_bw(65536);
+        // ~0.8 GB/s at 1 Ki tasks (Fig. 5(a) left edge).
+        assert!((0.6e9..1.0e9).contains(&b1k), "{b1k:e}");
+        assert!(b8k > 6.0e9, "8 Ki tasks must exceed the FS cap: {b8k:e}");
+        // All 152 I/O nodes engaged at most.
+        assert_eq!(b64k, 152.0 * j.client_group_bw);
+    }
+
+    #[test]
+    fn cache_hit_fraction_bounds() {
+        let g = Machine::jaguar();
+        assert_eq!(g.cache_hit_fraction(1000, 0), 0.0);
+        let h = g.cache_hit_fraction(12288, 4_000_000_000_000);
+        assert!(h > 0.0 && h <= g.cache_effectiveness, "{h}");
+        let j = Machine::jugene();
+        assert_eq!(j.cache_hit_fraction(65536, 1 << 40), 0.0);
+    }
+}

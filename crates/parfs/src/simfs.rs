@@ -1,0 +1,188 @@
+//! [`SimFs`]: a functional file system with operation accounting.
+//!
+//! `SimFs` wraps a sparse in-memory store (the same engine as
+//! [`vfs::MemFs`]) and counts metadata and data operations. It lets
+//! functional tests assert on the *shape* of the I/O a library performs —
+//! e.g. that a SIONlib parallel open issues exactly `nfiles` creates
+//! instead of one per task — which is precisely the property the paper's
+//! Fig. 3 measures in time.
+
+use parking_lot::Mutex;
+use std::io;
+use std::sync::Arc;
+use vfs::{MemFs, Vfs, VfsFile};
+
+/// Cumulative operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimFsCounters {
+    /// Files created.
+    pub creates: u64,
+    /// Opens of existing files.
+    pub opens: u64,
+    /// Files removed.
+    pub removes: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Write calls.
+    pub write_ops: u64,
+    /// Read calls.
+    pub read_ops: u64,
+}
+
+/// A counting, sparse, in-memory [`Vfs`].
+pub struct SimFs {
+    inner: MemFs,
+    counters: Arc<Mutex<SimFsCounters>>,
+}
+
+impl SimFs {
+    /// An empty simulated FS with the given block size.
+    pub fn with_block_size(block_size: u64) -> Self {
+        SimFs {
+            inner: MemFs::with_block_size(block_size),
+            counters: Arc::new(Mutex::new(SimFsCounters::default())),
+        }
+    }
+
+    /// An empty simulated FS with a 64 KiB block size.
+    pub fn new() -> Self {
+        Self::with_block_size(64 * 1024)
+    }
+
+    /// Snapshot of the counters.
+    pub fn counters(&self) -> SimFsCounters {
+        *self.counters.lock()
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset_counters(&self) {
+        *self.counters.lock() = SimFsCounters::default();
+    }
+
+    /// The underlying in-memory store (for sparse-allocation assertions).
+    pub fn inner(&self) -> &MemFs {
+        &self.inner
+    }
+}
+
+impl Default for SimFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct CountingFile {
+    inner: Arc<dyn VfsFile>,
+    counters: Arc<Mutex<SimFsCounters>>,
+}
+
+impl VfsFile for CountingFile {
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        let n = self.inner.read_at(buf, offset)?;
+        let mut c = self.counters.lock();
+        c.read_ops += 1;
+        c.bytes_read += n as u64;
+        Ok(n)
+    }
+
+    fn write_at(&self, buf: &[u8], offset: u64) -> io::Result<usize> {
+        let n = self.inner.write_at(buf, offset)?;
+        let mut c = self.counters.lock();
+        c.write_ops += 1;
+        c.bytes_written += n as u64;
+        Ok(n)
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.inner.set_len(len)
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        self.inner.len()
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.inner.sync()
+    }
+}
+
+impl Vfs for SimFs {
+    fn create(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
+        let inner = self.inner.create(path)?;
+        self.counters.lock().creates += 1;
+        Ok(Arc::new(CountingFile { inner, counters: self.counters.clone() }))
+    }
+
+    fn open(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
+        let inner = self.inner.open(path)?;
+        self.counters.lock().opens += 1;
+        Ok(Arc::new(CountingFile { inner, counters: self.counters.clone() }))
+    }
+
+    fn open_rw(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
+        let inner = self.inner.open_rw(path)?;
+        self.counters.lock().opens += 1;
+        Ok(Arc::new(CountingFile { inner, counters: self.counters.clone() }))
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        self.inner.remove(path)?;
+        self.counters.lock().removes += 1;
+        Ok(())
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn block_size(&self) -> u64 {
+        self.inner.block_size()
+    }
+
+    fn list(&self, prefix: &str) -> io::Result<Vec<String>> {
+        self.inner.list(prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_metadata_and_data_ops() {
+        let fs = SimFs::new();
+        let f = fs.create("a").unwrap();
+        f.write_all_at(b"hello", 0).unwrap();
+        let g = fs.open("a").unwrap();
+        let mut buf = [0u8; 5];
+        g.read_exact_at(&mut buf, 0).unwrap();
+        fs.remove("a").unwrap();
+        let c = fs.counters();
+        assert_eq!(c.creates, 1);
+        assert_eq!(c.opens, 1);
+        assert_eq!(c.removes, 1);
+        assert_eq!(c.bytes_written, 5);
+        assert_eq!(c.bytes_read, 5);
+        assert_eq!(c.write_ops, 1);
+        assert_eq!(c.read_ops, 1);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let fs = SimFs::new();
+        fs.create("x").unwrap();
+        fs.reset_counters();
+        assert_eq!(fs.counters(), SimFsCounters::default());
+    }
+
+    #[test]
+    fn inner_exposes_sparse_stats() {
+        let fs = SimFs::with_block_size(4096);
+        let f = fs.create("sparse").unwrap();
+        f.write_all_at(b"x", 1 << 20).unwrap();
+        let st = fs.inner().stats("sparse").unwrap();
+        assert!(st.allocated < st.len);
+    }
+}

@@ -1,0 +1,209 @@
+//! Workload description consumed by the simulator.
+//!
+//! A workload ([`ScriptSet`]) is a set of task *classes*; all tasks of a
+//! class execute the same operation sequence in lockstep (they are
+//! symmetric, so in a fluid model their flows stay identical forever).
+//! Collective operations rendezvous across **all** classes, mirroring the
+//! bulk-synchronous structure of the SIONlib open/close protocol.
+
+/// Which physical file an operation targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileRef {
+    /// A shared multifile component, identified by its index. All tasks
+    /// (across classes) referring to `Shared(k)` touch the same file.
+    Shared(u32),
+    /// Each task's own private file (the multiple-file-parallel baseline:
+    /// one physical file per task).
+    Own,
+}
+
+/// One operation of a task's script.
+///
+/// Transfer sizes are *per task*; a class of `count` tasks performing
+/// `Write { bytes, .. }` moves `count * bytes` in total.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IoOp {
+    /// Create a file in the shared directory (metadata-intensive).
+    Create(FileRef),
+    /// Open an existing file (cheaper metadata path than create).
+    Open(FileRef),
+    /// Write `bytes` to the target file. `sharers` is the mean number of
+    /// tasks whose chunks overlap each touched FS block (1.0 when the
+    /// layout is block-aligned); values above 1 trigger the lock-contention
+    /// penalty.
+    Write { file: FileRef, bytes: u64, sharers: f64 },
+    /// Read `bytes` from the target file; same `sharers` semantics (read
+    /// locks are cheaper but not free on GPFS).
+    Read { file: FileRef, bytes: u64, sharers: f64 },
+    /// Collective gather: every task contributes `bytes` to a root.
+    Gather { bytes: u64 },
+    /// Collective scatter: the root distributes `bytes` per task.
+    Scatter { bytes: u64 },
+    /// Broadcast of `bytes` from a root to all tasks.
+    Bcast { bytes: u64 },
+    /// Pure synchronization.
+    Barrier,
+    /// Local computation for a fixed time (keeps tasks busy between I/O
+    /// phases, e.g. simulation steps between checkpoints).
+    Compute { seconds: f64 },
+}
+
+impl IoOp {
+    /// Whether this op is a collective (rendezvous across all classes).
+    pub fn is_collective(&self) -> bool {
+        matches!(
+            self,
+            IoOp::Gather { .. } | IoOp::Scatter { .. } | IoOp::Bcast { .. } | IoOp::Barrier
+        )
+    }
+}
+
+/// A group of `count` symmetric tasks sharing one script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptClass {
+    /// Number of tasks in this class.
+    pub count: u64,
+    /// The operation sequence each of them executes.
+    pub ops: Vec<IoOp>,
+}
+
+/// A complete workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptSet {
+    /// Total number of application tasks (must equal the sum of class
+    /// counts).
+    pub ntasks: u64,
+    /// The task classes.
+    pub classes: Vec<ScriptClass>,
+}
+
+impl ScriptSet {
+    /// Validate counts and the collective-sequence contract: every class
+    /// must contain the same sequence of collective operation *kinds* so
+    /// that rendezvous points match up.
+    pub fn validate(&self) -> Result<(), String> {
+        let total: u64 = self.classes.iter().map(|c| c.count).sum();
+        if total != self.ntasks {
+            return Err(format!(
+                "class counts sum to {total}, but ntasks is {}",
+                self.ntasks
+            ));
+        }
+        if self.classes.iter().any(|c| c.count == 0) {
+            return Err("empty class".into());
+        }
+        let collective_seq = |c: &ScriptClass| -> Vec<u8> {
+            c.ops
+                .iter()
+                .filter(|o| o.is_collective())
+                .map(|o| match o {
+                    IoOp::Gather { .. } => 0,
+                    IoOp::Scatter { .. } => 1,
+                    IoOp::Bcast { .. } => 2,
+                    IoOp::Barrier => 3,
+                    _ => unreachable!(),
+                })
+                .collect()
+        };
+        if let Some(first) = self.classes.first() {
+            let want = collective_seq(first);
+            for (i, c) in self.classes.iter().enumerate().skip(1) {
+                if collective_seq(c) != want {
+                    return Err(format!(
+                        "class {i} has a different collective sequence than class 0"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total bytes written across all classes.
+    pub fn total_write_bytes(&self) -> u64 {
+        self.classes
+            .iter()
+            .map(|c| {
+                c.count
+                    * c.ops
+                        .iter()
+                        .map(|o| match o {
+                            IoOp::Write { bytes, .. } => *bytes,
+                            _ => 0,
+                        })
+                        .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Total bytes read across all classes.
+    pub fn total_read_bytes(&self) -> u64 {
+        self.classes
+            .iter()
+            .map(|c| {
+                c.count
+                    * c.ops
+                        .iter()
+                        .map(|o| match o {
+                            IoOp::Read { bytes, .. } => *bytes,
+                            _ => 0,
+                        })
+                        .sum::<u64>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(count: u64, ops: Vec<IoOp>) -> ScriptClass {
+        ScriptClass { count, ops }
+    }
+
+    #[test]
+    fn validate_checks_counts() {
+        let wl = ScriptSet { ntasks: 10, classes: vec![class(4, vec![])] };
+        assert!(wl.validate().is_err());
+        let wl = ScriptSet {
+            ntasks: 10,
+            classes: vec![class(4, vec![]), class(6, vec![IoOp::Barrier])],
+        };
+        // collective mismatch: class 0 has no barrier
+        assert!(wl.validate().is_err());
+        let wl = ScriptSet {
+            ntasks: 10,
+            classes: vec![class(4, vec![IoOp::Barrier]), class(6, vec![IoOp::Barrier])],
+        };
+        assert!(wl.validate().is_ok());
+    }
+
+    #[test]
+    fn collective_sequences_must_match_in_kind() {
+        let a = class(1, vec![IoOp::Gather { bytes: 8 }, IoOp::Barrier]);
+        let b = class(1, vec![IoOp::Scatter { bytes: 8 }, IoOp::Barrier]);
+        let wl = ScriptSet { ntasks: 2, classes: vec![a.clone(), b] };
+        assert!(wl.validate().is_err());
+        let wl = ScriptSet { ntasks: 2, classes: vec![a.clone(), a] };
+        assert!(wl.validate().is_ok());
+    }
+
+    #[test]
+    fn byte_totals() {
+        let wl = ScriptSet {
+            ntasks: 6,
+            classes: vec![
+                class(
+                    2,
+                    vec![
+                        IoOp::Write { file: FileRef::Shared(0), bytes: 100, sharers: 1.0 },
+                        IoOp::Read { file: FileRef::Shared(0), bytes: 40, sharers: 1.0 },
+                    ],
+                ),
+                class(4, vec![IoOp::Write { file: FileRef::Own, bytes: 10, sharers: 1.0 }]),
+            ],
+        };
+        assert_eq!(wl.total_write_bytes(), 240);
+        assert_eq!(wl.total_read_bytes(), 80);
+    }
+}

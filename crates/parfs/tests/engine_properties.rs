@@ -1,0 +1,168 @@
+//! Property tests of the discrete-event engine: for random (valid)
+//! workloads, the simulation must respect basic physical laws — makespans
+//! bounded below by critical-path and capacity arguments, per-class op
+//! ordering, and monotonicity in offered load.
+
+use parfs::{simulate, FileRef, IoOp, Machine, ScriptClass, ScriptSet};
+use proptest::prelude::*;
+
+fn machine() -> Machine {
+    Machine::jugene()
+}
+
+/// A generator of small valid workloads without collectives (collective
+/// sequences must match across classes; transfer-only workloads sidestep
+/// that constraint while still exercising the fluid engine).
+fn workload_strategy() -> impl Strategy<Value = ScriptSet> {
+    let op = prop_oneof![
+        Just(IoOp::Create(FileRef::Own)),
+        Just(IoOp::Open(FileRef::Own)),
+        (0u32..4, 1u64..64 << 20).prop_map(|(k, bytes)| IoOp::Write {
+            file: FileRef::Shared(k),
+            bytes,
+            sharers: 1.0,
+        }),
+        (0u32..4, 1u64..64 << 20).prop_map(|(k, bytes)| IoOp::Read {
+            file: FileRef::Shared(k),
+            bytes,
+            sharers: 1.0,
+        }),
+        (1u64..32 << 20).prop_map(|bytes| IoOp::Write {
+            file: FileRef::Own,
+            bytes,
+            sharers: 1.0,
+        }),
+        (0.001f64..0.1).prop_map(|seconds| IoOp::Compute { seconds }),
+    ];
+    prop::collection::vec((1u64..64, prop::collection::vec(op, 1..5)), 1..4).prop_map(
+        |classes| {
+            let classes: Vec<ScriptClass> = classes
+                .into_iter()
+                .map(|(count, ops)| ScriptClass { count, ops })
+                .collect();
+            let ntasks = classes.iter().map(|c| c.count).sum();
+            ScriptSet { ntasks, classes }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The makespan is at least each class's critical path under ideal
+    /// conditions (every transfer at the single-task cap, every metadata op
+    /// at its bare service time, compute at face value).
+    #[test]
+    fn makespan_at_least_critical_path(wl in workload_strategy()) {
+        let m = machine();
+        let rep = simulate(&m, &wl);
+        for class in &wl.classes {
+            let mut lower = 0.0f64;
+            for op in &class.ops {
+                lower += match *op {
+                    IoOp::Create(_) => m.create_svc_s,
+                    IoOp::Open(_) => m.open_svc_s,
+                    IoOp::Write { bytes, .. } | IoOp::Read { bytes, .. } => {
+                        bytes as f64 / m.task_bw
+                    }
+                    IoOp::Compute { seconds } => seconds,
+                    _ => 0.0,
+                };
+            }
+            prop_assert!(
+                rep.makespan >= lower * 0.999,
+                "makespan {} below class critical path {}",
+                rep.makespan,
+                lower
+            );
+        }
+    }
+
+    /// The makespan is at least total-bytes / aggregate-capacity.
+    #[test]
+    fn makespan_at_least_capacity_bound(wl in workload_strategy()) {
+        let m = machine();
+        let rep = simulate(&m, &wl);
+        let write_bound = wl.total_write_bytes() as f64 / m.aggregate_bw_write;
+        let read_bound = wl.total_read_bytes() as f64 / m.aggregate_bw_read;
+        prop_assert!(rep.makespan >= (write_bound + read_bound) * 0.999);
+    }
+
+    /// Per-class op timings are sequential and non-negative, and everything
+    /// ends by the makespan.
+    #[test]
+    fn timings_are_sequential(wl in workload_strategy()) {
+        let rep = simulate(&machine(), &wl);
+        for (ci, class) in wl.classes.iter().enumerate() {
+            let mut t = 0.0f64;
+            for oi in 0..class.ops.len() {
+                let d = rep
+                    .op_duration(ci, oi);
+                prop_assert!(d.is_some(), "class {ci} op {oi} missing");
+                let timing = rep
+                    .timings
+                    .iter()
+                    .find(|x| x.class == ci && x.op_index == oi)
+                    .unwrap();
+                prop_assert!(timing.start >= t - 1e-9, "op started before predecessor ended");
+                prop_assert!(timing.end >= timing.start);
+                prop_assert!(timing.end <= rep.makespan + 1e-9);
+                t = timing.end;
+            }
+        }
+    }
+
+    /// Doubling the per-task payload never shortens the makespan.
+    #[test]
+    fn monotone_in_load(count in 1u64..512, bytes in 1u64..32 << 20) {
+        let m = machine();
+        let mk = |b: u64| ScriptSet {
+            ntasks: count,
+            classes: vec![ScriptClass {
+                count,
+                ops: vec![IoOp::Write { file: FileRef::Shared(0), bytes: b, sharers: 1.0 }],
+            }],
+        };
+        let small = simulate(&m, &mk(bytes)).makespan;
+        let big = simulate(&m, &mk(bytes * 2)).makespan;
+        prop_assert!(big >= small * 0.999, "more data finished faster: {big} < {small}");
+    }
+}
+
+#[test]
+fn collectives_with_mixed_classes_terminate() {
+    // A deterministic smoke test of collective rendezvous with skewed
+    // classes (one heavy, one light).
+    let m = machine();
+    let wl = ScriptSet {
+        ntasks: 100,
+        classes: vec![
+            ScriptClass {
+                count: 1,
+                ops: vec![
+                    IoOp::Compute { seconds: 2.0 },
+                    IoOp::Gather { bytes: 1 << 20 },
+                    IoOp::Write { file: FileRef::Shared(0), bytes: 1 << 30, sharers: 1.0 },
+                    IoOp::Barrier,
+                ],
+            },
+            ScriptClass {
+                count: 99,
+                ops: vec![IoOp::Gather { bytes: 1 << 20 }, IoOp::Barrier],
+            },
+        ],
+    };
+    let rep = simulate(&m, &wl);
+    // The barrier must end no earlier than the heavy class's write.
+    let write_end = rep
+        .timings
+        .iter()
+        .find(|t| t.class == 0 && t.op_index == 2)
+        .unwrap()
+        .end;
+    for t in rep.timings.iter().filter(|t| {
+        matches!(wl.classes[t.class].ops[t.op_index], IoOp::Barrier)
+    }) {
+        assert!(t.end >= write_end);
+    }
+}

@@ -1,0 +1,133 @@
+//! The [`Comm`] trait: the parallel-runtime abstraction used by `sion`.
+
+/// Reduction operators for the numeric convenience collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Sum of contributions.
+    Sum,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+/// A communicator: a group of tasks with collective and point-to-point
+/// communication, in the image of an MPI communicator.
+///
+/// All collective methods must be called by **every** rank of the
+/// communicator, in the same order (the usual MPI contract). Payloads are
+/// raw bytes so the trait stays object-safe; typed helpers are provided on
+/// top.
+pub trait Comm: Send + Sync {
+    /// This task's rank in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of tasks in the communicator.
+    fn size(&self) -> usize;
+
+    /// Block until every rank has entered the barrier.
+    fn barrier(&self);
+
+    /// Gather each rank's buffer at `root`. Returns `Some(buffers)` (indexed
+    /// by rank) at the root, `None` elsewhere. Buffers may have different
+    /// lengths (gatherv semantics).
+    fn gather(&self, data: &[u8], root: usize) -> Option<Vec<Vec<u8>>>;
+
+    /// Scatter per-rank buffers from `root`. The root passes
+    /// `Some(parts)` with exactly `size()` entries; other ranks pass `None`.
+    /// Every rank receives its part (scatterv semantics).
+    fn scatter(&self, parts: Option<Vec<Vec<u8>>>, root: usize) -> Vec<u8>;
+
+    /// Broadcast `root`'s buffer to every rank. Only the root's `data` is
+    /// consulted.
+    fn bcast(&self, data: Option<Vec<u8>>, root: usize) -> Vec<u8>;
+
+    /// Gather each rank's buffer at every rank.
+    fn allgather(&self, data: &[u8]) -> Vec<Vec<u8>>;
+
+    /// Split into disjoint sub-communicators: ranks sharing a `color` end up
+    /// in the same sub-communicator, ordered by `(key, parent rank)`.
+    /// Collective over the parent.
+    fn split(&self, color: u64, key: u64) -> Box<dyn Comm>;
+
+    /// Send `data` to `dest` with a matching `tag` (non-blocking buffered
+    /// send).
+    fn send(&self, dest: usize, tag: u64, data: &[u8]);
+
+    /// Receive the next message from `src` with `tag` (blocking, with
+    /// MPI-style message matching: other (source, tag) messages are queued).
+    fn recv(&self, src: usize, tag: u64) -> Vec<u8>;
+
+    // ------------------------------------------------------------------
+    // Typed convenience layers (provided).
+    // ------------------------------------------------------------------
+
+    /// Gather one `u64` per rank at `root`.
+    fn gather_u64(&self, value: u64, root: usize) -> Option<Vec<u64>> {
+        self.gather(&value.to_le_bytes(), root).map(|bufs| {
+            bufs.iter()
+                .map(|b| u64::from_le_bytes(b[..8].try_into().expect("u64 payload")))
+                .collect()
+        })
+    }
+
+    /// Gather a `u64` slice per rank at `root` (concatenated per rank).
+    fn gather_u64s(&self, values: &[u64], root: usize) -> Option<Vec<Vec<u64>>> {
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.gather(&bytes, root).map(|bufs| bufs.iter().map(|b| bytes_to_u64s(b)).collect())
+    }
+
+    /// Scatter one `u64` to each rank from `root`.
+    fn scatter_u64(&self, values: Option<Vec<u64>>, root: usize) -> u64 {
+        let parts = values.map(|vs| vs.iter().map(|v| v.to_le_bytes().to_vec()).collect());
+        let got = self.scatter(parts, root);
+        u64::from_le_bytes(got[..8].try_into().expect("u64 payload"))
+    }
+
+    /// Broadcast one `u64` from `root`.
+    fn bcast_u64(&self, value: Option<u64>, root: usize) -> u64 {
+        let got = self.bcast(value.map(|v| v.to_le_bytes().to_vec()), root);
+        u64::from_le_bytes(got[..8].try_into().expect("u64 payload"))
+    }
+
+    /// Allgather one `u64` per rank.
+    fn allgather_u64(&self, value: u64) -> Vec<u64> {
+        self.allgather(&value.to_le_bytes())
+            .iter()
+            .map(|b| u64::from_le_bytes(b[..8].try_into().expect("u64 payload")))
+            .collect()
+    }
+
+    /// All-reduce a `u64` with `op`.
+    fn allreduce_u64(&self, value: u64, op: ReduceOp) -> u64 {
+        let all = self.allgather_u64(value);
+        match op {
+            ReduceOp::Sum => all.iter().sum(),
+            ReduceOp::Max => all.into_iter().max().expect("non-empty communicator"),
+            ReduceOp::Min => all.into_iter().min().expect("non-empty communicator"),
+        }
+    }
+
+    /// All-reduce an `f64` with `op`.
+    fn allreduce_f64(&self, value: f64, op: ReduceOp) -> f64 {
+        let all = self.allgather(&value.to_le_bytes());
+        let vals = all
+            .iter()
+            .map(|b| f64::from_le_bytes(b[..8].try_into().expect("f64 payload")));
+        match op {
+            ReduceOp::Sum => vals.sum(),
+            ReduceOp::Max => vals.fold(f64::NEG_INFINITY, f64::max),
+            ReduceOp::Min => vals.fold(f64::INFINITY, f64::min),
+        }
+    }
+}
+
+/// Reinterpret a little-endian byte buffer as `u64`s (length must be a
+/// multiple of 8).
+pub(crate) fn bytes_to_u64s(bytes: &[u8]) -> Vec<u64> {
+    assert_eq!(bytes.len() % 8, 0, "u64 payload length must be a multiple of 8");
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}

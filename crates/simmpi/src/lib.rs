@@ -1,0 +1,63 @@
+//! `simmpi` — a thread-backed MPI-subset runtime.
+//!
+//! The paper's SIONlib "uses MPI for internal metadata exchange". This crate
+//! is that substrate for the Rust reproduction: SPMD execution of N tasks as
+//! OS threads, communicators with `split`, the collectives SIONlib needs
+//! (barrier, gather(v), scatter(v), broadcast, allgather, reductions) and
+//! point-to-point messaging with MPI-style (source, tag) matching for the
+//! mini-apps.
+//!
+//! The [`Comm`] trait is the runtime abstraction the `sion` crate programs
+//! against — mirroring how SIONlib is "by design not tied to a specific
+//! parallel programming interface". Implementations here:
+//!
+//! * [`Communicator`] — one handle per task thread, backed by shared-memory
+//!   collective slots and per-rank mailboxes.
+//! * [`SerialComm`] — a size-1 communicator for serial tools and tests.
+//!
+//! # Example
+//!
+//! ```
+//! use simmpi::{World, Comm};
+//!
+//! let sums = World::run(4, |comm| {
+//!     let mine = (comm.rank() as u64 + 1).to_le_bytes().to_vec();
+//!     let all = comm.allgather(&mine);
+//!     all.iter()
+//!         .map(|b| u64::from_le_bytes(b[..8].try_into().unwrap()))
+//!         .sum::<u64>()
+//! });
+//! assert_eq!(sums, vec![10, 10, 10, 10]);
+//! ```
+
+mod comm;
+mod extra;
+mod serial;
+mod world;
+
+pub use comm::{Comm, ReduceOp};
+pub use extra::CommExt;
+pub use serial::SerialComm;
+pub use world::{Communicator, World};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_runs_all_ranks() {
+        let out = World::run(8, |c| (c.rank(), c.size()));
+        assert_eq!(out, (0..8).map(|r| (r, 8)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_comm_is_rank_zero_of_one() {
+        let c = SerialComm;
+        assert_eq!(c.rank(), 0);
+        assert_eq!(c.size(), 1);
+        assert_eq!(c.allgather(b"x"), vec![b"x".to_vec()]);
+        assert_eq!(c.gather(b"y", 0), Some(vec![b"y".to_vec()]));
+        assert_eq!(c.bcast(Some(b"z".to_vec()), 0), b"z".to_vec());
+        assert_eq!(c.scatter(Some(vec![b"w".to_vec()]), 0), b"w".to_vec());
+    }
+}

@@ -1,0 +1,58 @@
+//! [`SerialComm`]: the trivial size-1 communicator.
+//!
+//! The paper's serial access modes (serial write, serial read for
+//! post-processing tools) run without a parallel runtime; `SerialComm`
+//! lets the same collective-flavoured code paths execute in one task.
+
+use crate::comm::Comm;
+
+/// A communicator containing exactly one task (rank 0 of 1). Collectives
+/// degenerate to identity operations; point-to-point self-messaging is not
+/// supported and panics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialComm;
+
+impl Comm for SerialComm {
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn size(&self) -> usize {
+        1
+    }
+
+    fn barrier(&self) {}
+
+    fn gather(&self, data: &[u8], root: usize) -> Option<Vec<Vec<u8>>> {
+        assert_eq!(root, 0, "serial communicator has only rank 0");
+        Some(vec![data.to_vec()])
+    }
+
+    fn scatter(&self, parts: Option<Vec<Vec<u8>>>, root: usize) -> Vec<u8> {
+        assert_eq!(root, 0, "serial communicator has only rank 0");
+        let mut parts = parts.expect("root must supply scatter parts");
+        assert_eq!(parts.len(), 1, "scatter needs one part per rank");
+        parts.pop().unwrap()
+    }
+
+    fn bcast(&self, data: Option<Vec<u8>>, root: usize) -> Vec<u8> {
+        assert_eq!(root, 0, "serial communicator has only rank 0");
+        data.expect("root must supply bcast data")
+    }
+
+    fn allgather(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        vec![data.to_vec()]
+    }
+
+    fn split(&self, _color: u64, _key: u64) -> Box<dyn Comm> {
+        Box::new(SerialComm)
+    }
+
+    fn send(&self, _dest: usize, _tag: u64, _data: &[u8]) {
+        panic!("point-to-point messaging is not supported on SerialComm");
+    }
+
+    fn recv(&self, _src: usize, _tag: u64) -> Vec<u8> {
+        panic!("point-to-point messaging is not supported on SerialComm");
+    }
+}

@@ -1,0 +1,416 @@
+//! SPMD world launcher and the thread-backed [`Communicator`].
+
+use crate::comm::Comm;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Barrier};
+
+type Message = (usize, u64, Vec<u8>);
+
+/// State shared by every rank of one communicator.
+struct Shared {
+    size: usize,
+    /// One exchange slot per rank, used by the collectives.
+    slots: Vec<Mutex<Option<Vec<u8>>>>,
+    /// Reusable rendezvous barrier.
+    barrier: Barrier,
+    /// Point-to-point mailboxes: `senders[r]` delivers to rank `r`, whose
+    /// thread drains `receivers[r]` (locked only by its owner).
+    senders: Vec<Sender<Message>>,
+    receivers: Vec<Mutex<Receiver<Message>>>,
+    /// Sub-communicators under construction, keyed by (split sequence
+    /// number, color). The first rank of a color group to arrive creates the
+    /// shared state; the rest attach.
+    splits: Mutex<HashMap<(u64, u64), Arc<Shared>>>,
+}
+
+impl Shared {
+    fn new(size: usize) -> Self {
+        assert!(size > 0, "communicator must have at least one rank");
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..size).map(|_| unbounded::<Message>()).unzip();
+        Shared {
+            size,
+            slots: (0..size).map(|_| Mutex::new(None)).collect(),
+            barrier: Barrier::new(size),
+            senders,
+            receivers: receivers.into_iter().map(Mutex::new).collect(),
+            splits: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// One rank's handle onto a thread-backed communicator.
+///
+/// Cheap to move into the owning thread; collective calls synchronize with
+/// the other ranks' handles via shared slots and a barrier.
+pub struct Communicator {
+    rank: usize,
+    shared: Arc<Shared>,
+    /// Messages received but not yet matched by (source, tag).
+    stash: Mutex<VecDeque<Message>>,
+    /// Per-rank count of `split` calls on this communicator; since splits
+    /// are collective and ordered, all ranks agree on the sequence number.
+    split_seq: Mutex<u64>,
+}
+
+impl Communicator {
+    fn new(rank: usize, shared: Arc<Shared>) -> Self {
+        Communicator { rank, shared, stash: Mutex::new(VecDeque::new()), split_seq: Mutex::new(0) }
+    }
+
+    fn deposit(&self, data: Option<Vec<u8>>) {
+        *self.shared.slots[self.rank].lock() = data;
+    }
+}
+
+impl Comm for Communicator {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    fn gather(&self, data: &[u8], root: usize) -> Option<Vec<Vec<u8>>> {
+        assert!(root < self.size(), "gather root {root} out of range");
+        self.deposit(Some(data.to_vec()));
+        self.barrier();
+        let result = if self.rank == root {
+            Some(
+                self.shared
+                    .slots
+                    .iter()
+                    .map(|s| s.lock().take().expect("every rank deposited"))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        self.barrier();
+        result
+    }
+
+    fn scatter(&self, parts: Option<Vec<Vec<u8>>>, root: usize) -> Vec<u8> {
+        assert!(root < self.size(), "scatter root {root} out of range");
+        if self.rank == root {
+            let parts = parts.expect("root must supply scatter parts");
+            assert_eq!(parts.len(), self.size(), "scatter needs one part per rank");
+            for (slot, part) in self.shared.slots.iter().zip(parts) {
+                *slot.lock() = Some(part);
+            }
+        }
+        self.barrier();
+        let mine = self.shared.slots[self.rank]
+            .lock()
+            .take()
+            .expect("root deposited a part for every rank");
+        self.barrier();
+        mine
+    }
+
+    fn bcast(&self, data: Option<Vec<u8>>, root: usize) -> Vec<u8> {
+        assert!(root < self.size(), "bcast root {root} out of range");
+        if self.rank == root {
+            self.deposit(Some(data.expect("root must supply bcast data")));
+        }
+        self.barrier();
+        let out = self.shared.slots[root]
+            .lock()
+            .as_ref()
+            .expect("root deposited")
+            .clone();
+        // Second barrier so the root's slot is not overwritten by a later
+        // collective while slow ranks still read it. The payload itself is
+        // left in place: clearing it here would race against a subsequent
+        // collective's deposits from other ranks.
+        self.barrier();
+        out
+    }
+
+    fn allgather(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        self.deposit(Some(data.to_vec()));
+        self.barrier();
+        let out: Vec<Vec<u8>> = self
+            .shared
+            .slots
+            .iter()
+            .map(|s| s.lock().as_ref().expect("every rank deposited").clone())
+            .collect();
+        // As in bcast: no post-barrier cleanup — a deposit after the second
+        // barrier would race against the next collective's writes.
+        self.barrier();
+        out
+    }
+
+    fn split(&self, color: u64, key: u64) -> Box<dyn Comm> {
+        // Determine group membership: allgather (color, key, rank).
+        let mut payload = Vec::with_capacity(24);
+        payload.extend_from_slice(&color.to_le_bytes());
+        payload.extend_from_slice(&key.to_le_bytes());
+        payload.extend_from_slice(&(self.rank as u64).to_le_bytes());
+        let all = self.allgather(&payload);
+        let mut members: Vec<(u64, u64)> = all
+            .iter()
+            .filter_map(|b| {
+                let c = u64::from_le_bytes(b[0..8].try_into().unwrap());
+                let k = u64::from_le_bytes(b[8..16].try_into().unwrap());
+                let r = u64::from_le_bytes(b[16..24].try_into().unwrap());
+                (c == color).then_some((k, r))
+            })
+            .collect();
+        members.sort_unstable();
+        let new_size = members.len();
+        let new_rank = members
+            .iter()
+            .position(|&(_, r)| r == self.rank as u64)
+            .expect("caller is in its own color group");
+
+        let seq = {
+            let mut s = self.split_seq.lock();
+            *s += 1;
+            *s
+        };
+
+        // First member of the group to arrive creates the shared state.
+        let sub = {
+            let mut splits = self.shared.splits.lock();
+            splits
+                .entry((seq, color))
+                .or_insert_with(|| Arc::new(Shared::new(new_size)))
+                .clone()
+        };
+        let comm = Communicator::new(new_rank, sub);
+        // All ranks must have attached to their group's shared state before
+        // the construction entries are retired from the map.
+        self.barrier();
+        if new_rank == 0 {
+            self.shared.splits.lock().remove(&(seq, color));
+        }
+        Box::new(comm)
+    }
+
+    fn send(&self, dest: usize, tag: u64, data: &[u8]) {
+        assert!(dest < self.size(), "send dest {dest} out of range");
+        self.shared.senders[dest]
+            .send((self.rank, tag, data.to_vec()))
+            .expect("receiver mailbox alive for the world's lifetime");
+    }
+
+    fn recv(&self, src: usize, tag: u64) -> Vec<u8> {
+        assert!(src < self.size(), "recv src {src} out of range");
+        // Check previously stashed non-matching messages first.
+        {
+            let mut stash = self.stash.lock();
+            if let Some(pos) = stash.iter().position(|(s, t, _)| *s == src && *t == tag) {
+                return stash.remove(pos).expect("position valid").2;
+            }
+        }
+        let rx = self.shared.receivers[self.rank].lock();
+        loop {
+            let msg = rx.recv().expect("sender side alive for the world's lifetime");
+            if msg.0 == src && msg.1 == tag {
+                return msg.2;
+            }
+            self.stash.lock().push_back(msg);
+        }
+    }
+}
+
+/// Launcher for SPMD execution: runs one closure instance per rank on its
+/// own OS thread.
+pub struct World;
+
+impl World {
+    /// Run `f` on `ntasks` threads, each receiving its own [`Communicator`]
+    /// for a world of size `ntasks`. Returns the per-rank results in rank
+    /// order. Panics in any task propagate.
+    pub fn run<T, F>(ntasks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Communicator) -> T + Send + Sync,
+    {
+        assert!(ntasks > 0, "world must have at least one task");
+        let shared = Arc::new(Shared::new(ntasks));
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..ntasks)
+                .map(|rank| {
+                    let comm = Communicator::new(rank, shared.clone());
+                    scope.spawn(move || f(&comm))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("task panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::ReduceOp;
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = World::run(6, |c| {
+            let data = vec![c.rank() as u8; c.rank() + 1];
+            c.gather(&data, 2)
+        });
+        for (r, res) in out.iter().enumerate() {
+            if r == 2 {
+                let bufs = res.as_ref().unwrap();
+                assert_eq!(bufs.len(), 6);
+                for (i, b) in bufs.iter().enumerate() {
+                    assert_eq!(b, &vec![i as u8; i + 1]);
+                }
+            } else {
+                assert!(res.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_delivers_distinct_parts() {
+        let out = World::run(5, |c| {
+            let parts = (c.rank() == 1)
+                .then(|| (0..5).map(|i| vec![i as u8 * 3; i + 2]).collect::<Vec<_>>());
+            c.scatter(parts, 1)
+        });
+        for (r, got) in out.iter().enumerate() {
+            assert_eq!(got, &vec![r as u8 * 3; r + 2]);
+        }
+    }
+
+    #[test]
+    fn bcast_replicates_root_payload() {
+        let out = World::run(4, |c| {
+            c.bcast((c.rank() == 3).then(|| b"metadata".to_vec()), 3)
+        });
+        assert!(out.iter().all(|b| b == b"metadata"));
+    }
+
+    #[test]
+    fn repeated_collectives_reuse_slots_safely() {
+        let out = World::run(4, |c| {
+            let mut acc = 0u64;
+            for round in 0..50u64 {
+                acc += c.allreduce_u64(round + c.rank() as u64, ReduceOp::Sum);
+            }
+            acc
+        });
+        // sum over rounds of (4*round + 0+1+2+3)
+        let expect: u64 = (0..50u64).map(|r| 4 * r + 6).sum();
+        assert!(out.iter().all(|&v| v == expect), "{out:?} != {expect}");
+    }
+
+    #[test]
+    fn split_groups_by_color_and_orders_by_key() {
+        let out = World::run(8, |c| {
+            let color = (c.rank() % 2) as u64;
+            let key = (c.size() - c.rank()) as u64; // reverse order
+            let sub = c.split(color, key);
+            (sub.rank(), sub.size(), sub.allgather_u64(c.rank() as u64))
+        });
+        for (r, (sub_rank, sub_size, members)) in out.iter().enumerate() {
+            assert_eq!(*sub_size, 4);
+            // Reverse key ordering: highest parent rank gets sub-rank 0.
+            let mut same_color: Vec<usize> = (0..8).filter(|x| x % 2 == r % 2).collect();
+            same_color.reverse();
+            assert_eq!(*sub_rank, same_color.iter().position(|&x| x == r).unwrap());
+            let expect: Vec<u64> = same_color.iter().map(|&x| x as u64).collect();
+            assert_eq!(members, &expect);
+        }
+    }
+
+    #[test]
+    fn successive_splits_are_independent() {
+        let out = World::run(4, |c| {
+            let a = c.split(0, c.rank() as u64); // everyone together
+            let b = c.split((c.rank() / 2) as u64, 0); // pairs
+            (a.size(), b.size())
+        });
+        assert!(out.iter().all(|&(a, b)| a == 4 && b == 2));
+    }
+
+    #[test]
+    fn p2p_matching_by_source_and_tag() {
+        let out = World::run(3, |c| {
+            match c.rank() {
+                0 => {
+                    c.send(2, 7, b"seven");
+                    c.send(2, 5, b"five");
+                    Vec::new()
+                }
+                1 => {
+                    c.send(2, 7, b"other-seven");
+                    Vec::new()
+                }
+                _ => {
+                    // Receive out of order: tag 5 first although tag 7 may
+                    // arrive first, then by source.
+                    let five = c.recv(0, 5);
+                    let seven0 = c.recv(0, 7);
+                    let seven1 = c.recv(1, 7);
+                    [five, seven0, seven1].concat()
+                }
+            }
+        });
+        assert_eq!(out[2], b"fiveseven" .iter().chain(b"other-seven".iter()).copied().collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn ring_pass_around() {
+        let n = 6;
+        let out = World::run(n, |c| {
+            let next = (c.rank() + 1) % n;
+            let prev = (c.rank() + n - 1) % n;
+            let mut token = vec![c.rank() as u8];
+            for _ in 0..n {
+                c.send(next, 0, &token);
+                token = c.recv(prev, 0);
+                token.push(c.rank() as u8);
+            }
+            token
+        });
+        // After n hops every token is back home having visited all ranks.
+        for (r, token) in out.iter().enumerate() {
+            assert_eq!(token.len(), n + 1);
+            assert_eq!(token[0] as usize, r);
+            assert_eq!(*token.last().unwrap() as usize, r);
+        }
+    }
+
+    #[test]
+    fn allreduce_min_max() {
+        let out = World::run(5, |c| {
+            (
+                c.allreduce_u64(c.rank() as u64 * 10, ReduceOp::Max),
+                c.allreduce_u64(c.rank() as u64 * 10 + 3, ReduceOp::Min),
+                c.allreduce_f64(c.rank() as f64, ReduceOp::Sum),
+            )
+        });
+        assert!(out.iter().all(|&(mx, mn, s)| mx == 40 && mn == 3 && s == 10.0));
+    }
+
+    #[test]
+    fn gather_u64s_roundtrip() {
+        let out = World::run(3, |c| {
+            let vals: Vec<u64> = (0..=c.rank() as u64).collect();
+            c.gather_u64s(&vals, 0)
+        });
+        let root = out[0].as_ref().unwrap();
+        assert_eq!(root[0], vec![0]);
+        assert_eq!(root[1], vec![0, 1]);
+        assert_eq!(root[2], vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,27 @@
+//! `sioncat <multifile> <rank>` — stream one task's logical (decompressed)
+//! file to stdout.
+
+use std::io::Write;
+use vfs::LocalFs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: sioncat <multifile> <rank>");
+        std::process::exit(2);
+    }
+    let rank: usize = args[2].parse().unwrap_or_else(|_| {
+        eprintln!("sioncat: bad rank {:?}", args[2]);
+        std::process::exit(2);
+    });
+    let fs = LocalFs::new(".");
+    match sion_tools::cat(&fs, &args[1], rank) {
+        Ok(data) => {
+            std::io::stdout().write_all(&data).expect("stdout");
+        }
+        Err(e) => {
+            eprintln!("sioncat: {e}");
+            std::process::exit(1);
+        }
+    }
+}

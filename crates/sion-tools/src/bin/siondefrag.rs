@@ -1,0 +1,24 @@
+//! `siondefrag <multifile> <output> [nfiles]` — contract all blocks into a
+//! single block per task and drop unused gaps (paper §3.3).
+
+use vfs::LocalFs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 || args.len() > 4 {
+        eprintln!("usage: siondefrag <multifile> <output> [nfiles]");
+        std::process::exit(2);
+    }
+    let nfiles: u32 = args.get(3).map(|a| a.parse().expect("nfiles")).unwrap_or(1);
+    let fs = LocalFs::new(".");
+    match sion_tools::defrag(&fs, &args[1], &fs, &args[2], nfiles) {
+        Ok(stats) => println!(
+            "defragmented {} tasks, {} blocks -> 1, {} stored bytes",
+            stats.ntasks, stats.blocks_before, stats.stored_bytes
+        ),
+        Err(e) => {
+            eprintln!("siondefrag: {e}");
+            std::process::exit(1);
+        }
+    }
+}

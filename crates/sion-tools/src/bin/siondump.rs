@@ -1,0 +1,19 @@
+//! `siondump <multifile>` — print multifile metadata (paper §3.3).
+
+use vfs::LocalFs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 2 {
+        eprintln!("usage: siondump <multifile>");
+        std::process::exit(2);
+    }
+    let fs = LocalFs::new(".");
+    match sion_tools::dump(&fs, &args[1]) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("siondump: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! `sionrepair <multifile> [--force]` — rebuild a lost metablock 2 from
+//! per-chunk rescue headers (the paper's §6 robustness road map).
+
+use vfs::LocalFs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 2 || args.len() > 3 {
+        eprintln!("usage: sionrepair <multifile> [--force]");
+        std::process::exit(2);
+    }
+    let force = args.get(2).map(|a| a == "--force").unwrap_or(false);
+    let fs = LocalFs::new(".");
+    match sion::rescue::repair(&fs, &args[1], force) {
+        Ok(rep) => println!(
+            "scanned {} files: {} intact, {} repaired; recovered {} chunks / {} bytes",
+            rep.files_scanned,
+            rep.files_intact,
+            rep.files_repaired,
+            rep.chunks_recovered,
+            rep.bytes_recovered
+        ),
+        Err(e) => {
+            eprintln!("sionrepair: {e}");
+            std::process::exit(1);
+        }
+    }
+}

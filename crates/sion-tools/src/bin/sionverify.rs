@@ -1,0 +1,33 @@
+//! `sionverify <multifile>` — integrity-check a multifile: metadata
+//! consistency, chunk bounds, stream readability, and rescue headers.
+
+use vfs::LocalFs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 2 {
+        eprintln!("usage: sionverify <multifile>");
+        std::process::exit(2);
+    }
+    let fs = LocalFs::new(".");
+    match sion_tools::verify(&fs, &args[1]) {
+        Ok(report) if report.is_clean() => {
+            println!("OK: {} task streams verified", report.tasks_ok);
+        }
+        Ok(report) => {
+            println!(
+                "PROBLEMS: {} task streams ok, {} findings:",
+                report.tasks_ok,
+                report.problems.len()
+            );
+            for p in &report.problems {
+                println!("  {p}");
+            }
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("sionverify: {e}");
+            std::process::exit(1);
+        }
+    }
+}

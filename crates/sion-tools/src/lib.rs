@@ -1,0 +1,498 @@
+//! Serial command-line utilities for multifiles (paper §3.3).
+//!
+//! "The current version of SIONlib provides three command-line utilities to
+//! analyze, split, or defragment multifiles." This crate implements those —
+//! [`dump`], [`split`], [`defrag`] — plus two more that the reproduction's
+//! extensions enable: `sionrepair` (rescue-based metadata reconstruction,
+//! paper §6) and `sioncat` (stream one rank's logical file to stdout).
+//!
+//! All functionality is available as library functions operating on any
+//! [`vfs::Vfs`]; the binaries wrap them over the local file system.
+
+use sion::rescue::{RescueHeader, RESCUE_HEADER_LEN};
+use sion::{Multifile, Result, SerialWriter, SionError, SionFlags, SionParams};
+use std::fmt::Write as _;
+use vfs::Vfs;
+
+/// Human-readable metadata dump of a multifile (the `siondump` tool).
+///
+/// Prints the global shape, per-file geometry, and a per-task table of
+/// chunk locations and fill states.
+pub fn dump(vfs: &dyn Vfs, base: &str) -> Result<String> {
+    let mf = Multifile::open(vfs, base)?;
+    let loc = mf.locations();
+    let mut out = String::new();
+    let _ = writeln!(out, "multifile:      {base}");
+    let _ = writeln!(out, "tasks:          {}", loc.ntasks);
+    let _ = writeln!(out, "physical files: {}", loc.nfiles);
+    let _ = writeln!(out, "fs block size:  {}", loc.fsblksize);
+    let _ = writeln!(
+        out,
+        "flags:          aligned={} compressed={} rescue={}",
+        loc.flags.contains(SionFlags::ALIGNED),
+        loc.flags.contains(SionFlags::COMPRESSED),
+        loc.flags.contains(SionFlags::RESCUE),
+    );
+    let _ = writeln!(out, "stored bytes:   {}", loc.total_stored_bytes());
+    let _ = writeln!(out, "max blocks:     {}", loc.max_blocks());
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:>6} {:>5} {:>6} {:>10} {:>10} {:>12} chunks(block:used)",
+        "rank", "file", "ltask", "chunkreq", "capacity", "stored"
+    );
+    for t in &loc.tasks {
+        let chunks: Vec<String> = t
+            .chunks
+            .iter()
+            .filter(|c| c.used > 0)
+            .map(|c| format!("{}:{}", c.block, c.used))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:>6} {:>5} {:>6} {:>10} {:>10} {:>12} [{}]",
+            t.global_rank,
+            t.file,
+            t.ltask,
+            t.chunksize_req,
+            t.capacity,
+            t.stored_bytes,
+            chunks.join(" ")
+        );
+    }
+    Ok(out)
+}
+
+/// Extract logical task files back into physical per-task files (the
+/// `sionsplit` tool). Writes `"{prefix}.{rank:06}"` for each selected rank
+/// (all ranks if `ranks` is `None`) and returns the created paths.
+///
+/// The extracted content is the *logical* stream — decompressed if the
+/// multifile is compressed — i.e. exactly what the original task-local file
+/// would have contained.
+pub fn split(
+    vfs_in: &dyn Vfs,
+    base: &str,
+    vfs_out: &dyn Vfs,
+    prefix: &str,
+    ranks: Option<&[usize]>,
+) -> Result<Vec<String>> {
+    let mf = Multifile::open(vfs_in, base)?;
+    let all: Vec<usize> = (0..mf.ntasks()).collect();
+    let selected = ranks.unwrap_or(&all);
+    let mut created = Vec::with_capacity(selected.len());
+    for &rank in selected {
+        if rank >= mf.ntasks() {
+            return Err(SionError::InvalidArg(format!(
+                "rank {rank} out of range (multifile has {} tasks)",
+                mf.ntasks()
+            )));
+        }
+        let path = format!("{prefix}.{rank:06}");
+        let out = vfs_out.create(&path)?;
+        let mut reader = mf.rank_reader(rank)?;
+        let mut at = 0u64;
+        let mut buf = vec![0u8; 256 * 1024];
+        loop {
+            let n = reader.read_some(&mut buf)?;
+            if n == 0 {
+                break;
+            }
+            out.write_all_at(&buf[..n], at)?;
+            at += n as u64;
+        }
+        created.push(path);
+    }
+    Ok(created)
+}
+
+/// Outcome of [`defrag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefragStats {
+    /// Tasks copied.
+    pub ntasks: usize,
+    /// Largest block count of any input physical file.
+    pub blocks_before: u64,
+    /// Stored bytes copied (identical before/after).
+    pub stored_bytes: u64,
+}
+
+/// Contract a multifile into a single block per task (the `siondefrag`
+/// tool): "the new file contains only one chunk per task with the data
+/// from all chunks of this task found in the input file. In addition, all
+/// gaps in the form of unused file-system blocks are removed."
+///
+/// Compressed multifiles are copied verbatim (stored bytes move, the
+/// `COMPRESSED` flag is preserved), so the output remains readable by the
+/// normal API.
+pub fn defrag(
+    vfs_in: &dyn Vfs,
+    base: &str,
+    vfs_out: &dyn Vfs,
+    out_base: &str,
+    nfiles: u32,
+) -> Result<DefragStats> {
+    let mf = Multifile::open(vfs_in, base)?;
+    let loc = mf.locations().clone();
+    // One chunk per task, sized to exactly its stored data.
+    let chunksizes: Vec<u64> = loc.tasks.iter().map(|t| t.stored_bytes.max(1)).collect();
+    let mut params = SionParams::new(0).with_nfiles(nfiles);
+    if !loc.flags.contains(SionFlags::ALIGNED) {
+        params = params.with_alignment(sion::Alignment::None);
+    }
+    params.rescue = loc.flags.contains(SionFlags::RESCUE);
+    // Copy stored bytes verbatim: the writer itself runs uncompressed, but
+    // the recorded flags keep the COMPRESSED bit for readers.
+    let mut writer =
+        SerialWriter::create_with_flags(vfs_out, out_base, &chunksizes, &params, loc.flags)?;
+    let mut stored = 0u64;
+    let mut buf = vec![0u8; 256 * 1024];
+    for t in &loc.tasks {
+        writer.select_rank(t.global_rank)?;
+        for c in &t.chunks {
+            let mut pos = 0u64;
+            while pos < c.used {
+                let n = mf.read_at(t.global_rank, c.block, pos, &mut buf)?;
+                if n == 0 {
+                    return Err(SionError::Format(format!(
+                        "chunk of rank {} block {} ended early",
+                        t.global_rank, c.block
+                    )));
+                }
+                writer.write(&buf[..n])?;
+                pos += n as u64;
+                stored += n as u64;
+            }
+        }
+    }
+    writer.close()?;
+    Ok(DefragStats {
+        ntasks: loc.ntasks,
+        blocks_before: loc.max_blocks(),
+        stored_bytes: stored,
+    })
+}
+
+/// Stream one rank's logical (decompressed) content (the `sioncat` tool).
+pub fn cat(vfs: &dyn Vfs, base: &str, rank: usize) -> Result<Vec<u8>> {
+    let mf = Multifile::open(vfs, base)?;
+    mf.read_rank(rank)
+}
+
+/// Findings of a [`verify`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Tasks whose logical streams were fully readable.
+    pub tasks_ok: usize,
+    /// Human-readable problems found (empty = clean).
+    pub problems: Vec<String>,
+}
+
+impl VerifyReport {
+    /// Whether the multifile passed every check.
+    pub fn is_clean(&self) -> bool {
+        self.problems.is_empty()
+    }
+}
+
+/// Integrity-check a multifile (the `sionverify` tool): metadata opens and
+/// cross-validates, every chunk's usage fits its capacity, every logical
+/// stream is readable end to end (which exercises decompression), and — if
+/// rescue headers are present — they agree with metablock 2.
+pub fn verify(vfs: &dyn Vfs, base: &str) -> Result<VerifyReport> {
+    let mf = Multifile::open(vfs, base)?;
+    let loc = mf.locations().clone();
+    let mut report = VerifyReport::default();
+
+    for t in &loc.tasks {
+        let mut ok = true;
+        for c in &t.chunks {
+            if c.used > t.usable {
+                report.problems.push(format!(
+                    "rank {} block {}: {} used bytes exceed usable capacity {}",
+                    t.global_rank, c.block, c.used, t.usable
+                ));
+                ok = false;
+            }
+        }
+        match mf.read_rank(t.global_rank) {
+            Ok(data) => {
+                // For uncompressed files the logical length must equal the
+                // stored length.
+                if !loc.flags.contains(SionFlags::COMPRESSED)
+                    && data.len() as u64 != t.stored_bytes
+                {
+                    report.problems.push(format!(
+                        "rank {}: logical length {} != stored bytes {}",
+                        t.global_rank,
+                        data.len(),
+                        t.stored_bytes
+                    ));
+                    ok = false;
+                }
+            }
+            Err(e) => {
+                report
+                    .problems
+                    .push(format!("rank {}: stream unreadable: {e}", t.global_rank));
+                ok = false;
+            }
+        }
+        if ok {
+            report.tasks_ok += 1;
+        }
+    }
+
+    // Rescue-header cross-check.
+    if loc.flags.contains(SionFlags::RESCUE) {
+        for k in 0..loc.nfiles {
+            let file = vfs.open(&sion::physical_name(base, k))?;
+            for t in loc.tasks.iter().filter(|t| t.file == k) {
+                for c in &t.chunks {
+                    if c.used == 0 {
+                        continue;
+                    }
+                    let mut hdr = [0u8; RESCUE_HEADER_LEN as usize];
+                    let at = c.offset - RESCUE_HEADER_LEN;
+                    if file.read_exact_at(&mut hdr, at).is_err() {
+                        report.problems.push(format!(
+                            "rank {} block {}: rescue header unreadable",
+                            t.global_rank, c.block
+                        ));
+                        continue;
+                    }
+                    match RescueHeader::decode(&hdr) {
+                        Some(h)
+                            if h.global_rank == t.global_rank as u64
+                                && h.block == c.block
+                                && h.used == c.used => {}
+                        Some(h) => report.problems.push(format!(
+                            "rank {} block {}: rescue header disagrees                              (rank {}, block {}, used {})",
+                            t.global_rank, c.block, h.global_rank, h.block, h.used
+                        )),
+                        None => report.problems.push(format!(
+                            "rank {} block {}: rescue header missing",
+                            t.global_rank, c.block
+                        )),
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmpi::{Comm, World};
+    use sion::paropen_write;
+    use vfs::MemFs;
+
+    fn payload(rank: usize, len: usize) -> Vec<u8> {
+        (0..len).map(|i| ((i * 11 + rank * 73 + 5) % 241) as u8).collect()
+    }
+
+    fn sample_multifile(fs: &MemFs, params: &SionParams, ntasks: usize) {
+        World::run(ntasks, |comm| {
+            let mut w = paropen_write(fs, "in.sion", params, comm).unwrap();
+            // Multiple writes force several blocks when chunks are small.
+            for piece in payload(comm.rank(), 3000).chunks(700) {
+                w.write(piece).unwrap();
+            }
+            w.close().unwrap();
+        });
+    }
+
+    #[test]
+    fn dump_reports_shape() {
+        let fs = MemFs::with_block_size(512);
+        sample_multifile(&fs, &SionParams::new(512).with_nfiles(2), 6);
+        let text = dump(&fs, "in.sion").unwrap();
+        assert!(text.contains("tasks:          6"));
+        assert!(text.contains("physical files: 2"));
+        assert!(text.contains("stored bytes:   18000"));
+        // Every rank has a row.
+        for rank in 0..6 {
+            assert!(text.lines().any(|l| l.trim_start().starts_with(&format!("{rank} "))));
+        }
+    }
+
+    #[test]
+    fn split_recreates_task_files_byte_identical() {
+        let fs = MemFs::with_block_size(512);
+        sample_multifile(&fs, &SionParams::new(512), 4);
+        let out = MemFs::new();
+        let created = split(&fs, "in.sion", &out, "task", None).unwrap();
+        assert_eq!(created.len(), 4);
+        for (rank, path) in created.iter().enumerate() {
+            let f = out.open(path).unwrap();
+            let mut got = vec![0u8; 3000];
+            f.read_exact_at(&mut got, 0).unwrap();
+            assert_eq!(f.len().unwrap(), 3000);
+            assert_eq!(got, payload(rank, 3000));
+        }
+    }
+
+    #[test]
+    fn split_selected_ranks_only() {
+        let fs = MemFs::with_block_size(512);
+        sample_multifile(&fs, &SionParams::new(512), 5);
+        let out = MemFs::new();
+        let created = split(&fs, "in.sion", &out, "x", Some(&[1, 3])).unwrap();
+        assert_eq!(created, vec!["x.000001".to_string(), "x.000003".to_string()]);
+        assert!(split(&fs, "in.sion", &out, "x", Some(&[9])).is_err());
+    }
+
+    #[test]
+    fn split_decompresses_compressed_multifiles() {
+        let fs = MemFs::with_block_size(512);
+        sample_multifile(&fs, &SionParams::new(512).with_compression(), 3);
+        let out = MemFs::new();
+        split(&fs, "in.sion", &out, "t", None).unwrap();
+        for rank in 0..3 {
+            let f = out.open(&format!("t.{rank:06}")).unwrap();
+            let mut got = vec![0u8; 3000];
+            f.read_exact_at(&mut got, 0).unwrap();
+            assert_eq!(got, payload(rank, 3000));
+        }
+    }
+
+    #[test]
+    fn defrag_contracts_to_one_block_and_preserves_content() {
+        let fs = MemFs::with_block_size(512);
+        // 512-byte chunks, 3000 bytes/task → 6 blocks in the input.
+        sample_multifile(&fs, &SionParams::new(512), 4);
+        let before = Multifile::open(&fs, "in.sion").unwrap();
+        assert!(before.locations().max_blocks() > 1);
+        drop(before);
+
+        let out = MemFs::with_block_size(512);
+        let stats = defrag(&fs, "in.sion", &out, "out.sion", 1).unwrap();
+        assert_eq!(stats.ntasks, 4);
+        assert_eq!(stats.stored_bytes, 12000);
+        assert!(stats.blocks_before > 1);
+
+        let mf = Multifile::open(&out, "out.sion").unwrap();
+        assert_eq!(mf.locations().max_blocks(), 1, "defragmented file must be one block");
+        for rank in 0..4 {
+            assert_eq!(mf.read_rank(rank).unwrap(), payload(rank, 3000));
+        }
+    }
+
+    #[test]
+    fn defrag_preserves_compression_verbatim() {
+        let fs = MemFs::with_block_size(512);
+        sample_multifile(&fs, &SionParams::new(512).with_compression(), 3);
+        let stored_in = Multifile::open(&fs, "in.sion").unwrap().locations().total_stored_bytes();
+
+        let out = MemFs::with_block_size(512);
+        let stats = defrag(&fs, "in.sion", &out, "out.sion", 1).unwrap();
+        assert_eq!(stats.stored_bytes, stored_in, "stored (compressed) bytes copied verbatim");
+
+        let mf = Multifile::open(&out, "out.sion").unwrap();
+        assert!(mf.compressed());
+        for rank in 0..3 {
+            assert_eq!(mf.read_rank(rank).unwrap(), payload(rank, 3000));
+        }
+    }
+
+    #[test]
+    fn defrag_removes_gap_storage() {
+        // One busy task + idle tasks → gappy input; defrag output must be
+        // dense.
+        let fs = MemFs::with_block_size(512);
+        World::run(4, |comm| {
+            let params = SionParams::new(512);
+            let mut w = paropen_write(&fs, "gappy.sion", &params, comm).unwrap();
+            if comm.rank() == 0 {
+                w.write(&payload(0, 20 * 512)).unwrap();
+            }
+            w.close().unwrap();
+        });
+        let out = MemFs::with_block_size(512);
+        defrag(&fs, "gappy.sion", &out, "dense.sion", 1).unwrap();
+        let dense = Multifile::open(&out, "dense.sion").unwrap();
+        assert_eq!(dense.read_rank(0).unwrap(), payload(0, 20 * 512));
+        // Logical footprint shrinks: input spreads over 20 blocks x 4
+        // chunks; output is one block with one task-sized chunk + 3 minimal.
+        let in_len = fs.stats("gappy.sion").unwrap().len;
+        let out_len = out.stats("dense.sion").unwrap().len;
+        assert!(out_len < in_len / 2, "in {in_len} out {out_len}");
+    }
+
+    #[test]
+    fn cat_streams_one_rank() {
+        let fs = MemFs::with_block_size(512);
+        sample_multifile(&fs, &SionParams::new(512), 3);
+        assert_eq!(cat(&fs, "in.sion", 2).unwrap(), payload(2, 3000));
+        assert!(cat(&fs, "in.sion", 7).is_err());
+    }
+
+    #[test]
+    fn verify_clean_multifile() {
+        let fs = MemFs::with_block_size(512);
+        sample_multifile(&fs, &SionParams::new(512).with_rescue(), 4);
+        let report = verify(&fs, "in.sion").unwrap();
+        assert!(report.is_clean(), "{:?}", report.problems);
+        assert_eq!(report.tasks_ok, 4);
+    }
+
+    #[test]
+    fn verify_clean_compressed_multifile() {
+        let fs = MemFs::with_block_size(512);
+        sample_multifile(&fs, &SionParams::new(512).with_compression().with_nfiles(2), 4);
+        let report = verify(&fs, "in.sion").unwrap();
+        assert!(report.is_clean(), "{:?}", report.problems);
+    }
+
+    #[test]
+    fn verify_detects_usage_overflow() {
+        let fs = MemFs::with_block_size(512);
+        sample_multifile(&fs, &SionParams::new(512), 2);
+        // Corrupt metablock 2: blow up one task's used count. Find it via
+        // the trailer.
+        let f = fs.open_rw("in.sion").unwrap();
+        let len = f.len().unwrap();
+        let mut tr = [0u8; 24];
+        f.read_exact_at(&mut tr, len - 24).unwrap();
+        let mb2_off = u64::from_le_bytes(tr[0..8].try_into().unwrap());
+        // First usage word lives after magic(8)+nblocks(8)+ntasks(8).
+        // 600 bytes exceed the 512-byte chunk capacity.
+        f.write_all_at(&600u64.to_le_bytes(), mb2_off + 24).unwrap();
+        // Either the open already rejects the inconsistency or verify
+        // reports it — silence is the only wrong answer.
+        match verify(&fs, "in.sion") {
+            Err(_) => {}
+            Ok(report) => assert!(!report.is_clean()),
+        }
+    }
+
+    #[test]
+    fn verify_detects_clobbered_rescue_header() {
+        let fs = MemFs::with_block_size(512);
+        sample_multifile(&fs, &SionParams::new(512).with_rescue(), 2);
+        let mf = Multifile::open(&fs, "in.sion").unwrap();
+        let chunk0 = mf.locations().tasks[0].chunks[0].offset
+            - sion::rescue::RESCUE_HEADER_LEN;
+        drop(mf);
+        let f = fs.open_rw("in.sion").unwrap();
+        f.write_all_at(b"XXXXXXXX", chunk0).unwrap(); // smash the magic
+        let report = verify(&fs, "in.sion").unwrap();
+        assert!(!report.is_clean());
+        assert!(report.problems.iter().any(|p| p.contains("rescue header")), "{report:?}");
+    }
+
+    #[test]
+    fn defrag_multifile_to_different_file_count() {
+        let fs = MemFs::with_block_size(512);
+        sample_multifile(&fs, &SionParams::new(512).with_nfiles(3), 6);
+        let out = MemFs::with_block_size(512);
+        defrag(&fs, "in.sion", &out, "two.sion", 2).unwrap();
+        let mf = Multifile::open(&out, "two.sion").unwrap();
+        assert_eq!(mf.locations().nfiles, 2);
+        for rank in 0..6 {
+            assert_eq!(mf.read_rank(rank).unwrap(), payload(rank, 3000));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! `std::io` adapters: use a task's logical file with any Rust code that
+//! speaks `io::Write`/`io::Read`/`io::BufRead`.
+//!
+//! The paper's pitch is that applications keep their existing ANSI C
+//! `fwrite`/`fread` calls; the Rust equivalent of that idiom is the
+//! standard I/O traits. [`SionWriteAdapter`] buffers small writes into
+//! chunk-sized flushes (what `FILE*` buffering did for SIONlib), and
+//! [`RankReader`](crate::RankReader) implements `io::Read` directly so it
+//! can feed `BufReader`, CSV/serde readers, decompressors, and friends.
+
+use crate::error::SionError;
+use crate::par::SionParWriter;
+use std::io;
+
+/// Buffering `io::Write` adapter over a [`SionParWriter`].
+///
+/// Small writes accumulate in an internal buffer and are written through
+/// the chunk-splitting path when the buffer fills or on flush — one
+/// buffered `FILE*` stream per task, like the paper's C usage.
+pub struct SionWriteAdapter {
+    writer: SionParWriter,
+    buf: Vec<u8>,
+    cap: usize,
+}
+
+impl SionWriteAdapter {
+    /// Wrap `writer` with the default 256 KiB buffer.
+    pub fn new(writer: SionParWriter) -> Self {
+        Self::with_capacity(writer, 256 * 1024)
+    }
+
+    /// Wrap `writer` with an explicit buffer capacity.
+    pub fn with_capacity(writer: SionParWriter, cap: usize) -> Self {
+        SionWriteAdapter { writer, buf: Vec::with_capacity(cap.max(1)), cap: cap.max(1) }
+    }
+
+    fn flush_buffer(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.writer
+                .write(&self.buf)
+                .map_err(|e| io::Error::other(e.to_string()))?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Flush and recover the underlying writer (e.g. to call the collective
+    /// close).
+    pub fn into_inner(mut self) -> crate::Result<SionParWriter> {
+        self.flush_buffer().map_err(|e| SionError::Io(io::Error::other(e.to_string())))?;
+        Ok(self.writer)
+    }
+}
+
+impl io::Write for SionWriteAdapter {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        if self.buf.len() + data.len() > self.cap {
+            self.flush_buffer()?;
+        }
+        if data.len() >= self.cap {
+            // Large writes bypass the buffer entirely.
+            self.writer
+                .write(data)
+                .map_err(|e| io::Error::other(e.to_string()))?;
+        } else {
+            self.buf.extend_from_slice(data);
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.flush_buffer()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{paropen_write, Multifile, SionParams};
+    use simmpi::World;
+    use std::io::{BufRead, BufReader, Write};
+    use vfs::MemFs;
+
+    #[test]
+    fn write_adapter_buffers_and_flushes() {
+        let fs = MemFs::with_block_size(1024);
+        World::run(3, |comm| {
+            let params = SionParams::new(1024);
+            let w = paropen_write(&fs, "log.sion", &params, comm).unwrap();
+            let mut out = super::SionWriteAdapter::with_capacity(w, 64);
+            for i in 0..100 {
+                writeln!(out, "line {i} from rank {}", simmpi::Comm::rank(comm)).unwrap();
+            }
+            out.flush().unwrap();
+            out.into_inner().unwrap().close().unwrap();
+        });
+        let mf = Multifile::open(&fs, "log.sion").unwrap();
+        for rank in 0..3 {
+            let text = String::from_utf8(mf.read_rank(rank).unwrap()).unwrap();
+            assert_eq!(text.lines().count(), 100);
+            assert!(text.lines().next().unwrap().ends_with(&format!("rank {rank}")));
+        }
+    }
+
+    #[test]
+    fn large_writes_bypass_buffer() {
+        let fs = MemFs::with_block_size(1024);
+        World::run(1, |comm| {
+            let params = SionParams::new(1024);
+            let w = paropen_write(&fs, "big.sion", &params, comm).unwrap();
+            let mut out = super::SionWriteAdapter::with_capacity(w, 16);
+            out.write_all(&vec![7u8; 10_000]).unwrap();
+            out.write_all(b"tail").unwrap();
+            out.into_inner().unwrap().close().unwrap();
+        });
+        let mf = Multifile::open(&fs, "big.sion").unwrap();
+        let data = mf.read_rank(0).unwrap();
+        assert_eq!(data.len(), 10_004);
+        assert_eq!(&data[10_000..], b"tail");
+    }
+
+    #[test]
+    fn rank_reader_works_with_bufreader() {
+        let fs = MemFs::with_block_size(1024);
+        World::run(2, |comm| {
+            let params = SionParams::new(1024);
+            let w = paropen_write(&fs, "lines.sion", &params, comm).unwrap();
+            let mut out = super::SionWriteAdapter::new(w);
+            for i in 0..50 {
+                writeln!(out, "{i}").unwrap();
+            }
+            out.into_inner().unwrap().close().unwrap();
+        });
+        let mf = Multifile::open(&fs, "lines.sion").unwrap();
+        // Standard io::BufRead line iteration over a logical file.
+        let reader = BufReader::new(mf.rank_reader(1).unwrap());
+        let nums: Vec<u32> =
+            reader.lines().map(|l| l.unwrap().parse().unwrap()).collect();
+        assert_eq!(nums, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,358 @@
+//! Key-value access: multiple tagged substreams within one task's logical
+//! file.
+//!
+//! The paper's §6 road map calls for "more systematic support for
+//! multithreaded applications" — hybrid MPI/OpenMP codes have *several*
+//! logical streams per MPI task (one per thread). SIONlib later grew a
+//! key-value API (`sion_fwrite_key` / `sion_fread_key`) for exactly this;
+//! we implement it here: writers interleave `(key, record)` pairs into the
+//! task's ordinary logical stream, and readers demultiplex them — either
+//! sequentially or per key.
+//!
+//! The wire format is self-delimiting and sits entirely *above* the chunk
+//! layer, so it composes with alignment, multiple physical files,
+//! compression, and rescue recovery unchanged:
+//!
+//! ```text
+//! +-------------+---------+---------+--------------+
+//! | magic (u32) | key u64 | len u64 | len data ... |
+//! +-------------+---------+---------+--------------+
+//! ```
+
+use crate::error::{Result, SionError};
+use crate::par::{SionParReader, SionParWriter};
+use crate::serial::{RankReader, SerialWriter};
+
+/// Magic prefixing every key-value record.
+pub const KV_MAGIC: u32 = 0x4B_56_52_43; // "KVRC"
+
+/// Header bytes per record.
+pub const KV_HEADER_LEN: usize = 4 + 8 + 8;
+
+/// Anything that can append bytes to a logical task stream.
+pub trait StreamWrite {
+    /// Append `data` to the logical stream (chunk-splitting).
+    fn write_stream(&mut self, data: &[u8]) -> Result<()>;
+}
+
+impl StreamWrite for SionParWriter {
+    fn write_stream(&mut self, data: &[u8]) -> Result<()> {
+        self.write(data)
+    }
+}
+
+impl StreamWrite for SerialWriter {
+    fn write_stream(&mut self, data: &[u8]) -> Result<()> {
+        self.write(data)
+    }
+}
+
+/// Anything that can read bytes off a logical task stream.
+pub trait StreamRead {
+    /// Read up to `buf.len()` bytes; 0 at end of stream.
+    fn read_stream(&mut self, buf: &mut [u8]) -> Result<usize>;
+}
+
+impl StreamRead for SionParReader {
+    fn read_stream(&mut self, buf: &mut [u8]) -> Result<usize> {
+        self.read(buf)
+    }
+}
+
+impl StreamRead for RankReader {
+    fn read_stream(&mut self, buf: &mut [u8]) -> Result<usize> {
+        self.read_some(buf)
+    }
+}
+
+/// Writer of tagged records (`sion_fwrite_key`).
+pub struct KeyValWriter<W: StreamWrite> {
+    inner: W,
+    records: u64,
+}
+
+impl<W: StreamWrite> KeyValWriter<W> {
+    /// Wrap a logical-stream writer.
+    pub fn new(inner: W) -> Self {
+        KeyValWriter { inner, records: 0 }
+    }
+
+    /// Append one record under `key`.
+    pub fn write_key(&mut self, key: u64, data: &[u8]) -> Result<()> {
+        let mut header = [0u8; KV_HEADER_LEN];
+        header[0..4].copy_from_slice(&KV_MAGIC.to_le_bytes());
+        header[4..12].copy_from_slice(&key.to_le_bytes());
+        header[12..20].copy_from_slice(&(data.len() as u64).to_le_bytes());
+        self.inner.write_stream(&header)?;
+        self.inner.write_stream(data)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of records written.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Unwrap (e.g. to call the collective close).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    /// Access the wrapped writer (e.g. for untagged interludes — not
+    /// recommended once keyed records are in flight).
+    pub fn inner_mut(&mut self) -> &mut W {
+        &mut self.inner
+    }
+}
+
+/// Reader of tagged records (`sion_fread_key`).
+pub struct KeyValReader<R: StreamRead> {
+    inner: R,
+    done: bool,
+}
+
+impl<R: StreamRead> KeyValReader<R> {
+    /// Wrap a logical-stream reader positioned at the start of the stream.
+    pub fn new(inner: R) -> Self {
+        KeyValReader { inner, done: false }
+    }
+
+    fn read_exact_opt(&mut self, buf: &mut [u8]) -> Result<bool> {
+        // True = filled; false = clean end-of-stream before the first byte.
+        let mut got = 0;
+        while got < buf.len() {
+            let n = self.inner.read_stream(&mut buf[got..])?;
+            if n == 0 {
+                if got == 0 {
+                    return Ok(false);
+                }
+                return Err(SionError::Format(
+                    "key-value stream truncated mid-record".into(),
+                ));
+            }
+            got += n;
+        }
+        Ok(true)
+    }
+
+    /// Read the next record in stream order; `None` at end of stream.
+    pub fn next_record(&mut self) -> Result<Option<(u64, Vec<u8>)>> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut header = [0u8; KV_HEADER_LEN];
+        if !self.read_exact_opt(&mut header)? {
+            self.done = true;
+            return Ok(None);
+        }
+        let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        if magic != KV_MAGIC {
+            return Err(SionError::Format(format!(
+                "bad key-value record magic {magic:#x} (stream not written in key mode?)"
+            )));
+        }
+        let key = u64::from_le_bytes(header[4..12].try_into().unwrap());
+        let len = u64::from_le_bytes(header[12..20].try_into().unwrap());
+        let mut data = vec![0u8; len as usize];
+        if !self.read_exact_opt(&mut data)? && len > 0 {
+            return Err(SionError::Format("key-value record body missing".into()));
+        }
+        Ok(Some((key, data)))
+    }
+
+    /// Demultiplex the whole stream: every record grouped by key, in
+    /// stream order within each key.
+    pub fn read_all(mut self) -> Result<KeyValIndex> {
+        let mut index = KeyValIndex::default();
+        while let Some((key, data)) = self.next_record()? {
+            let entry = index
+                .keys
+                .iter_mut()
+                .find(|(k, _)| *k == key);
+            match entry {
+                Some((_, records)) => records.push(data),
+                None => index.keys.push((key, vec![data])),
+            }
+        }
+        Ok(index)
+    }
+}
+
+/// All records of a stream, grouped by key (first-appearance order).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct KeyValIndex {
+    /// `(key, records-in-order)` pairs.
+    pub keys: Vec<(u64, Vec<Vec<u8>>)>,
+}
+
+impl KeyValIndex {
+    /// Records of `key`, if any.
+    pub fn records(&self, key: u64) -> Option<&[Vec<u8>]> {
+        self.keys.iter().find(|(k, _)| *k == key).map(|(_, r)| r.as_slice())
+    }
+
+    /// Concatenated content of `key`'s records (its substream).
+    pub fn substream(&self, key: u64) -> Vec<u8> {
+        self.records(key).map(|rs| rs.concat()).unwrap_or_default()
+    }
+
+    /// Keys present, in first-appearance order.
+    pub fn key_list(&self) -> Vec<u64> {
+        self.keys.iter().map(|(k, _)| *k).collect()
+    }
+
+    /// Total records across all keys.
+    pub fn total_records(&self) -> usize {
+        self.keys.iter().map(|(_, r)| r.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{paropen_read, paropen_write, Multifile, SionParams};
+    use simmpi::{Comm, World};
+    use vfs::MemFs;
+
+    #[test]
+    fn threads_demultiplex_through_one_task_stream() {
+        // Hybrid-code pattern: 4 MPI tasks, 3 "threads" each, every thread
+        // writing its own substream under its thread id as the key.
+        let fs = MemFs::with_block_size(1024);
+        let nthreads = 3u64;
+        World::run(4, |comm| {
+            let params = SionParams::new(1024);
+            let w = paropen_write(&fs, "hybrid.sion", &params, comm).unwrap();
+            let mut kv = KeyValWriter::new(w);
+            for round in 0..5u64 {
+                for tid in 0..nthreads {
+                    let payload =
+                        format!("task {} thread {tid} round {round};", comm.rank());
+                    kv.write_key(tid, payload.as_bytes()).unwrap();
+                }
+            }
+            assert_eq!(kv.records(), 15);
+            kv.into_inner().close().unwrap();
+
+            // Parallel read-back, demultiplexed.
+            let r = paropen_read(&fs, "hybrid.sion", comm).unwrap();
+            let index = KeyValReader::new(r).read_all().unwrap();
+            assert_eq!(index.key_list(), vec![0, 1, 2]);
+            for tid in 0..nthreads {
+                let stream = String::from_utf8(index.substream(tid)).unwrap();
+                assert_eq!(stream.matches(';').count(), 5);
+                assert!(stream
+                    .starts_with(&format!("task {} thread {tid} round 0;", comm.rank())));
+            }
+        });
+    }
+
+    #[test]
+    fn keyval_composes_with_compression_and_serial_view() {
+        let fs = MemFs::with_block_size(1024);
+        World::run(2, |comm| {
+            let params = SionParams::new(1024).with_compression();
+            let w = paropen_write(&fs, "kv.sion", &params, comm).unwrap();
+            let mut kv = KeyValWriter::new(w);
+            kv.write_key(7, &vec![b'a'; 5000]).unwrap();
+            kv.write_key(9, b"short").unwrap();
+            kv.write_key(7, &vec![b'b'; 5000]).unwrap();
+            kv.into_inner().close().unwrap();
+        });
+        // Serial rank view decodes the same records.
+        let mf = Multifile::open(&fs, "kv.sion").unwrap();
+        for rank in 0..2 {
+            let index = KeyValReader::new(mf.rank_reader(rank).unwrap()).read_all().unwrap();
+            assert_eq!(index.total_records(), 3);
+            let seven = index.substream(7);
+            assert_eq!(seven.len(), 10_000);
+            assert_eq!(&seven[..5000], &vec![b'a'; 5000][..]);
+            assert_eq!(index.substream(9), b"short");
+            assert!(index.records(42).is_none());
+        }
+    }
+
+    #[test]
+    fn sequential_iteration_preserves_order() {
+        let fs = MemFs::with_block_size(512);
+        World::run(1, |comm| {
+            let params = SionParams::new(512);
+            let w = paropen_write(&fs, "seq.sion", &params, comm).unwrap();
+            let mut kv = KeyValWriter::new(w);
+            for i in 0..20u64 {
+                kv.write_key(i % 4, &[i as u8]).unwrap();
+            }
+            kv.into_inner().close().unwrap();
+        });
+        let mf = Multifile::open(&fs, "seq.sion").unwrap();
+        let mut r = KeyValReader::new(mf.rank_reader(0).unwrap());
+        let mut seen = Vec::new();
+        while let Some((key, data)) = r.next_record().unwrap() {
+            seen.push((key, data[0]));
+        }
+        let want: Vec<(u64, u8)> = (0..20u64).map(|i| (i % 4, i as u8)).collect();
+        assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn empty_records_and_empty_stream() {
+        let fs = MemFs::with_block_size(512);
+        World::run(1, |comm| {
+            let params = SionParams::new(512);
+            let w = paropen_write(&fs, "e.sion", &params, comm).unwrap();
+            let mut kv = KeyValWriter::new(w);
+            kv.write_key(1, b"").unwrap();
+            kv.into_inner().close().unwrap();
+        });
+        let mf = Multifile::open(&fs, "e.sion").unwrap();
+        let index = KeyValReader::new(mf.rank_reader(0).unwrap()).read_all().unwrap();
+        assert_eq!(index.records(1).unwrap(), &[Vec::<u8>::new()]);
+
+        // A never-written stream has no records at all.
+        World::run(1, |comm| {
+            let params = SionParams::new(512);
+            let w = paropen_write(&fs, "none.sion", &params, comm).unwrap();
+            w.close().unwrap();
+        });
+        let mf = Multifile::open(&fs, "none.sion").unwrap();
+        let index = KeyValReader::new(mf.rank_reader(0).unwrap()).read_all().unwrap();
+        assert_eq!(index.total_records(), 0);
+    }
+
+    #[test]
+    fn non_keyed_stream_is_rejected_cleanly() {
+        let fs = MemFs::with_block_size(512);
+        World::run(1, |comm| {
+            let params = SionParams::new(512);
+            let mut w = paropen_write(&fs, "plain.sion", &params, comm).unwrap();
+            w.write(b"this is not a key-value stream").unwrap();
+            w.close().unwrap();
+        });
+        let mf = Multifile::open(&fs, "plain.sion").unwrap();
+        let err = KeyValReader::new(mf.rank_reader(0).unwrap()).read_all().unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn truncated_record_detected() {
+        let fs = MemFs::with_block_size(512);
+        World::run(1, |comm| {
+            let params = SionParams::new(512);
+            let w = paropen_write(&fs, "t.sion", &params, comm).unwrap();
+            let mut kv = KeyValWriter::new(w);
+            // Claim 100 bytes but the close happens after the header only —
+            // simulate by writing a header manually through the raw writer.
+            let mut header = [0u8; KV_HEADER_LEN];
+            header[0..4].copy_from_slice(&KV_MAGIC.to_le_bytes());
+            header[4..12].copy_from_slice(&5u64.to_le_bytes());
+            header[12..20].copy_from_slice(&100u64.to_le_bytes());
+            kv.inner_mut().write(&header).unwrap();
+            kv.inner_mut().write(b"only-ten!!").unwrap();
+            kv.into_inner().close().unwrap();
+        });
+        let mf = Multifile::open(&fs, "t.sion").unwrap();
+        let err = KeyValReader::new(mf.rank_reader(0).unwrap()).read_all().unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+}

@@ -1,0 +1,201 @@
+//! # sion — scalable massively parallel I/O to task-local files
+//!
+//! A from-scratch Rust reproduction of **SIONlib** (Frings, Wolf, Petkov:
+//! *Scalable Massively Parallel I/O to Task-Local Files*, SC 2009).
+//!
+//! Parallel applications often write one file per task — checkpoints,
+//! scratch data, event traces. At tens of thousands of tasks this collapses:
+//! creating 64 K files in one directory serializes on directory metadata
+//! (minutes of wall clock), and the resulting file zoo is unmanageable.
+//! `sion` maps a large number of *logical task-local files* onto one or a
+//! few *physical files* (a **multifile**):
+//!
+//! * file creation becomes a handful of creates plus a small collective
+//!   metadata exchange — orders of magnitude faster;
+//! * each task's data lives in per-task **chunks** aligned to file-system
+//!   block boundaries, so no two tasks ever contend for the same FS block
+//!   and read/write bandwidth is not penalized;
+//! * the multifile can be inspected, split back into physical task files,
+//!   and defragmented by serial tools.
+//!
+//! ## Access modes (paper §3.2)
+//!
+//! | Paper                 | Here |
+//! |-----------------------|------|
+//! | `sion_paropen_mpi` (write) | [`paropen_write`] → [`SionParWriter`] |
+//! | `sion_ensure_free_space` + `fwrite` | [`SionParWriter::ensure_free_space`] + [`SionParWriter::write_in_chunk`] |
+//! | `sion_fwrite`          | [`SionParWriter::write`] |
+//! | `sion_paropen_mpi` (read) | [`paropen_read`] → [`SionParReader`] |
+//! | `sion_feof` / `sion_bytes_avail_in_chunk` / `sion_fread` | [`SionParReader::feof`] / [`bytes_avail_in_chunk`](SionParReader::bytes_avail_in_chunk) / [`read`](SionParReader::read) |
+//! | `sion_open` (serial write) | [`SerialWriter`] |
+//! | `sion_open` / `sion_open_rank` (serial read) | [`Multifile`] / [`Multifile::rank_reader`] |
+//! | `sion_get_locations`   | [`Multifile::locations`] |
+//! | `sion_seek`            | [`Multifile::read_at`] / [`SerialWriter::seek`] |
+//!
+//! ## Extensions beyond the SC09 paper (its §6 road map)
+//!
+//! * **Rescue metadata** ([`SionFlags::RESCUE`]): a small header at the start
+//!   of every chunk lets [`rescue::repair`] rebuild the final metadata block
+//!   after a crash or quota kill.
+//! * **Transparent compression** ([`SionFlags::COMPRESSED`]): logical
+//!   streams are compressed with the `szip` LZSS codec below the chunking
+//!   layer.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use simmpi::{World, Comm};
+//! use vfs::MemFs;
+//!
+//! let fs = MemFs::new();
+//! let params = sion::SionParams::new(64 * 1024).with_nfiles(2);
+//! World::run(8, |comm| {
+//!     let mut w = sion::paropen_write(&fs, "run/ckpt.sion", &params, comm).unwrap();
+//!     let payload = vec![comm.rank() as u8; 1000];
+//!     w.write(&payload).unwrap();
+//!     w.close().unwrap();
+//!
+//!     let mut r = sion::paropen_read(&fs, "run/ckpt.sion", comm).unwrap();
+//!     let mut back = Vec::new();
+//!     while !r.feof() {
+//!         let mut buf = vec![0u8; r.bytes_avail_in_chunk() as usize];
+//!         r.read_exact(&mut buf).unwrap();
+//!         back.extend_from_slice(&buf);
+//!     }
+//!     assert_eq!(back, payload);
+//!     r.close().unwrap();
+//! });
+//! ```
+
+pub mod adapter;
+pub mod error;
+pub mod format;
+pub mod keyval;
+pub mod layout;
+pub mod mapping;
+pub mod par;
+pub mod rescue;
+pub mod script;
+pub mod serial;
+mod stream;
+
+pub use adapter::SionWriteAdapter;
+pub use error::{Result, SionError};
+pub use format::SionFlags;
+pub use layout::{Alignment, FileLayout};
+pub use keyval::{KeyValIndex, KeyValReader, KeyValWriter};
+pub use mapping::Mapping;
+pub use par::{paropen_read, paropen_write, CloseStats, SionParReader, SionParWriter};
+pub use serial::{ChunkInfo, Locations, Multifile, RankReader, SerialWriter, TaskLocation};
+
+/// Parameters of a multifile, chosen at creation time (paper §3.1/§3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SionParams {
+    /// Per-task chunk size request: the maximum number of bytes this task
+    /// expects to write "in one piece". May differ between tasks.
+    pub chunksize: u64,
+    /// Number of underlying physical files (paper Fig. 2(d)).
+    pub nfiles: u32,
+    /// Chunk alignment policy (paper Fig. 2(c)).
+    pub alignment: Alignment,
+    /// Task → physical file mapping.
+    pub mapping: Mapping,
+    /// Transparent compression of logical streams (extension).
+    pub compressed: bool,
+    /// Per-chunk rescue headers for crash recovery (extension).
+    pub rescue: bool,
+}
+
+impl SionParams {
+    /// Defaults: a single physical file, automatic FS-block alignment, no
+    /// compression, no rescue headers.
+    pub fn new(chunksize: u64) -> Self {
+        SionParams {
+            chunksize,
+            nfiles: 1,
+            alignment: Alignment::FsBlock,
+            mapping: Mapping::Blocked,
+            compressed: false,
+            rescue: false,
+        }
+    }
+
+    /// Set the number of underlying physical files.
+    pub fn with_nfiles(mut self, nfiles: u32) -> Self {
+        self.nfiles = nfiles;
+        self
+    }
+
+    /// Set the alignment policy.
+    pub fn with_alignment(mut self, alignment: Alignment) -> Self {
+        self.alignment = alignment;
+        self
+    }
+
+    /// Set the task→file mapping.
+    pub fn with_mapping(mut self, mapping: Mapping) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Enable transparent compression.
+    pub fn with_compression(mut self) -> Self {
+        self.compressed = true;
+        self
+    }
+
+    /// Enable rescue headers.
+    pub fn with_rescue(mut self) -> Self {
+        self.rescue = true;
+        self
+    }
+
+    pub(crate) fn flags(&self) -> SionFlags {
+        let mut f = SionFlags::empty();
+        if !matches!(self.alignment, Alignment::None) {
+            f |= SionFlags::ALIGNED;
+        }
+        if self.compressed {
+            f |= SionFlags::COMPRESSED;
+        }
+        if self.rescue {
+            f |= SionFlags::RESCUE;
+        }
+        f
+    }
+}
+
+/// Name of physical file `filenum` of a multifile with base name `base`.
+///
+/// File 0 keeps the base name (so single-file multifiles look like plain
+/// files); further files get a `.NNNNNN` suffix, mirroring SIONlib.
+pub fn physical_name(base: &str, filenum: u32) -> String {
+    if filenum == 0 {
+        base.to_string()
+    } else {
+        format!("{base}.{filenum:06}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn physical_names() {
+        assert_eq!(physical_name("a/b.sion", 0), "a/b.sion");
+        assert_eq!(physical_name("a/b.sion", 1), "a/b.sion.000001");
+        assert_eq!(physical_name("a/b.sion", 123456), "a/b.sion.123456");
+    }
+
+    #[test]
+    fn params_flags_roundtrip() {
+        let p = SionParams::new(1024);
+        assert!(p.flags().contains(SionFlags::ALIGNED));
+        assert!(!p.flags().contains(SionFlags::COMPRESSED));
+        let p = p.with_alignment(Alignment::None).with_compression().with_rescue();
+        assert!(!p.flags().contains(SionFlags::ALIGNED));
+        assert!(p.flags().contains(SionFlags::COMPRESSED));
+        assert!(p.flags().contains(SionFlags::RESCUE));
+    }
+}

@@ -1,0 +1,167 @@
+//! Task → physical file mapping (paper §3.1, Fig. 2(d)).
+//!
+//! When a multifile is spread over several physical files, every task is
+//! still mapped to exactly one physical file, but the user "can also
+//! influence the exact mapping of application tasks to physical files, for
+//! example, to allocate one physical file per I/O node on Blue Gene".
+
+use crate::error::{Result, SionError};
+
+/// How global ranks are distributed over the physical files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mapping {
+    /// Contiguous ranges of ranks per file (`[0..k)` → file 0, ...).
+    /// On machines where consecutive ranks share I/O nodes, this is the
+    /// "one physical file per I/O node" mapping. The default.
+    Blocked,
+    /// Ranks dealt round-robin over the files (`rank % nfiles`).
+    RoundRobin,
+    /// Explicit group size: `rank / group_size`, clamped to the last file.
+    /// Models "one file per I/O node" when the I/O-node group size is known
+    /// (e.g. 128 compute nodes per ION on Blue Gene/P).
+    Grouped(u64),
+}
+
+impl Mapping {
+    /// The physical file index for `rank` out of `ntasks` tasks mapped onto
+    /// `nfiles` files.
+    pub fn file_of(self, rank: usize, ntasks: usize, nfiles: u32) -> u32 {
+        debug_assert!(rank < ntasks);
+        let nfiles = nfiles as usize;
+        match self {
+            Mapping::Blocked => {
+                // Split as evenly as possible: the first `rem` files get
+                // one extra task.
+                let base = ntasks / nfiles;
+                let rem = ntasks % nfiles;
+                let big = (base + 1) * rem; // ranks covered by the larger files
+                if rank < big {
+                    (rank / (base + 1)) as u32
+                } else {
+                    (rem + (rank - big) / base) as u32
+                }
+            }
+            Mapping::RoundRobin => (rank % nfiles) as u32,
+            Mapping::Grouped(g) => {
+                let g = g.max(1) as usize;
+                ((rank / g).min(nfiles - 1)) as u32
+            }
+        }
+    }
+
+    /// Validate that this mapping populates every one of the `nfiles` files
+    /// for a world of `ntasks` tasks (every physical file must hold at
+    /// least one chunk).
+    pub fn validate(self, ntasks: usize, nfiles: u32) -> Result<()> {
+        if nfiles == 0 {
+            return Err(SionError::InvalidArg("nfiles must be at least 1".into()));
+        }
+        if (nfiles as usize) > ntasks {
+            return Err(SionError::InvalidArg(format!(
+                "cannot spread {ntasks} tasks over {nfiles} physical files"
+            )));
+        }
+        if let Mapping::Grouped(g) = self {
+            let g = g.max(1) as usize;
+            // Grouped mapping reaches file k only if ntasks > k*g.
+            if ntasks.div_ceil(g) < nfiles as usize {
+                return Err(SionError::InvalidArg(format!(
+                    "group size {g} leaves some of the {nfiles} files empty for {ntasks} tasks"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The local index of `rank` within its file (its position among the
+    /// ranks mapped to the same file, in rank order).
+    pub fn local_index(self, rank: usize, ntasks: usize, nfiles: u32) -> usize {
+        let f = self.file_of(rank, ntasks, nfiles);
+        (0..rank).filter(|&r| self.file_of(r, ntasks, nfiles) == f).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn blocked_splits_evenly() {
+        // 10 tasks over 3 files: 4, 3, 3.
+        let m = Mapping::Blocked;
+        let files: Vec<u32> = (0..10).map(|r| m.file_of(r, 10, 3)).collect();
+        assert_eq!(files, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let m = Mapping::RoundRobin;
+        let files: Vec<u32> = (0..8).map(|r| m.file_of(r, 8, 3)).collect();
+        assert_eq!(files, vec![0, 1, 2, 0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn grouped_clamps_to_last_file() {
+        let m = Mapping::Grouped(4);
+        // 12 tasks, groups of 4, but only 2 files: ranks 8..12 clamp to 1.
+        let files: Vec<u32> = (0..12).map(|r| m.file_of(r, 12, 2)).collect();
+        assert_eq!(files, vec![0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn validation_rejects_empty_files() {
+        assert!(Mapping::Blocked.validate(4, 8).is_err());
+        assert!(Mapping::Blocked.validate(8, 8).is_ok());
+        assert!(Mapping::Grouped(8).validate(16, 4).is_err()); // only 2 groups
+        assert!(Mapping::Grouped(4).validate(16, 4).is_ok());
+        assert!(Mapping::Blocked.validate(4, 0).is_err());
+    }
+
+    #[test]
+    fn local_index_counts_within_file() {
+        let m = Mapping::RoundRobin;
+        // ranks 0,3,6 in file 0 → local 0,1,2
+        assert_eq!(m.local_index(0, 8, 3), 0);
+        assert_eq!(m.local_index(3, 8, 3), 1);
+        assert_eq!(m.local_index(6, 8, 3), 2);
+        assert_eq!(m.local_index(5, 8, 3), 1); // ranks 2,5 in file 2
+    }
+
+    proptest! {
+        /// Every mapping covers all files, preserves rank order within a
+        /// file, and local indices are dense.
+        #[test]
+        fn mapping_partition_properties(
+            ntasks in 1usize..300,
+            nfiles_raw in 1u32..16,
+            kind in 0usize..3,
+            group in 1u64..40,
+        ) {
+            let nfiles = nfiles_raw.min(ntasks as u32);
+            let m = match kind {
+                0 => Mapping::Blocked,
+                1 => Mapping::RoundRobin,
+                _ => Mapping::Grouped(group),
+            };
+            if m.validate(ntasks, nfiles).is_err() {
+                // Grouped mappings may legitimately fail validation; skip.
+                return Ok(());
+            }
+            let mut per_file: Vec<Vec<usize>> = vec![Vec::new(); nfiles as usize];
+            for r in 0..ntasks {
+                let f = m.file_of(r, ntasks, nfiles);
+                prop_assert!(f < nfiles);
+                per_file[f as usize].push(r);
+            }
+            // Total partition and non-emptiness.
+            prop_assert_eq!(per_file.iter().map(Vec::len).sum::<usize>(), ntasks);
+            for (f, ranks) in per_file.iter().enumerate() {
+                prop_assert!(!ranks.is_empty(), "file {f} empty");
+                for (i, &r) in ranks.iter().enumerate() {
+                    prop_assert_eq!(m.local_index(r, ntasks, nfiles), i);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,491 @@
+//! Parallel access to multifiles (paper §3.2.1/§3.2.2).
+//!
+//! Open and close are *collective* operations over a communicator: at open,
+//! each task sends its chunk-size request to the master task of its
+//! physical file, which computes the layout, creates the file (one create
+//! per physical file instead of one per task — the source of the paper's
+//! orders-of-magnitude creation speedup), writes metablock 1 and returns
+//! each task its chunk geometry. At close, the master collects the bytes
+//! effectively written and stores them in metablock 2. Reads and writes in
+//! between are completely independent per task.
+
+use crate::error::{Result, SionError};
+use crate::format::{MetaBlock1, MetaBlock2, SionFlags};
+use crate::layout::FileLayout;
+use crate::physical_name;
+use crate::stream::{ChunkGeom, TaskReader, TaskWriter};
+use crate::SionParams;
+use simmpi::Comm;
+use std::sync::Arc;
+use vfs::Vfs;
+
+/// Status word broadcast by a master after its setup phase, so that a
+/// master-side failure surfaces as an error on every task instead of a
+/// hang or a half-written multifile.
+const STATUS_OK: u64 = 0;
+const STATUS_ERR: u64 = 1;
+
+fn check_master_status(lcom: &dyn Comm, local: Result<u64>) -> Result<()> {
+    // Master converts its Result into a status word; everyone else echoes
+    // STATUS_OK and learns the verdict from the broadcast.
+    let word = if lcom.rank() == 0 {
+        Some(match &local {
+            Ok(_) => STATUS_OK,
+            Err(_) => STATUS_ERR,
+        })
+    } else {
+        None
+    };
+    let status = lcom.bcast_u64(word, 0);
+    match (status, local) {
+        (STATUS_OK, _) => Ok(()),
+        (_, Err(e)) => Err(e),
+        (_, Ok(_)) => Err(SionError::CollectiveMismatch(
+            "master task failed during collective open/close".into(),
+        )),
+    }
+}
+
+/// A fingerprint of the parameters that must agree across tasks.
+fn params_fingerprint(p: &SionParams) -> u64 {
+    use crate::layout::Alignment;
+    let align = match p.alignment {
+        Alignment::FsBlock => 1u64 << 40,
+        Alignment::None => 2u64 << 40,
+        Alignment::Fixed(a) => (3u64 << 40) ^ a,
+    };
+    let map = match p.mapping {
+        crate::Mapping::Blocked => 1u64 << 50,
+        crate::Mapping::RoundRobin => 2u64 << 50,
+        crate::Mapping::Grouped(g) => (3u64 << 50) ^ g.rotate_left(17),
+    };
+    (p.nfiles as u64)
+        ^ align
+        ^ map
+        ^ ((p.compressed as u64) << 60)
+        ^ ((p.rescue as u64) << 61)
+}
+
+fn check_params_agree(comm: &dyn Comm, p: &SionParams) -> Result<()> {
+    let fp = params_fingerprint(p);
+    let all = comm.allgather_u64(fp);
+    if all.iter().any(|&v| v != fp) {
+        return Err(SionError::CollectiveMismatch(
+            "tasks passed different multifile parameters to the collective open".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Statistics returned by [`SionParWriter::close`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CloseStats {
+    /// User bytes this task wrote (pre-compression).
+    pub user_bytes: u64,
+    /// Stored bytes this task occupies in its chunks.
+    pub stored_bytes: u64,
+    /// Number of blocks this task touched.
+    pub blocks: u64,
+}
+
+/// Handle for writing one task's logical file of an open multifile
+/// (`sion_paropen_mpi` in write mode).
+pub struct SionParWriter {
+    writer: TaskWriter,
+    lcom: Box<dyn Comm>,
+    gcom: Box<dyn Comm>,
+    filenum: u32,
+    grank: usize,
+}
+
+/// Collectively create a multifile for writing (`sion_paropen_mpi`).
+///
+/// Every task of `comm` calls this with identical parameters except for
+/// `params.chunksize`, which may differ per task. Returns this task's
+/// writer handle.
+pub fn paropen_write(
+    vfs: &dyn Vfs,
+    base: &str,
+    params: &SionParams,
+    comm: &dyn Comm,
+) -> Result<SionParWriter> {
+    let grank = comm.rank();
+    let ntasks = comm.size();
+    check_params_agree(comm, params)?;
+    params.mapping.validate(ntasks, params.nfiles)?;
+
+    let filenum = params.mapping.file_of(grank, ntasks, params.nfiles);
+    let lcom = comm.split(filenum as u64, grank as u64);
+    // A private duplicate of the global communicator, so the handle can run
+    // global collectives (the paper's open/close are collective over gcom).
+    let gcom = comm.split(0, grank as u64);
+
+    // Collect requests and global ranks at the file master.
+    let reqs = lcom.gather_u64(params.chunksize, 0);
+    let granks = lcom.gather_u64(grank as u64, 0);
+
+    let setup: Result<(Vec<Vec<u8>>, Arc<dyn vfs::VfsFile>)> = if lcom.rank() == 0 {
+        (|| {
+            let reqs = reqs.expect("master receives gather");
+            let granks = granks.expect("master receives gather");
+            let layout =
+                FileLayout::compute(&reqs, vfs.block_size(), params.alignment, params.rescue)?;
+            let file = vfs.create(&physical_name(base, filenum))?;
+            let mb1 = MetaBlock1 {
+                version: crate::format::VERSION,
+                flags: params.flags(),
+                fsblksize: vfs.block_size(),
+                ntasks_global: ntasks as u64,
+                nfiles: params.nfiles,
+                filenum,
+                data_start: layout.data_start,
+                global_ranks: granks.clone(),
+                chunksize_req: reqs,
+                chunk_cap: layout.cap.clone(),
+            };
+            file.write_all_at(&mb1.encode(), 0)?;
+            let parts: Vec<Vec<u8>> = (0..layout.ntasks())
+                .map(|t| {
+                    ChunkGeom::from_layout(&layout, t, granks[t])
+                        .encode()
+                        .iter()
+                        .flat_map(|w| w.to_le_bytes())
+                        .collect()
+                })
+                .collect();
+            Ok((parts, file))
+        })()
+    } else {
+        Err(SionError::CollectiveMismatch("not master".into())) // placeholder, unused
+    };
+
+    // Per-file-group phase. Any failure here (master setup, worker reopen)
+    // is captured, not returned: the global status exchange below must run
+    // on every task or the healthy file groups would hang.
+    let group_result: Result<(ChunkGeom, Arc<dyn vfs::VfsFile>)> = (|| {
+        if lcom.rank() == 0 {
+            check_master_status(lcom.as_ref(), setup.as_ref().map(|_| 0).map_err(clone_err))?;
+        } else {
+            check_master_status(lcom.as_ref(), Ok(0))?;
+        }
+        if lcom.rank() == 0 {
+            let (parts, file) = setup.expect("status was OK");
+            let mine = lcom.scatter(Some(parts), 0);
+            Ok((decode_geom(&mine)?, file))
+        } else {
+            let mine = lcom.scatter(None, 0);
+            let geom = decode_geom(&mine)?;
+            // The master created the file before the status broadcast, so it
+            // exists by now.
+            let file = vfs.open_rw(&physical_name(base, filenum))?;
+            Ok((geom, file))
+        }
+    })();
+
+    // The open is collective over the *global* communicator: when it
+    // returns Ok, every physical file of the multifile exists and every
+    // task holds a handle; when any file group failed, every task errors.
+    let any_failed = gcom
+        .allgather_u64(group_result.is_err() as u64)
+        .into_iter()
+        .any(|s| s != 0);
+    let (geom, file) = match (any_failed, group_result) {
+        (false, Ok(pair)) => pair,
+        (_, Err(e)) => return Err(e),
+        (true, Ok(_)) => {
+            return Err(SionError::CollectiveMismatch(
+                "another file group failed during the collective open".into(),
+            ))
+        }
+    };
+
+    Ok(SionParWriter {
+        writer: TaskWriter::new(file, geom, params.compressed),
+        lcom,
+        gcom,
+        filenum,
+        grank,
+    })
+}
+
+fn clone_err(e: &SionError) -> SionError {
+    // SionError is not Clone (it wraps io::Error); a formatted copy is
+    // enough for the error path.
+    SionError::CollectiveMismatch(e.to_string())
+}
+
+fn decode_geom(bytes: &[u8]) -> Result<ChunkGeom> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(SionError::Format("bad chunk geometry payload".into()));
+    }
+    let words: Vec<u64> = bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    ChunkGeom::decode(&words)
+}
+
+impl SionParWriter {
+    /// `sion_ensure_free_space`: make room for a contiguous piece of
+    /// `nbytes` in the current chunk, advancing to the next block if needed.
+    pub fn ensure_free_space(&mut self, nbytes: u64) -> Result<()> {
+        self.writer.ensure_free_space(nbytes)
+    }
+
+    /// Plain `fwrite` equivalent: write into the current chunk without
+    /// crossing its boundary (pair with [`ensure_free_space`]).
+    ///
+    /// [`ensure_free_space`]: Self::ensure_free_space
+    pub fn write_in_chunk(&mut self, data: &[u8]) -> Result<()> {
+        self.writer.write_in_chunk(data)
+    }
+
+    /// `sion_fwrite`: write data of any size, transparently split across
+    /// chunk boundaries (and compressed in compressed mode).
+    pub fn write(&mut self, data: &[u8]) -> Result<()> {
+        self.writer.write(data)
+    }
+
+    /// Bytes left in the current chunk.
+    pub fn bytes_avail_in_chunk(&self) -> u64 {
+        self.writer.bytes_avail_in_chunk()
+    }
+
+    /// This task's global rank.
+    pub fn rank(&self) -> usize {
+        self.grank
+    }
+
+    /// Index of the physical file this task writes to.
+    pub fn filenum(&self) -> u32 {
+        self.filenum
+    }
+
+    /// `sion_parclose_mpi`: collectively finalize the multifile. The file
+    /// master gathers every task's per-block usage and writes metablock 2.
+    pub fn close(mut self) -> Result<CloseStats> {
+        let used = self.writer.finish()?;
+        let stats = CloseStats {
+            user_bytes: self.writer.user_bytes(),
+            stored_bytes: used.iter().sum(),
+            blocks: used.iter().filter(|&&u| u > 0).count() as u64,
+        };
+
+        let gathered = self.lcom.gather_u64s(&used, 0);
+        let finalize: Result<u64> = if self.lcom.rank() == 0 {
+            (|| {
+                let per_task = gathered.expect("master receives gather");
+                let n = per_task.len();
+                let nblocks = per_task.iter().map(Vec::len).max().unwrap_or(0) as u64;
+                let mut usage = vec![0u64; (nblocks as usize) * n];
+                for (t, blocks) in per_task.iter().enumerate() {
+                    for (b, &u) in blocks.iter().enumerate() {
+                        usage[b * n + t] = u;
+                    }
+                }
+                // Reconstruct the layout geometry from this task's view:
+                // the master's own geometry carries data_start/block_size.
+                let mb2 = MetaBlock2 { nblocks, used: usage };
+                let mb2_off = self.writer.mb2_offset(nblocks);
+                mb2.write_to(self.writer.file(), mb2_off, n)?;
+                Ok(0)
+            })()
+        } else {
+            Ok(0)
+        };
+        check_master_status(self.lcom.as_ref(), finalize)?;
+        // Collective over the global communicator: when close returns, the
+        // entire multifile (all physical files' metablocks) is final.
+        self.gcom.barrier();
+        Ok(stats)
+    }
+}
+
+/// Handle for reading one task's logical file of a multifile
+/// (`sion_paropen_mpi` in read mode).
+pub struct SionParReader {
+    reader: TaskReader,
+    gcom: Box<dyn Comm>,
+    grank: usize,
+}
+
+/// Collectively open an existing multifile for reading.
+///
+/// The task count of `comm` must equal the task count the multifile was
+/// written with, and each task is positioned at its own logical file.
+pub fn paropen_read(vfs: &dyn Vfs, base: &str, comm: &dyn Comm) -> Result<SionParReader> {
+    let grank = comm.rank();
+    let ntasks = comm.size();
+
+    // The global master reads every metablock 1 once and distributes the
+    // rank → (file, local index) map, so tens of thousands of tasks do not
+    // hammer the metadata concurrently.
+    let discovery: Result<Vec<u64>> = if grank == 0 {
+        (|| {
+            let f0 = vfs.open(base)?;
+            let mb1 = MetaBlock1::read_from(f0.as_ref())?;
+            if mb1.ntasks_global != ntasks as u64 {
+                return Err(SionError::CollectiveMismatch(format!(
+                    "multifile was written by {} tasks, read with {}",
+                    mb1.ntasks_global, ntasks
+                )));
+            }
+            let nfiles = mb1.nfiles;
+            let mut map = vec![u64::MAX; ntasks];
+            for k in 0..nfiles {
+                let mbk = if k == 0 {
+                    mb1.clone()
+                } else {
+                    let fk = vfs.open(&physical_name(base, k))?;
+                    MetaBlock1::read_from(fk.as_ref())?
+                };
+                for (lt, &gr) in mbk.global_ranks.iter().enumerate() {
+                    if gr >= ntasks as u64 || map[gr as usize] != u64::MAX {
+                        return Err(SionError::Format(format!(
+                            "global rank {gr} duplicated or out of range in file {k}"
+                        )));
+                    }
+                    map[gr as usize] = ((k as u64) << 32) | lt as u64;
+                }
+            }
+            if map.contains(&u64::MAX) {
+                return Err(SionError::Format("some ranks missing from multifile".into()));
+            }
+            let mut payload = vec![nfiles as u64, mb1.flags.bits()];
+            payload.extend_from_slice(&map);
+            Ok(payload)
+        })()
+    } else {
+        Ok(Vec::new())
+    };
+
+    // Broadcast the discovery payload (or fail everywhere).
+    let word = if grank == 0 {
+        Some(match &discovery {
+            Ok(_) => STATUS_OK,
+            Err(_) => STATUS_ERR,
+        })
+    } else {
+        None
+    };
+    if comm.bcast_u64(word, 0) != STATUS_OK {
+        return Err(discovery.err().unwrap_or_else(|| {
+            SionError::CollectiveMismatch("master failed during read open".into())
+        }));
+    }
+    let payload_bytes = comm.bcast(
+        discovery
+            .ok()
+            .map(|p| p.iter().flat_map(|w| w.to_le_bytes()).collect()),
+        0,
+    );
+    let words: Vec<u64> = payload_bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let flags = SionFlags::from_bits(words[1])?;
+    let compressed = flags.contains(SionFlags::COMPRESSED);
+    let entry = words[2 + grank];
+    let filenum = (entry >> 32) as u32;
+
+    let lcom = comm.split(filenum as u64, grank as u64);
+    let gcom = comm.split(0, grank as u64);
+
+    // Each file master reads its metablocks once and scatters per-task
+    // geometry plus usage vectors.
+    let setup: Result<Vec<Vec<u8>>> = if lcom.rank() == 0 {
+        (|| {
+            let file = vfs.open(&physical_name(base, filenum))?;
+            let mb1 = MetaBlock1::read_from(file.as_ref())?;
+            let mb2 = MetaBlock2::read_from(file.as_ref(), mb1.ntasks_local())?;
+            let layout = FileLayout::from_mb1(&mb1);
+            layout.validate_extent(mb2.nblocks, file.len()?)?;
+            let parts = (0..layout.ntasks())
+                .map(|t| {
+                    let mut words = ChunkGeom::from_layout(&layout, t, mb1.global_ranks[t])
+                        .encode();
+                    words.extend(mb2.task_usage(t, mb1.ntasks_local()));
+                    words.iter().flat_map(|w| w.to_le_bytes()).collect()
+                })
+                .collect();
+            Ok(parts)
+        })()
+    } else {
+        Ok(Vec::new())
+    };
+
+    let group_result: Result<(ChunkGeom, Vec<u64>, Arc<dyn vfs::VfsFile>)> = (|| {
+        if lcom.rank() == 0 {
+            check_master_status(lcom.as_ref(), setup.as_ref().map(|_| 0).map_err(clone_err))?;
+        } else {
+            check_master_status(lcom.as_ref(), Ok(0))?;
+        }
+        let mine = if lcom.rank() == 0 {
+            lcom.scatter(Some(setup.expect("status was OK")), 0)
+        } else {
+            lcom.scatter(None, 0)
+        };
+        if mine.len() % 8 != 0 || mine.len() < 6 * 8 {
+            return Err(SionError::Format("bad read-open payload".into()));
+        }
+        let words: Vec<u64> = mine
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let geom = ChunkGeom::decode(&words[..6])?;
+        let used = words[6..].to_vec();
+        let file = vfs.open(&physical_name(base, filenum))?;
+        Ok((geom, used, file))
+    })();
+
+    // All-or-nothing across file groups, as in the write open.
+    let any_failed = gcom
+        .allgather_u64(group_result.is_err() as u64)
+        .into_iter()
+        .any(|s| s != 0);
+    let (geom, used, file) = match (any_failed, group_result) {
+        (false, Ok(triple)) => triple,
+        (_, Err(e)) => return Err(e),
+        (true, Ok(_)) => {
+            return Err(SionError::CollectiveMismatch(
+                "another file group failed during the collective read open".into(),
+            ))
+        }
+    };
+    Ok(SionParReader { reader: TaskReader::new(file, geom, used, compressed), gcom, grank })
+}
+
+impl SionParReader {
+    /// `sion_feof`: whether this task's logical file is exhausted.
+    pub fn feof(&mut self) -> bool {
+        self.reader.feof()
+    }
+
+    /// `sion_bytes_avail_in_chunk`: unread stored bytes in the current
+    /// chunk.
+    pub fn bytes_avail_in_chunk(&self) -> u64 {
+        self.reader.bytes_avail_in_chunk()
+    }
+
+    /// `sion_fread`: read up to `buf.len()` logical bytes, crossing chunk
+    /// boundaries; returns bytes read (0 at end of stream).
+    pub fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        self.reader.read(buf)
+    }
+
+    /// Read exactly `buf.len()` logical bytes or fail.
+    pub fn read_exact(&mut self, buf: &mut [u8]) -> Result<()> {
+        self.reader.read_exact(buf)
+    }
+
+    /// This task's global rank.
+    pub fn rank(&self) -> usize {
+        self.grank
+    }
+
+    /// `sion_parclose_mpi` for the read side.
+    pub fn close(self) -> Result<()> {
+        self.gcom.barrier();
+        Ok(())
+    }
+}

@@ -1,0 +1,440 @@
+//! Serial access to multifiles (paper §3.2.3/§3.2.4).
+//!
+//! Serial access is the basis for post-processing tools: a single process
+//! opens the whole multifile with either a **global view** ([`Multifile`],
+//! `sion_open`) — all metadata of all tasks, plus `sion_seek`-style
+//! addressed reads — or a **task-local view** ([`RankReader`],
+//! `sion_open_rank`) that streams one task's logical file. [`SerialWriter`]
+//! is the serial counterpart for *creating* a multifile from one process
+//! (`sion_open` in write mode), used for example by the defragmentation
+//! tool.
+
+use crate::error::{Result, SionError};
+use crate::format::{MetaBlock1, MetaBlock2, SionFlags};
+use crate::layout::FileLayout;
+use crate::physical_name;
+use crate::stream::{ChunkGeom, TaskReader, TaskWriter};
+use crate::SionParams;
+use std::sync::Arc;
+use vfs::{Vfs, VfsFile};
+
+/// Location and fill state of one chunk (`sion_get_locations` output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkInfo {
+    /// Block number of this chunk.
+    pub block: u64,
+    /// File offset of the chunk's user data.
+    pub offset: u64,
+    /// Stored bytes in the chunk.
+    pub used: u64,
+}
+
+/// Everything known about one task's logical file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskLocation {
+    /// Global rank.
+    pub global_rank: usize,
+    /// Physical file index.
+    pub file: u32,
+    /// Local index within the physical file.
+    pub ltask: usize,
+    /// Chunk size the task requested at open.
+    pub chunksize_req: u64,
+    /// Chunk capacity (aligned, including rescue overhead).
+    pub capacity: u64,
+    /// User-data capacity per chunk.
+    pub usable: u64,
+    /// One entry per block of the physical file (zero-use chunks included).
+    pub chunks: Vec<ChunkInfo>,
+    /// Total stored bytes across all chunks.
+    pub stored_bytes: u64,
+}
+
+/// Global metadata of a multifile (`sion_get_locations`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Locations {
+    /// Total number of tasks.
+    pub ntasks: usize,
+    /// Number of physical files.
+    pub nfiles: u32,
+    /// File-system block size recorded at creation.
+    pub fsblksize: u64,
+    /// Feature flags.
+    pub flags: SionFlags,
+    /// Per-task locations, indexed by global rank.
+    pub tasks: Vec<TaskLocation>,
+}
+
+impl Locations {
+    /// Total stored bytes across all tasks.
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.tasks.iter().map(|t| t.stored_bytes).sum()
+    }
+
+    /// Largest number of blocks in any physical file.
+    pub fn max_blocks(&self) -> u64 {
+        self.tasks
+            .iter()
+            .map(|t| t.chunks.iter().filter(|c| c.used > 0).map(|c| c.block + 1).max().unwrap_or(0))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+struct FileView {
+    handle: Arc<dyn VfsFile>,
+    layout: FileLayout,
+}
+
+/// A multifile opened with the serial global view (`sion_open` read mode).
+pub struct Multifile {
+    files: Vec<FileView>,
+    locations: Locations,
+}
+
+impl Multifile {
+    /// Open the multifile rooted at `base`, reading all metadata of all
+    /// physical files.
+    pub fn open(vfs: &dyn Vfs, base: &str) -> Result<Multifile> {
+        let f0 = vfs.open(base)?;
+        let mb1_0 = MetaBlock1::read_from(f0.as_ref())?;
+        let nfiles = mb1_0.nfiles;
+        let ntasks = mb1_0.ntasks_global as usize;
+        if nfiles as u64 > mb1_0.ntasks_global {
+            return Err(SionError::Format(format!(
+                "{nfiles} physical files for {ntasks} tasks is implausible"
+            )));
+        }
+
+        let mut files = Vec::with_capacity(nfiles as usize);
+        let mut tasks: Vec<Option<TaskLocation>> = vec![None; ntasks];
+        for k in 0..nfiles {
+            let handle = if k == 0 { f0.clone() } else { vfs.open(&physical_name(base, k))? };
+            let mb1 =
+                if k == 0 { mb1_0.clone() } else { MetaBlock1::read_from(handle.as_ref())? };
+            if mb1.nfiles != nfiles || mb1.filenum != k || mb1.ntasks_global != ntasks as u64 {
+                return Err(SionError::Format(format!(
+                    "physical file {k} disagrees with file 0 about the multifile shape"
+                )));
+            }
+            let mb2 = MetaBlock2::read_from(handle.as_ref(), mb1.ntasks_local())?;
+            let layout = FileLayout::from_mb1(&mb1);
+            layout.validate_extent(mb2.nblocks, handle.len()?)?;
+            // Usage must fit the chunks it claims to fill.
+            for (lt, _) in mb1.global_ranks.iter().enumerate() {
+                for b in 0..mb2.nblocks {
+                    if mb2.used_in(b, lt, mb1.ntasks_local()) > layout.usable(lt) {
+                        return Err(SionError::Format(format!(
+                            "file {k}: task {lt} block {b} claims more bytes than its chunk holds"
+                        )));
+                    }
+                }
+            }
+            for (lt, &gr) in mb1.global_ranks.iter().enumerate() {
+                let gr = gr as usize;
+                if gr >= ntasks || tasks[gr].is_some() {
+                    return Err(SionError::Format(format!(
+                        "global rank {gr} duplicated or out of range in file {k}"
+                    )));
+                }
+                let usage = mb2.task_usage(lt, mb1.ntasks_local());
+                let chunks: Vec<ChunkInfo> = usage
+                    .iter()
+                    .enumerate()
+                    .map(|(b, &used)| ChunkInfo {
+                        block: b as u64,
+                        offset: layout.data_offset(lt, b as u64),
+                        used,
+                    })
+                    .collect();
+                tasks[gr] = Some(TaskLocation {
+                    global_rank: gr,
+                    file: k,
+                    ltask: lt,
+                    chunksize_req: mb1.chunksize_req[lt],
+                    capacity: mb1.chunk_cap[lt],
+                    usable: layout.usable(lt),
+                    stored_bytes: usage.iter().sum(),
+                    chunks,
+                });
+            }
+            files.push(FileView { handle, layout });
+        }
+        let tasks: Vec<TaskLocation> = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(r, t)| {
+                t.ok_or_else(|| SionError::Format(format!("rank {r} missing from multifile")))
+            })
+            .collect::<Result<_>>()?;
+        Ok(Multifile {
+            files,
+            locations: Locations {
+                ntasks,
+                nfiles,
+                fsblksize: mb1_0.fsblksize,
+                flags: mb1_0.flags,
+                tasks,
+            },
+        })
+    }
+
+    /// All metadata (`sion_get_locations`).
+    pub fn locations(&self) -> &Locations {
+        &self.locations
+    }
+
+    /// Number of tasks stored in the multifile.
+    pub fn ntasks(&self) -> usize {
+        self.locations.ntasks
+    }
+
+    /// Whether logical streams are compressed.
+    pub fn compressed(&self) -> bool {
+        self.locations.flags.contains(SionFlags::COMPRESSED)
+    }
+
+    /// `sion_seek` + `fread` with the global view: read stored bytes of
+    /// `rank`'s chunk in block `chunk`, starting `pos` bytes in. Returns
+    /// the number of bytes read (short at the end of the chunk's data).
+    pub fn read_at(&self, rank: usize, chunk: u64, pos: u64, buf: &mut [u8]) -> Result<usize> {
+        let t = self
+            .locations
+            .tasks
+            .get(rank)
+            .ok_or_else(|| SionError::InvalidArg(format!("rank {rank} out of range")))?;
+        let info = t
+            .chunks
+            .get(chunk as usize)
+            .ok_or_else(|| SionError::InvalidArg(format!("chunk {chunk} out of range")))?;
+        if pos >= info.used {
+            return Ok(0);
+        }
+        let n = buf.len().min((info.used - pos) as usize);
+        self.files[t.file as usize]
+            .handle
+            .read_exact_at(&mut buf[..n], info.offset + pos)?;
+        Ok(n)
+    }
+
+    /// Open the task-local view of `rank` (`sion_open_rank`): a streaming
+    /// reader over that task's logical file, transparently decompressing
+    /// if the multifile is compressed.
+    pub fn rank_reader(&self, rank: usize) -> Result<RankReader> {
+        let t = self
+            .locations
+            .tasks
+            .get(rank)
+            .ok_or_else(|| SionError::InvalidArg(format!("rank {rank} out of range")))?;
+        let fv = &self.files[t.file as usize];
+        let geom = ChunkGeom::from_layout(&fv.layout, t.ltask, rank as u64);
+        let used: Vec<u64> = t.chunks.iter().map(|c| c.used).collect();
+        Ok(RankReader {
+            inner: TaskReader::new(fv.handle.clone(), geom, used, self.compressed()),
+        })
+    }
+
+    /// Convenience: the complete logical (decompressed) content of `rank`.
+    pub fn read_rank(&self, rank: usize) -> Result<Vec<u8>> {
+        let mut r = self.rank_reader(rank)?;
+        let mut out = Vec::new();
+        let mut buf = vec![0u8; 64 * 1024];
+        loop {
+            let n = r.read_some(&mut buf)?;
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&buf[..n]);
+        }
+        Ok(out)
+    }
+}
+
+/// Streaming reader over one task's logical file (`sion_open_rank`).
+pub struct RankReader {
+    inner: TaskReader,
+}
+
+impl RankReader {
+    /// `sion_feof` for this rank's stream.
+    pub fn feof(&mut self) -> bool {
+        self.inner.feof()
+    }
+
+    /// Unread stored bytes in the current chunk.
+    pub fn bytes_avail_in_chunk(&self) -> u64 {
+        self.inner.bytes_avail_in_chunk()
+    }
+
+    /// Read up to `buf.len()` logical bytes; 0 at end of stream.
+    pub fn read_some(&mut self, buf: &mut [u8]) -> Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+impl std::io::Read for RankReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.inner
+            .read(buf)
+            .map_err(|e| std::io::Error::other(e.to_string()))
+    }
+}
+
+/// Serial creation of a multifile from a single process (`sion_open` in
+/// write mode, paper §3.2.3). "Since the open call is now executed by only
+/// one process, a whole array of chunk sizes needs to be supplied."
+pub struct SerialWriter {
+    files: Vec<Arc<dyn VfsFile>>,
+    layouts: Vec<FileLayout>,
+    writers: Vec<TaskWriter>,
+    /// Physical file index of each rank.
+    rank_file: Vec<usize>,
+    /// Rank whose stream the positional API currently addresses.
+    cur: usize,
+    ntasks: usize,
+}
+
+impl SerialWriter {
+    /// Create a multifile for `chunksizes.len()` tasks with the given
+    /// per-task chunk sizes. `params.chunksize` is ignored (the array takes
+    /// precedence); all other parameters apply as in the parallel case.
+    pub fn create(
+        vfs: &dyn Vfs,
+        base: &str,
+        chunksizes: &[u64],
+        params: &SionParams,
+    ) -> Result<SerialWriter> {
+        Self::create_with_flags(vfs, base, chunksizes, params, params.flags())
+    }
+
+    /// Like [`create`](Self::create), but records `stored_flags` in the
+    /// metadata instead of the flags implied by `params`. This is how the
+    /// defragmenter copies an already-compressed multifile verbatim: the
+    /// writer runs uncompressed (`params.compressed = false`) while the
+    /// output still advertises `COMPRESSED` to readers.
+    pub fn create_with_flags(
+        vfs: &dyn Vfs,
+        base: &str,
+        chunksizes: &[u64],
+        params: &SionParams,
+        stored_flags: SionFlags,
+    ) -> Result<SerialWriter> {
+        let ntasks = chunksizes.len();
+        params.mapping.validate(ntasks, params.nfiles)?;
+        let mut files = Vec::with_capacity(params.nfiles as usize);
+        let mut layouts = Vec::with_capacity(params.nfiles as usize);
+        let mut writers: Vec<Option<TaskWriter>> = (0..ntasks).map(|_| None).collect();
+        // Group ranks by physical file, in rank order.
+        let mut per_file: Vec<Vec<usize>> = vec![Vec::new(); params.nfiles as usize];
+        for r in 0..ntasks {
+            per_file[params.mapping.file_of(r, ntasks, params.nfiles) as usize].push(r);
+        }
+        for (k, ranks) in per_file.iter().enumerate() {
+            let reqs: Vec<u64> = ranks.iter().map(|&r| chunksizes[r]).collect();
+            let layout =
+                FileLayout::compute(&reqs, vfs.block_size(), params.alignment, params.rescue)?;
+            let file = vfs.create(&physical_name(base, k as u32))?;
+            let mb1 = MetaBlock1 {
+                version: crate::format::VERSION,
+                flags: stored_flags,
+                fsblksize: vfs.block_size(),
+                ntasks_global: ntasks as u64,
+                nfiles: params.nfiles,
+                filenum: k as u32,
+                data_start: layout.data_start,
+                global_ranks: ranks.iter().map(|&r| r as u64).collect(),
+                chunksize_req: reqs,
+                chunk_cap: layout.cap.clone(),
+            };
+            file.write_all_at(&mb1.encode(), 0)?;
+            for (lt, &r) in ranks.iter().enumerate() {
+                let geom = ChunkGeom::from_layout(&layout, lt, r as u64);
+                writers[r] = Some(TaskWriter::new(file.clone(), geom, params.compressed));
+            }
+            files.push(file);
+            layouts.push(layout);
+        }
+        let mut rank_file = vec![0usize; ntasks];
+        for (k, ranks) in per_file.iter().enumerate() {
+            for &r in ranks {
+                rank_file[r] = k;
+            }
+        }
+        Ok(SerialWriter {
+            files,
+            layouts,
+            writers: writers.into_iter().map(|w| w.expect("every rank assigned")).collect(),
+            rank_file,
+            cur: 0,
+            ntasks,
+        })
+    }
+
+    /// Number of tasks in the multifile.
+    pub fn ntasks(&self) -> usize {
+        self.ntasks
+    }
+
+    /// `sion_seek`: position the write cursor at (`rank`, `chunk`, `pos`).
+    pub fn seek(&mut self, rank: usize, chunk: u64, pos: u64) -> Result<()> {
+        if rank >= self.ntasks {
+            return Err(SionError::InvalidArg(format!("rank {rank} out of range")));
+        }
+        self.cur = rank;
+        self.writers[rank].seek(chunk, pos)
+    }
+
+    /// Switch to `rank`'s stream without repositioning it.
+    pub fn select_rank(&mut self, rank: usize) -> Result<()> {
+        if rank >= self.ntasks {
+            return Err(SionError::InvalidArg(format!("rank {rank} out of range")));
+        }
+        self.cur = rank;
+        Ok(())
+    }
+
+    /// `sion_ensure_free_space` on the current rank's stream.
+    pub fn ensure_free_space(&mut self, nbytes: u64) -> Result<()> {
+        self.writers[self.cur].ensure_free_space(nbytes)
+    }
+
+    /// Plain in-chunk write on the current rank's stream.
+    pub fn write_in_chunk(&mut self, data: &[u8]) -> Result<()> {
+        self.writers[self.cur].write_in_chunk(data)
+    }
+
+    /// Chunk-splitting `sion_fwrite` on the current rank's stream.
+    pub fn write(&mut self, data: &[u8]) -> Result<()> {
+        self.writers[self.cur].write(data)
+    }
+
+    /// Finalize: write every physical file's metablock 2 (`sion_close`).
+    pub fn close(mut self) -> Result<()> {
+        // Collect per-rank usage, then group by file in local order.
+        let usage: Vec<Vec<u64>> = self
+            .writers
+            .iter_mut()
+            .map(|w| w.finish())
+            .collect::<Result<_>>()?;
+        let nfiles = self.files.len();
+        let mut per_file: Vec<Vec<&Vec<u64>>> = vec![Vec::new(); nfiles];
+        // Ranks were grouped per file in rank order at create, so pushing
+        // in rank order reproduces the local task order.
+        for (r, u) in usage.iter().enumerate() {
+            per_file[self.rank_file[r]].push(u);
+        }
+        for (k, task_usage) in per_file.iter().enumerate() {
+            let n = task_usage.len();
+            let nblocks = task_usage.iter().map(|u| u.len()).max().unwrap_or(0) as u64;
+            let mut flat = vec![0u64; nblocks as usize * n];
+            for (lt, u) in task_usage.iter().enumerate() {
+                for (b, &v) in u.iter().enumerate() {
+                    flat[b * n + lt] = v;
+                }
+            }
+            let mb2 = MetaBlock2 { nblocks, used: flat };
+            mb2.write_to(self.files[k].as_ref(), self.layouts[k].mb2_offset(nblocks), n)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,692 @@
+//! Per-task chunk stream engine.
+//!
+//! A task's logical file is a byte stream laid across its chunks in blocks
+//! 0, 1, 2, … of one physical file. [`TaskWriter`] and [`TaskReader`]
+//! implement that stream — including the chunk-splitting `sion_fwrite` /
+//! `sion_fread` semantics, optional transparent compression (the encoded
+//! stream is what lives in the chunks), and rescue headers. Both the
+//! parallel API (`par`) and the serial API (`serial`) are thin wrappers
+//! over this module, so every access mode shares one engine.
+
+use crate::error::{Result, SionError};
+use crate::layout::FileLayout;
+use crate::rescue::{RescueHeader, RESCUE_HEADER_LEN};
+use std::sync::Arc;
+use szip::{FrameDecoder, FrameEncoder};
+use vfs::VfsFile;
+
+/// The chunk geometry of a single task within one physical file — the
+/// minimal slice of a [`FileLayout`] a task needs to address its chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ChunkGeom {
+    /// Offset of block 0 in the physical file.
+    pub data_start: u64,
+    /// Size of one block (sum of all local chunk capacities).
+    pub block_size: u64,
+    /// Offset of this task's chunk within a block.
+    pub chunk_off: u64,
+    /// This task's chunk capacity (including rescue overhead).
+    pub cap: u64,
+    /// Rescue-header bytes at the start of each chunk (0 or 32).
+    pub rescue_overhead: u64,
+    /// Global rank (recorded in rescue headers).
+    pub global_rank: u64,
+}
+
+impl ChunkGeom {
+    /// Extract the geometry of local task `ltask` from a file layout.
+    pub fn from_layout(layout: &FileLayout, ltask: usize, global_rank: u64) -> Self {
+        ChunkGeom {
+            data_start: layout.data_start,
+            block_size: layout.block_size,
+            chunk_off: layout.chunk_off[ltask],
+            cap: layout.cap[ltask],
+            rescue_overhead: layout.rescue_overhead,
+            global_rank,
+        }
+    }
+
+    /// File offset of this task's chunk in `block` (including header).
+    pub fn chunk_start(&self, block: u64) -> u64 {
+        self.data_start + block * self.block_size + self.chunk_off
+    }
+
+    /// File offset of user data in `block`.
+    pub fn data_offset(&self, block: u64) -> u64 {
+        self.chunk_start(block) + self.rescue_overhead
+    }
+
+    /// User-data capacity of one chunk.
+    pub fn usable(&self) -> u64 {
+        self.cap - self.rescue_overhead
+    }
+
+    /// Pack into a `u64` wire format for master→task scatter.
+    pub fn encode(&self) -> Vec<u64> {
+        vec![
+            self.data_start,
+            self.block_size,
+            self.chunk_off,
+            self.cap,
+            self.rescue_overhead,
+            self.global_rank,
+        ]
+    }
+
+    /// Inverse of [`encode`](Self::encode).
+    pub fn decode(words: &[u64]) -> Result<Self> {
+        if words.len() < 6 {
+            return Err(SionError::Format("truncated chunk geometry".into()));
+        }
+        Ok(ChunkGeom {
+            data_start: words[0],
+            block_size: words[1],
+            chunk_off: words[2],
+            cap: words[3],
+            rescue_overhead: words[4],
+            global_rank: words[5],
+        })
+    }
+}
+
+/// Writer for one task's logical file.
+pub(crate) struct TaskWriter {
+    file: Arc<dyn VfsFile>,
+    geom: ChunkGeom,
+    /// Current block number.
+    block: u64,
+    /// User bytes written into the current chunk.
+    off: u64,
+    /// Bytes used per block so far (index = block number).
+    used: Vec<u64>,
+    /// Whether each block's rescue header has been written.
+    entered: Vec<bool>,
+    /// Streaming compressor (compressed mode only).
+    enc: Option<FrameEncoder>,
+    /// Total user bytes accepted (pre-compression).
+    user_bytes: u64,
+}
+
+impl TaskWriter {
+    pub fn new(file: Arc<dyn VfsFile>, geom: ChunkGeom, compressed: bool) -> Self {
+        TaskWriter {
+            file,
+            geom,
+            block: 0,
+            off: 0,
+            used: vec![0],
+            entered: vec![false],
+            enc: compressed.then(FrameEncoder::new),
+            user_bytes: 0,
+        }
+    }
+
+    /// Bytes still free in the current chunk (stored-byte granularity).
+    pub fn bytes_avail_in_chunk(&self) -> u64 {
+        self.geom.usable() - self.off
+    }
+
+    /// Current block number (0-based).
+    #[allow(dead_code)]
+    pub fn current_block(&self) -> u64 {
+        self.block
+    }
+
+    /// Total user bytes accepted so far.
+    pub fn user_bytes(&self) -> u64 {
+        self.user_bytes
+    }
+
+    /// The underlying physical-file handle.
+    pub fn file(&self) -> &dyn VfsFile {
+        self.file.as_ref()
+    }
+
+    /// Offset where metablock 2 goes when the file holds `nblocks` blocks
+    /// (derived from this task's geometry; identical for every local task).
+    pub fn mb2_offset(&self, nblocks: u64) -> u64 {
+        self.geom.data_start + nblocks * self.geom.block_size
+    }
+
+    /// `sion_ensure_free_space`: guarantee that `nbytes` can be written
+    /// contiguously into the current chunk, advancing to the next block's
+    /// chunk if necessary. Fails if a single chunk cannot hold `nbytes`
+    /// (use [`write`](Self::write) instead) or in compressed mode (where
+    /// stored sizes are not knowable in advance).
+    pub fn ensure_free_space(&mut self, nbytes: u64) -> Result<()> {
+        if self.enc.is_some() {
+            return Err(SionError::InvalidArg(
+                "ensure_free_space is unavailable in compressed mode; use write()".into(),
+            ));
+        }
+        if nbytes > self.geom.usable() {
+            return Err(SionError::PieceTooLarge {
+                requested: nbytes,
+                capacity: self.geom.usable(),
+            });
+        }
+        if nbytes > self.bytes_avail_in_chunk() {
+            self.advance_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Plain `fwrite` into the current chunk: the data must fit in the
+    /// remaining chunk space (call [`ensure_free_space`] first).
+    pub fn write_in_chunk(&mut self, data: &[u8]) -> Result<()> {
+        if self.enc.is_some() {
+            return Err(SionError::InvalidArg(
+                "write_in_chunk is unavailable in compressed mode; use write()".into(),
+            ));
+        }
+        if data.len() as u64 > self.bytes_avail_in_chunk() {
+            return Err(SionError::PieceTooLarge {
+                requested: data.len() as u64,
+                capacity: self.bytes_avail_in_chunk(),
+            });
+        }
+        self.put(data)?;
+        self.user_bytes += data.len() as u64;
+        Ok(())
+    }
+
+    /// `sion_fwrite`: write arbitrarily large data, transparently split
+    /// across chunk boundaries (and compressed, in compressed mode).
+    pub fn write(&mut self, data: &[u8]) -> Result<()> {
+        self.user_bytes += data.len() as u64;
+        if let Some(enc) = self.enc.as_mut() {
+            enc.write(data);
+            let stored = enc.take_output();
+            return self.put_split(&stored);
+        }
+        self.put_split(data)
+    }
+
+    /// Write `data` into chunks, advancing blocks as needed.
+    fn put_split(&mut self, data: &[u8]) -> Result<()> {
+        let mut rest = data;
+        while !rest.is_empty() {
+            let avail = self.bytes_avail_in_chunk();
+            if avail == 0 {
+                if self.geom.usable() == 0 {
+                    return Err(SionError::PieceTooLarge {
+                        requested: rest.len() as u64,
+                        capacity: 0,
+                    });
+                }
+                self.advance_chunk()?;
+                continue;
+            }
+            let take = (avail as usize).min(rest.len());
+            self.put(&rest[..take])?;
+            rest = &rest[take..];
+        }
+        Ok(())
+    }
+
+    /// Low-level write of `data` at the current position (must fit).
+    fn put(&mut self, data: &[u8]) -> Result<()> {
+        debug_assert!(data.len() as u64 <= self.bytes_avail_in_chunk());
+        if data.is_empty() {
+            return Ok(());
+        }
+        self.enter_chunk()?;
+        let at = self.geom.data_offset(self.block) + self.off;
+        self.file.write_all_at(data, at)?;
+        self.off += data.len() as u64;
+        // High-water mark: a seek backwards must not shrink the chunk.
+        let b = self.block as usize;
+        self.used[b] = self.used[b].max(self.off);
+        self.patch_rescue()?;
+        Ok(())
+    }
+
+    /// Write the rescue header on first touch of a chunk.
+    fn enter_chunk(&mut self) -> Result<()> {
+        let b = self.block as usize;
+        if self.entered[b] || self.geom.rescue_overhead == 0 {
+            self.entered[b] = true;
+            return Ok(());
+        }
+        let hdr = RescueHeader {
+            global_rank: self.geom.global_rank,
+            block: self.block,
+            used: 0,
+        };
+        self.file.write_all_at(&hdr.encode(), self.geom.chunk_start(self.block))?;
+        self.entered[b] = true;
+        Ok(())
+    }
+
+    /// Keep the rescue header's byte count current.
+    fn patch_rescue(&mut self) -> Result<()> {
+        if self.geom.rescue_overhead == 0 {
+            return Ok(());
+        }
+        debug_assert_eq!(self.geom.rescue_overhead, RESCUE_HEADER_LEN);
+        self.file.write_all_at(
+            &self.used[self.block as usize].to_le_bytes(),
+            self.geom.chunk_start(self.block) + RescueHeader::USED_FIELD_OFFSET,
+        )?;
+        Ok(())
+    }
+
+    /// Move to this task's chunk in the next block.
+    fn advance_chunk(&mut self) -> Result<()> {
+        self.seek(self.block + 1, 0)
+    }
+
+    /// Position the write cursor at (`block`, `pos`) — the serial API's
+    /// `sion_seek`. Unavailable in compressed mode (stored positions are
+    /// not meaningful to callers there).
+    pub fn seek(&mut self, block: u64, pos: u64) -> Result<()> {
+        if self.enc.is_some() {
+            return Err(SionError::InvalidArg(
+                "seek is unavailable in compressed mode".into(),
+            ));
+        }
+        if pos > self.geom.usable() {
+            return Err(SionError::InvalidArg(format!(
+                "seek position {pos} beyond chunk capacity {}",
+                self.geom.usable()
+            )));
+        }
+        while (self.used.len() as u64) <= block {
+            self.used.push(0);
+            self.entered.push(false);
+        }
+        self.block = block;
+        self.off = pos;
+        Ok(())
+    }
+
+    /// Flush (compressed mode) and return the per-block usage vector.
+    pub fn finish(&mut self) -> Result<Vec<u64>> {
+        if let Some(mut enc) = self.enc.take() {
+            enc.flush();
+            let stored = enc.take_output();
+            self.put_split(&stored)?;
+        }
+        self.file.sync()?;
+        Ok(self.used.clone())
+    }
+}
+
+/// Reader for one task's logical file.
+pub(crate) struct TaskReader {
+    file: Arc<dyn VfsFile>,
+    geom: ChunkGeom,
+    /// Stored bytes per block (from metablock 2).
+    used: Vec<u64>,
+    /// Current block index into `used`.
+    block: usize,
+    /// Stored bytes consumed in the current chunk.
+    off: u64,
+    /// Streaming decompressor (compressed mode only).
+    dec: Option<FrameDecoder>,
+    /// Decoded bytes not yet handed to the caller (compressed mode).
+    decoded: Vec<u8>,
+    decoded_pos: usize,
+}
+
+impl TaskReader {
+    pub fn new(
+        file: Arc<dyn VfsFile>,
+        geom: ChunkGeom,
+        used: Vec<u64>,
+        compressed: bool,
+    ) -> Self {
+        let mut r = TaskReader {
+            file,
+            geom,
+            used,
+            block: 0,
+            off: 0,
+            dec: compressed.then(FrameDecoder::new),
+            decoded: Vec::new(),
+            decoded_pos: 0,
+        };
+        r.skip_empty_blocks();
+        r
+    }
+
+    fn skip_empty_blocks(&mut self) {
+        while self.block < self.used.len() && self.off >= self.used[self.block] {
+            self.block += 1;
+            self.off = 0;
+        }
+    }
+
+    /// Stored bytes still unread in the current chunk
+    /// (`sion_bytes_avail_in_chunk`). In compressed mode this counts
+    /// *stored* (compressed) bytes.
+    pub fn bytes_avail_in_chunk(&self) -> u64 {
+        if self.block >= self.used.len() {
+            0
+        } else {
+            self.used[self.block] - self.off
+        }
+    }
+
+    /// Whether the logical stream is exhausted (`sion_feof`).
+    pub fn feof(&mut self) -> bool {
+        if self.dec.is_some() && self.decoded_pos < self.decoded.len() {
+            return false;
+        }
+        self.skip_empty_blocks();
+        self.block >= self.used.len()
+    }
+
+    /// Current (block, offset) position in stored bytes.
+    #[allow(dead_code)]
+    pub fn position(&self) -> (u64, u64) {
+        (self.block as u64, self.off)
+    }
+
+    /// `sion_fread`: read up to `buf.len()` bytes of the logical stream
+    /// (decompressed in compressed mode), crossing chunk boundaries.
+    /// Returns the number of bytes read; 0 signals end of stream.
+    pub fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        if self.dec.is_some() {
+            return self.read_decoded(buf);
+        }
+        let mut done = 0;
+        while done < buf.len() {
+            self.skip_empty_blocks();
+            if self.block >= self.used.len() {
+                break;
+            }
+            let avail = self.used[self.block] - self.off;
+            let take = (avail as usize).min(buf.len() - done);
+            let at = self.geom.data_offset(self.block as u64) + self.off;
+            self.file.read_exact_at(&mut buf[done..done + take], at)?;
+            self.off += take as u64;
+            done += take;
+        }
+        Ok(done)
+    }
+
+    /// Read exactly `buf.len()` bytes or fail.
+    pub fn read_exact(&mut self, buf: &mut [u8]) -> Result<()> {
+        let n = self.read(buf)?;
+        if n != buf.len() {
+            return Err(SionError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!("logical stream ended after {n} of {} bytes", buf.len()),
+            )));
+        }
+        Ok(())
+    }
+
+    fn read_decoded(&mut self, buf: &mut [u8]) -> Result<usize> {
+        let mut done = 0;
+        loop {
+            // Serve from the decoded buffer first.
+            let have = self.decoded.len() - self.decoded_pos;
+            if have > 0 {
+                let take = have.min(buf.len() - done);
+                buf[done..done + take]
+                    .copy_from_slice(&self.decoded[self.decoded_pos..self.decoded_pos + take]);
+                self.decoded_pos += take;
+                done += take;
+                if self.decoded_pos == self.decoded.len() {
+                    self.decoded.clear();
+                    self.decoded_pos = 0;
+                }
+            }
+            if done == buf.len() {
+                return Ok(done);
+            }
+            // Pull more stored bytes (one chunk's remainder at a time).
+            self.skip_empty_blocks();
+            if self.block >= self.used.len() {
+                return Ok(done);
+            }
+            let avail = self.used[self.block] - self.off;
+            let mut raw = vec![0u8; avail as usize];
+            let at = self.geom.data_offset(self.block as u64) + self.off;
+            self.file.read_exact_at(&mut raw, at)?;
+            self.off += avail;
+            let dec = self.dec.as_mut().expect("compressed mode");
+            dec.feed(&raw);
+            dec.drain_into(&mut self.decoded)?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{Alignment, FileLayout};
+    use vfs::{MemFs, Vfs};
+
+    fn setup(reqs: &[u64], align: Alignment, rescue: bool) -> (MemFs, FileLayout) {
+        let fs = MemFs::with_block_size(256);
+        let layout = FileLayout::compute(reqs, 256, align, rescue).unwrap();
+        (fs, layout)
+    }
+
+    fn writer(
+        fs: &MemFs,
+        layout: &FileLayout,
+        ltask: usize,
+        compressed: bool,
+    ) -> TaskWriter {
+        let file = if fs.exists("f") { fs.open_rw("f").unwrap() } else { fs.create("f").unwrap() };
+        TaskWriter::new(file, ChunkGeom::from_layout(layout, ltask, ltask as u64), compressed)
+    }
+
+    #[test]
+    fn single_chunk_write_read() {
+        let (fs, layout) = setup(&[100], Alignment::None, false);
+        let mut w = writer(&fs, &layout, 0, false);
+        w.ensure_free_space(50).unwrap();
+        w.write_in_chunk(b"hello chunk").unwrap();
+        let used = w.finish().unwrap();
+        assert_eq!(used, vec![11]);
+
+        let file = fs.open("f").unwrap();
+        let mut r = TaskReader::new(file, ChunkGeom::from_layout(&layout, 0, 0), used, false);
+        assert!(!r.feof());
+        assert_eq!(r.bytes_avail_in_chunk(), 11);
+        let mut buf = vec![0u8; 11];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello chunk");
+        assert!(r.feof());
+        assert_eq!(r.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn fwrite_splits_across_blocks() {
+        let (fs, layout) = setup(&[256], Alignment::FsBlock, false);
+        let mut w = writer(&fs, &layout, 0, false);
+        let data: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+        w.write(&data).unwrap();
+        let used = w.finish().unwrap();
+        assert_eq!(used, vec![256, 256, 256, 232]);
+        assert_eq!(w.current_block(), 3);
+
+        let file = fs.open("f").unwrap();
+        let mut r = TaskReader::new(file, ChunkGeom::from_layout(&layout, 0, 0), used, false);
+        let mut back = vec![0u8; 1000];
+        r.read_exact(&mut back).unwrap();
+        assert_eq!(back, data);
+        assert!(r.feof());
+    }
+
+    #[test]
+    fn ensure_free_space_advances_and_leaves_gap() {
+        let (fs, layout) = setup(&[100], Alignment::None, false);
+        let mut w = writer(&fs, &layout, 0, false);
+        w.ensure_free_space(60).unwrap();
+        w.write_in_chunk(&[1u8; 60]).unwrap();
+        // 40 left; asking for 50 must jump to block 1.
+        w.ensure_free_space(50).unwrap();
+        assert_eq!(w.current_block(), 1);
+        w.write_in_chunk(&[2u8; 50]).unwrap();
+        let used = w.finish().unwrap();
+        assert_eq!(used, vec![60, 50]);
+
+        let file = fs.open("f").unwrap();
+        let mut r = TaskReader::new(file, ChunkGeom::from_layout(&layout, 0, 0), used, false);
+        let mut all = vec![0u8; 110];
+        r.read_exact(&mut all).unwrap();
+        assert_eq!(&all[..60], &[1u8; 60][..]);
+        assert_eq!(&all[60..], &[2u8; 50][..]);
+    }
+
+    #[test]
+    fn piece_larger_than_chunk_rejected_by_ensure() {
+        let (fs, layout) = setup(&[100], Alignment::None, false);
+        let mut w = writer(&fs, &layout, 0, false);
+        assert!(matches!(
+            w.ensure_free_space(101),
+            Err(SionError::PieceTooLarge { requested: 101, capacity: 100 })
+        ));
+        // But the splitting write handles it fine.
+        w.write(&[9u8; 350]).unwrap();
+        assert_eq!(w.finish().unwrap(), vec![100, 100, 100, 50]);
+    }
+
+    #[test]
+    fn interleaved_tasks_do_not_collide() {
+        let (fs, layout) = setup(&[64, 64, 64], Alignment::FsBlock, false);
+        let mut ws: Vec<TaskWriter> = (0..3).map(|t| writer(&fs, &layout, t, false)).collect();
+        for round in 0..4u8 {
+            for (t, w) in ws.iter_mut().enumerate() {
+                w.write(&vec![t as u8 * 16 + round; 100]).unwrap();
+            }
+        }
+        let useds: Vec<Vec<u64>> = ws.iter_mut().map(|w| w.finish().unwrap()).collect();
+        for (t, used) in useds.iter().enumerate() {
+            let file = fs.open("f").unwrap();
+            let mut r = TaskReader::new(
+                file,
+                ChunkGeom::from_layout(&layout, t, t as u64),
+                used.clone(),
+                false,
+            );
+            let mut back = vec![0u8; 400];
+            r.read_exact(&mut back).unwrap();
+            for round in 0..4 {
+                assert!(
+                    back[round * 100..(round + 1) * 100]
+                        .iter()
+                        .all(|&b| b == t as u8 * 16 + round as u8),
+                    "task {t} round {round} corrupted"
+                );
+            }
+            assert!(r.feof());
+        }
+    }
+
+    #[test]
+    fn compressed_stream_roundtrip() {
+        let (fs, layout) = setup(&[256], Alignment::FsBlock, false);
+        let mut w = writer(&fs, &layout, 0, true);
+        let data = b"compressible compressible compressible ".repeat(100);
+        w.write(&data).unwrap();
+        let used = w.finish().unwrap();
+        let stored: u64 = used.iter().sum();
+        assert!(stored < data.len() as u64 / 2, "stored {stored} of {}", data.len());
+
+        let file = fs.open("f").unwrap();
+        let mut r = TaskReader::new(file, ChunkGeom::from_layout(&layout, 0, 0), used, true);
+        assert!(!r.feof());
+        let mut back = vec![0u8; data.len()];
+        r.read_exact(&mut back).unwrap();
+        assert_eq!(back, data);
+        assert!(r.feof());
+    }
+
+    #[test]
+    fn compressed_mode_rejects_raw_calls() {
+        let (fs, layout) = setup(&[256], Alignment::FsBlock, false);
+        let mut w = writer(&fs, &layout, 0, true);
+        assert!(w.ensure_free_space(10).is_err());
+        assert!(w.write_in_chunk(b"x").is_err());
+    }
+
+    #[test]
+    fn rescue_headers_written_and_patched() {
+        let (fs, layout) = setup(&[200], Alignment::FsBlock, true);
+        let mut w = writer(&fs, &layout, 0, false);
+        w.write(&vec![7u8; 300]).unwrap(); // spans two chunks
+        let used = w.finish().unwrap();
+        assert_eq!(used.len(), 2);
+
+        let file = fs.open("f").unwrap();
+        for (b, &u) in used.iter().enumerate() {
+            let mut hdr = [0u8; RESCUE_HEADER_LEN as usize];
+            file.read_exact_at(&mut hdr, layout.chunk_start(0, b as u64)).unwrap();
+            let h = RescueHeader::decode(&hdr).unwrap();
+            assert_eq!(h.global_rank, 0);
+            assert_eq!(h.block, b as u64);
+            assert_eq!(h.used, u);
+        }
+        // Data reads back despite the headers.
+        let mut r = TaskReader::new(
+            fs.open("f").unwrap(),
+            ChunkGeom::from_layout(&layout, 0, 0),
+            used,
+            false,
+        );
+        let mut back = vec![0u8; 300];
+        r.read_exact(&mut back).unwrap();
+        assert_eq!(back, vec![7u8; 300]);
+    }
+
+    #[test]
+    fn reader_skips_zero_use_blocks() {
+        let (fs, layout) = setup(&[100], Alignment::None, false);
+        let mut w = writer(&fs, &layout, 0, false);
+        w.ensure_free_space(100).unwrap();
+        w.write_in_chunk(&[1u8; 100]).unwrap();
+        // Jump straight to block 2, leaving block 1 untouched.
+        w.seek(2, 0).unwrap();
+        w.write_in_chunk(&[2u8; 10]).unwrap();
+        let used = w.finish().unwrap();
+        assert_eq!(used, vec![100, 0, 10]);
+
+        let mut r = TaskReader::new(
+            fs.open("f").unwrap(),
+            ChunkGeom::from_layout(&layout, 0, 0),
+            used,
+            false,
+        );
+        let mut back = vec![0u8; 110];
+        r.read_exact(&mut back).unwrap();
+        assert_eq!(&back[..100], &[1u8; 100][..]);
+        assert_eq!(&back[100..], &[2u8; 10][..]);
+        assert!(r.feof());
+    }
+
+    #[test]
+    fn empty_stream_is_immediately_eof() {
+        let (fs, layout) = setup(&[100], Alignment::None, false);
+        let mut w = writer(&fs, &layout, 0, false);
+        let used = w.finish().unwrap();
+        assert_eq!(used, vec![0]);
+        let mut r = TaskReader::new(
+            fs.open("f").unwrap(),
+            ChunkGeom::from_layout(&layout, 0, 0),
+            used,
+            false,
+        );
+        assert!(r.feof());
+    }
+
+    #[test]
+    fn geom_encode_decode_roundtrip() {
+        let g = ChunkGeom {
+            data_start: 1,
+            block_size: 2,
+            chunk_off: 3,
+            cap: 4,
+            rescue_overhead: 32,
+            global_rank: 6,
+        };
+        assert_eq!(ChunkGeom::decode(&g.encode()).unwrap(), g);
+        assert!(ChunkGeom::decode(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Failure injection: storage errors during collective operations must
+//! surface as clean errors on every task — never hangs, never partial
+//! multifiles accepted as valid.
+
+use simmpi::{Comm, World};
+use sion::{paropen_read, paropen_write, Multifile, SionParams};
+use vfs::{FaultFs, FaultKind, FaultRule, MemFs};
+
+#[test]
+fn master_create_failure_fails_every_task() {
+    let fs = FaultFs::new(MemFs::with_block_size(1024));
+    fs.inject(FaultRule { kind: FaultKind::Create, from: 0, count: u64::MAX });
+    let results = World::run(6, |comm| {
+        let params = SionParams::new(1024).with_nfiles(2);
+        paropen_write(&fs, "f.sion", &params, comm).is_err()
+    });
+    assert!(results.iter().all(|&failed| failed), "every task must see the failure");
+}
+
+#[test]
+fn one_of_two_masters_failing_fails_all() {
+    // Only the second physical file's create fails: the tasks of the first
+    // file group must fail too (the open is globally collective).
+    let fs = FaultFs::new(MemFs::with_block_size(1024));
+    fs.inject(FaultRule { kind: FaultKind::Create, from: 1, count: 1 });
+    let results = World::run(6, |comm| {
+        let params = SionParams::new(1024).with_nfiles(2);
+        paropen_write(&fs, "g.sion", &params, comm).is_err()
+    });
+    // The open is all-or-nothing across file groups: every task fails.
+    assert!(results.iter().all(|&failed| failed), "{results:?}");
+}
+
+#[test]
+fn metadata_write_failure_fails_open() {
+    let fs = FaultFs::new(MemFs::with_block_size(1024));
+    // First write is metablock 1.
+    fs.inject(FaultRule { kind: FaultKind::Write, from: 0, count: 1 });
+    let results = World::run(4, |comm| {
+        let params = SionParams::new(1024);
+        paropen_write(&fs, "h.sion", &params, comm).is_err()
+    });
+    assert!(results.iter().all(|&failed| failed));
+}
+
+#[test]
+fn open_failure_during_read_discovery_fails_everyone() {
+    // Build a valid multifile, then make all opens fail.
+    let fs = FaultFs::new(MemFs::with_block_size(1024));
+    World::run(4, |comm| {
+        let params = SionParams::new(1024);
+        let mut w = paropen_write(&fs, "r.sion", &params, comm).unwrap();
+        w.write(b"payload").unwrap();
+        w.close().unwrap();
+    });
+    fs.inject(FaultRule { kind: FaultKind::Open, from: 0, count: u64::MAX });
+    let results = World::run(4, |comm| paropen_read(&fs, "r.sion", comm).is_err());
+    assert!(results.iter().all(|&failed| failed));
+}
+
+#[test]
+fn data_write_failures_surface_to_the_caller() {
+    let fs = FaultFs::new(MemFs::with_block_size(1024));
+    let results = World::run(2, |comm| {
+        let params = SionParams::new(1024);
+        let mut w = paropen_write(&fs, "d.sion", &params, comm).unwrap();
+        // Fail all writes from now on (metablock 1 was already written).
+        if comm.rank() == 0 {
+            fs.inject(FaultRule { kind: FaultKind::Write, from: 0, count: u64::MAX });
+        }
+        comm.barrier();
+        let write_failed = w.write(&vec![9u8; 5000]).is_err();
+        // Synchronize the error before the collective close, as an
+        // application must (see mp2c::checkpoint::collective_check).
+        let any_failed =
+            comm.allreduce_u64(write_failed as u64, simmpi::ReduceOp::Max) == 1;
+        (write_failed, any_failed)
+    });
+    // All writes went through the shared fault counter, so both ranks fail;
+    // the essential assertion is that the error reached the caller and the
+    // world terminated (no hang).
+    assert!(results.iter().all(|&(_, any)| any));
+    assert!(results.iter().any(|&(failed, _)| failed));
+}
+
+#[test]
+fn read_failures_surface_in_serial_view() {
+    let inner = MemFs::with_block_size(1024);
+    let fs = FaultFs::new(inner);
+    World::run(3, |comm| {
+        let params = SionParams::new(1024);
+        let mut w = paropen_write(&fs, "s.sion", &params, comm).unwrap();
+        w.write(&vec![comm.rank() as u8; 2000]).unwrap();
+        w.close().unwrap();
+    });
+    // Let the metadata reads through (open + mb1 + mb2 per file), then cut.
+    let mf = Multifile::open(&fs, "s.sion").unwrap();
+    fs.inject(FaultRule { kind: FaultKind::Read, from: 0, count: u64::MAX });
+    assert!(mf.read_rank(0).is_err(), "data reads must fail");
+    fs.clear();
+    assert_eq!(mf.read_rank(0).unwrap(), vec![0u8; 2000]);
+}
+
+#[test]
+fn repair_with_failing_reads_errors_not_panics() {
+    let fs = FaultFs::new(MemFs::with_block_size(512));
+    World::run(2, |comm| {
+        let params = SionParams::new(512).with_rescue();
+        let mut w = paropen_write(&fs, "rr.sion", &params, comm).unwrap();
+        w.write(&vec![5u8; 900]).unwrap();
+        w.close().unwrap();
+    });
+    fs.inject(FaultRule { kind: FaultKind::Read, from: 2, count: u64::MAX });
+    // Depending on where the reads die, repair errors or reports zero
+    // recovery — it must not panic or hang.
+    let _ = sion::rescue::repair(&fs, "rr.sion", true);
+}

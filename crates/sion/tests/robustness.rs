@@ -1,0 +1,171 @@
+//! Robustness of the on-disk format parsers: corrupted, truncated, and
+//! random inputs must produce errors, never panics or bogus successes.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use simmpi::{Comm, World};
+use sion::{paropen_write, Multifile, SionParams};
+use vfs::{MemFs, Vfs};
+
+fn valid_multifile(fs: &MemFs, rescue: bool) {
+    World::run(4, |comm| {
+        let mut params = SionParams::new(1024).with_nfiles(2);
+        params.rescue = rescue;
+        let mut w = paropen_write(fs, "v.sion", &params, comm).unwrap();
+        w.write(&vec![comm.rank() as u8 + 1; 3000]).unwrap();
+        w.close().unwrap();
+    });
+}
+
+fn file_bytes(fs: &MemFs, path: &str) -> Vec<u8> {
+    let f = fs.open(path).unwrap();
+    let mut buf = vec![0u8; f.len().unwrap() as usize];
+    f.read_exact_at(&mut buf, 0).unwrap();
+    buf
+}
+
+fn write_file(fs: &MemFs, path: &str, bytes: &[u8]) {
+    let f = fs.create(path).unwrap();
+    f.write_all_at(bytes, 0).unwrap();
+}
+
+#[test]
+fn every_single_byte_truncation_errors_cleanly() {
+    let fs = MemFs::with_block_size(512);
+    valid_multifile(&fs, false);
+    let original = file_bytes(&fs, "v.sion");
+    // Truncation at a sample of points across the file (every point would
+    // be slow; step through).
+    for cut in (0..original.len()).step_by(97) {
+        let fs2 = MemFs::with_block_size(512);
+        write_file(&fs2, "v.sion", &original[..cut]);
+        write_file(&fs2, "v.sion.000001", &file_bytes(&fs, "v.sion.000001"));
+        // Must not panic; almost always errors. (A cut at the very end can
+        // leave a valid file only if it removes nothing.)
+        let _ = Multifile::open(&fs2, "v.sion");
+    }
+}
+
+#[test]
+fn header_bit_flips_never_panic() {
+    let fs = MemFs::with_block_size(512);
+    valid_multifile(&fs, false);
+    let original = file_bytes(&fs, "v.sion");
+    let other = file_bytes(&fs, "v.sion.000001");
+    // Flip every bit of the first 128 bytes (metablock 1 region) and a
+    // sample through the rest; open + full read attempt must be panic-free.
+    let mut points: Vec<usize> = (0..128.min(original.len())).collect();
+    points.extend((128..original.len()).step_by(211));
+    for at in points {
+        for bit in [0u8, 3, 7] {
+            let mut corrupted = original.clone();
+            corrupted[at] ^= 1 << bit;
+            let fs2 = MemFs::with_block_size(512);
+            write_file(&fs2, "v.sion", &corrupted);
+            write_file(&fs2, "v.sion.000001", &other);
+            if let Ok(mf) = Multifile::open(&fs2, "v.sion") {
+                for rank in 0..mf.ntasks().min(8) {
+                    let _ = mf.read_rank(rank);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn trailer_corruption_is_detected() {
+    let fs = MemFs::with_block_size(512);
+    valid_multifile(&fs, false);
+    let mut bytes = file_bytes(&fs, "v.sion");
+    let len = bytes.len();
+    // Point the trailer's metablock-2 offset somewhere bogus.
+    bytes[len - 24..len - 16].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+    let fs2 = MemFs::with_block_size(512);
+    write_file(&fs2, "v.sion", &bytes);
+    write_file(&fs2, "v.sion.000001", &file_bytes(&fs, "v.sion.000001"));
+    assert!(Multifile::open(&fs2, "v.sion").is_err());
+}
+
+#[test]
+fn mismatched_physical_files_rejected() {
+    // File 0 of one multifile with file 1 of a *different* shape must not
+    // silently combine.
+    let fs_a = MemFs::with_block_size(512);
+    valid_multifile(&fs_a, false);
+    let fs_b = MemFs::with_block_size(512);
+    World::run(6, |comm| {
+        let params = SionParams::new(2048).with_nfiles(2);
+        let mut w = paropen_write(&fs_b, "v.sion", &params, comm).unwrap();
+        w.write(b"other shape").unwrap();
+        w.close().unwrap();
+    });
+    let fs2 = MemFs::with_block_size(512);
+    write_file(&fs2, "v.sion", &file_bytes(&fs_a, "v.sion"));
+    write_file(&fs2, "v.sion.000001", &file_bytes(&fs_b, "v.sion.000001"));
+    assert!(Multifile::open(&fs2, "v.sion").is_err());
+}
+
+#[test]
+fn random_garbage_of_many_sizes_errors() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xFEED);
+    for len in [0usize, 1, 7, 59, 60, 61, 500, 5000] {
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        let fs = MemFs::with_block_size(512);
+        write_file(&fs, "junk", &bytes);
+        assert!(Multifile::open(&fs, "junk").is_err(), "len {len} accepted?!");
+    }
+}
+
+#[test]
+fn repair_on_garbage_never_panics() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBAD);
+    for len in [100usize, 1000, 4096] {
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        let fs = MemFs::with_block_size(512);
+        write_file(&fs, "junk", &bytes);
+        assert!(sion::rescue::repair(&fs, "junk", false).is_err());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary byte soup prefixed with the right magic still fails
+    /// structural validation rather than being accepted or panicking.
+    #[test]
+    fn magic_prefixed_garbage_rejected(body in prop::collection::vec(any::<u8>(), 0..2000)) {
+        let mut bytes = b"RSIONv1\0".to_vec();
+        bytes.extend_from_slice(&body);
+        let fs = MemFs::with_block_size(512);
+        write_file(&fs, "g", &bytes);
+        prop_assert!(Multifile::open(&fs, "g").is_err());
+    }
+
+    /// Random corruption of a valid multifile: open/read never panics, and
+    /// when it succeeds the data lengths stay within the advertised sizes.
+    #[test]
+    fn random_corruption_survivable(
+        seed in any::<u64>(),
+        nflips in 1usize..20,
+    ) {
+        let fs = MemFs::with_block_size(512);
+        valid_multifile(&fs, false);
+        let mut bytes = file_bytes(&fs, "v.sion");
+        let other = file_bytes(&fs, "v.sion.000001");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..nflips {
+            let at = rng.gen_range(0..bytes.len());
+            bytes[at] ^= 1 << rng.gen_range(0..8);
+        }
+        let fs2 = MemFs::with_block_size(512);
+        write_file(&fs2, "v.sion", &bytes);
+        write_file(&fs2, "v.sion.000001", &other);
+        if let Ok(mf) = Multifile::open(&fs2, "v.sion") {
+            for rank in 0..mf.ntasks().min(8) {
+                if let Ok(data) = mf.read_rank(rank) {
+                    prop_assert!(data.len() <= 1 << 20, "absurd read length");
+                }
+            }
+        }
+    }
+}

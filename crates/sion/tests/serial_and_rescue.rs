@@ -1,0 +1,214 @@
+//! Serial API and rescue/repair integration tests: serial writer with
+//! seek, global-view addressed reads, metadata introspection, and
+//! reconstruction of lost metablocks from rescue headers.
+
+use simmpi::{Comm, World};
+use sion::rescue::{repair, RESCUE_HEADER_LEN};
+use sion::{
+    paropen_write, Alignment, Multifile, SerialWriter, SionError, SionParams,
+};
+use vfs::{MemFs, Vfs};
+
+fn payload(rank: usize, len: usize) -> Vec<u8> {
+    (0..len).map(|i| ((i * 17 + rank * 97 + 3) % 253) as u8).collect()
+}
+
+#[test]
+fn serial_writer_roundtrip() {
+    let fs = MemFs::with_block_size(1024);
+    let chunksizes = [500u64, 1500, 1000, 250];
+    let params = SionParams::new(0).with_nfiles(2);
+    let mut w = SerialWriter::create(&fs, "serial.sion", &chunksizes, &params).unwrap();
+    for rank in 0..4 {
+        w.select_rank(rank).unwrap();
+        w.write(&payload(rank, 2000)).unwrap(); // spills over chunks
+    }
+    w.close().unwrap();
+
+    let mf = Multifile::open(&fs, "serial.sion").unwrap();
+    assert_eq!(mf.ntasks(), 4);
+    assert_eq!(mf.locations().nfiles, 2);
+    for rank in 0..4 {
+        assert_eq!(mf.read_rank(rank).unwrap(), payload(rank, 2000), "rank {rank}");
+        assert_eq!(mf.locations().tasks[rank].chunksize_req, chunksizes[rank]);
+    }
+}
+
+#[test]
+fn serial_seek_positions_by_rank_chunk_pos() {
+    let fs = MemFs::with_block_size(256);
+    let params = SionParams::new(0).with_alignment(Alignment::None);
+    let mut w = SerialWriter::create(&fs, "seek.sion", &[100, 100], &params).unwrap();
+    // Paper Listing 3: seek to (rank, chunk, pos), then write.
+    w.seek(1, 0, 10).unwrap();
+    w.write_in_chunk(b"ten-in").unwrap();
+    w.seek(0, 2, 0).unwrap();
+    w.write_in_chunk(b"chunk2").unwrap();
+    w.close().unwrap();
+
+    let mf = Multifile::open(&fs, "seek.sion").unwrap();
+    // Rank 1 block 0: 16 bytes used (high-water), first 10 are zeros.
+    let t1 = &mf.locations().tasks[1];
+    assert_eq!(t1.chunks[0].used, 16);
+    let mut buf = vec![0u8; 16];
+    assert_eq!(mf.read_at(1, 0, 0, &mut buf).unwrap(), 16);
+    assert_eq!(&buf[..10], &[0u8; 10]);
+    assert_eq!(&buf[10..], b"ten-in");
+    // Rank 0 wrote only in chunk 2.
+    let t0 = &mf.locations().tasks[0];
+    assert_eq!(t0.chunks[0].used, 0);
+    assert_eq!(t0.chunks[2].used, 6);
+    let mut buf = vec![0u8; 6];
+    assert_eq!(mf.read_at(0, 2, 0, &mut buf).unwrap(), 6);
+    assert_eq!(&buf, b"chunk2");
+    // Addressed read past the data is short.
+    assert_eq!(mf.read_at(0, 2, 6, &mut buf).unwrap(), 0);
+}
+
+#[test]
+fn locations_report_geometry() {
+    let fs = MemFs::with_block_size(4096);
+    World::run(6, |comm| {
+        let params = SionParams::new(2000).with_nfiles(2);
+        let mut w = paropen_write(&fs, "loc.sion", &params, comm).unwrap();
+        w.write(&payload(comm.rank(), 100 * (comm.rank() + 1))).unwrap();
+        w.close().unwrap();
+    });
+    let mf = Multifile::open(&fs, "loc.sion").unwrap();
+    let loc = mf.locations();
+    assert_eq!(loc.ntasks, 6);
+    assert_eq!(loc.nfiles, 2);
+    assert_eq!(loc.fsblksize, 4096);
+    let total: u64 = (1..=6).map(|k| 100 * k as u64).sum();
+    assert_eq!(loc.total_stored_bytes(), total);
+    for t in &loc.tasks {
+        assert_eq!(t.capacity, 4096); // 2000 rounded up
+        assert_eq!(t.stored_bytes, 100 * (t.global_rank as u64 + 1));
+        // Chunk offsets must be block-aligned.
+        for c in &t.chunks {
+            assert_eq!(c.offset % 4096, 0);
+        }
+    }
+}
+
+#[test]
+fn multifile_rejects_non_sion_files() {
+    let fs = MemFs::new();
+    let f = fs.create("junk").unwrap();
+    f.write_all_at(b"this is not a multifile at all....", 0).unwrap();
+    assert!(matches!(Multifile::open(&fs, "junk"), Err(SionError::Format(_))));
+}
+
+/// Simulate a crash: cut the file at the start of metablock 2, removing it
+/// and the trailer (exactly what an interrupted close leaves behind).
+fn truncate_metadata(fs: &MemFs, path: &str) {
+    let f = fs.open_rw(path).unwrap();
+    let len = f.len().unwrap();
+    let mut trailer = [0u8; 24];
+    f.read_exact_at(&mut trailer, len - 24).unwrap();
+    let mb2_off = u64::from_le_bytes(trailer[0..8].try_into().unwrap());
+    f.set_len(mb2_off).unwrap();
+}
+
+#[test]
+fn repair_reconstructs_lost_metablock2() {
+    let fs = MemFs::with_block_size(512);
+    let ntasks = 6;
+    World::run(ntasks, |comm| {
+        let params = SionParams::new(512).with_rescue();
+        let mut w = paropen_write(&fs, "crash.sion", &params, comm).unwrap();
+        w.write(&payload(comm.rank(), 300 * (comm.rank() + 1))).unwrap();
+        w.close().unwrap();
+    });
+
+    // Sanity: opens fine before the crash.
+    let before = Multifile::open(&fs, "crash.sion").unwrap();
+    let stored_before: Vec<u64> =
+        before.locations().tasks.iter().map(|t| t.stored_bytes).collect();
+    drop(before);
+
+    truncate_metadata(&fs, "crash.sion");
+    assert!(Multifile::open(&fs, "crash.sion").is_err(), "truncation must break the file");
+
+    let report = repair(&fs, "crash.sion", false).unwrap();
+    assert_eq!(report.files_scanned, 1);
+    assert_eq!(report.files_repaired, 1);
+    assert!(report.chunks_recovered > 0);
+
+    let after = Multifile::open(&fs, "crash.sion").unwrap();
+    let stored_after: Vec<u64> = after.locations().tasks.iter().map(|t| t.stored_bytes).collect();
+    assert_eq!(stored_after, stored_before);
+    for rank in 0..ntasks {
+        assert_eq!(after.read_rank(rank).unwrap(), payload(rank, 300 * (rank + 1)));
+    }
+}
+
+#[test]
+fn repair_multifile_with_mixed_damage() {
+    let fs = MemFs::with_block_size(512);
+    World::run(8, |comm| {
+        let params = SionParams::new(512).with_nfiles(2).with_rescue();
+        let mut w = paropen_write(&fs, "mixed.sion", &params, comm).unwrap();
+        w.write(&payload(comm.rank(), 900)).unwrap();
+        w.close().unwrap();
+    });
+    // Damage only the second physical file.
+    truncate_metadata(&fs, "mixed.sion.000001");
+
+    let report = repair(&fs, "mixed.sion", false).unwrap();
+    assert_eq!(report.files_scanned, 2);
+    assert_eq!(report.files_intact, 1);
+    assert_eq!(report.files_repaired, 1);
+
+    let mf = Multifile::open(&fs, "mixed.sion").unwrap();
+    for rank in 0..8 {
+        assert_eq!(mf.read_rank(rank).unwrap(), payload(rank, 900));
+    }
+}
+
+#[test]
+fn repair_requires_rescue_flag() {
+    let fs = MemFs::with_block_size(512);
+    World::run(2, |comm| {
+        let params = SionParams::new(512); // no rescue
+        let mut w = paropen_write(&fs, "norescue.sion", &params, comm).unwrap();
+        w.write(b"data").unwrap();
+        w.close().unwrap();
+    });
+    assert!(matches!(repair(&fs, "norescue.sion", false), Err(SionError::Rescue(_))));
+}
+
+#[test]
+fn forced_repair_matches_collective_close() {
+    // With force=true, the rescue reconstruction must agree byte-for-byte
+    // with what the collective close wrote.
+    let fs = MemFs::with_block_size(256);
+    World::run(4, |comm| {
+        let params = SionParams::new(256).with_rescue();
+        let mut w = paropen_write(&fs, "force.sion", &params, comm).unwrap();
+        w.write(&payload(comm.rank(), 700)).unwrap();
+        w.close().unwrap();
+    });
+    let before = Multifile::open(&fs, "force.sion").unwrap().locations().clone();
+    let report = repair(&fs, "force.sion", true).unwrap();
+    assert_eq!(report.files_repaired, 1);
+    let after = Multifile::open(&fs, "force.sion").unwrap().locations().clone();
+    assert_eq!(before, after);
+}
+
+#[test]
+fn rescue_headers_have_expected_layout_overhead() {
+    let fs = MemFs::with_block_size(4096);
+    World::run(2, |comm| {
+        let params = SionParams::new(4096).with_rescue();
+        let mut w = paropen_write(&fs, "ovh.sion", &params, comm).unwrap();
+        w.write(&[1u8; 10]).unwrap();
+        w.close().unwrap();
+    });
+    let mf = Multifile::open(&fs, "ovh.sion").unwrap();
+    for t in &mf.locations().tasks {
+        // 4096 + 32 rounds to 2 blocks.
+        assert_eq!(t.capacity, 8192);
+        assert_eq!(t.usable, 8192 - RESCUE_HEADER_LEN);
+    }
+}

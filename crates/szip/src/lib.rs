@@ -1,0 +1,194 @@
+//! `szip` — a from-scratch LZSS streaming codec.
+//!
+//! The SIONlib paper (§6) plans "the addition of transparent file
+//! compression to SIONlib (e.g., via integrating zlib)". We have no zlib in
+//! this reproduction, so `szip` provides the substrate: a deterministic,
+//! dependency-free streaming compressor with the properties that matter for
+//! the integration — a framed format that can be cut at arbitrary points
+//! (chunk boundaries), incremental encode/decode, and a stored-block
+//! fallback so incompressible data never expands beyond a small constant
+//! per frame.
+//!
+//! The algorithm is classic LZSS (32 KiB window, matches of 3..=258 bytes,
+//! hash-chain match finder) with a per-frame stored/compressed decision —
+//! structurally the LZ77 half of DEFLATE without the entropy stage.
+//!
+//! ```
+//! let data = b"abcabcabcabcabcabc".repeat(10);
+//! let packed = szip::compress(&data);
+//! assert!(packed.len() < data.len());
+//! assert_eq!(szip::decompress(&packed).unwrap(), data);
+//! ```
+
+mod frame;
+mod lzss;
+
+pub use frame::{FrameDecoder, FrameEncoder, FRAME_RAW_MAX};
+pub use lzss::{compress_block, decompress_block};
+
+use std::fmt;
+
+/// Errors produced while decoding an `szip` stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SzipError {
+    /// The stream ended in the middle of a frame header or payload.
+    Truncated,
+    /// A frame header carried an unknown method byte.
+    BadMethod(u8),
+    /// A frame failed its structural checks (bad lengths, offsets past the
+    /// window, checksum mismatch).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for SzipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SzipError::Truncated => write!(f, "szip stream truncated"),
+            SzipError::BadMethod(m) => write!(f, "szip frame with unknown method {m}"),
+            SzipError::Corrupt(why) => write!(f, "szip frame corrupt: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SzipError {}
+
+/// One-shot compression: frames `data` and returns the packed stream.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut enc = FrameEncoder::new();
+    enc.write(data);
+    enc.finish()
+}
+
+/// One-shot decompression of a stream produced by [`compress`] /
+/// [`FrameEncoder`].
+pub fn decompress(packed: &[u8]) -> Result<Vec<u8>, SzipError> {
+    let mut dec = FrameDecoder::new();
+    dec.feed(packed);
+    let mut out = Vec::new();
+    dec.drain_into(&mut out)?;
+    if !dec.is_frame_boundary() {
+        return Err(SzipError::Truncated);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_roundtrip() {
+        let packed = compress(&[]);
+        assert_eq!(decompress(&packed).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn tiny_roundtrip() {
+        for len in 1..40 {
+            let data: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            assert_eq!(decompress(&compress(&data)).unwrap(), data, "len={len}");
+        }
+    }
+
+    #[test]
+    fn compressible_data_shrinks() {
+        let data = b"the quick brown fox jumps over the lazy dog. ".repeat(200);
+        let packed = compress(&data);
+        assert!(
+            packed.len() < data.len() / 3,
+            "expected strong compression: {} -> {}",
+            data.len(),
+            packed.len()
+        );
+    }
+
+    #[test]
+    fn random_data_expands_only_by_frame_overhead() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let data: Vec<u8> = (0..(FRAME_RAW_MAX * 2 + 123)).map(|_| rng.gen()).collect();
+        let packed = compress(&data);
+        // 3 frames, small constant header each.
+        assert!(packed.len() <= data.len() + 3 * 16);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn multi_frame_roundtrip() {
+        let pattern = b"block-of-checkpoint-data:0123456789";
+        let data: Vec<u8> = pattern
+            .iter()
+            .cycle()
+            .take(FRAME_RAW_MAX * 3 + 17)
+            .copied()
+            .collect();
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let data = b"hello hello hello hello".repeat(50);
+        let packed = compress(&data);
+        for cut in [1, packed.len() / 2, packed.len() - 1] {
+            let r = decompress(&packed[..cut]);
+            assert!(r.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn corrupt_method_detected() {
+        let mut packed = compress(b"abcdefgh");
+        packed[0] = 0xEE; // method byte of first frame
+        assert_eq!(decompress(&packed).unwrap_err(), SzipError::BadMethod(0xEE));
+    }
+
+    #[test]
+    fn concatenated_streams_decode_as_concatenation() {
+        // Frames are self-delimiting, so streams concatenate — this is what
+        // lets sion write compressed pieces back-to-back into a chunk.
+        let a = b"first piece ".repeat(30);
+        let b = b"second piece".repeat(30);
+        let mut packed = compress(&a);
+        packed.extend_from_slice(&compress(&b));
+        let mut want = a.clone();
+        want.extend_from_slice(&b);
+        assert_eq!(decompress(&packed).unwrap(), want);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(data in prop::collection::vec(any::<u8>(), 0..20_000)) {
+            prop_assert_eq!(decompress(&compress(&data)).unwrap(), data);
+        }
+
+        #[test]
+        fn roundtrip_lowentropy(
+            seed in any::<u64>(),
+            len in 0usize..30_000,
+            alphabet in 1u8..5
+        ) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let data: Vec<u8> = (0..len).map(|_| rng.gen_range(0..alphabet)).collect();
+            prop_assert_eq!(decompress(&compress(&data)).unwrap(), data);
+        }
+
+        /// Feeding the decoder in arbitrary-sized increments produces the
+        /// same output as one-shot decoding.
+        #[test]
+        fn incremental_decode_equals_oneshot(
+            data in prop::collection::vec(any::<u8>(), 0..8_000),
+            chunk in 1usize..500
+        ) {
+            let packed = compress(&data);
+            let mut dec = FrameDecoder::new();
+            let mut out = Vec::new();
+            for piece in packed.chunks(chunk) {
+                dec.feed(piece);
+                dec.drain_into(&mut out).unwrap();
+            }
+            prop_assert!(dec.is_frame_boundary());
+            prop_assert_eq!(out, data);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Human-readable analysis reports: region-name registry, formatted
+//! profiles, and message statistics — the presentation layer a Scalasca
+//! user would see after the wait-state search.
+
+use crate::analyze::AnalysisReport;
+use crate::event::Event;
+use std::collections::HashMap;
+
+/// Maps numeric region ids to names (Scalasca's definition records).
+#[derive(Debug, Default, Clone)]
+pub struct RegionRegistry {
+    names: HashMap<u32, String>,
+}
+
+impl RegionRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or rename) a region.
+    pub fn register(&mut self, region: u32, name: impl Into<String>) {
+        self.names.insert(region, name.into());
+    }
+
+    /// The name of `region`, or a placeholder.
+    pub fn name(&self, region: u32) -> String {
+        self.names
+            .get(&region)
+            .cloned()
+            .unwrap_or_else(|| format!("region#{region}"))
+    }
+
+    /// Registry pre-loaded with the synthetic workload's regions.
+    pub fn for_synthetic() -> Self {
+        let mut r = Self::new();
+        r.register(crate::synth::REGION_MAIN, "main");
+        r.register(crate::synth::REGION_ITERATION, "solver_iteration");
+        for level in 0..16 {
+            r.register(crate::synth::REGION_LEVEL0 + level, format!("mg_level_{level}"));
+        }
+        r
+    }
+}
+
+/// Render an [`AnalysisReport`] as a profile table, regions sorted by
+/// inclusive time (descending).
+pub fn format_profile(report: &AnalysisReport, registry: &RegionRegistry) -> String {
+    let mut rows: Vec<_> = report.regions.iter().collect();
+    rows.sort_by_key(|(region, st)| (std::cmp::Reverse(st.inclusive_ns), **region));
+    let total: u64 = rows.iter().map(|(_, st)| st.inclusive_ns).sum();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace profile: {} ranks, {} events, {} messages matched\n",
+        report.nranks, report.events, report.messages_matched
+    ));
+    out.push_str(&format!(
+        "late senders: {} ({} ns waiting)\n",
+        report.late_senders, report.late_sender_wait_ns
+    ));
+    out.push_str(&format!(
+        "{:<20} {:>10} {:>14} {:>7}\n",
+        "region", "visits", "inclusive(ns)", "share"
+    ));
+    for (region, st) in rows {
+        let share = if total > 0 {
+            100.0 * st.inclusive_ns as f64 / total as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<20} {:>10} {:>14} {:>6.1}%\n",
+            registry.name(*region),
+            st.visits,
+            st.inclusive_ns,
+            share
+        ));
+    }
+    out
+}
+
+/// Point-to-point message statistics of one or more event streams.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct MessageStats {
+    /// Sends observed.
+    pub sends: u64,
+    /// Receives observed.
+    pub recvs: u64,
+    /// Total payload bytes sent.
+    pub bytes_sent: u64,
+    /// Smallest message (bytes).
+    pub min_bytes: u32,
+    /// Largest message (bytes).
+    pub max_bytes: u32,
+    /// Histogram over power-of-two size buckets: `buckets[i]` counts sends
+    /// with `2^i <= bytes < 2^(i+1)` (bucket 0 additionally holds empty
+    /// messages).
+    pub buckets: [u64; 32],
+}
+
+impl MessageStats {
+    /// Accumulate one event stream.
+    pub fn accumulate(&mut self, events: &[Event]) {
+        for ev in events {
+            match *ev {
+                Event::Send { bytes, .. } => {
+                    if self.sends == 0 {
+                        self.min_bytes = bytes;
+                        self.max_bytes = bytes;
+                    } else {
+                        self.min_bytes = self.min_bytes.min(bytes);
+                        self.max_bytes = self.max_bytes.max(bytes);
+                    }
+                    self.sends += 1;
+                    self.bytes_sent += bytes as u64;
+                    let bucket = if bytes == 0 { 0 } else { 31 - bytes.leading_zeros() as usize };
+                    self.buckets[bucket.min(31)] += 1;
+                }
+                Event::Recv { .. } => self.recvs += 1,
+                _ => {}
+            }
+        }
+    }
+
+    /// Mean send size in bytes (0 when no sends).
+    pub fn mean_bytes(&self) -> f64 {
+        if self.sends == 0 {
+            0.0
+        } else {
+            self.bytes_sent as f64 / self.sends as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::RegionStats;
+
+    #[test]
+    fn registry_names_and_placeholders() {
+        let mut r = RegionRegistry::new();
+        r.register(3, "solve");
+        assert_eq!(r.name(3), "solve");
+        assert_eq!(r.name(9), "region#9");
+        let synth = RegionRegistry::for_synthetic();
+        assert_eq!(synth.name(crate::synth::REGION_MAIN), "main");
+        assert_eq!(synth.name(crate::synth::REGION_LEVEL0 + 2), "mg_level_2");
+    }
+
+    #[test]
+    fn profile_sorted_by_time_with_shares() {
+        let mut report = AnalysisReport { nranks: 2, events: 8, ..Default::default() };
+        report
+            .regions
+            .insert(1, RegionStats { visits: 2, inclusive_ns: 300, exclusive_ns: 300 });
+        report
+            .regions
+            .insert(2, RegionStats { visits: 1, inclusive_ns: 700, exclusive_ns: 400 });
+        let mut reg = RegionRegistry::new();
+        reg.register(1, "small");
+        reg.register(2, "big");
+        let text = format_profile(&report, &reg);
+        let big_at = text.find("big").unwrap();
+        let small_at = text.find("small").unwrap();
+        assert!(big_at < small_at, "regions must be sorted by inclusive time");
+        assert!(text.contains("70.0%"));
+        assert!(text.contains("30.0%"));
+    }
+
+    #[test]
+    fn message_stats_histogram() {
+        let mut stats = MessageStats::default();
+        stats.accumulate(&[
+            Event::Send { time: 0, peer: 1, tag: 0, bytes: 1 },
+            Event::Send { time: 1, peer: 1, tag: 0, bytes: 1024 },
+            Event::Send { time: 2, peer: 1, tag: 0, bytes: 1500 },
+            Event::Recv { time: 3, peer: 1, tag: 0, bytes: 1024 },
+            Event::Enter { time: 4, region: 0 },
+        ]);
+        assert_eq!(stats.sends, 3);
+        assert_eq!(stats.recvs, 1);
+        assert_eq!(stats.bytes_sent, 2525);
+        assert_eq!(stats.min_bytes, 1);
+        assert_eq!(stats.max_bytes, 1500);
+        assert_eq!(stats.buckets[0], 1); // 1 byte
+        assert_eq!(stats.buckets[10], 2); // 1024 and 1500
+        assert!((stats.mean_bytes() - 2525.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let stats = MessageStats::default();
+        assert_eq!(stats.mean_bytes(), 0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! [`FaultFs`]: deterministic failure injection for any [`Vfs`].
+//!
+//! Wraps another file system and fails selected operations — either the
+//! n-th operation overall or everything matching an operation kind — with
+//! `io::ErrorKind::Other`. The SIONlib reproduction uses this to verify
+//! that storage errors during collective operations surface as clean
+//! errors on *every* task instead of deadlocks, and that the rescue tools
+//! behave when the underlying storage misbehaves.
+
+use crate::{Vfs, VfsFile};
+use parking_lot::Mutex;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which operations a fault rule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// File creations.
+    Create,
+    /// Opens (read-only and read-write).
+    Open,
+    /// Positioned writes.
+    Write,
+    /// Positioned reads.
+    Read,
+}
+
+/// A single injection rule: fail occurrences `from..from+count` (0-based,
+/// counted per kind) of the given kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRule {
+    /// Operation kind the rule applies to.
+    pub kind: FaultKind,
+    /// First occurrence (per kind) to fail.
+    pub from: u64,
+    /// Number of consecutive occurrences to fail (`u64::MAX` = forever).
+    pub count: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    create: AtomicU64,
+    open: AtomicU64,
+    write: AtomicU64,
+    read: AtomicU64,
+}
+
+/// A failure-injecting [`Vfs`] wrapper.
+pub struct FaultFs<F: Vfs> {
+    inner: F,
+    rules: Arc<Mutex<Vec<FaultRule>>>,
+    counters: Arc<Counters>,
+}
+
+impl<F: Vfs> FaultFs<F> {
+    /// Wrap `inner` with no active rules.
+    pub fn new(inner: F) -> Self {
+        FaultFs {
+            inner,
+            rules: Arc::new(Mutex::new(Vec::new())),
+            counters: Arc::new(Counters::default()),
+        }
+    }
+
+    /// Add an injection rule.
+    pub fn inject(&self, rule: FaultRule) {
+        self.rules.lock().push(rule);
+    }
+
+    /// Remove all rules (stop failing).
+    pub fn clear(&self) {
+        self.rules.lock().clear();
+    }
+
+    /// Access the wrapped file system.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+
+    fn check(&self, kind: FaultKind, counter: &AtomicU64) -> io::Result<()> {
+        let n = counter.fetch_add(1, Ordering::SeqCst);
+        let rules = self.rules.lock();
+        for r in rules.iter() {
+            if r.kind == kind && n >= r.from && (n - r.from) < r.count {
+                return Err(io::Error::other(format!(
+                    "injected fault: {kind:?} #{n}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+struct FaultFile {
+    inner: Arc<dyn VfsFile>,
+    counters: Arc<Counters>,
+    rules: Arc<Mutex<Vec<FaultRule>>>,
+}
+
+impl FaultFile {
+    fn check(&self, kind: FaultKind, counter: &AtomicU64) -> io::Result<()> {
+        let n = counter.fetch_add(1, Ordering::SeqCst);
+        let rules = self.rules.lock();
+        for r in rules.iter() {
+            if r.kind == kind && n >= r.from && (n - r.from) < r.count {
+                return Err(io::Error::other(format!(
+                    "injected fault: {kind:?} #{n}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl VfsFile for FaultFile {
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        self.check(FaultKind::Read, &self.counters.read)?;
+        self.inner.read_at(buf, offset)
+    }
+
+    fn write_at(&self, buf: &[u8], offset: u64) -> io::Result<usize> {
+        self.check(FaultKind::Write, &self.counters.write)?;
+        self.inner.write_at(buf, offset)
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.inner.set_len(len)
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        self.inner.len()
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.inner.sync()
+    }
+}
+
+// Rules are shared between the namespace handle and every open file, so
+// rules added after a file is opened still apply to it.
+impl<F: Vfs> Vfs for FaultFs<F> {
+    fn create(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
+        self.check(FaultKind::Create, &self.counters.create)?;
+        let inner = self.inner.create(path)?;
+        Ok(Arc::new(FaultFile {
+            inner,
+            counters: self.counters.clone(),
+            rules: self.rules.clone(),
+        }))
+    }
+
+    fn open(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
+        self.check(FaultKind::Open, &self.counters.open)?;
+        let inner = self.inner.open(path)?;
+        Ok(Arc::new(FaultFile {
+            inner,
+            counters: self.counters.clone(),
+            rules: self.rules.clone(),
+        }))
+    }
+
+    fn open_rw(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
+        self.check(FaultKind::Open, &self.counters.open)?;
+        let inner = self.inner.open_rw(path)?;
+        Ok(Arc::new(FaultFile {
+            inner,
+            counters: self.counters.clone(),
+            rules: self.rules.clone(),
+        }))
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        self.inner.remove(path)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn block_size(&self) -> u64 {
+        self.inner.block_size()
+    }
+
+    fn list(&self, prefix: &str) -> io::Result<Vec<String>> {
+        self.inner.list(prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemFs;
+
+    #[test]
+    fn create_faults_fire_at_the_right_occurrence() {
+        let fs = FaultFs::new(MemFs::new());
+        fs.inject(FaultRule { kind: FaultKind::Create, from: 1, count: 1 });
+        assert!(fs.create("a").is_ok());
+        assert!(fs.create("b").is_err()); // occurrence #1
+        assert!(fs.create("c").is_ok());
+    }
+
+    #[test]
+    fn write_faults_affect_open_files() {
+        let fs = FaultFs::new(MemFs::new());
+        fs.inject(FaultRule { kind: FaultKind::Write, from: 2, count: u64::MAX });
+        let f = fs.create("f").unwrap();
+        assert!(f.write_at(b"one", 0).is_ok());
+        assert!(f.write_at(b"two", 3).is_ok());
+        assert!(f.write_at(b"three", 6).is_err());
+        assert!(f.write_at(b"four", 6).is_err());
+    }
+
+    #[test]
+    fn clear_stops_injection() {
+        let fs = FaultFs::new(MemFs::new());
+        fs.inject(FaultRule { kind: FaultKind::Open, from: 0, count: u64::MAX });
+        fs.create("x").unwrap();
+        assert!(fs.open("x").is_err());
+        fs.clear();
+        assert!(fs.open("x").is_ok());
+    }
+
+    #[test]
+    fn reads_fault_independently_of_writes() {
+        let fs = FaultFs::new(MemFs::new());
+        fs.inject(FaultRule { kind: FaultKind::Read, from: 0, count: 1 });
+        let f = fs.create("r").unwrap();
+        f.write_all_at(b"data", 0).unwrap();
+        let mut buf = [0u8; 4];
+        assert!(f.read_at(&mut buf, 0).is_err());
+        assert!(f.read_at(&mut buf, 0).is_ok());
+    }
+}

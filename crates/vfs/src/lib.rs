@@ -1,0 +1,159 @@
+//! Virtual file-system abstraction for the SIONlib reproduction.
+//!
+//! SIONlib sits between a parallel application and the underlying (parallel)
+//! file system. To keep the library storage-agnostic — and to let the test
+//! suite and the timing simulator exercise the exact same code paths as real
+//! disks — every component accesses storage through the [`Vfs`] and
+//! [`VfsFile`] traits defined here.
+//!
+//! Three implementations exist:
+//!
+//! * [`LocalFs`] — thin wrapper over `std::fs`, positioned I/O via
+//!   `FileExt::{read_at, write_at}`. Used by the examples and CLI tools.
+//! * [`MemFs`] — a thread-safe, *sparse* in-memory file system. Holes (file
+//!   ranges never written) consume no memory, mirroring how GPFS/Lustre do
+//!   not materialize untouched blocks, which SIONlib's block-per-task layout
+//!   relies on. Used throughout the test suite.
+//! * `parfs::SimFs` (in the `parfs` crate) — a functional FS backed by the
+//!   parallel-file-system simulator's namespace.
+//!
+//! All offsets and lengths are `u64`; positioned reads of holes yield zero
+//! bytes, as POSIX sparse files do.
+
+mod fault;
+mod local;
+mod mem;
+
+pub use fault::{FaultFs, FaultKind, FaultRule};
+pub use local::LocalFs;
+pub use mem::{MemFs, MemFsStats};
+
+use std::io;
+use std::sync::Arc;
+
+/// A handle to an open file supporting positioned (pread/pwrite-style) I/O.
+///
+/// Handles are cheap to open and independent: several tasks may hold handles
+/// to the *same* physical file and write disjoint regions concurrently —
+/// this is exactly the SIONlib multifile access pattern.
+pub trait VfsFile: Send + Sync {
+    /// Read up to `buf.len()` bytes starting at `offset`. Reading past the
+    /// end of the file returns fewer bytes (possibly zero); reading a hole
+    /// inside the file yields zero bytes.
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize>;
+
+    /// Write all of `buf` at `offset`, extending the file if needed.
+    fn write_at(&self, buf: &[u8], offset: u64) -> io::Result<usize>;
+
+    /// Truncate or extend (with a hole) the file to `len` bytes.
+    fn set_len(&self, len: u64) -> io::Result<()>;
+
+    /// Current file size in bytes (highest written/truncated extent).
+    fn len(&self) -> io::Result<u64>;
+
+    /// Flush buffered data to the backing store.
+    fn sync(&self) -> io::Result<()>;
+
+    /// Read exactly `buf.len()` bytes at `offset`, failing on short reads.
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        let mut done = 0;
+        while done < buf.len() {
+            let n = self.read_at(&mut buf[done..], offset + done as u64)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "read_exact_at: unexpected end of file",
+                ));
+            }
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Write all of `buf` at `offset`, failing on short writes.
+    fn write_all_at(&self, buf: &[u8], offset: u64) -> io::Result<()> {
+        let mut done = 0;
+        while done < buf.len() {
+            let n = self.write_at(&buf[done..], offset + done as u64)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "write_all_at: wrote zero bytes",
+                ));
+            }
+            done += n;
+        }
+        Ok(())
+    }
+}
+
+/// A file namespace: create/open/remove files, query file-system properties.
+///
+/// Paths are plain `/`-separated strings; implementations normalize them but
+/// do not interpret `..`. Directories are implicit (created on demand).
+pub trait Vfs: Send + Sync {
+    /// Create (or truncate) a file and open it read-write.
+    fn create(&self, path: &str) -> io::Result<Arc<dyn VfsFile>>;
+
+    /// Open an existing file read-only.
+    fn open(&self, path: &str) -> io::Result<Arc<dyn VfsFile>>;
+
+    /// Open an existing file read-write without truncating.
+    fn open_rw(&self, path: &str) -> io::Result<Arc<dyn VfsFile>>;
+
+    /// Remove a file.
+    fn remove(&self, path: &str) -> io::Result<()>;
+
+    /// Whether a file exists at `path`.
+    fn exists(&self, path: &str) -> bool;
+
+    /// The file system's block size in bytes — what SIONlib discovers via
+    /// `fstat()` and aligns chunks to. (GPFS on Jugene: 2 MiB.)
+    fn block_size(&self) -> u64;
+
+    /// List files whose path starts with `prefix`, in sorted order.
+    fn list(&self, prefix: &str) -> io::Result<Vec<String>>;
+}
+
+/// Normalize a path: collapse duplicate slashes, strip a leading `./` and a
+/// trailing slash. Keeps the path otherwise verbatim.
+pub fn normalize_path(path: &str) -> String {
+    let mut out = String::with_capacity(path.len());
+    let trimmed = path.strip_prefix("./").unwrap_or(path);
+    let mut last_slash = false;
+    for c in trimmed.chars() {
+        if c == '/' {
+            if !last_slash && !out.is_empty() {
+                out.push('/');
+            }
+            last_slash = true;
+        } else {
+            out.push(c);
+            last_slash = false;
+        }
+    }
+    if out.ends_with('/') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_collapses_slashes() {
+        assert_eq!(normalize_path("a//b///c"), "a/b/c");
+        assert_eq!(normalize_path("./x/y"), "x/y");
+        assert_eq!(normalize_path("x/y/"), "x/y");
+        assert_eq!(normalize_path("plain"), "plain");
+    }
+
+    #[test]
+    fn normalize_keeps_absolute_paths_rooted() {
+        // Leading slash collapses (we treat namespaces as rootless), but the
+        // remainder is intact.
+        assert_eq!(normalize_path("/tmp//f"), "tmp/f");
+    }
+}

@@ -1,0 +1,335 @@
+//! [`MemFs`]: a thread-safe, sparse, in-memory file system.
+//!
+//! Files are stored as maps of fixed-size pages; ranges never written are
+//! *holes* that consume no memory and read back as zeros. This mirrors the
+//! sparse-allocation behaviour of GPFS/Lustre that SIONlib's block-per-task
+//! layout depends on ("file systems tend not to physically allocate the
+//! empty blocks"), and lets tests assert on *physically allocated* bytes
+//! (e.g. that `siondefrag` removes gaps).
+
+use crate::{normalize_path, Vfs, VfsFile};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::sync::Arc;
+
+/// Page granularity of the sparse store. Small enough that per-task chunks
+/// in tests exercise multi-page paths, large enough to stay fast.
+const PAGE: usize = 4096;
+
+#[derive(Default)]
+struct FileData {
+    /// page index -> page contents (always PAGE bytes once allocated)
+    pages: BTreeMap<u64, Box<[u8]>>,
+    len: u64,
+}
+
+impl FileData {
+    fn allocated_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE as u64
+    }
+
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> usize {
+        if offset >= self.len {
+            return 0;
+        }
+        let n = buf.len().min((self.len - offset) as usize);
+        let mut done = 0;
+        while done < n {
+            let pos = offset + done as u64;
+            let page_idx = pos / PAGE as u64;
+            let in_page = (pos % PAGE as u64) as usize;
+            let take = (PAGE - in_page).min(n - done);
+            match self.pages.get(&page_idx) {
+                Some(page) => buf[done..done + take].copy_from_slice(&page[in_page..in_page + take]),
+                None => buf[done..done + take].fill(0),
+            }
+            done += take;
+        }
+        n
+    }
+
+    fn write_at(&mut self, buf: &[u8], offset: u64) {
+        let mut done = 0;
+        while done < buf.len() {
+            let pos = offset + done as u64;
+            let page_idx = pos / PAGE as u64;
+            let in_page = (pos % PAGE as u64) as usize;
+            let take = (PAGE - in_page).min(buf.len() - done);
+            let page = self
+                .pages
+                .entry(page_idx)
+                .or_insert_with(|| vec![0u8; PAGE].into_boxed_slice());
+            page[in_page..in_page + take].copy_from_slice(&buf[done..done + take]);
+            done += take;
+        }
+        self.len = self.len.max(offset + buf.len() as u64);
+    }
+
+    fn set_len(&mut self, len: u64) {
+        if len < self.len {
+            // Drop pages fully past the new end and zero the tail of the
+            // boundary page, so re-extending reads back zeros (POSIX).
+            let boundary_page = len / PAGE as u64;
+            let keep_into_boundary = (len % PAGE as u64) as usize;
+            self.pages.retain(|&idx, _| {
+                idx < boundary_page || (idx == boundary_page && keep_into_boundary > 0)
+            });
+            if keep_into_boundary > 0 {
+                if let Some(page) = self.pages.get_mut(&boundary_page) {
+                    page[keep_into_boundary..].fill(0);
+                }
+            }
+        }
+        self.len = len;
+    }
+}
+
+struct MemFile {
+    data: Arc<RwLock<FileData>>,
+}
+
+impl VfsFile for MemFile {
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        Ok(self.data.read().read_at(buf, offset))
+    }
+
+    fn write_at(&self, buf: &[u8], offset: u64) -> io::Result<usize> {
+        self.data.write().write_at(buf, offset);
+        Ok(buf.len())
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.data.write().set_len(len);
+        Ok(())
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.data.read().len)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Per-file accounting exposed by [`MemFs::stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemFsStats {
+    /// Logical file size in bytes.
+    pub len: u64,
+    /// Bytes physically backed by pages (hole-free footprint).
+    pub allocated: u64,
+}
+
+/// A sparse in-memory [`Vfs`].
+pub struct MemFs {
+    files: Mutex<HashMap<String, Arc<RwLock<FileData>>>>,
+    block_size: u64,
+}
+
+impl MemFs {
+    /// An empty in-memory FS advertising a 64 KiB block size (small enough
+    /// that alignment paths get exercised by modest test data).
+    pub fn new() -> Self {
+        Self::with_block_size(64 * 1024)
+    }
+
+    /// An empty in-memory FS advertising the given block size.
+    pub fn with_block_size(block_size: u64) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        Self { files: Mutex::new(HashMap::new()), block_size }
+    }
+
+    /// Logical and physically-allocated sizes of `path`.
+    pub fn stats(&self, path: &str) -> Option<MemFsStats> {
+        let files = self.files.lock();
+        let data = files.get(&normalize_path(path))?;
+        let d = data.read();
+        Some(MemFsStats { len: d.len, allocated: d.allocated_bytes() })
+    }
+
+    /// Number of files in the namespace.
+    pub fn file_count(&self) -> usize {
+        self.files.lock().len()
+    }
+}
+
+impl Default for MemFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vfs for MemFs {
+    fn create(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
+        let path = normalize_path(path);
+        let data = Arc::new(RwLock::new(FileData::default()));
+        self.files.lock().insert(path, data.clone());
+        Ok(Arc::new(MemFile { data }))
+    }
+
+    fn open(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
+        self.open_rw(path)
+    }
+
+    fn open_rw(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
+        let files = self.files.lock();
+        let data = files
+            .get(&normalize_path(path))
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no such file: {path}")))?;
+        Ok(Arc::new(MemFile { data: data.clone() }))
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        self.files
+            .lock()
+            .remove(&normalize_path(path))
+            .map(|_| ())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no such file: {path}")))
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.files.lock().contains_key(&normalize_path(path))
+    }
+
+    fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    fn list(&self, prefix: &str) -> io::Result<Vec<String>> {
+        let prefix = normalize_path(prefix);
+        let mut out: Vec<String> = self
+            .files
+            .lock()
+            .keys()
+            .filter(|k| k.starts_with(&prefix))
+            .cloned()
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sparse_holes_read_zero_and_cost_nothing() {
+        let fs = MemFs::new();
+        let f = fs.create("big").unwrap();
+        // Write 8 bytes at a 10 MiB offset: only one page allocated.
+        f.write_all_at(b"deadbeef", 10 * 1024 * 1024).unwrap();
+        let st = fs.stats("big").unwrap();
+        assert_eq!(st.len, 10 * 1024 * 1024 + 8);
+        assert_eq!(st.allocated, PAGE as u64);
+        let mut buf = [1u8; 16];
+        f.read_exact_at(&mut buf, 4096).unwrap();
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn cross_page_write_read() {
+        let fs = MemFs::new();
+        let f = fs.create("x").unwrap();
+        let data: Vec<u8> = (0..PAGE * 3 + 17).map(|i| (i % 251) as u8).collect();
+        f.write_all_at(&data, PAGE as u64 - 7).unwrap();
+        let mut back = vec![0u8; data.len()];
+        f.read_exact_at(&mut back, PAGE as u64 - 7).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn truncate_then_extend_zeroes() {
+        let fs = MemFs::new();
+        let f = fs.create("t").unwrap();
+        f.write_all_at(&[0xAB; 100], 0).unwrap();
+        f.set_len(10).unwrap();
+        f.set_len(100).unwrap();
+        let mut buf = [0xCD; 90];
+        f.read_exact_at(&mut buf, 10).unwrap();
+        assert_eq!(buf, [0u8; 90]);
+    }
+
+    #[test]
+    fn handles_share_state() {
+        let fs = MemFs::new();
+        fs.create("s").unwrap();
+        let a = fs.open_rw("s").unwrap();
+        let b = fs.open_rw("s").unwrap();
+        a.write_all_at(b"from-a", 0).unwrap();
+        let mut buf = [0u8; 6];
+        b.read_exact_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf, b"from-a");
+    }
+
+    #[test]
+    fn list_and_remove() {
+        let fs = MemFs::new();
+        fs.create("d/a").unwrap();
+        fs.create("d/b").unwrap();
+        fs.create("e/c").unwrap();
+        assert_eq!(fs.list("d/").unwrap(), vec!["d/a".to_string(), "d/b".to_string()]);
+        assert_eq!(fs.file_count(), 3);
+        fs.remove("d/a").unwrap();
+        assert!(!fs.exists("d/a"));
+        assert!(fs.remove("d/a").is_err());
+    }
+
+    #[test]
+    fn read_past_eof_is_short() {
+        let fs = MemFs::new();
+        let f = fs.create("f").unwrap();
+        f.write_all_at(b"abc", 0).unwrap();
+        let mut buf = [0u8; 10];
+        assert_eq!(f.read_at(&mut buf, 0).unwrap(), 3);
+        assert_eq!(f.read_at(&mut buf, 3).unwrap(), 0);
+        assert_eq!(f.read_at(&mut buf, 100).unwrap(), 0);
+    }
+
+    proptest! {
+        /// Arbitrary interleavings of positioned writes read back exactly
+        /// like a reference flat buffer.
+        #[test]
+        fn writes_match_reference_model(
+            ops in prop::collection::vec(
+                (0u64..3 * PAGE as u64, prop::collection::vec(any::<u8>(), 1..200)),
+                1..40
+            )
+        ) {
+            let fs = MemFs::new();
+            let f = fs.create("p").unwrap();
+            let mut model: Vec<u8> = Vec::new();
+            for (off, data) in &ops {
+                f.write_all_at(data, *off).unwrap();
+                let end = *off as usize + data.len();
+                if model.len() < end { model.resize(end, 0); }
+                model[*off as usize..end].copy_from_slice(data);
+            }
+            prop_assert_eq!(f.len().unwrap(), model.len() as u64);
+            let mut back = vec![0u8; model.len()];
+            if !back.is_empty() {
+                f.read_exact_at(&mut back, 0).unwrap();
+            }
+            prop_assert_eq!(back, model);
+        }
+
+        /// set_len never corrupts surviving data.
+        #[test]
+        fn truncate_preserves_prefix(len1 in 1usize..5000, cut in 0u64..6000) {
+            let fs = MemFs::new();
+            let f = fs.create("q").unwrap();
+            let data: Vec<u8> = (0..len1).map(|i| (i % 256) as u8).collect();
+            f.write_all_at(&data, 0).unwrap();
+            f.set_len(cut).unwrap();
+            let keep = (cut as usize).min(len1);
+            let mut back = vec![0u8; keep];
+            if keep > 0 {
+                f.read_exact_at(&mut back, 0).unwrap();
+            }
+            prop_assert_eq!(&back[..], &data[..keep]);
+        }
+    }
+}
