@@ -1,0 +1,18 @@
+#!/bin/sh
+# Repository CI gate: release build, full test suite, lint-clean clippy.
+# Run from the repo root. Fails fast on the first broken step.
+set -eu
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -54,6 +54,35 @@ fn bench_write_read(c: &mut Criterion) {
     g.finish();
 }
 
+/// Small-record writes through the full library: the write-behind buffer's
+/// coalescing payoff, swept over record sizes with buffering on vs off.
+fn bench_small_records(c: &mut Criterion) {
+    let mut g = c.benchmark_group("small_record_writes");
+    let total = 256 * 1024usize;
+    for &record in &[64usize, 256, 1024, 4096, 65536] {
+        g.throughput(Throughput::Bytes(total as u64));
+        for (name, buffer) in [("buffered", sion::DEFAULT_WRITE_BUFFER), ("write_through", 0)] {
+            g.bench_with_input(BenchmarkId::new(name, record), &record, |b, &record| {
+                let payload = vec![0x5Au8; record];
+                b.iter(|| {
+                    let fs = MemFs::with_block_size(64 * 1024);
+                    World::run(4, |comm| {
+                        let params = SionParams::new(1 << 20).with_write_buffer(buffer);
+                        let mut w = paropen_write(&fs, "sr.sion", &params, comm).unwrap();
+                        let mut written = 0;
+                        while written < total {
+                            w.write(&payload).unwrap();
+                            written += record;
+                        }
+                        criterion::black_box(w.close().unwrap());
+                    });
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
 /// Pure layout arithmetic at large task counts (runs per collective open).
 fn bench_layout(c: &mut Criterion) {
     let mut g = c.benchmark_group("layout_compute");
@@ -176,6 +205,7 @@ criterion_group!(
     benches,
     bench_paropen,
     bench_write_read,
+    bench_small_records,
     bench_layout,
     bench_szip,
     bench_collectives,

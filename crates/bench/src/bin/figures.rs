@@ -5,7 +5,7 @@
 //! blocks. Individual experiments can be selected by name (`fig3a`,
 //! `table1`, ...); `--json <path>` additionally writes all rows as JSON.
 
-use bench::{run_experiment, to_tsv, Row, ALL_EXPERIMENTS};
+use bench::{run_experiment, to_json, to_tsv, Row, ALL_EXPERIMENTS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,8 +44,7 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&all_rows).expect("serializable rows");
-        std::fs::write(&path, json).unwrap_or_else(|e| {
+        std::fs::write(&path, to_json(&all_rows)).unwrap_or_else(|e| {
             eprintln!("figures: cannot write {path}: {e}");
             std::process::exit(1);
         });

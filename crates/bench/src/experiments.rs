@@ -443,6 +443,46 @@ pub fn ablation_gather_buffer() -> Vec<Row> {
         .collect()
 }
 
+/// Ablation: write-behind buffer — VFS write calls the real stream engine
+/// issues for 256 KiB per task of fixed-size records, with the default
+/// 128 KiB write-behind buffer vs write-through. Unlike the simulator-based
+/// ablations above, this drives the actual library against the in-memory
+/// VFS and reports the engine's own coalescing counters, so the figure is
+/// deterministic (call counts, not wall clock).
+pub fn ablation_write_buffer() -> Vec<Row> {
+    use simmpi::{Comm, World};
+    use vfs::MemFs;
+
+    let total = 256usize * 1024;
+    let mut rows = Vec::new();
+    for record in [64usize, 256, 1024, 4096, 65536] {
+        for (series, buffer) in
+            [("buffered", sion::DEFAULT_WRITE_BUFFER), ("write-through", 0u64)]
+        {
+            let fs = MemFs::new();
+            let params = sion::SionParams::new(1 << 20).with_write_buffer(buffer);
+            let stats = World::run(4, |comm| {
+                let mut w = sion::paropen_write(&fs, "ab.sion", &params, comm).unwrap();
+                let payload = vec![comm.rank() as u8; record];
+                let mut written = 0;
+                while written < total {
+                    w.write(&payload).unwrap();
+                    written += record;
+                }
+                w.close().unwrap()
+            });
+            rows.push(Row::new(
+                "ablation-write-buffer",
+                series,
+                record as f64,
+                stats[0].write_io.vfs_calls as f64,
+                "vfs calls",
+            ));
+        }
+    }
+    rows
+}
+
 /// All mapping from experiment name to row generator (used by the binary).
 pub fn run_experiment(name: &str) -> Option<Vec<Row>> {
     Some(match name {
@@ -458,6 +498,7 @@ pub fn run_experiment(name: &str) -> Option<Vec<Row>> {
         "ablation-create-nfiles" => ablation_create_vs_nfiles(),
         "ablation-alignment" => ablation_alignment_sweep(),
         "ablation-gather-buffer" => ablation_gather_buffer(),
+        "ablation-write-buffer" => ablation_write_buffer(),
         _ => return None,
     })
 }
@@ -476,6 +517,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ablation-create-nfiles",
     "ablation-alignment",
     "ablation-gather-buffer",
+    "ablation-write-buffer",
 ];
 
 #[cfg(test)]
@@ -604,6 +646,21 @@ mod tests {
         assert!(sr > 40_000.0, "{sr}");
         let sw = lookup(&rows, "SION write", 12288.0).unwrap();
         assert!(sw <= 40_000.0 * 1.01);
+    }
+
+    #[test]
+    fn write_buffer_ablation_shows_coalescing() {
+        let rows = ablation_write_buffer();
+        // ≥5× fewer VFS write calls for 64-byte records, and buffering
+        // never issues more calls than write-through at any record size.
+        let buffered = lookup(&rows, "buffered", 64.0).unwrap();
+        let through = lookup(&rows, "write-through", 64.0).unwrap();
+        assert!(buffered * 5.0 <= through, "buffered {buffered} through {through}");
+        for record in [64.0, 256.0, 1024.0, 4096.0, 65536.0] {
+            let b = lookup(&rows, "buffered", record).unwrap();
+            let t = lookup(&rows, "write-through", record).unwrap();
+            assert!(b <= t, "record {record}: buffered {b} > write-through {t}");
+        }
     }
 
     #[test]

@@ -12,11 +12,9 @@ pub mod experiments;
 
 pub use experiments::*;
 
-use serde::Serialize;
-
 /// One data point of a figure: a named series, an x value, and the
 /// measured y value.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// Experiment id (e.g. `"fig3a"`).
     pub experiment: &'static str,
@@ -55,6 +53,60 @@ pub fn to_tsv(rows: &[Row]) -> String {
     out
 }
 
+/// Render rows as a pretty-printed JSON array (the `--json` output of the
+/// `figures` binary). Hand-rolled: the only strings involved are series
+/// labels and static identifiers, escaped per RFC 8259.
+pub fn to_json(rows: &[Row]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\n    \"experiment\": {},\n    \"series\": {},\n    \
+             \"x\": {},\n    \"y\": {},\n    \"unit\": {}\n  }}",
+            json_string(r.experiment),
+            json_string(&r.series),
+            json_number(r.x),
+            json_number(r.y),
+            json_string(r.unit)
+        ));
+    }
+    if !rows.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(v: f64) -> String {
+    // JSON has no NaN/Infinity; clamp to null like serde_json would reject.
+    if v.is_finite() {
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') || s.contains("inf") { s } else { format!("{s}.0") }
+    } else {
+        "null".to_string()
+    }
+}
+
 /// Fetch the y value of a series at an x coordinate (for tests).
 pub fn lookup(rows: &[Row], series: &str, x: f64) -> Option<f64> {
     rows.iter()
@@ -77,5 +129,17 @@ mod tests {
         assert_eq!(tsv.lines().count(), 3);
         assert_eq!(lookup(&rows, "b", 1.0), Some(3.0));
         assert_eq!(lookup(&rows, "c", 1.0), None);
+    }
+
+    #[test]
+    fn json_rendering() {
+        let rows = vec![Row::new("figX", "a \"quoted\"\n", 1.0, 2.5, "s")];
+        let json = to_json(&rows);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"experiment\": \"figX\""));
+        assert!(json.contains("\\\"quoted\\\"\\n"));
+        assert!(json.contains("\"x\": 1.0"));
+        assert!(json.contains("\"y\": 2.5"));
+        assert_eq!(to_json(&[]), "[]");
     }
 }

@@ -1,0 +1,249 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! crate implements the criterion 0.5 API subset the workspace's benches use:
+//! `Criterion::benchmark_group`, `bench_function` / `bench_with_input`,
+//! `Throughput`, `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a simple
+//! warmup + fixed-sample mean/min report printed to stdout — enough to
+//! compare configurations locally, without criterion's statistics machinery.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub use std::hint::black_box;
+
+/// Top-level handle passed to each `criterion_group!` target.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes harness flags like `--bench`; the only argument
+        // we honour is a plain substring filter, as criterion does.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// Units for reporting per-iteration rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark with no explicit input.
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b));
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing is incremental; nothing left to do).
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&self, id: &str, mut f: F) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.parent.matches(&full) {
+            return;
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // One warmup sample, discarded.
+        let mut b = Bencher::default();
+        f(&mut b);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher::default();
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            }
+        }
+        if samples.is_empty() {
+            println!("{full:<48} no samples");
+            return;
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>10.1} MiB/s", n as f64 / mean / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) => format!("  {:>10.0} elem/s", n as f64 / mean),
+            None => String::new(),
+        };
+        println!("{full:<48} mean {}  min {}{rate}", fmt_time(mean), fmt_time(min));
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:8.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:8.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:8.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:8.3} s ")
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+#[derive(Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declare a group function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(1024));
+        let mut runs = 0u32;
+        g.bench_function("add", |b| {
+            runs += 1;
+            b.iter(|| black_box(2u64 + 2));
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * x));
+        });
+        g.finish();
+        // warmup + samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("nomatch".into()) };
+        let mut g = c.benchmark_group("demo");
+        let mut runs = 0u32;
+        g.bench_function("add", |b| {
+            runs += 1;
+            b.iter(|| ());
+        });
+        g.finish();
+        assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("compress", "random").id, "compress/random");
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+    }
+}

@@ -1,0 +1,207 @@
+//! Offline shim for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! crate provides the pieces the workspace uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::gen_range` over half-open integer
+//! and float ranges. The generator is xoshiro256** seeded via splitmix64 —
+//! high-quality and deterministic, though the exact stream differs from
+//! upstream rand's StdRng (no test in this workspace depends on upstream's
+//! stream, only on determinism per seed).
+
+use std::ops::Range;
+
+/// Construct a seeded generator. Subset of `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a full generator state from one `u64`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that `Rng::gen_range` can sample uniformly from a `Range`.
+pub trait SampleUniform: Copy {
+    /// Sample uniformly from `[range.start, range.end)`.
+    fn sample(range: Range<Self>, rng: &mut dyn RngCore) -> Self;
+}
+
+/// Object-safe raw-word source backing the `Rng` conveniences.
+pub trait RngCore {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing convenience methods. Subset of `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range; panics if the range is empty.
+    fn gen_range<T: SampleUniform + PartialOrd>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "cannot sample from empty range");
+        T::sample(range, self)
+    }
+
+    /// A value drawn from `T`'s full-range "standard" distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard(self)
+    }
+}
+
+/// Types `Rng::gen` can produce (subset of rand's `Standard` distribution).
+pub trait Standard {
+    /// Draw one full-range value.
+    fn standard(rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn standard(rng: &mut dyn RngCore) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn standard(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn standard(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(range: Range<Self>, rng: &mut dyn RngCore) -> Self {
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Modulo bias is ~2^-64 for the small spans used in tests.
+                (range.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample(range: Range<Self>, rng: &mut dyn RngCore) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample(range: Range<Self>, rng: &mut dyn RngCore) -> Self {
+        let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic generator: xoshiro256** with splitmix64 seeding.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..8).map(|_| r.gen_range(0u64..1000)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..8).map(|_| r.gen_range(0u64..1000)).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(43);
+            (0..8).map(|_| r.gen_range(0u64..1000)).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let f = r.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let i = r.gen_range(-5i32..5);
+            assert!((-5..5).contains(&i));
+            let u = r.gen_range(0usize..1);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[r.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket count {c} far from 1000");
+        }
+    }
+}

@@ -66,10 +66,10 @@ impl CellGrid {
 /// `l` cells per dimension.
 pub fn stream(particles: &mut [Particle], dt: f64, l: [f64; 3]) {
     for p in particles.iter_mut() {
-        for k in 0..3 {
+        for (k, &lk) in l.iter().enumerate() {
             p.pos[k] += p.vel[k] * dt;
             // Periodic wrap; rem_euclid keeps positions in [0, l).
-            p.pos[k] = p.pos[k].rem_euclid(l[k]);
+            p.pos[k] = p.pos[k].rem_euclid(lk);
         }
     }
 }
@@ -176,14 +176,14 @@ pub fn collide_with_extras(
         let mut vcm = [0.0f64; 3];
         let mut mass = 0.0f64;
         for &i in members {
-            for k in 0..3 {
-                vcm[k] += particles[i].vel[k];
+            for (k, v) in vcm.iter_mut().enumerate() {
+                *v += particles[i].vel[k];
             }
             mass += 1.0;
         }
         for &i in cell_solutes {
-            for k in 0..3 {
-                vcm[k] += solutes[i].mass * solutes[i].vel[k];
+            for (k, v) in vcm.iter_mut().enumerate() {
+                *v += solutes[i].mass * solutes[i].vel[k];
             }
             mass += solutes[i].mass;
         }
@@ -271,8 +271,8 @@ mod tests {
         let mut p = [0.0f64; 3];
         let mut e = 0.0f64;
         for part in ps {
-            for k in 0..3 {
-                p[k] += part.vel[k];
+            for (k, pk) in p.iter_mut().enumerate() {
+                *pk += part.vel[k];
                 e += part.vel[k] * part.vel[k];
             }
         }

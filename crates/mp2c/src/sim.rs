@@ -306,7 +306,7 @@ impl Simulation {
             .solutes
             .iter()
             .map(|s| {
-                let mut h = splitmix64(0x50_1u64 ^ s.id as u64);
+                let mut h = splitmix64(0x0501_u64 ^ s.id as u64);
                 for v in s.pos.iter().chain(s.vel.iter()) {
                     h = splitmix64(h ^ v.to_bits());
                 }

@@ -143,8 +143,8 @@ pub fn verlet_step(solutes: &mut [Solute], lj: &LjParams, dt: f64, l: f64) -> f6
     lj_forces(solutes, lj, l, &mut force);
     // Half kick + drift.
     for (s, f) in solutes.iter_mut().zip(&force) {
-        for k in 0..3 {
-            s.vel[k] += 0.5 * dt * f[k] / s.mass;
+        for (k, fk) in f.iter().enumerate() {
+            s.vel[k] += 0.5 * dt * fk / s.mass;
             s.pos[k] = (s.pos[k] + dt * s.vel[k]).rem_euclid(l);
         }
     }
@@ -152,8 +152,8 @@ pub fn verlet_step(solutes: &mut [Solute], lj: &LjParams, dt: f64, l: f64) -> f6
     let mut force2 = vec![[0.0f64; 3]; n];
     let energy = lj_forces(solutes, lj, l, &mut force2);
     for (s, f) in solutes.iter_mut().zip(&force2) {
-        for k in 0..3 {
-            s.vel[k] += 0.5 * dt * f[k] / s.mass;
+        for (k, fk) in f.iter().enumerate() {
+            s.vel[k] += 0.5 * dt * fk / s.mass;
         }
     }
     energy
@@ -220,8 +220,8 @@ mod tests {
         let mut force = vec![[0.0; 3]; 2];
         let e = lj_forces(&solutes, &lj, 8.0, &mut force);
         assert!(e != 0.0, "0.4 apart through the boundary must interact");
-        for k in 0..3 {
-            assert!((force[0][k] + force[1][k]).abs() < 1e-12);
+        for (f0, f1) in force[0].iter().zip(&force[1]) {
+            assert!((f0 + f1).abs() < 1e-12);
         }
     }
 
@@ -297,9 +297,9 @@ mod tests {
             for _ in 0..20 {
                 verlet_step(&mut solutes, &lj, 0.002, 8.0);
             }
-            for k in 0..3 {
+            for (k, p0k) in p0.iter().enumerate() {
                 let p1: f64 = solutes.iter().map(|s| s.mass * s.vel[k]).sum();
-                prop_assert!((p0[k] - p1).abs() < 1e-9 * (1.0 + p0[k].abs()));
+                prop_assert!((p0k - p1).abs() < 1e-9 * (1.0 + p0k.abs()));
             }
         }
     }

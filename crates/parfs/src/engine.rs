@@ -722,7 +722,7 @@ mod tests {
         }
         // Ops of one class are sequential.
         let mut sorted = rep.timings.clone();
-        sorted.sort_by(|a, b| a.op_index.cmp(&b.op_index));
+        sorted.sort_by_key(|a| a.op_index);
         for pair in sorted.windows(2) {
             assert!(pair[1].start >= pair[0].end - 1e-9);
         }

@@ -52,9 +52,9 @@ pub trait CommExt: Comm {
                 self.send(j, ALLTOALL_TAG, &part);
             }
         }
-        for j in 0..self.size() {
+        for (j, slot) in out.iter_mut().enumerate() {
             if j != me {
-                out[j] = self.recv(j, ALLTOALL_TAG);
+                *slot = self.recv(j, ALLTOALL_TAG);
             }
         }
         self.barrier();

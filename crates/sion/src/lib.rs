@@ -41,6 +41,32 @@
 //!   streams are compressed with the `szip` LZSS codec below the chunking
 //!   layer.
 //!
+//! ## Buffering & coalescing
+//!
+//! Each task's stream keeps a chunk-aligned **write-behind buffer**
+//! ([`SionParams::write_buffer`], default [`DEFAULT_WRITE_BUFFER`] =
+//! 128 KiB; `0` = write-through): consecutive small writes are coalesced
+//! into one VFS write per touched chunk segment, and the rescue header is
+//! patched once per flush instead of once per write. The buffer never
+//! spans a chunk boundary, so the bytes in the file are identical to an
+//! unbuffered run. Buffered data reaches the VFS at these *flush points*:
+//!
+//! * the buffer fills up,
+//! * the stream leaves the current chunk (boundary crossing or seek),
+//! * an explicit [`SionParWriter::flush`] / [`SerialWriter::flush`],
+//! * [`SionParWriter::close`] / [`SerialWriter::close`].
+//!
+//! After a crash, everything up to the last flush point is recoverable by
+//! [`rescue::repair`]; bytes still in the buffer are lost. Readers use a
+//! symmetric **read-ahead window** ([`DEFAULT_READ_AHEAD`]) serving small
+//! reads from one cached chunk segment; reads at least as large as the
+//! window bypass it. Both sides count their work in [`IoCounters`]
+//! (user-level calls vs VFS calls, bytes, flushes, rescue patches),
+//! available from [`CloseStats::write_io`] and the readers'
+//! `io_counters()`. `write_buffer` is a local knob — tasks of one
+//! multifile may use different values (it is excluded from the collective
+//! open's parameter fingerprint).
+//!
 //! ## Quick start
 //!
 //! ```
@@ -87,6 +113,7 @@ pub use keyval::{KeyValIndex, KeyValReader, KeyValWriter};
 pub use mapping::Mapping;
 pub use par::{paropen_read, paropen_write, CloseStats, SionParReader, SionParWriter};
 pub use serial::{ChunkInfo, Locations, Multifile, RankReader, SerialWriter, TaskLocation};
+pub use stream::{IoCounters, DEFAULT_READ_AHEAD, DEFAULT_WRITE_BUFFER};
 
 /// Parameters of a multifile, chosen at creation time (paper §3.1/§3.2).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,6 +131,11 @@ pub struct SionParams {
     pub compressed: bool,
     /// Per-chunk rescue headers for crash recovery (extension).
     pub rescue: bool,
+    /// Write-behind buffer capacity in bytes (0 disables coalescing). A
+    /// purely local knob: it shapes *how* this task issues its writes, not
+    /// what ends up in the file, so tasks may disagree on it and it is not
+    /// part of the collective-open fingerprint.
+    pub write_buffer: u64,
 }
 
 impl SionParams {
@@ -117,6 +149,7 @@ impl SionParams {
             mapping: Mapping::Blocked,
             compressed: false,
             rescue: false,
+            write_buffer: DEFAULT_WRITE_BUFFER,
         }
     }
 
@@ -147,6 +180,12 @@ impl SionParams {
     /// Enable rescue headers.
     pub fn with_rescue(mut self) -> Self {
         self.rescue = true;
+        self
+    }
+
+    /// Set the write-behind buffer capacity (0 = write-through).
+    pub fn with_write_buffer(mut self, bytes: u64) -> Self {
+        self.write_buffer = bytes;
         self
     }
 

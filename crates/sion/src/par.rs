@@ -13,11 +13,15 @@ use crate::error::{Result, SionError};
 use crate::format::{MetaBlock1, MetaBlock2, SionFlags};
 use crate::layout::FileLayout;
 use crate::physical_name;
-use crate::stream::{ChunkGeom, TaskReader, TaskWriter};
+use crate::stream::{ChunkGeom, IoCounters, TaskReader, TaskWriter, DEFAULT_READ_AHEAD};
 use crate::SionParams;
 use simmpi::Comm;
 use std::sync::Arc;
 use vfs::Vfs;
+
+/// Payload a file master prepares during the collective write open: the
+/// per-task geometry blobs to scatter plus the created file handle.
+type GroupSetup = (Vec<Vec<u8>>, Arc<dyn vfs::VfsFile>);
 
 /// Status word broadcast by a master after its setup phase, so that a
 /// master-side failure surfaces as an error on every task instead of a
@@ -86,6 +90,9 @@ pub struct CloseStats {
     pub stored_bytes: u64,
     /// Number of blocks this task touched.
     pub blocks: u64,
+    /// I/O-call accounting for this task's write stream: user-level calls
+    /// vs. VFS calls actually issued, coalescing flushes, rescue patches.
+    pub write_io: IoCounters,
 }
 
 /// Handle for writing one task's logical file of an open multifile
@@ -124,7 +131,7 @@ pub fn paropen_write(
     let reqs = lcom.gather_u64(params.chunksize, 0);
     let granks = lcom.gather_u64(grank as u64, 0);
 
-    let setup: Result<(Vec<Vec<u8>>, Arc<dyn vfs::VfsFile>)> = if lcom.rank() == 0 {
+    let setup: Result<GroupSetup> = if lcom.rank() == 0 {
         (|| {
             let reqs = reqs.expect("master receives gather");
             let granks = granks.expect("master receives gather");
@@ -200,7 +207,7 @@ pub fn paropen_write(
     };
 
     Ok(SionParWriter {
-        writer: TaskWriter::new(file, geom, params.compressed),
+        writer: TaskWriter::new(file, geom, params.compressed, params.write_buffer),
         lcom,
         gcom,
         filenum,
@@ -251,6 +258,17 @@ impl SionParWriter {
         self.writer.bytes_avail_in_chunk()
     }
 
+    /// `sion_flush`: push buffered data (and the rescue header, if enabled)
+    /// to the VFS so the bytes written so far are durable.
+    pub fn flush(&mut self) -> Result<()> {
+        self.writer.flush()
+    }
+
+    /// I/O-call accounting for this task's stream so far.
+    pub fn io_counters(&self) -> IoCounters {
+        self.writer.io_counters()
+    }
+
     /// This task's global rank.
     pub fn rank(&self) -> usize {
         self.grank
@@ -269,6 +287,7 @@ impl SionParWriter {
             user_bytes: self.writer.user_bytes(),
             stored_bytes: used.iter().sum(),
             blocks: used.iter().filter(|&&u| u > 0).count() as u64,
+            write_io: self.writer.io_counters(),
         };
 
         let gathered = self.lcom.gather_u64s(&used, 0);
@@ -452,7 +471,11 @@ pub fn paropen_read(vfs: &dyn Vfs, base: &str, comm: &dyn Comm) -> Result<SionPa
             ))
         }
     };
-    Ok(SionParReader { reader: TaskReader::new(file, geom, used, compressed), gcom, grank })
+    Ok(SionParReader {
+        reader: TaskReader::new(file, geom, used, compressed, DEFAULT_READ_AHEAD),
+        gcom,
+        grank,
+    })
 }
 
 impl SionParReader {
@@ -481,6 +504,11 @@ impl SionParReader {
     /// This task's global rank.
     pub fn rank(&self) -> usize {
         self.grank
+    }
+
+    /// I/O-call accounting for this task's read stream so far.
+    pub fn io_counters(&self) -> IoCounters {
+        self.reader.io_counters()
     }
 
     /// `sion_parclose_mpi` for the read side.

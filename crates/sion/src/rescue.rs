@@ -128,7 +128,7 @@ pub fn repair(vfs: &dyn Vfs, base: &str, force: bool) -> Result<RepairReport> {
         let mut hdr = [0u8; RESCUE_HEADER_LEN as usize];
         for b in 0..max_blocks {
             let mut row = vec![0u64; n];
-            for t in 0..n {
+            for (t, slot) in row.iter_mut().enumerate() {
                 let at = layout.chunk_start(t, b);
                 if at + RESCUE_HEADER_LEN > file_len {
                     continue;
@@ -148,7 +148,7 @@ pub fn repair(vfs: &dyn Vfs, base: &str, force: bool) -> Result<RepairReport> {
                 }
                 let cap_user = layout.usable(t);
                 let used = h.used.min(cap_user);
-                row[t] = used;
+                *slot = used;
                 if used > 0 {
                     report.chunks_recovered += 1;
                     report.bytes_recovered += used;

@@ -13,7 +13,7 @@ use crate::error::{Result, SionError};
 use crate::format::{MetaBlock1, MetaBlock2, SionFlags};
 use crate::layout::FileLayout;
 use crate::physical_name;
-use crate::stream::{ChunkGeom, TaskReader, TaskWriter};
+use crate::stream::{ChunkGeom, IoCounters, TaskReader, TaskWriter, DEFAULT_READ_AHEAD};
 use crate::SionParams;
 use std::sync::Arc;
 use vfs::{Vfs, VfsFile};
@@ -230,7 +230,13 @@ impl Multifile {
         let geom = ChunkGeom::from_layout(&fv.layout, t.ltask, rank as u64);
         let used: Vec<u64> = t.chunks.iter().map(|c| c.used).collect();
         Ok(RankReader {
-            inner: TaskReader::new(fv.handle.clone(), geom, used, self.compressed()),
+            inner: TaskReader::new(
+                fv.handle.clone(),
+                geom,
+                used,
+                self.compressed(),
+                DEFAULT_READ_AHEAD,
+            ),
         })
     }
 
@@ -269,6 +275,11 @@ impl RankReader {
     /// Read up to `buf.len()` logical bytes; 0 at end of stream.
     pub fn read_some(&mut self, buf: &mut [u8]) -> Result<usize> {
         self.inner.read(buf)
+    }
+
+    /// I/O-call accounting for this rank's read stream so far.
+    pub fn io_counters(&self) -> IoCounters {
+        self.inner.io_counters()
     }
 }
 
@@ -349,7 +360,8 @@ impl SerialWriter {
             file.write_all_at(&mb1.encode(), 0)?;
             for (lt, &r) in ranks.iter().enumerate() {
                 let geom = ChunkGeom::from_layout(&layout, lt, r as u64);
-                writers[r] = Some(TaskWriter::new(file.clone(), geom, params.compressed));
+                writers[r] =
+                    Some(TaskWriter::new(file.clone(), geom, params.compressed, params.write_buffer));
             }
             files.push(file);
             layouts.push(layout);
@@ -406,6 +418,22 @@ impl SerialWriter {
     /// Chunk-splitting `sion_fwrite` on the current rank's stream.
     pub fn write(&mut self, data: &[u8]) -> Result<()> {
         self.writers[self.cur].write(data)
+    }
+
+    /// Push every rank's buffered data (and rescue headers) to the VFS.
+    pub fn flush(&mut self) -> Result<()> {
+        for w in &mut self.writers {
+            w.flush()?;
+        }
+        Ok(())
+    }
+
+    /// I/O-call accounting for `rank`'s write stream so far.
+    pub fn io_counters(&self, rank: usize) -> Result<IoCounters> {
+        if rank >= self.ntasks {
+            return Err(SionError::InvalidArg(format!("rank {rank} out of range")));
+        }
+        Ok(self.writers[rank].io_counters())
     }
 
     /// Finalize: write every physical file's metablock 2 (`sion_close`).

@@ -89,13 +89,38 @@ impl ChunkGeom {
     }
 }
 
+/// Per-handle I/O accounting: how many calls the user made vs how many
+/// (and how large) the VFS actually saw. The ratio `user_calls /
+/// vfs_calls` is the coalescing factor of the write-behind / read-ahead
+/// buffers.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoCounters {
+    /// User-level calls (`write`/`write_in_chunk`, or `read`).
+    pub user_calls: u64,
+    /// Calls issued to the underlying VFS handle (data + headers).
+    pub vfs_calls: u64,
+    /// Bytes moved through the VFS handle.
+    pub vfs_bytes: u64,
+    /// Write-behind buffer flushes that actually wrote data.
+    pub flushes: u64,
+    /// Rescue-header `used`-field patches written.
+    pub rescue_patches: u64,
+}
+
+/// Default write-behind buffer size (bytes); see `SionParams::write_buffer`.
+pub const DEFAULT_WRITE_BUFFER: u64 = 128 * 1024;
+
+/// Default read-ahead window (bytes) for readers.
+pub const DEFAULT_READ_AHEAD: u64 = 128 * 1024;
+
 /// Writer for one task's logical file.
 pub(crate) struct TaskWriter {
     file: Arc<dyn VfsFile>,
     geom: ChunkGeom,
     /// Current block number.
     block: u64,
-    /// User bytes written into the current chunk.
+    /// User bytes written into the current chunk (including bytes still
+    /// pending in the write-behind buffer).
     off: u64,
     /// Bytes used per block so far (index = block number).
     used: Vec<u64>,
@@ -105,10 +130,31 @@ pub(crate) struct TaskWriter {
     enc: Option<FrameEncoder>,
     /// Total user bytes accepted (pre-compression).
     user_bytes: u64,
+    /// Write-behind buffer: pending stored bytes covering
+    /// `[wbuf_start, off)` of the current chunk. Always flushed before the
+    /// cursor leaves the chunk, so it never spans blocks.
+    wbuf: Vec<u8>,
+    /// Chunk offset of `wbuf[0]`.
+    wbuf_start: u64,
+    /// Buffer capacity; 0 = write-through (no coalescing).
+    wbuf_cap: usize,
+    /// The rescue header's `used` field is stale and needs a patch at the
+    /// next flush point (deferred even in write-through mode).
+    rescue_dirty: bool,
+    /// Coalescing counters for `CloseStats`/tracing.
+    counters: IoCounters,
 }
 
 impl TaskWriter {
-    pub fn new(file: Arc<dyn VfsFile>, geom: ChunkGeom, compressed: bool) -> Self {
+    pub fn new(
+        file: Arc<dyn VfsFile>,
+        geom: ChunkGeom,
+        compressed: bool,
+        write_buffer: u64,
+    ) -> Self {
+        // A buffer larger than the chunk never helps: the buffer is flushed
+        // at every chunk boundary anyway.
+        let wbuf_cap = write_buffer.min(geom.usable()) as usize;
         TaskWriter {
             file,
             geom,
@@ -118,7 +164,17 @@ impl TaskWriter {
             entered: vec![false],
             enc: compressed.then(FrameEncoder::new),
             user_bytes: 0,
+            wbuf: Vec::with_capacity(wbuf_cap),
+            wbuf_start: 0,
+            wbuf_cap,
+            rescue_dirty: false,
+            counters: IoCounters::default(),
         }
+    }
+
+    /// Coalescing counters accumulated so far.
+    pub fn io_counters(&self) -> IoCounters {
+        self.counters
     }
 
     /// Bytes still free in the current chunk (stored-byte granularity).
@@ -185,6 +241,7 @@ impl TaskWriter {
                 capacity: self.bytes_avail_in_chunk(),
             });
         }
+        self.counters.user_calls += 1;
         self.put(data)?;
         self.user_bytes += data.len() as u64;
         Ok(())
@@ -193,6 +250,7 @@ impl TaskWriter {
     /// `sion_fwrite`: write arbitrarily large data, transparently split
     /// across chunk boundaries (and compressed, in compressed mode).
     pub fn write(&mut self, data: &[u8]) -> Result<()> {
+        self.counters.user_calls += 1;
         self.user_bytes += data.len() as u64;
         if let Some(enc) = self.enc.as_mut() {
             enc.write(data);
@@ -224,20 +282,84 @@ impl TaskWriter {
         Ok(())
     }
 
-    /// Low-level write of `data` at the current position (must fit).
+    /// Low-level write of `data` at the current position (must fit). With
+    /// a write-behind buffer this only appends; the VFS sees one
+    /// `write_all_at` per filled buffer / flush point instead of one per
+    /// call. In write-through mode (`wbuf_cap == 0`) data goes straight to
+    /// the VFS, but the rescue patch is still deferred to flush points.
     fn put(&mut self, data: &[u8]) -> Result<()> {
         debug_assert!(data.len() as u64 <= self.bytes_avail_in_chunk());
         if data.is_empty() {
             return Ok(());
         }
         self.enter_chunk()?;
-        let at = self.geom.data_offset(self.block) + self.off;
-        self.file.write_all_at(data, at)?;
-        self.off += data.len() as u64;
+        if self.wbuf_cap == 0 {
+            let at = self.geom.data_offset(self.block) + self.off;
+            self.vfs_write_data(data, at)?;
+            self.off += data.len() as u64;
+        } else {
+            let mut rest = data;
+            while !rest.is_empty() {
+                if self.wbuf.is_empty() {
+                    self.wbuf_start = self.off;
+                }
+                let room = self.wbuf_cap - self.wbuf.len();
+                let take = room.min(rest.len());
+                self.wbuf.extend_from_slice(&rest[..take]);
+                self.off += take as u64;
+                rest = &rest[take..];
+                if self.wbuf.len() == self.wbuf_cap {
+                    self.flush_pending()?;
+                }
+            }
+        }
         // High-water mark: a seek backwards must not shrink the chunk.
         let b = self.block as usize;
         self.used[b] = self.used[b].max(self.off);
-        self.patch_rescue()?;
+        self.rescue_dirty = true;
+        Ok(())
+    }
+
+    /// Write pending buffered data (one VFS call) and bring the rescue
+    /// header up to date. Called whenever the cursor leaves the chunk
+    /// (chunk advance, seek), on explicit [`flush`](Self::flush), and at
+    /// [`finish`](Self::finish) — the points where data becomes durable in
+    /// the VFS.
+    fn flush_pending(&mut self) -> Result<()> {
+        if !self.wbuf.is_empty() {
+            let at = self.geom.data_offset(self.block) + self.wbuf_start;
+            let buf = std::mem::take(&mut self.wbuf);
+            let res = self.vfs_write_data(&buf, at);
+            self.wbuf = buf;
+            res?;
+            self.wbuf.clear();
+            self.wbuf_start = self.off;
+            self.counters.flushes += 1;
+        }
+        if self.rescue_dirty {
+            // `used` already covers everything just flushed: the pending
+            // buffer never extends past `off`, whose high-water is `used`.
+            self.patch_rescue()?;
+            self.rescue_dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Make all accepted data visible to the VFS and patch the rescue
+    /// header. In compressed mode this also ends the current frame.
+    pub fn flush(&mut self) -> Result<()> {
+        if let Some(enc) = self.enc.as_mut() {
+            enc.flush();
+            let stored = enc.take_output();
+            self.put_split(&stored)?;
+        }
+        self.flush_pending()
+    }
+
+    fn vfs_write_data(&mut self, data: &[u8], at: u64) -> Result<()> {
+        self.file.write_all_at(data, at)?;
+        self.counters.vfs_calls += 1;
+        self.counters.vfs_bytes += data.len() as u64;
         Ok(())
     }
 
@@ -254,11 +376,14 @@ impl TaskWriter {
             used: 0,
         };
         self.file.write_all_at(&hdr.encode(), self.geom.chunk_start(self.block))?;
+        self.counters.vfs_calls += 1;
+        self.counters.vfs_bytes += RESCUE_HEADER_LEN;
         self.entered[b] = true;
         Ok(())
     }
 
-    /// Keep the rescue header's byte count current.
+    /// Bring the rescue header's byte count current (at flush points only;
+    /// one patch per flush instead of one per put).
     fn patch_rescue(&mut self) -> Result<()> {
         if self.geom.rescue_overhead == 0 {
             return Ok(());
@@ -268,12 +393,15 @@ impl TaskWriter {
             &self.used[self.block as usize].to_le_bytes(),
             self.geom.chunk_start(self.block) + RescueHeader::USED_FIELD_OFFSET,
         )?;
+        self.counters.vfs_calls += 1;
+        self.counters.vfs_bytes += 8;
+        self.counters.rescue_patches += 1;
         Ok(())
     }
 
     /// Move to this task's chunk in the next block.
     fn advance_chunk(&mut self) -> Result<()> {
-        self.seek(self.block + 1, 0)
+        self.seek_stored(self.block + 1, 0)
     }
 
     /// Position the write cursor at (`block`, `pos`) — the serial API's
@@ -285,28 +413,39 @@ impl TaskWriter {
                 "seek is unavailable in compressed mode".into(),
             ));
         }
+        self.seek_stored(block, pos)
+    }
+
+    /// Seek in stored-byte coordinates (internal: also used for chunk
+    /// advances in compressed mode). Flushes pending data first — the
+    /// write-behind buffer never spans a reposition.
+    fn seek_stored(&mut self, block: u64, pos: u64) -> Result<()> {
         if pos > self.geom.usable() {
             return Err(SionError::InvalidArg(format!(
                 "seek position {pos} beyond chunk capacity {}",
                 self.geom.usable()
             )));
         }
+        self.flush_pending()?;
         while (self.used.len() as u64) <= block {
             self.used.push(0);
             self.entered.push(false);
         }
         self.block = block;
         self.off = pos;
+        self.wbuf_start = pos;
         Ok(())
     }
 
-    /// Flush (compressed mode) and return the per-block usage vector.
+    /// Flush (buffer and, in compressed mode, encoder) and return the
+    /// per-block usage vector.
     pub fn finish(&mut self) -> Result<Vec<u64>> {
         if let Some(mut enc) = self.enc.take() {
             enc.flush();
             let stored = enc.take_output();
             self.put_split(&stored)?;
         }
+        self.flush_pending()?;
         self.file.sync()?;
         Ok(self.used.clone())
     }
@@ -327,6 +466,16 @@ pub(crate) struct TaskReader {
     /// Decoded bytes not yet handed to the caller (compressed mode).
     decoded: Vec<u8>,
     decoded_pos: usize,
+    /// Read-ahead cache: stored bytes `[rbuf_start, rbuf_start+rbuf.len())`
+    /// of block `rbuf_block`.
+    rbuf: Vec<u8>,
+    rbuf_block: usize,
+    rbuf_start: u64,
+    /// Read-ahead window; 0 disables caching (one VFS read per request
+    /// segment, the pre-buffering behaviour).
+    ra_cap: usize,
+    /// Coalescing counters (user reads vs VFS reads).
+    counters: IoCounters,
 }
 
 impl TaskReader {
@@ -335,7 +484,9 @@ impl TaskReader {
         geom: ChunkGeom,
         used: Vec<u64>,
         compressed: bool,
+        read_ahead: u64,
     ) -> Self {
+        let ra_cap = read_ahead.min(geom.usable()) as usize;
         let mut r = TaskReader {
             file,
             geom,
@@ -345,9 +496,19 @@ impl TaskReader {
             dec: compressed.then(FrameDecoder::new),
             decoded: Vec::new(),
             decoded_pos: 0,
+            rbuf: Vec::new(),
+            rbuf_block: 0,
+            rbuf_start: 0,
+            ra_cap,
+            counters: IoCounters::default(),
         };
         r.skip_empty_blocks();
         r
+    }
+
+    /// Coalescing counters accumulated so far.
+    pub fn io_counters(&self) -> IoCounters {
+        self.counters
     }
 
     fn skip_empty_blocks(&mut self) {
@@ -387,6 +548,7 @@ impl TaskReader {
     /// (decompressed in compressed mode), crossing chunk boundaries.
     /// Returns the number of bytes read; 0 signals end of stream.
     pub fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        self.counters.user_calls += 1;
         if self.dec.is_some() {
             return self.read_decoded(buf);
         }
@@ -398,12 +560,66 @@ impl TaskReader {
             }
             let avail = self.used[self.block] - self.off;
             let take = (avail as usize).min(buf.len() - done);
-            let at = self.geom.data_offset(self.block as u64) + self.off;
-            self.file.read_exact_at(&mut buf[done..done + take], at)?;
-            self.off += take as u64;
+            self.read_stored(done, take, buf)?;
             done += take;
         }
         Ok(done)
+    }
+
+    /// Copy `take` stored bytes of the current chunk into
+    /// `buf[done..done+take]`, through the read-ahead cache: a cache miss
+    /// fetches a whole window (up to `ra_cap`, capped by the chunk's
+    /// remaining stored bytes) in one VFS read. Requests at or above the
+    /// window size bypass the cache straight into the caller's buffer.
+    fn read_stored(&mut self, done: usize, take: usize, buf: &mut [u8]) -> Result<()> {
+        if self.ra_cap == 0 || take >= self.ra_cap {
+            let at = self.geom.data_offset(self.block as u64) + self.off;
+            self.file.read_exact_at(&mut buf[done..done + take], at)?;
+            self.counters.vfs_calls += 1;
+            self.counters.vfs_bytes += take as u64;
+            self.off += take as u64;
+            return Ok(());
+        }
+        let mut done = done;
+        let mut take = take;
+        while take > 0 {
+            let cached = self.cached_range();
+            if let Some((start, len)) = cached {
+                let pos = (self.off - start) as usize;
+                let n = take.min(len - pos);
+                let src = &self.rbuf[pos..pos + n];
+                buf[done..done + n].copy_from_slice(src);
+                self.off += n as u64;
+                done += n;
+                take -= n;
+                continue;
+            }
+            // Miss: fetch a window from the current position.
+            let avail = self.used[self.block] - self.off;
+            let window = (avail as usize).min(self.ra_cap);
+            self.rbuf.resize(window, 0);
+            let at = self.geom.data_offset(self.block as u64) + self.off;
+            self.file.read_exact_at(&mut self.rbuf, at)?;
+            self.counters.vfs_calls += 1;
+            self.counters.vfs_bytes += window as u64;
+            self.rbuf_block = self.block;
+            self.rbuf_start = self.off;
+        }
+        Ok(())
+    }
+
+    /// The cache window covering the current position, if any, as
+    /// `(start, len)` in chunk offsets of the current block.
+    fn cached_range(&self) -> Option<(u64, usize)> {
+        if self.rbuf_block == self.block
+            && !self.rbuf.is_empty()
+            && self.off >= self.rbuf_start
+            && self.off < self.rbuf_start + self.rbuf.len() as u64
+        {
+            Some((self.rbuf_start, self.rbuf.len()))
+        } else {
+            None
+        }
     }
 
     /// Read exactly `buf.len()` bytes or fail.
@@ -442,10 +658,14 @@ impl TaskReader {
             if self.block >= self.used.len() {
                 return Ok(done);
             }
+            // One VFS read per chunk remainder — the compressed path has
+            // always been fully coalesced; count it like the plain path.
             let avail = self.used[self.block] - self.off;
             let mut raw = vec![0u8; avail as usize];
             let at = self.geom.data_offset(self.block as u64) + self.off;
             self.file.read_exact_at(&mut raw, at)?;
+            self.counters.vfs_calls += 1;
+            self.counters.vfs_bytes += avail;
             self.off += avail;
             let dec = self.dec.as_mut().expect("compressed mode");
             dec.feed(&raw);
@@ -472,8 +692,32 @@ mod tests {
         ltask: usize,
         compressed: bool,
     ) -> TaskWriter {
+        writer_buffered(fs, layout, ltask, compressed, DEFAULT_WRITE_BUFFER)
+    }
+
+    fn writer_buffered(
+        fs: &MemFs,
+        layout: &FileLayout,
+        ltask: usize,
+        compressed: bool,
+        write_buffer: u64,
+    ) -> TaskWriter {
         let file = if fs.exists("f") { fs.open_rw("f").unwrap() } else { fs.create("f").unwrap() };
-        TaskWriter::new(file, ChunkGeom::from_layout(layout, ltask, ltask as u64), compressed)
+        TaskWriter::new(
+            file,
+            ChunkGeom::from_layout(layout, ltask, ltask as u64),
+            compressed,
+            write_buffer,
+        )
+    }
+
+    fn reader(
+        file: Arc<dyn VfsFile>,
+        geom: ChunkGeom,
+        used: Vec<u64>,
+        compressed: bool,
+    ) -> TaskReader {
+        TaskReader::new(file, geom, used, compressed, DEFAULT_READ_AHEAD)
     }
 
     #[test]
@@ -486,7 +730,7 @@ mod tests {
         assert_eq!(used, vec![11]);
 
         let file = fs.open("f").unwrap();
-        let mut r = TaskReader::new(file, ChunkGeom::from_layout(&layout, 0, 0), used, false);
+        let mut r = reader(file, ChunkGeom::from_layout(&layout, 0, 0), used, false);
         assert!(!r.feof());
         assert_eq!(r.bytes_avail_in_chunk(), 11);
         let mut buf = vec![0u8; 11];
@@ -507,7 +751,7 @@ mod tests {
         assert_eq!(w.current_block(), 3);
 
         let file = fs.open("f").unwrap();
-        let mut r = TaskReader::new(file, ChunkGeom::from_layout(&layout, 0, 0), used, false);
+        let mut r = reader(file, ChunkGeom::from_layout(&layout, 0, 0), used, false);
         let mut back = vec![0u8; 1000];
         r.read_exact(&mut back).unwrap();
         assert_eq!(back, data);
@@ -528,7 +772,7 @@ mod tests {
         assert_eq!(used, vec![60, 50]);
 
         let file = fs.open("f").unwrap();
-        let mut r = TaskReader::new(file, ChunkGeom::from_layout(&layout, 0, 0), used, false);
+        let mut r = reader(file, ChunkGeom::from_layout(&layout, 0, 0), used, false);
         let mut all = vec![0u8; 110];
         r.read_exact(&mut all).unwrap();
         assert_eq!(&all[..60], &[1u8; 60][..]);
@@ -554,13 +798,13 @@ mod tests {
         let mut ws: Vec<TaskWriter> = (0..3).map(|t| writer(&fs, &layout, t, false)).collect();
         for round in 0..4u8 {
             for (t, w) in ws.iter_mut().enumerate() {
-                w.write(&vec![t as u8 * 16 + round; 100]).unwrap();
+                w.write(&[t as u8 * 16 + round; 100]).unwrap();
             }
         }
         let useds: Vec<Vec<u64>> = ws.iter_mut().map(|w| w.finish().unwrap()).collect();
         for (t, used) in useds.iter().enumerate() {
             let file = fs.open("f").unwrap();
-            let mut r = TaskReader::new(
+            let mut r = reader(
                 file,
                 ChunkGeom::from_layout(&layout, t, t as u64),
                 used.clone(),
@@ -591,7 +835,7 @@ mod tests {
         assert!(stored < data.len() as u64 / 2, "stored {stored} of {}", data.len());
 
         let file = fs.open("f").unwrap();
-        let mut r = TaskReader::new(file, ChunkGeom::from_layout(&layout, 0, 0), used, true);
+        let mut r = reader(file, ChunkGeom::from_layout(&layout, 0, 0), used, true);
         assert!(!r.feof());
         let mut back = vec![0u8; data.len()];
         r.read_exact(&mut back).unwrap();
@@ -625,7 +869,7 @@ mod tests {
             assert_eq!(h.used, u);
         }
         // Data reads back despite the headers.
-        let mut r = TaskReader::new(
+        let mut r = reader(
             fs.open("f").unwrap(),
             ChunkGeom::from_layout(&layout, 0, 0),
             used,
@@ -648,7 +892,7 @@ mod tests {
         let used = w.finish().unwrap();
         assert_eq!(used, vec![100, 0, 10]);
 
-        let mut r = TaskReader::new(
+        let mut r = reader(
             fs.open("f").unwrap(),
             ChunkGeom::from_layout(&layout, 0, 0),
             used,
@@ -667,13 +911,168 @@ mod tests {
         let mut w = writer(&fs, &layout, 0, false);
         let used = w.finish().unwrap();
         assert_eq!(used, vec![0]);
-        let mut r = TaskReader::new(
+        let mut r = reader(
             fs.open("f").unwrap(),
             ChunkGeom::from_layout(&layout, 0, 0),
             used,
             false,
         );
         assert!(r.feof());
+    }
+
+    #[test]
+    fn small_records_coalesce_into_few_vfs_writes() {
+        let (fs, layout) = setup(&[4096], Alignment::None, false);
+        let mut w = writer_buffered(&fs, &layout, 0, false, 4096);
+        for i in 0..64u8 {
+            w.write(&[i; 64]).unwrap();
+        }
+        let used = w.finish().unwrap();
+        let c = w.io_counters();
+        assert_eq!(c.user_calls, 64);
+        // 64 × 64 B = 4096 B = exactly one buffer fill → one VFS write.
+        assert_eq!(c.vfs_calls, 1, "{c:?}");
+        assert_eq!(c.vfs_bytes, 4096);
+        assert_eq!(c.flushes, 1);
+
+        let mut r = reader(
+            fs.open("f").unwrap(),
+            ChunkGeom::from_layout(&layout, 0, 0),
+            used,
+            false,
+        );
+        let mut back = vec![0u8; 4096];
+        r.read_exact(&mut back).unwrap();
+        for i in 0..64usize {
+            assert!(back[i * 64..(i + 1) * 64].iter().all(|&b| b == i as u8));
+        }
+        // 64 user read segments served by one read-ahead fetch.
+        let rc = r.io_counters();
+        assert_eq!(rc.vfs_calls, 1, "{rc:?}");
+    }
+
+    #[test]
+    fn buffered_and_unbuffered_files_are_identical() {
+        for rescue in [false, true] {
+            let mk = |buffer: u64| {
+                let fs = MemFs::with_block_size(256);
+                let layout = FileLayout::compute(&[200], 256, Alignment::None, rescue).unwrap();
+                let mut w = writer_buffered(&fs, &layout, 0, false, buffer);
+                for i in 0..40u16 {
+                    w.write(&[i as u8; 37]).unwrap();
+                }
+                let used = w.finish().unwrap();
+                let f = fs.open("f").unwrap();
+                let mut all = vec![0u8; f.len().unwrap() as usize];
+                f.read_exact_at(&mut all, 0).unwrap();
+                (used, all)
+            };
+            let (used_buf, bytes_buf) = mk(1024);
+            let (used_raw, bytes_raw) = mk(0);
+            assert_eq!(used_buf, used_raw, "rescue={rescue}");
+            assert_eq!(bytes_buf, bytes_raw, "rescue={rescue}");
+        }
+    }
+
+    #[test]
+    fn write_through_defers_rescue_patch_to_flush_points() {
+        let (fs, layout) = setup(&[200], Alignment::FsBlock, true);
+        let mut w = writer_buffered(&fs, &layout, 0, false, 0);
+        w.write(&[3u8; 50]).unwrap();
+        w.write(&[4u8; 50]).unwrap();
+        // Header exists (written on chunk entry) but `used` is still 0:
+        // patches happen at flush points, not per put.
+        let file = fs.open("f").unwrap();
+        let mut hdr = [0u8; RESCUE_HEADER_LEN as usize];
+        file.read_exact_at(&mut hdr, layout.chunk_start(0, 0)).unwrap();
+        assert_eq!(RescueHeader::decode(&hdr).unwrap().used, 0);
+
+        w.flush().unwrap();
+        file.read_exact_at(&mut hdr, layout.chunk_start(0, 0)).unwrap();
+        assert_eq!(RescueHeader::decode(&hdr).unwrap().used, 100);
+        assert_eq!(w.io_counters().rescue_patches, 1);
+
+        // Nothing new was written since the flush: finish patches nothing.
+        w.finish().unwrap();
+        assert_eq!(w.io_counters().rescue_patches, 1);
+        w.write(&[5u8; 10]).unwrap();
+        w.finish().unwrap();
+        assert_eq!(w.io_counters().rescue_patches, 2);
+    }
+
+    #[test]
+    fn explicit_flush_makes_buffered_data_durable() {
+        let (fs, layout) = setup(&[100], Alignment::None, false);
+        let mut w = writer_buffered(&fs, &layout, 0, false, 64);
+        w.write(b"pending").unwrap();
+        // Not yet flushed: nothing at the data offset.
+        let file = fs.open("f").unwrap();
+        let mut probe = [0u8; 7];
+        let at = layout.data_start + layout.rescue_overhead;
+        let _ = file.read_at(&mut probe, at);
+        assert_ne!(&probe, b"pending", "write must still be buffered");
+        w.flush().unwrap();
+        file.read_exact_at(&mut probe, at).unwrap();
+        assert_eq!(&probe, b"pending");
+        assert_eq!(w.io_counters().flushes, 1);
+    }
+
+    #[test]
+    fn buffered_writer_handles_seeks_and_rewrites() {
+        let (fs, layout) = setup(&[100], Alignment::None, false);
+        let mut w = writer_buffered(&fs, &layout, 0, false, 32);
+        w.write(&[1u8; 60]).unwrap();
+        w.seek(0, 10).unwrap();
+        w.write(&[2u8; 20]).unwrap();
+        w.seek(1, 0).unwrap();
+        w.write(&[3u8; 5]).unwrap();
+        let used = w.finish().unwrap();
+        assert_eq!(used, vec![60, 5]);
+
+        let mut r = reader(
+            fs.open("f").unwrap(),
+            ChunkGeom::from_layout(&layout, 0, 0),
+            used,
+            false,
+        );
+        let mut back = vec![0u8; 65];
+        r.read_exact(&mut back).unwrap();
+        assert_eq!(&back[..10], &[1u8; 10][..]);
+        assert_eq!(&back[10..30], &[2u8; 20][..]);
+        assert_eq!(&back[30..60], &[1u8; 30][..]);
+        assert_eq!(&back[60..], &[3u8; 5][..]);
+    }
+
+    #[test]
+    fn tiny_reads_served_from_read_ahead_window() {
+        let (fs, layout) = setup(&[256], Alignment::FsBlock, false);
+        let mut w = writer(&fs, &layout, 0, false);
+        let data: Vec<u8> = (0..600).map(|i| (i % 241) as u8).collect();
+        w.write(&data).unwrap();
+        let used = w.finish().unwrap();
+
+        let mut r = TaskReader::new(
+            fs.open("f").unwrap(),
+            ChunkGeom::from_layout(&layout, 0, 0),
+            used,
+            false,
+            64,
+        );
+        let mut back = Vec::new();
+        let mut byte = [0u8; 7];
+        loop {
+            let n = r.read(&mut byte).unwrap();
+            if n == 0 {
+                break;
+            }
+            back.extend_from_slice(&byte[..n]);
+        }
+        assert_eq!(back, data);
+        let c = r.io_counters();
+        // 600 bytes in 7-byte reads = 86 user calls; windows of ≤64 bytes
+        // per block of 256 → 4 fetches per block × 3 blocks (ceil).
+        assert!(c.user_calls >= 86, "{c:?}");
+        assert!(c.vfs_calls <= 12, "{c:?}");
     }
 
     #[test]

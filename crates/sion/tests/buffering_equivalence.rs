@@ -1,0 +1,181 @@
+//! Property tests: the write-behind buffer is invisible in the file.
+//!
+//! For random sequences of write sizes, a buffered writer and a
+//! write-through writer must produce *byte-identical* physical files —
+//! across plain/compressed and rescue on/off — and the result must read
+//! back correctly through both the serial (`Multifile`) and parallel
+//! (`SionParReader`) paths.
+
+use proptest::prelude::*;
+use simmpi::{Comm, World};
+use sion::{
+    paropen_read, paropen_write, Alignment, Multifile, SerialWriter, SionParams,
+};
+use vfs::{MemFs, Vfs};
+
+/// Deterministic payload for the `i`-th write of `rank`.
+fn payload(rank: usize, i: usize, len: usize) -> Vec<u8> {
+    (0..len).map(|j| ((rank * 97 + i * 31 + j) % 251) as u8).collect()
+}
+
+/// Every physical file of the multifile at `base`, as (name, bytes) pairs.
+fn physical_bytes(fs: &MemFs, base: &str) -> Vec<(String, Vec<u8>)> {
+    fs.list(base)
+        .unwrap()
+        .into_iter()
+        .map(|name| {
+            let f = fs.open(&name).unwrap();
+            let mut buf = vec![0u8; f.len().unwrap() as usize];
+            f.read_exact_at(&mut buf, 0).unwrap();
+            (name, buf)
+        })
+        .collect()
+}
+
+/// Serially write `sizes`-shaped records for two ranks with the given
+/// buffer capacity; returns the physical files.
+fn serial_write(
+    fs: &MemFs,
+    sizes: &[usize],
+    chunk: u64,
+    compressed: bool,
+    rescue: bool,
+    write_buffer: u64,
+) -> Vec<(String, Vec<u8>)> {
+    let mut params = SionParams::new(0)
+        .with_alignment(Alignment::Fixed(512))
+        .with_write_buffer(write_buffer);
+    params.compressed = compressed;
+    params.rescue = rescue;
+    let mut w = SerialWriter::create(fs, "mf.sion", &[chunk, chunk], &params).unwrap();
+    for rank in 0..2 {
+        w.select_rank(rank).unwrap();
+        for (i, &len) in sizes.iter().enumerate() {
+            w.write(&payload(rank, i, len)).unwrap();
+        }
+    }
+    w.close().unwrap();
+    physical_bytes(fs, "mf.sion")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Buffered and write-through serial writers emit identical physical
+    /// files for every mode combination, and the buffered file reads back
+    /// through the global serial view.
+    #[test]
+    fn buffered_serial_writes_are_byte_identical(
+        sizes in prop::collection::vec(1usize..600, 1..25),
+        chunk in 96u64..2048,
+        write_buffer in 1u64..4096,
+    ) {
+        for compressed in [false, true] {
+            for rescue in [false, true] {
+                let fs_buf = MemFs::with_block_size(4096);
+                let fs_thru = MemFs::with_block_size(4096);
+                let buffered =
+                    serial_write(&fs_buf, &sizes, chunk, compressed, rescue, write_buffer);
+                let through = serial_write(&fs_thru, &sizes, chunk, compressed, rescue, 0);
+                prop_assert_eq!(
+                    &buffered, &through,
+                    "mode compressed={} rescue={} diverged", compressed, rescue
+                );
+
+                // The buffered output must be a valid multifile whose
+                // logical streams match what was written.
+                let mf = Multifile::open(&fs_buf, "mf.sion").unwrap();
+                for rank in 0..2 {
+                    let logical = mf.read_rank(rank).unwrap();
+                    let expect: Vec<u8> = sizes
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(i, &len)| payload(rank, i, len))
+                        .collect();
+                    prop_assert_eq!(&logical, &expect, "rank {} logical mismatch", rank);
+                }
+            }
+        }
+    }
+
+    /// Same property through the collective path: parallel writers with
+    /// per-task buffering produce the same physical files as write-through
+    /// ones, and `SionParReader` recovers every task's stream.
+    #[test]
+    fn buffered_parallel_writes_are_byte_identical(
+        sizes in prop::collection::vec(1usize..400, 1..15),
+        rescue in any::<bool>(),
+        write_buffer in 1u64..2048,
+    ) {
+        let ntasks = 3;
+        let run = |buffer: u64| {
+            let fs = MemFs::with_block_size(1024);
+            let mut params = SionParams::new(1024).with_nfiles(2).with_write_buffer(buffer);
+            params.rescue = rescue;
+            World::run(ntasks, |comm| {
+                let mut w = paropen_write(&fs, "p.sion", &params, comm).unwrap();
+                for (i, &len) in sizes.iter().enumerate() {
+                    w.write(&payload(comm.rank(), i, len)).unwrap();
+                }
+                w.close().unwrap();
+            });
+            fs
+        };
+        let fs_buf = run(write_buffer);
+        let fs_thru = run(0);
+        prop_assert_eq!(
+            physical_bytes(&fs_buf, "p.sion"),
+            physical_bytes(&fs_thru, "p.sion")
+        );
+
+        // Read the buffered multifile back collectively.
+        let expect_of = |rank: usize| -> Vec<u8> {
+            sizes.iter().enumerate().flat_map(|(i, &len)| payload(rank, i, len)).collect()
+        };
+        World::run(ntasks, |comm| {
+            let mut r = paropen_read(&fs_buf, "p.sion", comm).unwrap();
+            let mut back = Vec::new();
+            let mut buf = [0u8; 97];
+            loop {
+                let n = r.read(&mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                back.extend_from_slice(&buf[..n]);
+            }
+            assert_eq!(back, expect_of(comm.rank()), "rank {}", comm.rank());
+            r.close().unwrap();
+        });
+    }
+
+    /// Explicit flushes at arbitrary points must not change the final
+    /// file either (flush only forces durability, never layout).
+    #[test]
+    fn interleaved_flushes_do_not_change_the_file(
+        sizes in prop::collection::vec(1usize..300, 1..15),
+        flush_every in 1usize..5,
+        write_buffer in 1u64..2048,
+    ) {
+        // Flushes interact with the codec in compressed mode (they cut
+        // codec blocks), so this property is about the plain stream.
+        let run = |buffer: u64, flush: bool| {
+            let fs = MemFs::with_block_size(4096);
+            let mut params = SionParams::new(0).with_write_buffer(buffer);
+            params.rescue = true;
+            let mut w = SerialWriter::create(&fs, "f.sion", &[512], &params).unwrap();
+            for (i, &len) in sizes.iter().enumerate() {
+                w.write(&payload(0, i, len)).unwrap();
+                if flush && i % flush_every == 0 {
+                    w.flush().unwrap();
+                }
+            }
+            w.close().unwrap();
+            physical_bytes(&fs, "f.sion")
+        };
+        let flushed = run(write_buffer, true);
+        let unflushed = run(write_buffer, false);
+        let through = run(0, false);
+        prop_assert_eq!(&flushed, &unflushed);
+        prop_assert_eq!(&flushed, &through);
+    }
+}

@@ -28,9 +28,9 @@ fn serial_writer_roundtrip() {
     let mf = Multifile::open(&fs, "serial.sion").unwrap();
     assert_eq!(mf.ntasks(), 4);
     assert_eq!(mf.locations().nfiles, 2);
-    for rank in 0..4 {
+    for (rank, &req) in chunksizes.iter().enumerate() {
         assert_eq!(mf.read_rank(rank).unwrap(), payload(rank, 2000), "rank {rank}");
-        assert_eq!(mf.locations().tasks[rank].chunksize_req, chunksizes[rank]);
+        assert_eq!(mf.locations().tasks[rank].chunksize_req, req);
     }
 }
 
@@ -140,6 +140,36 @@ fn repair_reconstructs_lost_metablock2() {
     assert_eq!(stored_after, stored_before);
     for rank in 0..ntasks {
         assert_eq!(after.read_rank(rank).unwrap(), payload(rank, 300 * (rank + 1)));
+    }
+}
+
+#[test]
+fn repair_recovers_flushed_data_from_buffered_crash() {
+    // A buffered writer crashes (handle dropped, never closed): everything
+    // up to the last explicit flush must be recoverable from the rescue
+    // headers, while bytes still sitting in the write-behind buffer are
+    // gone. The rescue patch is deferred to flush points, so this pins
+    // down that flush really durably patches the headers.
+    let fs = MemFs::with_block_size(512);
+    let ntasks = 4;
+    World::run(ntasks, |comm| {
+        let params = SionParams::new(512).with_rescue().with_write_buffer(4096);
+        let mut w = paropen_write(&fs, "bcrash.sion", &params, comm).unwrap();
+        w.write(&payload(comm.rank(), 700)).unwrap();
+        w.flush().unwrap();
+        // Unflushed tail, smaller than the buffer: lost in the "crash".
+        w.write(&payload(comm.rank(), 100)).unwrap();
+        drop(w); // no close → no metablock 2, no trailer
+    });
+
+    assert!(Multifile::open(&fs, "bcrash.sion").is_err(), "crashed file must not open");
+    let report = repair(&fs, "bcrash.sion", false).unwrap();
+    assert_eq!(report.files_repaired, 1);
+    assert!(report.chunks_recovered > 0);
+
+    let mf = Multifile::open(&fs, "bcrash.sion").unwrap();
+    for rank in 0..ntasks {
+        assert_eq!(mf.read_rank(rank).unwrap(), payload(rank, 700), "rank {rank}");
     }
 }
 

@@ -160,11 +160,10 @@ pub fn decompress_block(
                     return Err("match overruns declared raw length");
                 }
                 // Overlapping copy (dist may be < len): byte-at-a-time.
-                let mut src = out.len() - dist;
-                for _ in 0..len {
+                let start = out.len() - dist;
+                for src in start..start + len {
                     let b = out[src];
                     out.push(b);
-                    src += 1;
                 }
             } else {
                 if ip >= block.len() {
@@ -220,7 +219,7 @@ mod tests {
     fn max_match_length_boundary() {
         // Exactly MAX_MATCH repeat after a seed byte.
         let mut data = vec![7u8];
-        data.extend(std::iter::repeat(7u8).take(MAX_MATCH));
+        data.extend(std::iter::repeat_n(7u8, MAX_MATCH));
         assert_eq!(roundtrip(&data), data);
     }
 
@@ -229,7 +228,7 @@ mod tests {
         let mut data = vec![0u8; 0];
         let phrase: Vec<u8> = (0..64).map(|i| (i * 13 % 251) as u8).collect();
         data.extend_from_slice(&phrase);
-        data.extend(std::iter::repeat(0xEE).take(WINDOW - 1024));
+        data.extend(std::iter::repeat_n(0xEE, WINDOW - 1024));
         data.extend_from_slice(&phrase); // still within window
         assert_eq!(roundtrip(&data), data);
     }

@@ -9,7 +9,7 @@
 //! the measurement.
 
 use simmpi::Comm;
-use sion::{paropen_write, Result, SionParams, SionParWriter};
+use sion::{paropen_write, CloseStats, Result, SionParams, SionParWriter};
 use std::sync::Arc;
 use vfs::{Vfs, VfsFile};
 
@@ -18,8 +18,10 @@ pub trait ActiveTrace {
     /// Append encoded events to this task's trace.
     fn write_events(&mut self, data: &[u8]) -> Result<()>;
 
-    /// Finish the trace. Collective for the multifile back-end.
-    fn finalize(self: Box<Self>) -> Result<()>;
+    /// Finish the trace. Collective for the multifile back-end, which also
+    /// reports its close statistics (bytes, blocks, write coalescing
+    /// counters); the task-local back-end has none to report.
+    fn finalize(self: Box<Self>) -> Result<Option<CloseStats>>;
 }
 
 /// Strategy for storing per-task traces.
@@ -62,9 +64,9 @@ impl ActiveTrace for TaskLocalActive {
         Ok(())
     }
 
-    fn finalize(self: Box<Self>) -> Result<()> {
+    fn finalize(self: Box<Self>) -> Result<Option<CloseStats>> {
         self.file.sync()?;
-        Ok(())
+        Ok(None)
     }
 }
 
@@ -118,9 +120,8 @@ impl ActiveTrace for SionActive {
         self.writer.write(data)
     }
 
-    fn finalize(self: Box<Self>) -> Result<()> {
-        self.writer.close()?;
-        Ok(())
+    fn finalize(self: Box<Self>) -> Result<Option<CloseStats>> {
+        Ok(Some(self.writer.close()?))
     }
 }
 
@@ -202,6 +203,35 @@ mod tests {
         // Repetitive event streams compress well.
         let stored = mf.locations().tasks[0].stored_bytes;
         assert!(stored < logical.len() as u64 / 2, "stored {stored} logical {}", logical.len());
+    }
+
+    #[test]
+    fn sion_backend_reports_coalesced_close_stats() {
+        let fs = MemFs::with_block_size(1024);
+        let backend = SionBackend::new("stats.sion", 64 * 1024, 1);
+        World::run(2, |comm| {
+            let mut trace = backend.activate(&fs, comm).unwrap();
+            // Many small event flushes: the stream engine should coalesce
+            // them into far fewer VFS writes.
+            for _ in 0..64 {
+                trace.write_events(&[comm.rank() as u8; 64]).unwrap();
+            }
+            let stats = trace.finalize().unwrap().expect("multifile reports stats");
+            assert_eq!(stats.user_bytes, 64 * 64);
+            assert_eq!(stats.write_io.user_calls, 64);
+            assert!(
+                stats.write_io.vfs_calls * 5 <= stats.write_io.user_calls,
+                "expected ≥5× coalescing, got {:?}",
+                stats.write_io
+            );
+        });
+        // Task-local backend reports no stats.
+        let local = TaskLocalBackend::new("tl/run");
+        World::run(1, |comm| {
+            let mut trace = local.activate(&fs, comm).unwrap();
+            trace.write_events(b"x").unwrap();
+            assert!(trace.finalize().unwrap().is_none());
+        });
     }
 
     #[test]

@@ -51,6 +51,11 @@ pub trait VfsFile: Send + Sync {
     /// Current file size in bytes (highest written/truncated extent).
     fn len(&self) -> io::Result<u64>;
 
+    /// Whether the file is empty (zero length).
+    fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
     /// Flush buffered data to the backing store.
     fn sync(&self) -> io::Result<()>;
 

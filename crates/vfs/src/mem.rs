@@ -56,11 +56,17 @@ impl FileData {
             let page_idx = pos / PAGE as u64;
             let in_page = (pos % PAGE as u64) as usize;
             let take = (PAGE - in_page).min(buf.len() - done);
-            let page = self
-                .pages
-                .entry(page_idx)
-                .or_insert_with(|| vec![0u8; PAGE].into_boxed_slice());
-            page[in_page..in_page + take].copy_from_slice(&buf[done..done + take]);
+            if in_page == 0 && take == PAGE {
+                // Full-page overwrite: build the page straight from the
+                // source slice instead of zero-filling and copying over it.
+                self.pages.insert(page_idx, buf[done..done + PAGE].into());
+            } else {
+                let page = self
+                    .pages
+                    .entry(page_idx)
+                    .or_insert_with(|| vec![0u8; PAGE].into_boxed_slice());
+                page[in_page..in_page + take].copy_from_slice(&buf[done..done + take]);
+            }
             done += take;
         }
         self.len = self.len.max(offset + buf.len() as u64);
@@ -122,10 +128,30 @@ pub struct MemFsStats {
     pub allocated: u64,
 }
 
+/// Number of independent lock shards the namespace is split into. Tasks of
+/// a multifile run open distinct physical files concurrently; hashing paths
+/// across shards keeps those opens from serializing on one namespace lock.
+const NAMESPACE_SHARDS: usize = 16;
+
 /// A sparse in-memory [`Vfs`].
+///
+/// The path → file map is sharded across [`NAMESPACE_SHARDS`] independently
+/// locked hash maps keyed by a path hash, so concurrent create/open/stat
+/// traffic from many simulated tasks does not contend on a single mutex.
+/// Per-file data keeps its own `RwLock` as before.
 pub struct MemFs {
-    files: Mutex<HashMap<String, Arc<RwLock<FileData>>>>,
+    shards: [Mutex<HashMap<String, Arc<RwLock<FileData>>>>; NAMESPACE_SHARDS],
     block_size: u64,
+}
+
+/// FNV-1a over the normalized path, reduced to a shard index.
+fn shard_index(path: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h % NAMESPACE_SHARDS as u64) as usize
 }
 
 impl MemFs {
@@ -138,20 +164,29 @@ impl MemFs {
     /// An empty in-memory FS advertising the given block size.
     pub fn with_block_size(block_size: u64) -> Self {
         assert!(block_size > 0, "block size must be positive");
-        Self { files: Mutex::new(HashMap::new()), block_size }
+        Self {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            block_size,
+        }
+    }
+
+    /// The shard holding `path` (already normalized).
+    fn shard(&self, path: &str) -> &Mutex<HashMap<String, Arc<RwLock<FileData>>>> {
+        &self.shards[shard_index(path)]
     }
 
     /// Logical and physically-allocated sizes of `path`.
     pub fn stats(&self, path: &str) -> Option<MemFsStats> {
-        let files = self.files.lock();
-        let data = files.get(&normalize_path(path))?;
+        let path = normalize_path(path);
+        let files = self.shard(&path).lock();
+        let data = files.get(&path)?;
         let d = data.read();
         Some(MemFsStats { len: d.len, allocated: d.allocated_bytes() })
     }
 
     /// Number of files in the namespace.
     pub fn file_count(&self) -> usize {
-        self.files.lock().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 }
 
@@ -165,7 +200,7 @@ impl Vfs for MemFs {
     fn create(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
         let path = normalize_path(path);
         let data = Arc::new(RwLock::new(FileData::default()));
-        self.files.lock().insert(path, data.clone());
+        self.shard(&path).lock().insert(path, data.clone());
         Ok(Arc::new(MemFile { data }))
     }
 
@@ -174,23 +209,26 @@ impl Vfs for MemFs {
     }
 
     fn open_rw(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
-        let files = self.files.lock();
+        let norm = normalize_path(path);
+        let files = self.shard(&norm).lock();
         let data = files
-            .get(&normalize_path(path))
+            .get(&norm)
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no such file: {path}")))?;
         Ok(Arc::new(MemFile { data: data.clone() }))
     }
 
     fn remove(&self, path: &str) -> io::Result<()> {
-        self.files
+        let norm = normalize_path(path);
+        self.shard(&norm)
             .lock()
-            .remove(&normalize_path(path))
+            .remove(&norm)
             .map(|_| ())
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no such file: {path}")))
     }
 
     fn exists(&self, path: &str) -> bool {
-        self.files.lock().contains_key(&normalize_path(path))
+        let norm = normalize_path(path);
+        self.shard(&norm).lock().contains_key(&norm)
     }
 
     fn block_size(&self) -> u64 {
@@ -199,13 +237,10 @@ impl Vfs for MemFs {
 
     fn list(&self, prefix: &str) -> io::Result<Vec<String>> {
         let prefix = normalize_path(prefix);
-        let mut out: Vec<String> = self
-            .files
-            .lock()
-            .keys()
-            .filter(|k| k.starts_with(&prefix))
-            .cloned()
-            .collect();
+        let mut out: Vec<String> = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().keys().filter(|k| k.starts_with(&prefix)).cloned());
+        }
         out.sort();
         Ok(out)
     }
@@ -276,6 +311,71 @@ mod tests {
         fs.remove("d/a").unwrap();
         assert!(!fs.exists("d/a"));
         assert!(fs.remove("d/a").is_err());
+    }
+
+    #[test]
+    fn full_page_aligned_write_allocates_and_roundtrips() {
+        let fs = MemFs::new();
+        let f = fs.create("fp").unwrap();
+        // Exactly two aligned pages: takes the direct-construction path.
+        let data: Vec<u8> = (0..2 * PAGE).map(|i| (i % 253) as u8).collect();
+        f.write_all_at(&data, 0).unwrap();
+        assert_eq!(fs.stats("fp").unwrap().allocated, 2 * PAGE as u64);
+        let mut back = vec![0u8; data.len()];
+        f.read_exact_at(&mut back, 0).unwrap();
+        assert_eq!(back, data);
+        // Overwriting a full page replaces it wholesale.
+        let page2: Vec<u8> = vec![0xEE; PAGE];
+        f.write_all_at(&page2, PAGE as u64).unwrap();
+        f.read_exact_at(&mut back, 0).unwrap();
+        assert_eq!(&back[..PAGE], &data[..PAGE]);
+        assert_eq!(&back[PAGE..], &page2[..]);
+    }
+
+    #[test]
+    fn namespace_ops_work_across_shards() {
+        // Enough files that every shard sees traffic (paths hash ~uniformly).
+        let fs = MemFs::new();
+        let names: Vec<String> = (0..200).map(|i| format!("dir/f{i:04}")).collect();
+        for n in &names {
+            fs.create(n).unwrap();
+        }
+        assert_eq!(fs.file_count(), 200);
+        let mut listed = fs.list("dir/").unwrap();
+        let mut expect = names.clone();
+        listed.sort();
+        expect.sort();
+        assert_eq!(listed, expect);
+        for n in &names {
+            assert!(fs.exists(n));
+            fs.remove(n).unwrap();
+        }
+        assert_eq!(fs.file_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_creates_land_in_their_shards() {
+        let fs = std::sync::Arc::new(MemFs::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let fs = fs.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let name = format!("run/t{t}/file{i}");
+                        let f = fs.create(&name).unwrap();
+                        f.write_all_at(&[t as u8; 16], 0).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(fs.file_count(), 8 * 50);
+        let mut buf = [0u8; 16];
+        let f = fs.open("run/t3/file7").unwrap();
+        f.read_exact_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, [3u8; 16]);
     }
 
     #[test]
