@@ -12,6 +12,15 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> crash-consistency harness (fixed seed)"
+CRASH_SEED=1359024137 cargo test -p sion --test crash_consistency -q
+
+echo "==> rescue smoke: crash a multifile, sionrepair it, sionverify it"
+rm -rf target/smoke
+cargo run --release --example rescue_smoke
+./target/release/sionrepair target/smoke/crash.sion
+./target/release/sionverify target/smoke/crash.sion
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -12,14 +12,23 @@ fn main() {
     let force = args.get(2).map(|a| a == "--force").unwrap_or(false);
     let fs = LocalFs::new(".");
     match sion::rescue::repair(&fs, &args[1], force) {
-        Ok(rep) => println!(
-            "scanned {} files: {} intact, {} repaired; recovered {} chunks / {} bytes",
-            rep.files_scanned,
-            rep.files_intact,
-            rep.files_repaired,
-            rep.chunks_recovered,
-            rep.bytes_recovered
-        ),
+        Ok(rep) => {
+            println!(
+                "scanned {} files: {} intact, {} repaired; recovered {} chunks / {} bytes",
+                rep.files_scanned,
+                rep.files_intact,
+                rep.files_repaired,
+                rep.chunks_recovered,
+                rep.bytes_recovered
+            );
+            if !rep.is_clean() {
+                println!("skipped damage ({} problems):", rep.problems.len());
+                for p in &rep.problems {
+                    println!("  {p}");
+                }
+                std::process::exit(1);
+            }
+        }
         Err(e) => {
             eprintln!("sionrepair: {e}");
             std::process::exit(1);

@@ -199,22 +199,27 @@ impl VerifyReport {
 /// cross-validates, every chunk's usage fits its capacity, every logical
 /// stream is readable end to end (which exercises decompression), and — if
 /// rescue headers are present — they agree with metablock 2.
+///
+/// [`Multifile::open`] itself rejects inconsistent metadata (usage
+/// overflowing capacity, impossible extents, duplicate ranks), which
+/// would turn every such defect into an opaque `Err` here. Instead, when
+/// the strict open fails, verify falls back to a *lenient raw-metadata
+/// scan* ([`verify_raw`]) that reads metablocks 1 and 2 directly and
+/// reports each inconsistency as a problem in the returned report — so
+/// damaged files still yield a diagnosis instead of just an error.
 pub fn verify(vfs: &dyn Vfs, base: &str) -> Result<VerifyReport> {
-    let mf = Multifile::open(vfs, base)?;
+    let mf = match Multifile::open(vfs, base) {
+        Ok(mf) => mf,
+        Err(open_err) => return verify_raw(vfs, base, open_err),
+    };
     let loc = mf.locations().clone();
     let mut report = VerifyReport::default();
 
     for t in &loc.tasks {
         let mut ok = true;
-        for c in &t.chunks {
-            if c.used > t.usable {
-                report.problems.push(format!(
-                    "rank {} block {}: {} used bytes exceed usable capacity {}",
-                    t.global_rank, c.block, c.used, t.usable
-                ));
-                ok = false;
-            }
-        }
+        // Note: per-chunk `used <= usable` needs no check here — metadata
+        // violating it cannot pass Multifile::open and is diagnosed by the
+        // raw fallback path instead.
         match mf.read_rank(t.global_rank) {
             Ok(data) => {
                 // For uncompressed files the logical length must equal the
@@ -275,6 +280,90 @@ pub fn verify(vfs: &dyn Vfs, base: &str) -> Result<VerifyReport> {
                             t.global_rank, c.block
                         )),
                     }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Lenient fallback of [`verify`] for files the strict [`Multifile::open`]
+/// rejects: read metablocks 1 and 2 of every physical file directly and
+/// report each inconsistency (usage over capacity, impossible extents,
+/// duplicate ranks, unreadable metadata) as a problem. Returns `Err` only
+/// when even the first file's metablock 1 is unreadable — then there is
+/// nothing to diagnose against — propagating the original open error
+/// alongside the read failure. `tasks_ok` stays 0: without a consistent
+/// open, no stream can be certified readable.
+fn verify_raw(vfs: &dyn Vfs, base: &str, open_err: SionError) -> Result<VerifyReport> {
+    use sion::format::{MetaBlock1, MetaBlock2};
+    use sion::FileLayout;
+
+    let first = vfs
+        .open(base)
+        .map_err(|e| SionError::Format(format!("{open_err}; base file unreadable: {e}")))?;
+    let first_mb1 = MetaBlock1::read_from(first.as_ref())
+        .map_err(|e| SionError::Format(format!("{open_err}; metablock 1 unreadable: {e}")))?;
+    drop(first);
+
+    let mut report = VerifyReport::default();
+    report
+        .problems
+        .push(format!("strict metadata open failed: {open_err}"));
+
+    let mut seen_ranks = std::collections::BTreeMap::new();
+    for k in 0..first_mb1.nfiles {
+        let name = sion::physical_name(base, k);
+        let file = match vfs.open(&name) {
+            Ok(f) => f,
+            Err(e) => {
+                report.problems.push(format!("{name}: cannot open: {e}"));
+                continue;
+            }
+        };
+        let mb1 = match MetaBlock1::read_from(file.as_ref()) {
+            Ok(m) => m,
+            Err(e) => {
+                report.problems.push(format!("{name}: metablock 1 unreadable: {e}"));
+                continue;
+            }
+        };
+        if mb1.filenum != k {
+            report
+                .problems
+                .push(format!("{name}: claims file number {} (expected {k})", mb1.filenum));
+        }
+        for (t, &r) in mb1.global_ranks.iter().enumerate() {
+            if let Some(prev) = seen_ranks.insert(r, name.clone()) {
+                report
+                    .problems
+                    .push(format!("{name}: rank {r} (local task {t}) already mapped in {prev}"));
+            }
+        }
+        let layout = FileLayout::from_mb1(&mb1);
+        let n = layout.ntasks();
+        let mb2 = match MetaBlock2::read_from(file.as_ref(), n) {
+            Ok(m) => m,
+            Err(e) => {
+                report.problems.push(format!("{name}: metablock 2 unreadable: {e}"));
+                continue;
+            }
+        };
+        if let Ok(len) = file.len() {
+            if let Err(e) = layout.validate_extent(mb2.nblocks, len) {
+                report.problems.push(format!("{name}: {e}"));
+            }
+        }
+        for t in 0..n {
+            let usable = layout.usable(t);
+            for b in 0..mb2.nblocks {
+                let used = mb2.used_in(b, t, n);
+                if used > usable {
+                    report.problems.push(format!(
+                        "{name}: rank {} block {b}: {used} used bytes exceed usable \
+                         capacity {usable}",
+                        mb1.global_ranks[t]
+                    ));
                 }
             }
         }
@@ -460,12 +549,16 @@ mod tests {
         // First usage word lives after magic(8)+nblocks(8)+ntasks(8).
         // 600 bytes exceed the 512-byte chunk capacity.
         f.write_all_at(&600u64.to_le_bytes(), mb2_off + 24).unwrap();
-        // Either the open already rejects the inconsistency or verify
-        // reports it — silence is the only wrong answer.
-        match verify(&fs, "in.sion") {
-            Err(_) => {}
-            Ok(report) => assert!(!report.is_clean()),
-        }
+        // The strict open rejects this file, so verify must fall back to
+        // the raw-metadata scan and name the overflowing chunk.
+        let report = verify(&fs, "in.sion").unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.tasks_ok, 0);
+        assert!(
+            report.problems.iter().any(|p| p.contains("600") && p.contains("exceed")),
+            "{:?}",
+            report.problems
+        );
     }
 
     #[test]

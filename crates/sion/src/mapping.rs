@@ -25,13 +25,23 @@ pub enum Mapping {
 impl Mapping {
     /// The physical file index for `rank` out of `ntasks` tasks mapped onto
     /// `nfiles` files.
+    ///
+    /// Total over the full argument space: degenerate inputs are clamped
+    /// to the nearest meaningful value (`ntasks` to at least 1, `rank`
+    /// into `0..ntasks`, `nfiles` into `1..=ntasks`) instead of panicking
+    /// or dividing by zero. For arguments accepted by
+    /// [`validate`](Self::validate) the clamping is the identity, so
+    /// callers going through validation see no behaviour change; callers
+    /// that reach this with unvalidated values (e.g. tooling probing a
+    /// damaged multifile) get a well-defined file index `< nfiles.max(1)`.
     pub fn file_of(self, rank: usize, ntasks: usize, nfiles: u32) -> u32 {
-        debug_assert!(rank < ntasks);
-        let nfiles = nfiles as usize;
+        let ntasks = ntasks.max(1);
+        let rank = rank.min(ntasks - 1);
+        let nfiles = (nfiles as usize).clamp(1, ntasks);
         match self {
             Mapping::Blocked => {
                 // Split as evenly as possible: the first `rem` files get
-                // one extra task.
+                // one extra task. `nfiles <= ntasks` ensures `base >= 1`.
                 let base = ntasks / nfiles;
                 let rem = ntasks % nfiles;
                 let big = (base + 1) * rem; // ranks covered by the larger files
@@ -160,6 +170,41 @@ mod tests {
                 prop_assert!(!ranks.is_empty(), "file {f} empty");
                 for (i, &r) in ranks.iter().enumerate() {
                     prop_assert_eq!(m.local_index(r, ntasks, nfiles), i);
+                }
+            }
+        }
+
+        /// `file_of` is total: over the *full* argument space — including
+        /// `ntasks == 0`, `nfiles == 0`, `nfiles > ntasks`, and ranks at
+        /// or beyond `ntasks` — it never panics and always returns an
+        /// index below `nfiles.max(1)`.
+        #[test]
+        fn file_of_is_total_over_full_domain(
+            rank in 0usize..2000,
+            ntasks in 0usize..1000,
+            nfiles in 0u32..64,
+            kind in 0usize..3,
+            group in 0u64..40,
+        ) {
+            let m = match kind {
+                0 => Mapping::Blocked,
+                1 => Mapping::RoundRobin,
+                _ => Mapping::Grouped(group),
+            };
+            let f = m.file_of(rank, ntasks, nfiles);
+            let effective_nfiles = (nfiles as usize).clamp(1, ntasks.max(1)) as u32;
+            prop_assert!(f < effective_nfiles.max(1));
+            prop_assert!(f < nfiles.max(1));
+            // On validated inputs, clamping is the identity: in-range
+            // ranks agree with the documented per-variant formulas.
+            if m.validate(ntasks, nfiles).is_ok() && rank < ntasks {
+                match m {
+                    Mapping::RoundRobin => prop_assert_eq!(f, (rank % nfiles as usize) as u32),
+                    Mapping::Grouped(g) => {
+                        let g = g.max(1) as usize;
+                        prop_assert_eq!(f, ((rank / g).min(nfiles as usize - 1)) as u32);
+                    }
+                    Mapping::Blocked => {} // covered by mapping_partition_properties
                 }
             }
         }

@@ -281,42 +281,68 @@ impl SionParWriter {
 
     /// `sion_parclose_mpi`: collectively finalize the multifile. The file
     /// master gathers every task's per-block usage and writes metablock 2.
+    ///
+    /// Crash behaviour: a task whose local flush/sync fails still takes
+    /// part in every collective below (deserting the gather would hang the
+    /// surviving tasks) and the group then skips writing metablock 2
+    /// entirely — finalizing without the failed task's usage would
+    /// silently drop its data. The un-finalized file remains recoverable
+    /// via [`rescue::repair`](crate::rescue::repair) when rescue headers
+    /// are enabled. Only when close returns `Ok` on every task is the
+    /// multifile's metadata durable and final.
     pub fn close(mut self) -> Result<CloseStats> {
-        let used = self.writer.finish()?;
-        let stats = CloseStats {
+        let finish_res = self.writer.finish();
+        let used = finish_res.as_ref().map(|u| u.clone()).unwrap_or_default();
+
+        // All-or-nothing across the file group: learn whether any task
+        // failed before deciding to finalize.
+        let any_failed = self
+            .lcom
+            .allgather_u64(finish_res.is_err() as u64)
+            .iter()
+            .any(|&v| v != 0);
+
+        let gathered = self.lcom.gather_u64s(&used, 0);
+        let finalize: Result<u64> = if self.lcom.rank() == 0 {
+            if any_failed {
+                Err(SionError::CollectiveMismatch(
+                    "a task failed to flush; metablock 2 not written".into(),
+                ))
+            } else {
+                (|| {
+                    let per_task = gathered.expect("master receives gather");
+                    let n = per_task.len();
+                    let nblocks = per_task.iter().map(Vec::len).max().unwrap_or(0) as u64;
+                    let mut usage = vec![0u64; (nblocks as usize) * n];
+                    for (t, blocks) in per_task.iter().enumerate() {
+                        for (b, &u) in blocks.iter().enumerate() {
+                            usage[b * n + t] = u;
+                        }
+                    }
+                    // Reconstruct the layout geometry from this task's view:
+                    // the master's own geometry carries data_start/block_size.
+                    let mb2 = MetaBlock2 { nblocks, used: usage };
+                    let mb2_off = self.writer.mb2_offset(nblocks);
+                    mb2.write_to(self.writer.file(), mb2_off, n)?;
+                    Ok(0)
+                })()
+            }
+        } else {
+            Ok(0)
+        };
+        let status = check_master_status(self.lcom.as_ref(), finalize);
+        // Collective over the global communicator: when close returns, the
+        // entire multifile (all physical files' metablocks) is final.
+        // Always reached, error or not, so no file group can hang another.
+        self.gcom.barrier();
+        let used = finish_res?;
+        status?;
+        Ok(CloseStats {
             user_bytes: self.writer.user_bytes(),
             stored_bytes: used.iter().sum(),
             blocks: used.iter().filter(|&&u| u > 0).count() as u64,
             write_io: self.writer.io_counters(),
-        };
-
-        let gathered = self.lcom.gather_u64s(&used, 0);
-        let finalize: Result<u64> = if self.lcom.rank() == 0 {
-            (|| {
-                let per_task = gathered.expect("master receives gather");
-                let n = per_task.len();
-                let nblocks = per_task.iter().map(Vec::len).max().unwrap_or(0) as u64;
-                let mut usage = vec![0u64; (nblocks as usize) * n];
-                for (t, blocks) in per_task.iter().enumerate() {
-                    for (b, &u) in blocks.iter().enumerate() {
-                        usage[b * n + t] = u;
-                    }
-                }
-                // Reconstruct the layout geometry from this task's view:
-                // the master's own geometry carries data_start/block_size.
-                let mb2 = MetaBlock2 { nblocks, used: usage };
-                let mb2_off = self.writer.mb2_offset(nblocks);
-                mb2.write_to(self.writer.file(), mb2_off, n)?;
-                Ok(0)
-            })()
-        } else {
-            Ok(0)
-        };
-        check_master_status(self.lcom.as_ref(), finalize)?;
-        // Collective over the global communicator: when close returns, the
-        // entire multifile (all physical files' metablocks) is final.
-        self.gcom.barrier();
-        Ok(stats)
+        })
     }
 }
 

@@ -79,11 +79,35 @@ pub struct RepairReport {
     pub chunks_recovered: u64,
     /// Total user bytes recovered.
     pub bytes_recovered: u64,
+    /// Human-readable reports of damage encountered and skipped over:
+    /// mismatched or unreadable rescue headers, files that could not be
+    /// opened or repaired. Repair degrades gracefully — a clobbered chunk
+    /// costs only that chunk, a clobbered file only that file — so an
+    /// `Ok` report with non-empty `problems` means "recovered what was
+    /// recoverable"; callers deciding whether to trust the result should
+    /// check [`is_clean`](Self::is_clean).
+    pub problems: Vec<String>,
+}
+
+impl RepairReport {
+    /// Whether the scan completed without skipping any damaged chunk/file.
+    pub fn is_clean(&self) -> bool {
+        self.problems.is_empty()
+    }
 }
 
 /// Rebuild missing metablock 2s of the multifile at `base` by scanning
 /// rescue headers. Files with a valid metablock 2 are left alone unless
 /// `force` is set (then they are re-derived from the headers too).
+///
+/// Damage encountered mid-scan does not abort the run: a chunk whose
+/// rescue header is unreadable or belongs to a different (rank, block)
+/// is skipped (counted as empty) and reported in
+/// [`RepairReport::problems`], and a physical file that cannot be opened
+/// or whose metablock 1 is unreadable is skipped the same way, so the
+/// remaining chunks and files are still recovered. Only damage to the
+/// *first* file's metablock 1 is fatal — without it the multifile's
+/// shape (`nfiles`, rescue flag) is unknown.
 pub fn repair(vfs: &dyn Vfs, base: &str, force: bool) -> Result<RepairReport> {
     let first = vfs.open_rw(base)?;
     let mb1 = MetaBlock1::read_from(first.as_ref())?;
@@ -101,12 +125,25 @@ pub fn repair(vfs: &dyn Vfs, base: &str, force: bool) -> Result<RepairReport> {
         files_repaired: 0,
         chunks_recovered: 0,
         bytes_recovered: 0,
+        problems: Vec::new(),
     };
 
     for k in 0..nfiles {
         let name = physical_name(base, k);
-        let file = vfs.open_rw(&name)?;
-        let mb1 = MetaBlock1::read_from(file.as_ref())?;
+        let file = match vfs.open_rw(&name) {
+            Ok(f) => f,
+            Err(e) => {
+                report.problems.push(format!("{name}: cannot open: {e}"));
+                continue;
+            }
+        };
+        let mb1 = match MetaBlock1::read_from(file.as_ref()) {
+            Ok(m) => m,
+            Err(e) => {
+                report.problems.push(format!("{name}: metablock 1 unreadable: {e}"));
+                continue;
+            }
+        };
         report.files_scanned += 1;
 
         if !force && MetaBlock2::read_from(file.as_ref(), mb1.ntasks_local()).is_ok() {
@@ -133,18 +170,26 @@ pub fn repair(vfs: &dyn Vfs, base: &str, force: bool) -> Result<RepairReport> {
                 if at + RESCUE_HEADER_LEN > file_len {
                     continue;
                 }
-                if file.read_exact_at(&mut hdr, at).is_err() {
+                if let Err(e) = file.read_exact_at(&mut hdr, at) {
+                    // In-bounds but unreadable: skip the chunk, keep going.
+                    report.problems.push(format!(
+                        "{name}: rescue header of (rank {}, block {b}) unreadable: {e}",
+                        mb1.global_ranks[t]
+                    ));
                     continue;
                 }
                 let Some(h) = RescueHeader::decode(&hdr) else { continue };
                 if h.global_rank != mb1.global_ranks[t] || h.block != b {
-                    // A header from a different (rank, block) here means the
-                    // file is inconsistent with its own layout.
-                    return Err(SionError::Rescue(format!(
-                        "rescue header mismatch in {name}: found (rank {}, block {}) at \
-                         chunk of (rank {}, block {b})",
+                    // A header from a different (rank, block) means this spot
+                    // is inconsistent with the file's own layout — possibly a
+                    // torn header write. Treat the chunk as unrecoverable and
+                    // move on; the rest of the file is still worth saving.
+                    report.problems.push(format!(
+                        "{name}: rescue header mismatch: found (rank {}, block {}) at \
+                         chunk of (rank {}, block {b}); chunk skipped",
                         h.global_rank, h.block, mb1.global_ranks[t]
-                    )));
+                    ));
+                    continue;
                 }
                 let cap_user = layout.usable(t);
                 let used = h.used.min(cap_user);
@@ -165,7 +210,10 @@ pub fn repair(vfs: &dyn Vfs, base: &str, force: bool) -> Result<RepairReport> {
         let nblocks = rows.len() as u64;
         let used: Vec<u64> = rows.into_iter().flatten().collect();
         let mb2 = MetaBlock2 { nblocks, used };
-        mb2.write_to(file.as_ref(), layout.mb2_offset(nblocks), n)?;
+        if let Err(e) = mb2.write_to(file.as_ref(), layout.mb2_offset(nblocks), n) {
+            report.problems.push(format!("{name}: cannot write rebuilt metablock 2: {e}"));
+            continue;
+        }
         report.files_repaired += 1;
     }
     Ok(report)

@@ -325,6 +325,15 @@ impl TaskWriter {
     /// (chunk advance, seek), on explicit [`flush`](Self::flush), and at
     /// [`finish`](Self::finish) — the points where data becomes durable in
     /// the VFS.
+    ///
+    /// Crash-consistency invariant: the data write strictly precedes the
+    /// rescue-header patch, and on a data-write error the patch is *not*
+    /// attempted (the buffer is restored instead, keeping retry possible).
+    /// A rescue header therefore never claims bytes that are not on disk —
+    /// after a crash anywhere in this sequence, `used` in the header
+    /// understates at worst, and `rescue::repair` recovers a prefix of
+    /// what the task wrote. The crash_consistency integration tests pin
+    /// this ordering via the FaultFs op log.
     fn flush_pending(&mut self) -> Result<()> {
         if !self.wbuf.is_empty() {
             let at = self.geom.data_offset(self.block) + self.wbuf_start;
@@ -439,6 +448,13 @@ impl TaskWriter {
 
     /// Flush (buffer and, in compressed mode, encoder) and return the
     /// per-block usage vector.
+    ///
+    /// Trailing blocks with zero stored bytes are trimmed: a chunk merely
+    /// *entered* (e.g. via `ensure_free_space`, rescue header written,
+    /// nothing stored) does not extend the block count. This is the
+    /// canonical convention shared with [`rescue::repair`], which trims
+    /// trailing all-zero rows the same way — so metadata rebuilt after a
+    /// crash agrees exactly with what a clean close writes.
     pub fn finish(&mut self) -> Result<Vec<u64>> {
         if let Some(mut enc) = self.enc.take() {
             enc.flush();
@@ -447,7 +463,11 @@ impl TaskWriter {
         }
         self.flush_pending()?;
         self.file.sync()?;
-        Ok(self.used.clone())
+        let mut used = self.used.clone();
+        while used.last() == Some(&0) {
+            used.pop();
+        }
+        Ok(used)
     }
 }
 
@@ -910,7 +930,8 @@ mod tests {
         let (fs, layout) = setup(&[100], Alignment::None, false);
         let mut w = writer(&fs, &layout, 0, false);
         let used = w.finish().unwrap();
-        assert_eq!(used, vec![0]);
+        // Never-written trailing blocks are trimmed away entirely.
+        assert_eq!(used, Vec::<u64>::new());
         let mut r = reader(
             fs.open("f").unwrap(),
             ChunkGeom::from_layout(&layout, 0, 0),

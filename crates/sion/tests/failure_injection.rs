@@ -102,6 +102,58 @@ fn read_failures_surface_in_serial_view() {
 }
 
 #[test]
+fn quota_kill_mid_write_is_recoverable_up_to_last_flush() {
+    // The paper's "file quota violation" failure: the byte budget runs out
+    // mid-write, the job dies, and repair brings back everything flushed
+    // before the cut.
+    let fs = FaultFs::new(MemFs::with_block_size(512));
+    World::run(2, |comm| {
+        let params = SionParams::new(512).with_rescue().with_write_buffer(0);
+        let Ok(mut w) = paropen_write(&fs, "q.sion", &params, comm) else { return };
+        let _ = w.write(&vec![comm.rank() as u8 + 1; 400]);
+        let _ = w.flush();
+        comm.barrier();
+        if comm.rank() == 0 {
+            // Budget exhausted from here on: the very next write is cut.
+            fs.set_quota(fs.bytes_written());
+        }
+        comm.barrier();
+        let failed = w.write(&vec![9u8; 400]).is_err() || w.flush().is_err();
+        assert!(failed, "writes past the quota must fail");
+        // Job dies: no close.
+    });
+    fs.clear();
+    let report = sion::rescue::repair(&fs, "q.sion", false).unwrap();
+    assert!(report.is_clean(), "{:?}", report.problems);
+    let mf = Multifile::open(&fs, "q.sion").unwrap();
+    for rank in 0..2 {
+        let got = mf.read_rank(rank).unwrap();
+        let full = vec![rank as u8 + 1; 400];
+        assert!(got.len() <= full.len() && got[..] == full[..got.len()],
+            "rank {rank}: recovered bytes must be a prefix of the flushed payload");
+    }
+}
+
+#[test]
+fn transient_write_fault_is_survivable_by_retrying_flush() {
+    // A transient EIO during flush must leave the writer retryable: the
+    // write-behind buffer is kept, and a later flush lands the same bytes.
+    let fs = FaultFs::new(MemFs::with_block_size(1024));
+    World::run(1, |comm| {
+        let params = SionParams::new(1024).with_rescue().with_write_buffer(4096);
+        let mut w = paropen_write(&fs, "t.sion", &params, comm).unwrap();
+        w.write(&vec![7u8; 600]).unwrap(); // buffered
+        fs.inject(FaultRule { kind: FaultKind::Write, from: 0, count: u64::MAX });
+        assert!(w.flush().is_err(), "flush must surface the storage error");
+        fs.clear(); // the outage passes
+        w.flush().unwrap();
+        w.close().unwrap();
+    });
+    let mf = Multifile::open(&fs, "t.sion").unwrap();
+    assert_eq!(mf.read_rank(0).unwrap(), vec![7u8; 600]);
+}
+
+#[test]
 fn repair_with_failing_reads_errors_not_panics() {
     let fs = FaultFs::new(MemFs::with_block_size(512));
     World::run(2, |comm| {

@@ -227,6 +227,106 @@ fn forced_repair_matches_collective_close() {
 }
 
 #[test]
+fn repair_multifile_with_partial_metablock_loss_across_files() {
+    // Three physical files; files 0 and 2 lose their metablock 2, file 1
+    // stays intact. Repair must fix exactly the damaged ones and leave a
+    // fully readable multifile.
+    let fs = MemFs::with_block_size(512);
+    World::run(9, |comm| {
+        let params = SionParams::new(512).with_nfiles(3).with_rescue();
+        let mut w = paropen_write(&fs, "part.sion", &params, comm).unwrap();
+        w.write(&payload(comm.rank(), 1100)).unwrap();
+        w.close().unwrap();
+    });
+    truncate_metadata(&fs, "part.sion");
+    truncate_metadata(&fs, "part.sion.000002");
+
+    let report = repair(&fs, "part.sion", false).unwrap();
+    assert_eq!(report.files_scanned, 3);
+    assert_eq!(report.files_intact, 1);
+    assert_eq!(report.files_repaired, 2);
+    assert!(report.is_clean(), "{:?}", report.problems);
+
+    let mf = Multifile::open(&fs, "part.sion").unwrap();
+    for rank in 0..9 {
+        assert_eq!(mf.read_rank(rank).unwrap(), payload(rank, 1100), "rank {rank}");
+    }
+}
+
+#[test]
+fn forced_repair_of_multifile_matches_collective_close() {
+    // force=true over several physical files: the reconstruction must
+    // agree with the clean close's metadata on every file.
+    let fs = MemFs::with_block_size(256);
+    World::run(6, |comm| {
+        let params = SionParams::new(256).with_nfiles(2).with_rescue();
+        let mut w = paropen_write(&fs, "mforce.sion", &params, comm).unwrap();
+        w.write(&payload(comm.rank(), 500 + 100 * comm.rank())).unwrap();
+        w.close().unwrap();
+    });
+    let before = Multifile::open(&fs, "mforce.sion").unwrap().locations().clone();
+    let report = repair(&fs, "mforce.sion", true).unwrap();
+    assert_eq!(report.files_scanned, 2);
+    assert_eq!(report.files_repaired, 2);
+    assert_eq!(report.files_intact, 0);
+    let after = Multifile::open(&fs, "mforce.sion").unwrap().locations().clone();
+    assert_eq!(before, after);
+}
+
+/// Read a file's entire contents (for byte-identity comparisons).
+fn file_bytes(fs: &MemFs, path: &str) -> Vec<u8> {
+    let f = fs.open(path).unwrap();
+    let len = f.len().unwrap() as usize;
+    let mut buf = vec![0u8; len];
+    f.read_exact_at(&mut buf, 0).unwrap();
+    buf
+}
+
+#[test]
+fn repair_after_clean_close_is_byte_identical() {
+    // The canonical trailing-block convention: a chunk merely entered via
+    // ensure_free_space (nothing stored) does not count toward nblocks, on
+    // the writer path and the repair path alike. Force-repairing a cleanly
+    // closed multifile must therefore reproduce the files bit for bit.
+    let fs = MemFs::with_block_size(256);
+    World::run(4, |comm| {
+        let params = SionParams::new(256).with_rescue();
+        let mut w = paropen_write(&fs, "ident.sion", &params, comm).unwrap();
+        w.write(&payload(comm.rank(), 300)).unwrap();
+        if comm.rank() == 1 {
+            // Advance into a fresh trailing chunk without writing to it.
+            w.ensure_free_space(200).unwrap();
+        }
+        w.close().unwrap();
+    });
+    let before = file_bytes(&fs, "ident.sion");
+    let report = repair(&fs, "ident.sion", true).unwrap();
+    assert_eq!(report.files_repaired, 1);
+    assert!(report.is_clean(), "{:?}", report.problems);
+    assert_eq!(file_bytes(&fs, "ident.sion"), before, "repair must be byte-identical");
+}
+
+#[test]
+fn repair_skips_unopenable_file_but_fixes_the_rest() {
+    // Losing one physical file entirely costs that file's data only: the
+    // others still repair, and the loss is reported as a problem.
+    let fs = MemFs::with_block_size(512);
+    World::run(4, |comm| {
+        let params = SionParams::new(512).with_nfiles(2).with_rescue();
+        let mut w = paropen_write(&fs, "gone.sion", &params, comm).unwrap();
+        w.write(&payload(comm.rank(), 900)).unwrap();
+        w.close().unwrap();
+    });
+    truncate_metadata(&fs, "gone.sion");
+    fs.remove("gone.sion.000001").unwrap();
+
+    let report = repair(&fs, "gone.sion", false).unwrap();
+    assert_eq!(report.files_repaired, 1);
+    assert!(!report.is_clean());
+    assert!(report.problems.iter().any(|p| p.contains("cannot open")), "{:?}", report.problems);
+}
+
+#[test]
 fn rescue_headers_have_expected_layout_overhead() {
     let fs = MemFs::with_block_size(4096);
     World::run(2, |comm| {

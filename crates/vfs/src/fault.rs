@@ -1,11 +1,49 @@
 //! [`FaultFs`]: deterministic failure injection for any [`Vfs`].
 //!
-//! Wraps another file system and fails selected operations — either the
-//! n-th operation overall or everything matching an operation kind — with
-//! `io::ErrorKind::Other`. The SIONlib reproduction uses this to verify
-//! that storage errors during collective operations surface as clean
-//! errors on *every* task instead of deadlocks, and that the rescue tools
-//! behave when the underlying storage misbehaves.
+//! Wraps another file system and injects failures on selected operations.
+//! The SIONlib reproduction uses this to verify that storage errors during
+//! collective operations surface as clean errors on *every* task instead of
+//! deadlocks, and — via the crash-consistency harness in
+//! `crates/sion/tests/crash_consistency.rs` — that the rescue/repair path
+//! recovers a consistent prefix of every task's data no matter where a
+//! crash lands.
+//!
+//! All mechanisms are deterministic: they trigger on operation *counters*
+//! (global sequence numbers or per-kind occurrence numbers), never on time
+//! or randomness, so a failing case is reproducible from its trigger point
+//! alone. Harnesses that want randomized coverage derive trigger points
+//! from their own seeded RNG and sweep them.
+//!
+//! ## Knobs
+//!
+//! * **Rules** ([`inject`](FaultFs::inject)): fail occurrences
+//!   `from..from+count` of one [`FaultKind`] (counted per kind). With a
+//!   small `count` this models *transient* `EIO`-style errors that a retry
+//!   would get past; with `count = u64::MAX` it models a persistently
+//!   broken operation.
+//! * **Crash** ([`crash_after_ops`](FaultFs::crash_after_ops)): a kill
+//!   switch at global operation sequence number N — every op from N on
+//!   fails, simulating the process (or node) dying at that instant. Ops are
+//!   atomic at the VFS-call boundary: the op *before* the switch completed
+//!   fully, everything after persists nothing.
+//! * **Torn write** ([`crash_torn_write`](FaultFs::crash_torn_write)): like
+//!   the crash switch, but the write op *at* the switch persists only a
+//!   prefix of its buffer before erroring — a torn/short write, the way a
+//!   real crash can leave a partially persisted sector sequence.
+//! * **Quota** ([`set_quota`](FaultFs::set_quota)): after K bytes have been
+//!   persisted through writes, further writes fail; the write crossing the
+//!   boundary persists exactly up to the quota (short write), mirroring how
+//!   `EDQUOT` hits mid-`write(2)`. This is the paper's "file quota
+//!   violation" failure.
+//! * **Op log** ([`take_log`](FaultFs::take_log)): every operation —
+//!   successful, failed, or torn — is recorded in order with its global
+//!   sequence number, path, offset, length and persisted byte count. Tests
+//!   use it to assert ordering invariants such as "no rescue-header patch
+//!   after a failed data flush".
+//!
+//! [`clear`](FaultFs::clear) disarms everything (rules, crash switch,
+//! quota) so a harness can stop injecting and run recovery over the same
+//! image.
 
 use crate::{Vfs, VfsFile};
 use parking_lot::Mutex;
@@ -24,6 +62,10 @@ pub enum FaultKind {
     Write,
     /// Positioned reads.
     Read,
+    /// Durability barriers (`sync`).
+    Sync,
+    /// Truncations/extensions (`set_len`).
+    SetLen,
 }
 
 /// A single injection rule: fail occurrences `from..from+count` (0-based,
@@ -38,136 +80,350 @@ pub struct FaultRule {
     pub count: u64,
 }
 
+/// One entry of the operation log: what was attempted and what happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Global sequence number of the operation (across all kinds).
+    pub seq: u64,
+    /// Operation kind.
+    pub kind: FaultKind,
+    /// Path of the file the operation targeted.
+    pub path: String,
+    /// Byte offset (0 for namespace ops and `sync`; new length for
+    /// `set_len`).
+    pub offset: u64,
+    /// Bytes requested (reads/writes; 0 otherwise).
+    pub len: u64,
+    /// Bytes actually persisted (writes only; `< len` for torn/quota-cut
+    /// writes, 0 for clean failures).
+    pub persisted: u64,
+    /// Whether the operation succeeded.
+    pub ok: bool,
+}
+
+/// Sentinel for "disarmed" in the crash/quota atomics.
+const DISARMED: u64 = u64::MAX;
+
 #[derive(Default)]
 struct Counters {
     create: AtomicU64,
     open: AtomicU64,
     write: AtomicU64,
     read: AtomicU64,
+    sync: AtomicU64,
+    set_len: AtomicU64,
 }
 
-/// A failure-injecting [`Vfs`] wrapper.
-pub struct FaultFs<F: Vfs> {
-    inner: F,
-    rules: Arc<Mutex<Vec<FaultRule>>>,
-    counters: Arc<Counters>,
+impl Counters {
+    fn for_kind(&self, kind: FaultKind) -> &AtomicU64 {
+        match kind {
+            FaultKind::Create => &self.create,
+            FaultKind::Open => &self.open,
+            FaultKind::Write => &self.write,
+            FaultKind::Read => &self.read,
+            FaultKind::Sync => &self.sync,
+            FaultKind::SetLen => &self.set_len,
+        }
+    }
 }
 
-impl<F: Vfs> FaultFs<F> {
-    /// Wrap `inner` with no active rules.
-    pub fn new(inner: F) -> Self {
-        FaultFs {
-            inner,
-            rules: Arc::new(Mutex::new(Vec::new())),
-            counters: Arc::new(Counters::default()),
+/// Shared mutable state: one instance per [`FaultFs`], shared with every
+/// file handle it opens, so knobs armed after a file is opened still apply
+/// to it and counters are global across the namespace.
+struct FaultState {
+    rules: Mutex<Vec<FaultRule>>,
+    counters: Counters,
+    /// Global operation sequence counter (all kinds).
+    ops: AtomicU64,
+    /// Global op number from which everything fails; [`DISARMED`] = off.
+    crash_at: AtomicU64,
+    /// Bytes the write op *at* `crash_at` persists before erroring
+    /// ([`DISARMED`] = the op at the switch fails cleanly, persisting
+    /// nothing).
+    crash_keep: AtomicU64,
+    /// Total write bytes allowed before quota failures; [`DISARMED`] = off.
+    quota: AtomicU64,
+    /// Write bytes persisted so far (quota accounting).
+    written: AtomicU64,
+    /// Serializes the quota check-then-write so a racing write cannot
+    /// overshoot the quota.
+    quota_lock: Mutex<()>,
+    log: Mutex<Vec<OpRecord>>,
+}
+
+impl FaultState {
+    fn new() -> Self {
+        FaultState {
+            rules: Mutex::new(Vec::new()),
+            counters: Counters::default(),
+            ops: AtomicU64::new(0),
+            crash_at: AtomicU64::new(DISARMED),
+            crash_keep: AtomicU64::new(DISARMED),
+            quota: AtomicU64::new(DISARMED),
+            written: AtomicU64::new(0),
+            quota_lock: Mutex::new(()),
+            log: Mutex::new(Vec::new()),
         }
     }
 
-    /// Add an injection rule.
-    pub fn inject(&self, rule: FaultRule) {
-        self.rules.lock().push(rule);
+    fn record(&self, rec: OpRecord) {
+        self.log.lock().push(rec);
     }
 
-    /// Remove all rules (stop failing).
+    /// Pre-flight of every op: assign its sequence number, then apply the
+    /// crash switch and the per-kind rules. `Err` means the op must fail
+    /// without touching the inner FS (except a torn crash write, which the
+    /// caller handles via [`torn_budget`](Self::torn_budget)).
+    fn admit(&self, kind: FaultKind) -> (u64, io::Result<()>) {
+        let seq = self.ops.fetch_add(1, Ordering::SeqCst);
+        let n = self.counters.for_kind(kind).fetch_add(1, Ordering::SeqCst);
+        let crash_at = self.crash_at.load(Ordering::SeqCst);
+        if seq >= crash_at {
+            return (
+                seq,
+                Err(io::Error::other(format!(
+                    "injected crash: op #{seq} (crash point {crash_at})"
+                ))),
+            );
+        }
+        let rules = self.rules.lock();
+        for r in rules.iter() {
+            if r.kind == kind && n >= r.from && (n - r.from) < r.count {
+                return (seq, Err(io::Error::other(format!("injected fault: {kind:?} #{n}"))));
+            }
+        }
+        (seq, Ok(()))
+    }
+
+    /// If the op at `seq` is the torn crash write, the number of prefix
+    /// bytes it may persist; `None` for a clean (non-torn) failure.
+    fn torn_budget(&self, seq: u64) -> Option<u64> {
+        let keep = self.crash_keep.load(Ordering::SeqCst);
+        if keep != DISARMED && seq == self.crash_at.load(Ordering::SeqCst) {
+            Some(keep)
+        } else {
+            None
+        }
+    }
+}
+
+/// A failure-injecting [`Vfs`] wrapper. See the module docs for the
+/// available knobs; all state (counters, rules, op log) is shared between
+/// the namespace handle and every file opened through it.
+pub struct FaultFs<F: Vfs> {
+    inner: F,
+    state: Arc<FaultState>,
+}
+
+impl<F: Vfs> FaultFs<F> {
+    /// Wrap `inner` with nothing armed.
+    pub fn new(inner: F) -> Self {
+        FaultFs { inner, state: Arc::new(FaultState::new()) }
+    }
+
+    /// Add an injection rule (transient or persistent per-kind failures).
+    pub fn inject(&self, rule: FaultRule) {
+        self.state.rules.lock().push(rule);
+    }
+
+    /// Disarm everything: rules, crash switch, quota. The op log and the
+    /// counters are left intact (recovery code running afterwards keeps
+    /// appending to the same log).
     pub fn clear(&self) {
-        self.rules.lock().clear();
+        self.state.rules.lock().clear();
+        self.state.crash_at.store(DISARMED, Ordering::SeqCst);
+        self.state.crash_keep.store(DISARMED, Ordering::SeqCst);
+        self.state.quota.store(DISARMED, Ordering::SeqCst);
+    }
+
+    /// Arm the kill switch: every operation with global sequence number
+    /// `>= n` fails, simulating a crash after exactly `n` completed ops.
+    /// `crash_after_ops(0)` fails everything from now on.
+    pub fn crash_after_ops(&self, n: u64) {
+        self.state.crash_keep.store(DISARMED, Ordering::SeqCst);
+        self.state.crash_at.store(n, Ordering::SeqCst);
+    }
+
+    /// Arm the kill switch with a torn final write: ops `> n` fail
+    /// cleanly, and if op `n` is a write it persists only the first `keep`
+    /// bytes of its buffer before erroring (a short/torn write). A non-write
+    /// op at `n` fails cleanly.
+    pub fn crash_torn_write(&self, n: u64, keep: u64) {
+        self.state.crash_keep.store(keep, Ordering::SeqCst);
+        self.state.crash_at.store(n, Ordering::SeqCst);
+    }
+
+    /// Arm the byte quota: once `bytes` have been persisted through writes
+    /// (counted across the whole namespace since construction), further
+    /// writes fail; the write crossing the boundary persists exactly up to
+    /// the quota and then errors, like `EDQUOT` mid-write.
+    pub fn set_quota(&self, bytes: u64) {
+        self.state.quota.store(bytes, Ordering::SeqCst);
+    }
+
+    /// Total operations seen so far (the next op gets this sequence
+    /// number). Run a workload once against an unarmed `FaultFs` to learn
+    /// its op count, then sweep [`crash_after_ops`](Self::crash_after_ops)
+    /// over `0..=op_count()`.
+    pub fn op_count(&self) -> u64 {
+        self.state.ops.load(Ordering::SeqCst)
+    }
+
+    /// Bytes persisted through writes so far (the quota accounting).
+    pub fn bytes_written(&self) -> u64 {
+        self.state.written.load(Ordering::SeqCst)
+    }
+
+    /// Drain and return the op log accumulated so far.
+    pub fn take_log(&self) -> Vec<OpRecord> {
+        std::mem::take(&mut *self.state.log.lock())
     }
 
     /// Access the wrapped file system.
     pub fn inner(&self) -> &F {
         &self.inner
     }
-
-    fn check(&self, kind: FaultKind, counter: &AtomicU64) -> io::Result<()> {
-        let n = counter.fetch_add(1, Ordering::SeqCst);
-        let rules = self.rules.lock();
-        for r in rules.iter() {
-            if r.kind == kind && n >= r.from && (n - r.from) < r.count {
-                return Err(io::Error::other(format!(
-                    "injected fault: {kind:?} #{n}"
-                )));
-            }
-        }
-        Ok(())
-    }
 }
 
 struct FaultFile {
     inner: Arc<dyn VfsFile>,
-    counters: Arc<Counters>,
-    rules: Arc<Mutex<Vec<FaultRule>>>,
+    path: String,
+    state: Arc<FaultState>,
 }
 
 impl FaultFile {
-    fn check(&self, kind: FaultKind, counter: &AtomicU64) -> io::Result<()> {
-        let n = counter.fetch_add(1, Ordering::SeqCst);
-        let rules = self.rules.lock();
-        for r in rules.iter() {
-            if r.kind == kind && n >= r.from && (n - r.from) < r.count {
+    fn log_op(&self, seq: u64, kind: FaultKind, offset: u64, len: u64, persisted: u64, ok: bool) {
+        self.state.record(OpRecord { seq, kind, path: self.path.clone(), offset, len, persisted, ok });
+    }
+
+    /// The shared write path: admission, then torn-crash and quota cuts
+    /// (both persist a prefix through the inner file before erroring), then
+    /// the plain inner write.
+    fn do_write(&self, buf: &[u8], offset: u64) -> io::Result<usize> {
+        let (seq, admitted) = self.state.admit(FaultKind::Write);
+        if let Err(e) = admitted {
+            // A torn crash write persists a prefix; any other rejection
+            // persists nothing.
+            let keep = self.state.torn_budget(seq).map(|k| (k as usize).min(buf.len()));
+            if let Some(keep) = keep {
+                if keep > 0 {
+                    self.inner.write_all_at(&buf[..keep], offset)?;
+                    self.state.written.fetch_add(keep as u64, Ordering::SeqCst);
+                }
+                self.log_op(seq, FaultKind::Write, offset, buf.len() as u64, keep as u64, false);
                 return Err(io::Error::other(format!(
-                    "injected fault: {kind:?} #{n}"
+                    "injected torn write: {keep} of {} bytes persisted at op #{seq}",
+                    buf.len()
                 )));
             }
+            self.log_op(seq, FaultKind::Write, offset, buf.len() as u64, 0, false);
+            return Err(e);
         }
-        Ok(())
+
+        // Quota: check-then-write under a lock so concurrent writers cannot
+        // jointly overshoot the limit.
+        let quota = self.state.quota.load(Ordering::SeqCst);
+        if quota != DISARMED {
+            let _guard = self.state.quota_lock.lock();
+            let written = self.state.written.load(Ordering::SeqCst);
+            let room = quota.saturating_sub(written);
+            if (buf.len() as u64) > room {
+                let keep = room as usize;
+                if keep > 0 {
+                    self.inner.write_all_at(&buf[..keep], offset)?;
+                    self.state.written.fetch_add(keep as u64, Ordering::SeqCst);
+                }
+                self.log_op(seq, FaultKind::Write, offset, buf.len() as u64, keep as u64, false);
+                return Err(io::Error::other(format!(
+                    "injected quota exceeded: {keep} of {} bytes persisted (quota {quota})",
+                    buf.len()
+                )));
+            }
+            let n = self.inner.write_at(buf, offset)?;
+            self.state.written.fetch_add(n as u64, Ordering::SeqCst);
+            self.log_op(seq, FaultKind::Write, offset, buf.len() as u64, n as u64, true);
+            return Ok(n);
+        }
+
+        match self.inner.write_at(buf, offset) {
+            Ok(n) => {
+                self.state.written.fetch_add(n as u64, Ordering::SeqCst);
+                self.log_op(seq, FaultKind::Write, offset, buf.len() as u64, n as u64, true);
+                Ok(n)
+            }
+            Err(e) => {
+                self.log_op(seq, FaultKind::Write, offset, buf.len() as u64, 0, false);
+                Err(e)
+            }
+        }
     }
 }
 
 impl VfsFile for FaultFile {
     fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
-        self.check(FaultKind::Read, &self.counters.read)?;
+        let (seq, admitted) = self.state.admit(FaultKind::Read);
+        let ok = admitted.is_ok();
+        self.log_op(seq, FaultKind::Read, offset, buf.len() as u64, 0, ok);
+        admitted?;
         self.inner.read_at(buf, offset)
     }
 
     fn write_at(&self, buf: &[u8], offset: u64) -> io::Result<usize> {
-        self.check(FaultKind::Write, &self.counters.write)?;
-        self.inner.write_at(buf, offset)
+        self.do_write(buf, offset)
     }
 
     fn set_len(&self, len: u64) -> io::Result<()> {
+        let (seq, admitted) = self.state.admit(FaultKind::SetLen);
+        let ok = admitted.is_ok();
+        self.log_op(seq, FaultKind::SetLen, len, 0, 0, ok);
+        admitted?;
         self.inner.set_len(len)
     }
 
     fn len(&self) -> io::Result<u64> {
+        // Metadata query: never faulted, never counted — recovery tooling
+        // sizes files without perturbing op numbering.
         self.inner.len()
     }
 
     fn sync(&self) -> io::Result<()> {
+        let (seq, admitted) = self.state.admit(FaultKind::Sync);
+        let ok = admitted.is_ok();
+        self.log_op(seq, FaultKind::Sync, 0, 0, 0, ok);
+        admitted?;
         self.inner.sync()
     }
 }
 
-// Rules are shared between the namespace handle and every open file, so
-// rules added after a file is opened still apply to it.
+impl<F: Vfs> FaultFs<F> {
+    fn wrap(&self, path: &str, inner: Arc<dyn VfsFile>) -> Arc<dyn VfsFile> {
+        Arc::new(FaultFile { inner, path: path.to_string(), state: self.state.clone() })
+    }
+
+    fn admit_ns(&self, kind: FaultKind, path: &str) -> io::Result<()> {
+        let (seq, admitted) = self.state.admit(kind);
+        let ok = admitted.is_ok();
+        self.state.record(OpRecord { seq, kind, path: path.to_string(), offset: 0, len: 0, persisted: 0, ok });
+        admitted
+    }
+}
+
+// State is shared between the namespace handle and every open file, so
+// knobs armed after a file is opened still apply to it.
 impl<F: Vfs> Vfs for FaultFs<F> {
     fn create(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
-        self.check(FaultKind::Create, &self.counters.create)?;
-        let inner = self.inner.create(path)?;
-        Ok(Arc::new(FaultFile {
-            inner,
-            counters: self.counters.clone(),
-            rules: self.rules.clone(),
-        }))
+        self.admit_ns(FaultKind::Create, path)?;
+        Ok(self.wrap(path, self.inner.create(path)?))
     }
 
     fn open(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
-        self.check(FaultKind::Open, &self.counters.open)?;
-        let inner = self.inner.open(path)?;
-        Ok(Arc::new(FaultFile {
-            inner,
-            counters: self.counters.clone(),
-            rules: self.rules.clone(),
-        }))
+        self.admit_ns(FaultKind::Open, path)?;
+        Ok(self.wrap(path, self.inner.open(path)?))
     }
 
     fn open_rw(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
-        self.check(FaultKind::Open, &self.counters.open)?;
-        let inner = self.inner.open_rw(path)?;
-        Ok(Arc::new(FaultFile {
-            inner,
-            counters: self.counters.clone(),
-            rules: self.rules.clone(),
-        }))
+        self.admit_ns(FaultKind::Open, path)?;
+        Ok(self.wrap(path, self.inner.open_rw(path)?))
     }
 
     fn remove(&self, path: &str) -> io::Result<()> {
@@ -231,5 +487,99 @@ mod tests {
         let mut buf = [0u8; 4];
         assert!(f.read_at(&mut buf, 0).is_err());
         assert!(f.read_at(&mut buf, 0).is_ok());
+    }
+
+    #[test]
+    fn crash_switch_kills_everything_from_op_n() {
+        let fs = FaultFs::new(MemFs::new());
+        let f = fs.create("c").unwrap(); // op 0
+        f.write_all_at(b"aaaa", 0).unwrap(); // op 1
+        fs.crash_after_ops(fs.op_count() + 1); // one more op allowed
+        f.write_all_at(b"bbbb", 4).unwrap(); // op 2 — last surviving op
+        assert!(f.write_all_at(b"cccc", 8).is_err());
+        assert!(f.sync().is_err());
+        assert!(fs.open("c").is_err());
+        let mut buf = [0u8; 4];
+        assert!(f.read_at(&mut buf, 0).is_err());
+        // The image holds exactly what completed before the switch.
+        fs.clear();
+        let g = fs.open("c").unwrap();
+        let mut back = [0u8; 8];
+        g.read_exact_at(&mut back, 0).unwrap();
+        assert_eq!(&back, b"aaaabbbb");
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_then_errors() {
+        let fs = FaultFs::new(MemFs::new());
+        let f = fs.create("t").unwrap(); // op 0
+        fs.crash_torn_write(1, 3); // op 1 is a torn write keeping 3 bytes
+        assert!(f.write_all_at(b"abcdef", 0).is_err());
+        assert!(f.write_all_at(b"x", 0).is_err(), "ops after the crash fail");
+        fs.clear();
+        let g = fs.open("t").unwrap();
+        assert_eq!(g.len().unwrap(), 3, "only the torn prefix persisted");
+        let mut back = [0u8; 3];
+        g.read_exact_at(&mut back, 0).unwrap();
+        assert_eq!(&back, b"abc");
+    }
+
+    #[test]
+    fn quota_cuts_the_crossing_write_short() {
+        let fs = FaultFs::new(MemFs::new());
+        fs.set_quota(10);
+        let f = fs.create("q").unwrap();
+        f.write_all_at(b"12345678", 0).unwrap(); // 8 of 10
+        let err = f.write_all_at(b"abcdef", 8).unwrap_err();
+        assert!(err.to_string().contains("quota"), "{err}");
+        assert_eq!(fs.bytes_written(), 10);
+        // Subsequent writes fail too: the quota stays exhausted.
+        assert!(f.write_all_at(b"z", 20).is_err());
+        assert_eq!(f.len().unwrap(), 10, "exactly the quota persisted");
+        let mut back = [0u8; 10];
+        f.read_exact_at(&mut back, 0).unwrap();
+        assert_eq!(&back, b"12345678ab");
+    }
+
+    #[test]
+    fn op_log_records_order_and_outcomes() {
+        let fs = FaultFs::new(MemFs::new());
+        let f = fs.create("log").unwrap();
+        f.write_all_at(b"abc", 0).unwrap();
+        fs.inject(FaultRule { kind: FaultKind::Write, from: 1, count: 1 });
+        assert!(f.write_all_at(b"def", 3).is_err());
+        f.sync().unwrap();
+        let log = fs.take_log();
+        let kinds: Vec<(FaultKind, bool)> = log.iter().map(|r| (r.kind, r.ok)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (FaultKind::Create, true),
+                (FaultKind::Write, true),
+                (FaultKind::Write, false),
+                (FaultKind::Sync, true),
+            ]
+        );
+        // Sequence numbers are dense and ordered; the failed write
+        // persisted nothing.
+        assert!(log.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(log[2].persisted, 0);
+        assert_eq!(log[1].persisted, 3);
+        assert_eq!(log[1].path, "log");
+        // take_log drained it.
+        assert!(fs.take_log().is_empty());
+    }
+
+    #[test]
+    fn clear_disarms_crash_and_quota() {
+        let fs = FaultFs::new(MemFs::new());
+        fs.crash_after_ops(0);
+        assert!(fs.create("x").is_err());
+        fs.clear();
+        let f = fs.create("x").unwrap();
+        fs.set_quota(0);
+        assert!(f.write_all_at(b"a", 0).is_err());
+        fs.clear();
+        f.write_all_at(b"a", 0).unwrap();
     }
 }

@@ -24,7 +24,7 @@ mod fault;
 mod local;
 mod mem;
 
-pub use fault::{FaultFs, FaultKind, FaultRule};
+pub use fault::{FaultFs, FaultKind, FaultRule, OpRecord};
 pub use local::LocalFs;
 pub use mem::{MemFs, MemFsStats};
 
