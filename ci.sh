@@ -3,8 +3,11 @@
 # Run from the repo root. Fails fast on the first broken step.
 set -eu
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+# --workspace: the root Cargo.toml is both the sionlib facade package and
+# the workspace root, so a bare `cargo build` would skip the member
+# binaries (sionrepair/sionverify/benches) the later steps run.
+cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test -q
@@ -20,6 +23,17 @@ rm -rf target/smoke
 cargo run --release --example rescue_smoke
 ./target/release/sionrepair target/smoke/crash.sion
 ./target/release/sionverify target/smoke/crash.sion
+
+echo "==> collective_scaling quick sweep (flat vs tree)"
+# Quick mode writes to target/bench/ so the committed full-sweep
+# BENCH_collectives.json at the repo root is not clobbered by CI runs.
+mkdir -p target/bench
+cargo run --release -p sion-bench --bin collective_scaling -- \
+    --quick --out target/bench/BENCH_collectives.json
+grep -q '"bench": "collective_scaling"' target/bench/BENCH_collectives.json
+grep -q '"runtime": "tree"' target/bench/BENCH_collectives.json
+# The binary itself exits nonzero unless the tree runtime beats the flat
+# baseline on open+close latency at the largest rank count of the sweep.
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

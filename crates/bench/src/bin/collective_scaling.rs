@@ -1,0 +1,249 @@
+//! `collective_scaling [--quick] [--out <path>]` — flat vs. tree
+//! collective scaling sweep.
+//!
+//! For each rank count the same script runs once on the binomial-tree
+//! runtime ([`World`]) and once on the retained slot-and-barrier baseline
+//! ([`FlatWorld`]): raw collective micro-latencies (barrier, 32 B bcast,
+//! 32 B gather, 16 B allgather) plus the end-to-end latency of the packed
+//! `paropen_write`/`close` protocol, and the collective round count one
+//! open+close costs on the file-group and global communicators (a
+//! protocol constant, identical for both runtimes — the point of the
+//! packed exchange is that only the *latency per round* changes with the
+//! runtime).
+//!
+//! Writes a JSON report (default `BENCH_collectives.json`); `--quick`
+//! shrinks the sweep and repetition counts for CI.
+
+use sion::{paropen_write, SionParams};
+use simmpi::{Comm, FlatWorld, World};
+use std::time::Instant;
+use vfs::MemFs;
+
+/// One (ranks, runtime) measurement.
+struct Sample {
+    ranks: usize,
+    runtime: &'static str,
+    barrier_us: f64,
+    bcast_us: f64,
+    gather_us: f64,
+    allgather_us: f64,
+    open_us: f64,
+    close_us: f64,
+    /// Collective rounds one open+close costs on lcom+gcom (protocol
+    /// constant).
+    open_close_rounds: u64,
+    /// Bytes the runtime moved for those rounds (frames for the tree,
+    /// slot deposits for flat).
+    open_close_bytes: u64,
+}
+
+/// Raw per-rank measurements, before (ranks, runtime) labelling.
+struct Raw {
+    barrier_us: f64,
+    bcast_us: f64,
+    gather_us: f64,
+    allgather_us: f64,
+    open_us: f64,
+    close_us: f64,
+    rounds: u64,
+    bytes: u64,
+}
+
+/// Per-rank body; returns `Some(measurements)` on rank 0 only. All ranks
+/// execute identical collective sequences, so rank 0's wall-clock between
+/// barriers is representative of the collective's completion latency.
+fn body(c: &dyn Comm, fs: &MemFs, iters: usize, reps: usize) -> Option<Raw> {
+    let me = c.rank() == 0;
+    let payload = [7u8; 32];
+
+    // Warm up mailboxes/slots once so first-touch allocation is excluded.
+    c.barrier();
+    let _ = c.bcast(me.then(|| payload.to_vec()), 0);
+
+    let timed = |f: &mut dyn FnMut()| -> f64 {
+        c.barrier();
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        t.elapsed().as_secs_f64() * 1e6 / iters as f64
+    };
+    let barrier_us = timed(&mut || c.barrier());
+    let bcast_us = timed(&mut || {
+        let _ = c.bcast(me.then(|| payload.to_vec()), 0);
+    });
+    let gather_us = timed(&mut || {
+        let _ = c.gather(&payload, 0);
+    });
+    let allgather_us = timed(&mut || {
+        let _ = c.allgather(&payload[..16]);
+    });
+
+    // End-to-end packed open/close. Minimum over reps: collective latency
+    // is a floor-bound quantity, scheduling noise only ever adds.
+    let params = SionParams::new(1024).with_nfiles(2);
+    let (mut open_us, mut close_us) = (f64::MAX, f64::MAX);
+    let (mut rounds, mut bytes) = (0u64, 0u64);
+    for rep in 0..reps {
+        let name = format!("sweep_{}_{rep}.sion", c.size());
+        c.barrier();
+        let t = Instant::now();
+        let mut w = paropen_write(fs, &name, &params, c).expect("bench open");
+        open_us = open_us.min(t.elapsed().as_secs_f64() * 1e6);
+        w.write(&payload).expect("bench write");
+        let (l, g) = (w.local_comm_stats(), w.global_comm_stats());
+        c.barrier();
+        let t = Instant::now();
+        w.close().expect("bench close");
+        close_us = close_us.min(t.elapsed().as_secs_f64() * 1e6);
+        if let (Some(l), Some(g)) = (l, g) {
+            rounds = l.collectives() + g.collectives();
+            bytes = l.bytes_sent() + g.bytes_sent();
+        }
+    }
+
+    me.then_some(Raw {
+        barrier_us,
+        bcast_us,
+        gather_us,
+        allgather_us,
+        open_us,
+        close_us,
+        rounds,
+        bytes,
+    })
+}
+
+fn run_case(ranks: usize, tree: bool, iters: usize, reps: usize) -> Sample {
+    let fs = MemFs::with_block_size(512);
+    let got = if tree {
+        World::run(ranks, |c| body(c, &fs, iters, reps))
+    } else {
+        FlatWorld::run(ranks, |c| body(c, &fs, iters, reps))
+    };
+    let raw = got.into_iter().flatten().next().expect("rank 0 reports");
+    Sample {
+        ranks,
+        runtime: if tree { "tree" } else { "flat" },
+        barrier_us: raw.barrier_us,
+        bcast_us: raw.bcast_us,
+        gather_us: raw.gather_us,
+        allgather_us: raw.allgather_us,
+        open_us: raw.open_us,
+        close_us: raw.close_us,
+        open_close_rounds: raw.rounds,
+        open_close_bytes: raw.bytes,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_collectives.json".to_string());
+
+    let ranks: &[usize] = if quick {
+        &[4, 16, 64]
+    } else {
+        &[4, 8, 16, 32, 64, 128, 256, 512]
+    };
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for &p in ranks {
+        // Amortize thread-spawn cost at small P, bound wall-clock at large.
+        let iters = if quick { 8 } else { (2048 / p).clamp(4, 128) };
+        let reps = if quick { 3 } else { 8 };
+        for tree in [false, true] {
+            let s = run_case(p, tree, iters, reps);
+            eprintln!(
+                "{:>4} ranks {:>4}: barrier {:>9.1}us bcast {:>9.1}us gather {:>9.1}us \
+                 allgather {:>9.1}us open {:>9.1}us close {:>9.1}us ({} rounds)",
+                s.ranks,
+                s.runtime,
+                s.barrier_us,
+                s.bcast_us,
+                s.gather_us,
+                s.allgather_us,
+                s.open_us,
+                s.close_us,
+                s.open_close_rounds
+            );
+            samples.push(s);
+        }
+    }
+
+    // Where does the tree beat flat on combined open+close latency?
+    let mut tree_wins: Vec<usize> = Vec::new();
+    for &p in ranks {
+        let total = |rt: &str| {
+            samples
+                .iter()
+                .find(|s| s.ranks == p && s.runtime == rt)
+                .map(|s| s.open_us + s.close_us)
+                .expect("both runtimes measured")
+        };
+        if total("tree") < total("flat") {
+            tree_wins.push(p);
+        }
+    }
+
+    let mut j = String::from("{\n");
+    j.push_str("  \"bench\": \"collective_scaling\",\n");
+    j.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    j.push_str(&format!(
+        "  \"ranks\": [{}],\n",
+        ranks
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    j.push_str(&format!(
+        "  \"tree_wins_open_close_at\": [{}],\n",
+        tree_wins
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    j.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"ranks\": {}, \"runtime\": \"{}\", \"barrier_us\": {:.2}, \
+             \"bcast_us\": {:.2}, \"gather_us\": {:.2}, \"allgather_us\": {:.2}, \
+             \"open_us\": {:.2}, \"close_us\": {:.2}, \"open_close_rounds\": {}, \
+             \"open_close_bytes\": {}}}{}\n",
+            s.ranks,
+            s.runtime,
+            s.barrier_us,
+            s.bcast_us,
+            s.gather_us,
+            s.allgather_us,
+            s.open_us,
+            s.close_us,
+            s.open_close_rounds,
+            s.open_close_bytes,
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    j.push_str("  ]\n}\n");
+
+    std::fs::write(&out, &j).unwrap_or_else(|e| {
+        eprintln!("collective_scaling: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out}");
+
+    // The largest rank count both sweeps share is the acceptance gate.
+    let floor = 64;
+    if !tree_wins.iter().any(|&p| p >= floor) {
+        eprintln!("WARNING: tree did not beat flat open+close at any P >= {floor}");
+        std::process::exit(3);
+    }
+}

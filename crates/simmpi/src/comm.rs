@@ -1,5 +1,8 @@
 //! The [`Comm`] trait: the parallel-runtime abstraction used by `sion`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 /// Reduction operators for the numeric convenience collectives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReduceOp {
@@ -9,6 +12,87 @@ pub enum ReduceOp {
     Max,
     /// Element-wise minimum.
     Min,
+}
+
+/// Live per-rank operation and byte counters for one communicator.
+///
+/// Each counter records how many times *the owning rank* invoked the
+/// corresponding collective (or point-to-point call) on this communicator —
+/// the MPI-profiling view, not a cross-rank aggregate. Runtimes that track
+/// stats hand out `Arc<CommStats>` handles via [`Comm::stats`]; the handle
+/// stays live after the communicator is dropped, so callers can snapshot
+/// counters around a protocol (e.g. asserting that a collective open costs
+/// exactly one gather and one broadcast).
+#[derive(Debug, Default)]
+pub struct CommStats {
+    barriers: AtomicU64,
+    bcasts: AtomicU64,
+    gathers: AtomicU64,
+    scatters: AtomicU64,
+    allgathers: AtomicU64,
+    reduces: AtomicU64,
+    splits: AtomicU64,
+    sends: AtomicU64,
+    recvs: AtomicU64,
+    bytes_sent: AtomicU64,
+}
+
+macro_rules! stats_counter {
+    ($($(#[$doc:meta])* $name:ident / $bump:ident),* $(,)?) => {$(
+        $(#[$doc])*
+        pub fn $name(&self) -> u64 {
+            self.$name.load(Ordering::Relaxed)
+        }
+
+        pub(crate) fn $bump(&self) {
+            self.$name.fetch_add(1, Ordering::Relaxed);
+        }
+    )*};
+}
+
+impl CommStats {
+    stats_counter! {
+        /// Barriers entered.
+        barriers / bump_barrier,
+        /// Broadcasts taken part in.
+        bcasts / bump_bcast,
+        /// Gathers taken part in.
+        gathers / bump_gather,
+        /// Scatters taken part in.
+        scatters / bump_scatter,
+        /// Allgathers taken part in.
+        allgathers / bump_allgather,
+        /// Rooted reductions taken part in.
+        reduces / bump_reduce,
+        /// `split` calls (each counts once, regardless of the exchange and
+        /// barrier it runs internally).
+        splits / bump_split,
+        /// User point-to-point sends.
+        sends / bump_send,
+        /// User point-to-point receives.
+        recvs / bump_recv,
+    }
+
+    /// Total payload bytes this rank pushed into the transport — user
+    /// sends *and* the internal tree-edge messages of collectives.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn add_bytes(&self, n: u64) {
+        self.bytes_sent.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total collective operations of any kind.
+    pub fn collectives(&self) -> u64 {
+        self.barriers()
+            + self.bcasts()
+            + self.gathers()
+            + self.scatters()
+            + self.allgathers()
+            + self.reduces()
+            + self.splits()
+    }
 }
 
 /// A communicator: a group of tasks with collective and point-to-point
@@ -58,9 +142,41 @@ pub trait Comm: Send + Sync {
     /// MPI-style message matching: other (source, tag) messages are queued).
     fn recv(&self, src: usize, tag: u64) -> Vec<u8>;
 
+    /// Live op/byte counters for this rank's view of the communicator, when
+    /// the runtime tracks them (`None` otherwise). The returned handle keeps
+    /// counting after the communicator is dropped.
+    fn stats(&self) -> Option<Arc<CommStats>> {
+        None
+    }
+
     // ------------------------------------------------------------------
     // Typed convenience layers (provided).
     // ------------------------------------------------------------------
+
+    /// Rooted reduction: combines one `u64` per rank with `op`; the result
+    /// lands at `root` (`None` elsewhere). The provided implementation
+    /// gathers and folds at the root; runtimes may override it with a
+    /// combining reduction tree.
+    fn reduce_u64(&self, value: u64, op: ReduceOp, root: usize) -> Option<u64> {
+        self.gather_u64(value, root).map(|vals| match op {
+            ReduceOp::Sum => vals.iter().sum(),
+            ReduceOp::Max => vals.into_iter().max().expect("non-empty communicator"),
+            ReduceOp::Min => vals.into_iter().min().expect("non-empty communicator"),
+        })
+    }
+
+    /// Rooted reduction of an `f64`.
+    fn reduce_f64(&self, value: f64, op: ReduceOp, root: usize) -> Option<f64> {
+        let gathered = self.gather(&value.to_le_bytes(), root)?;
+        let vals = gathered
+            .iter()
+            .map(|b| f64::from_le_bytes(b[..8].try_into().expect("f64 payload")));
+        Some(match op {
+            ReduceOp::Sum => vals.sum(),
+            ReduceOp::Max => vals.fold(f64::NEG_INFINITY, f64::max),
+            ReduceOp::Min => vals.fold(f64::INFINITY, f64::min),
+        })
+    }
 
     /// Gather one `u64` per rank at `root`.
     fn gather_u64(&self, value: u64, root: usize) -> Option<Vec<u64>> {

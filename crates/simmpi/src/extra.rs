@@ -10,30 +10,11 @@
 use crate::comm::{Comm, ReduceOp};
 
 /// Extension collectives available on every [`Comm`].
+///
+/// The rooted reductions (`reduce_u64`, `reduce_f64`) live on [`Comm`]
+/// itself so runtimes can override them with combining trees; this trait
+/// keeps the purely derived operations.
 pub trait CommExt: Comm {
-    /// Rooted reduction: combines one `u64` per rank with `op`; the result
-    /// lands at `root` (`None` elsewhere).
-    fn reduce_u64(&self, value: u64, op: ReduceOp, root: usize) -> Option<u64> {
-        self.gather_u64(value, root).map(|vals| match op {
-            ReduceOp::Sum => vals.iter().sum(),
-            ReduceOp::Max => vals.into_iter().max().expect("non-empty communicator"),
-            ReduceOp::Min => vals.into_iter().min().expect("non-empty communicator"),
-        })
-    }
-
-    /// Rooted reduction of an `f64`.
-    fn reduce_f64(&self, value: f64, op: ReduceOp, root: usize) -> Option<f64> {
-        let gathered = self.gather(&value.to_le_bytes(), root)?;
-        let vals = gathered
-            .iter()
-            .map(|b| f64::from_le_bytes(b[..8].try_into().expect("f64 payload")));
-        Some(match op {
-            ReduceOp::Sum => vals.sum(),
-            ReduceOp::Max => vals.fold(f64::NEG_INFINITY, f64::max),
-            ReduceOp::Min => vals.fold(f64::INFINITY, f64::min),
-        })
-    }
-
     /// All-to-all personalized exchange: `parts[j]` is sent to rank `j`;
     /// the result's entry `i` is what rank `i` sent here (alltoallv
     /// semantics — parts may differ in length).

@@ -1,0 +1,344 @@
+//! The original slot-and-barrier collectives, kept as the *flat baseline*.
+//!
+//! [`FlatCommunicator`] is the runtime this crate shipped before the tree
+//! collectives landed: every collective deposits payloads into a `P`-slot
+//! exchange array and synchronizes with two global [`std::sync::Barrier`]
+//! waits, and the root scans all `P` slots linearly. That is O(P) latency
+//! per collective and a full-communicator wake-up storm per barrier.
+//!
+//! It is retained for two reasons:
+//!
+//! * the `collective_scaling` benchmark measures the tree runtime against
+//!   it, so the flat-vs-tree latency trajectory persists across PRs;
+//! * the property tests use it as an independent executable reference the
+//!   tree collectives must agree with byte-for-byte.
+//!
+//! New code should use [`World`](crate::World); this module is not part of
+//! the performance story.
+
+use crate::comm::{Comm, CommStats};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Barrier};
+
+type Message = (usize, u64, Vec<u8>);
+
+/// State shared by every rank of one flat communicator.
+struct Shared {
+    size: usize,
+    /// One exchange slot per rank, used by the collectives.
+    slots: Vec<Mutex<Option<Vec<u8>>>>,
+    /// Reusable rendezvous barrier.
+    barrier: Barrier,
+    /// Point-to-point mailboxes: `senders[r]` delivers to rank `r`, whose
+    /// thread drains `receivers[r]` (locked only by its owner).
+    senders: Vec<Sender<Message>>,
+    receivers: Vec<Mutex<Receiver<Message>>>,
+    /// Sub-communicators under construction, keyed by (split sequence
+    /// number, color). The first rank of a color group to arrive creates the
+    /// shared state; the rest attach.
+    splits: Mutex<HashMap<(u64, u64), Arc<Shared>>>,
+}
+
+impl Shared {
+    fn new(size: usize) -> Self {
+        assert!(size > 0, "communicator must have at least one rank");
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..size).map(|_| unbounded::<Message>()).unzip();
+        Shared {
+            size,
+            slots: (0..size).map(|_| Mutex::new(None)).collect(),
+            barrier: Barrier::new(size),
+            senders,
+            receivers: receivers.into_iter().map(Mutex::new).collect(),
+            splits: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// One rank's handle onto the flat slot-and-barrier communicator.
+pub struct FlatCommunicator {
+    rank: usize,
+    shared: Arc<Shared>,
+    /// Messages received but not yet matched by (source, tag).
+    stash: Mutex<VecDeque<Message>>,
+    /// Per-rank count of `split` calls on this communicator; since splits
+    /// are collective and ordered, all ranks agree on the sequence number.
+    split_seq: Mutex<u64>,
+    stats: Arc<CommStats>,
+}
+
+impl FlatCommunicator {
+    fn new(rank: usize, shared: Arc<Shared>) -> Self {
+        FlatCommunicator {
+            rank,
+            shared,
+            stash: Mutex::new(VecDeque::new()),
+            split_seq: Mutex::new(0),
+            stats: Arc::new(CommStats::default()),
+        }
+    }
+
+    fn deposit(&self, data: Option<Vec<u8>>) {
+        if let Some(d) = &data {
+            self.stats.add_bytes(d.len() as u64);
+        }
+        *self.shared.slots[self.rank].lock() = data;
+    }
+
+    fn wait(&self) {
+        self.shared.barrier.wait();
+    }
+}
+
+impl Comm for FlatCommunicator {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    fn stats(&self) -> Option<Arc<CommStats>> {
+        Some(self.stats.clone())
+    }
+
+    fn barrier(&self) {
+        self.stats.bump_barrier();
+        self.wait();
+    }
+
+    fn gather(&self, data: &[u8], root: usize) -> Option<Vec<Vec<u8>>> {
+        assert!(root < self.size(), "gather root {root} out of range");
+        self.stats.bump_gather();
+        self.deposit(Some(data.to_vec()));
+        self.wait();
+        let result = if self.rank == root {
+            Some(
+                self.shared
+                    .slots
+                    .iter()
+                    .map(|s| s.lock().take().expect("every rank deposited"))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        self.wait();
+        result
+    }
+
+    fn scatter(&self, parts: Option<Vec<Vec<u8>>>, root: usize) -> Vec<u8> {
+        assert!(root < self.size(), "scatter root {root} out of range");
+        self.stats.bump_scatter();
+        if self.rank == root {
+            let parts = parts.expect("root must supply scatter parts");
+            assert_eq!(parts.len(), self.size(), "scatter needs one part per rank");
+            for (slot, part) in self.shared.slots.iter().zip(parts) {
+                self.stats.add_bytes(part.len() as u64);
+                *slot.lock() = Some(part);
+            }
+        }
+        self.wait();
+        let mine = self.shared.slots[self.rank]
+            .lock()
+            .take()
+            .expect("root deposited a part for every rank");
+        self.wait();
+        mine
+    }
+
+    fn bcast(&self, data: Option<Vec<u8>>, root: usize) -> Vec<u8> {
+        assert!(root < self.size(), "bcast root {root} out of range");
+        self.stats.bump_bcast();
+        if self.rank == root {
+            self.deposit(Some(data.expect("root must supply bcast data")));
+        }
+        self.wait();
+        let out = self.shared.slots[root]
+            .lock()
+            .as_ref()
+            .expect("root deposited")
+            .clone();
+        // Second barrier so the root's slot is not overwritten by a later
+        // collective while slow ranks still read it. The payload itself is
+        // left in place: clearing it here would race against a subsequent
+        // collective's deposits from other ranks.
+        self.wait();
+        out
+    }
+
+    fn allgather(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        self.stats.bump_allgather();
+        self.deposit(Some(data.to_vec()));
+        self.wait();
+        let out: Vec<Vec<u8>> = self
+            .shared
+            .slots
+            .iter()
+            .map(|s| s.lock().as_ref().expect("every rank deposited").clone())
+            .collect();
+        // As in bcast: no post-barrier cleanup — a deposit after the second
+        // barrier would race against the next collective's writes.
+        self.wait();
+        out
+    }
+
+    fn split(&self, color: u64, key: u64) -> Box<dyn Comm> {
+        self.stats.bump_split();
+        // Determine group membership: allgather (color, key, rank).
+        let mut payload = Vec::with_capacity(24);
+        payload.extend_from_slice(&color.to_le_bytes());
+        payload.extend_from_slice(&key.to_le_bytes());
+        payload.extend_from_slice(&(self.rank as u64).to_le_bytes());
+        self.deposit(Some(payload));
+        self.wait();
+        let all: Vec<Vec<u8>> = self
+            .shared
+            .slots
+            .iter()
+            .map(|s| s.lock().as_ref().expect("every rank deposited").clone())
+            .collect();
+        self.wait();
+        let mut members: Vec<(u64, u64)> = all
+            .iter()
+            .filter_map(|b| {
+                let c = u64::from_le_bytes(b[0..8].try_into().unwrap());
+                let k = u64::from_le_bytes(b[8..16].try_into().unwrap());
+                let r = u64::from_le_bytes(b[16..24].try_into().unwrap());
+                (c == color).then_some((k, r))
+            })
+            .collect();
+        members.sort_unstable();
+        let new_size = members.len();
+        let new_rank = members
+            .iter()
+            .position(|&(_, r)| r == self.rank as u64)
+            .expect("caller is in its own color group");
+
+        let seq = {
+            let mut s = self.split_seq.lock();
+            *s += 1;
+            *s
+        };
+
+        // First member of the group to arrive creates the shared state.
+        let sub = {
+            let mut splits = self.shared.splits.lock();
+            splits
+                .entry((seq, color))
+                .or_insert_with(|| Arc::new(Shared::new(new_size)))
+                .clone()
+        };
+        let comm = FlatCommunicator::new(new_rank, sub);
+        // All ranks must have attached to their group's shared state before
+        // the construction entries are retired from the map.
+        self.wait();
+        if new_rank == 0 {
+            self.shared.splits.lock().remove(&(seq, color));
+        }
+        Box::new(comm)
+    }
+
+    fn send(&self, dest: usize, tag: u64, data: &[u8]) {
+        assert!(dest < self.size(), "send dest {dest} out of range");
+        self.stats.bump_send();
+        self.stats.add_bytes(data.len() as u64);
+        self.shared.senders[dest]
+            .send((self.rank, tag, data.to_vec()))
+            .expect("receiver mailbox alive for the world's lifetime");
+    }
+
+    fn recv(&self, src: usize, tag: u64) -> Vec<u8> {
+        assert!(src < self.size(), "recv src {src} out of range");
+        self.stats.bump_recv();
+        // Check previously stashed non-matching messages first.
+        {
+            let mut stash = self.stash.lock();
+            if let Some(pos) = stash.iter().position(|(s, t, _)| *s == src && *t == tag) {
+                return stash.remove(pos).expect("position valid").2;
+            }
+        }
+        let rx = self.shared.receivers[self.rank].lock();
+        loop {
+            let msg = rx.recv().expect("sender side alive for the world's lifetime");
+            if msg.0 == src && msg.1 == tag {
+                return msg.2;
+            }
+            self.stash.lock().push_back(msg);
+        }
+    }
+}
+
+/// Launcher running SPMD closures over [`FlatCommunicator`]s — the flat
+/// counterpart of [`World`](crate::World), for benchmarks and reference
+/// tests.
+pub struct FlatWorld;
+
+impl FlatWorld {
+    /// Run `f` on `ntasks` threads, each receiving its own
+    /// [`FlatCommunicator`] for a world of size `ntasks`. Returns the
+    /// per-rank results in rank order. Panics in any task propagate.
+    pub fn run<T, F>(ntasks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&FlatCommunicator) -> T + Send + Sync,
+    {
+        assert!(ntasks > 0, "world must have at least one task");
+        let shared = Arc::new(Shared::new(ntasks));
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..ntasks)
+                .map(|rank| {
+                    let comm = FlatCommunicator::new(rank, shared.clone());
+                    scope.spawn(move || f(&comm))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("task panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::ReduceOp;
+
+    #[test]
+    fn flat_collectives_still_work() {
+        let out = FlatWorld::run(5, |c| {
+            let gathered = c.gather(&[c.rank() as u8], 2);
+            let bc = c.bcast((c.rank() == 0).then(|| b"flat".to_vec()), 0);
+            let sum = c.allreduce_u64(c.rank() as u64, ReduceOp::Sum);
+            (gathered, bc, sum)
+        });
+        assert_eq!(
+            out[2].0.as_ref().unwrap(),
+            &(0..5u8).map(|r| vec![r]).collect::<Vec<_>>()
+        );
+        assert!(out.iter().all(|(_, b, s)| b == b"flat" && *s == 10));
+        assert!(out.iter().enumerate().all(|(r, (g, _, _))| (r == 2) == g.is_some()));
+    }
+
+    #[test]
+    fn flat_split_and_stats() {
+        let out = FlatWorld::run(4, |c| {
+            let sub = c.split((c.rank() % 2) as u64, c.rank() as u64);
+            let members = sub.allgather_u64(c.rank() as u64);
+            let stats = c.stats().expect("flat tracks stats");
+            (members, stats.splits(), sub.stats().expect("sub tracks stats").allgathers())
+        });
+        for (r, (members, splits, sub_allgathers)) in out.iter().enumerate() {
+            let expect: Vec<u64> = (0..4u64).filter(|x| x % 2 == r as u64 % 2).collect();
+            assert_eq!(members, &expect);
+            assert_eq!(*splits, 1);
+            assert_eq!(*sub_allgathers, 1);
+        }
+    }
+}

@@ -11,8 +11,11 @@
 //! against — mirroring how SIONlib is "by design not tied to a specific
 //! parallel programming interface". Implementations here:
 //!
-//! * [`Communicator`] — one handle per task thread, backed by shared-memory
-//!   collective slots and per-rank mailboxes.
+//! * [`Communicator`] — one handle per task thread; collectives are log-P
+//!   binomial trees over per-rank mailboxes, with per-rank op/byte
+//!   counters exposed as [`CommStats`].
+//! * [`FlatCommunicator`] — the original O(P) slot-and-barrier collectives,
+//!   kept as the benchmark baseline and property-test reference.
 //! * [`SerialComm`] — a size-1 communicator for serial tools and tests.
 //!
 //! # Example
@@ -32,11 +35,13 @@
 
 mod comm;
 mod extra;
+pub mod flat;
 mod serial;
 mod world;
 
-pub use comm::{Comm, ReduceOp};
+pub use comm::{Comm, CommStats, ReduceOp};
 pub use extra::CommExt;
+pub use flat::{FlatCommunicator, FlatWorld};
 pub use serial::SerialComm;
 pub use world::{Communicator, World};
 

@@ -1,21 +1,84 @@
-//! SPMD world launcher and the thread-backed [`Communicator`].
+//! SPMD world launcher and the thread-backed tree-collective
+//! [`Communicator`].
+//!
+//! Collectives run over the per-rank point-to-point mailboxes as log-P
+//! trees — no shared slot array and no global rendezvous barrier on the hot
+//! path (the flat slot-and-barrier baseline lives on in
+//! [`flat`](crate::flat)):
+//!
+//! * `bcast`, `gather(v)`, `scatter(v)`, `reduce` — binomial trees rooted
+//!   at the operation's root: ⌈log₂ P⌉ critical-path hops, P−1 messages.
+//! * `allgather` — binomial gather to rank 0 followed by a binomial
+//!   broadcast of the framed set: 2(P−1) messages in 2⌈log₂ P⌉ rounds
+//!   (total message-handling work beats a Bruck exchange's P·log P
+//!   messages on the thread-backed runtime).
+//! * `barrier` — binomial fan-in to rank 0 followed by a binomial fan-out
+//!   release: 2(P−1) empty messages, 2⌈log₂ P⌉ critical-path hops.
+//!
+//! Every collective invocation consumes one *collective sequence number*
+//! (all ranks agree on it because collectives are ordered), and its
+//! internal messages are tagged in a reserved namespace
+//! (`0xC3 << 56 | seq << 8 | round`) so they can never be confused with
+//! user point-to-point traffic or with a neighbouring collective when fast
+//! ranks run ahead. Per-rank op/byte counters are available via
+//! [`Comm::stats`].
 
-use crate::comm::Comm;
+use crate::comm::{Comm, CommStats, ReduceOp};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::sync::{Arc, Barrier};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 type Message = (usize, u64, Vec<u8>);
 
-/// State shared by every rank of one communicator.
+/// Top byte of the reserved collective tag namespace.
+const COLL_TAG_PREFIX: u64 = 0xC3 << 56;
+const COLL_TAG_MASK: u64 = 0xFF << 56;
+
+/// Tag of an internal collective message: reserved prefix, 48-bit
+/// per-communicator sequence number, 8-bit round within the collective.
+fn coll_tag(seq: u64, round: u32) -> u64 {
+    debug_assert!(round < 256, "collective round fits one byte");
+    COLL_TAG_PREFIX | ((seq & 0x0000_FFFF_FFFF_FFFF) << 8) | round as u64
+}
+
+/// Serialize (id, payload) pairs for one tree edge:
+/// `[count][(id, len, bytes)...]`, all integers little-endian `u64`.
+fn frame(entries: &[(u64, &[u8])]) -> Vec<u8> {
+    let total: usize = entries.iter().map(|(_, p)| p.len() + 16).sum();
+    let mut out = Vec::with_capacity(8 + total);
+    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for (id, payload) in entries {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+/// Inverse of [`frame`].
+fn unframe(bytes: &[u8]) -> Vec<(u64, Vec<u8>)> {
+    let count = u64::from_le_bytes(bytes[..8].try_into().expect("frame header"));
+    let mut entries = Vec::with_capacity(count as usize);
+    let mut at = 8usize;
+    for _ in 0..count {
+        let id = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("frame id"));
+        let len =
+            u64::from_le_bytes(bytes[at + 8..at + 16].try_into().expect("frame len")) as usize;
+        at += 16;
+        entries.push((id, bytes[at..at + len].to_vec()));
+        at += len;
+    }
+    entries
+}
+
+/// State shared by every rank of one communicator: just the mailboxes and
+/// the split-construction rendezvous — collectives need no shared payload
+/// storage of their own.
 struct Shared {
     size: usize,
-    /// One exchange slot per rank, used by the collectives.
-    slots: Vec<Mutex<Option<Vec<u8>>>>,
-    /// Reusable rendezvous barrier.
-    barrier: Barrier,
     /// Point-to-point mailboxes: `senders[r]` delivers to rank `r`, whose
     /// thread drains `receivers[r]` (locked only by its owner).
     senders: Vec<Sender<Message>>,
@@ -33,8 +96,6 @@ impl Shared {
             (0..size).map(|_| unbounded::<Message>()).unzip();
         Shared {
             size,
-            slots: (0..size).map(|_| Mutex::new(None)).collect(),
-            barrier: Barrier::new(size),
             senders,
             receivers: receivers.into_iter().map(Mutex::new).collect(),
             splits: Mutex::new(HashMap::new()),
@@ -42,27 +103,238 @@ impl Shared {
     }
 }
 
-/// One rank's handle onto a thread-backed communicator.
+/// One rank's handle onto a thread-backed tree-collective communicator.
 ///
 /// Cheap to move into the owning thread; collective calls synchronize with
-/// the other ranks' handles via shared slots and a barrier.
+/// the other ranks' handles via binomial trees over the mailboxes.
 pub struct Communicator {
     rank: usize,
     shared: Arc<Shared>,
     /// Messages received but not yet matched by (source, tag).
     stash: Mutex<VecDeque<Message>>,
-    /// Per-rank count of `split` calls on this communicator; since splits
-    /// are collective and ordered, all ranks agree on the sequence number.
-    split_seq: Mutex<u64>,
+    /// Count of collective calls on this handle; since collectives are
+    /// ordered, all ranks agree on it, making it a safe tag ingredient.
+    coll_seq: AtomicU64,
+    /// Per-rank count of `split` calls on this communicator (same ordering
+    /// argument), keying the split rendezvous map.
+    split_seq: AtomicU64,
+    /// This rank's op/byte counters for this communicator.
+    stats: Arc<CommStats>,
 }
 
 impl Communicator {
     fn new(rank: usize, shared: Arc<Shared>) -> Self {
-        Communicator { rank, shared, stash: Mutex::new(VecDeque::new()), split_seq: Mutex::new(0) }
+        Communicator {
+            rank,
+            shared,
+            stash: Mutex::new(VecDeque::new()),
+            coll_seq: AtomicU64::new(0),
+            split_seq: AtomicU64::new(0),
+            stats: Arc::new(CommStats::default()),
+        }
     }
 
-    fn deposit(&self, data: Option<Vec<u8>>) {
-        *self.shared.slots[self.rank].lock() = data;
+    /// Claim the next collective sequence number.
+    fn next_seq(&self) -> u64 {
+        self.coll_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// This rank's virtual rank in a tree rooted at `root`.
+    fn vrank(&self, root: usize) -> usize {
+        (self.rank + self.shared.size - root) % self.shared.size
+    }
+
+    /// Real rank of virtual rank `v` in a tree rooted at `root`.
+    fn rank_of(&self, v: usize, root: usize) -> usize {
+        (v + root) % self.shared.size
+    }
+
+    /// Internal send along a tree edge (not counted as a user send).
+    fn isend(&self, dest: usize, tag: u64, payload: Vec<u8>) {
+        self.stats.add_bytes(payload.len() as u64);
+        self.shared.senders[dest]
+            .send((self.rank, tag, payload))
+            .expect("receiver mailbox alive for the world's lifetime");
+    }
+
+    /// Internal matched receive (not counted as a user receive).
+    fn irecv(&self, src: usize, tag: u64) -> Vec<u8> {
+        // Check previously stashed non-matching messages first.
+        {
+            let mut stash = self.stash.lock();
+            if let Some(pos) = stash.iter().position(|(s, t, _)| *s == src && *t == tag) {
+                return stash.remove(pos).expect("position valid").2;
+            }
+        }
+        let rx = self.shared.receivers[self.rank].lock();
+        loop {
+            let msg = rx.recv().expect("sender side alive for the world's lifetime");
+            if msg.0 == src && msg.1 == tag {
+                return msg.2;
+            }
+            self.stash.lock().push_back(msg);
+        }
+    }
+
+    /// Binomial-tree broadcast body (shared by `bcast` and nothing else,
+    /// but kept separate from the stats/seq bookkeeping).
+    fn bcast_impl(&self, data: Option<Vec<u8>>, root: usize, seq: u64) -> Vec<u8> {
+        let size = self.shared.size;
+        let v = self.vrank(root);
+        let tag = coll_tag(seq, 0);
+        let (buf, mut mask) = if v == 0 {
+            (data.expect("root must supply bcast data"), size.next_power_of_two())
+        } else {
+            // Parent is the vrank with this vrank's lowest set bit cleared;
+            // children span the bits below it.
+            let lsb = v & v.wrapping_neg();
+            (self.irecv(self.rank_of(v & (v - 1), root), tag), lsb)
+        };
+        mask >>= 1;
+        while mask > 0 {
+            let child = v + mask;
+            if child < size {
+                self.isend(self.rank_of(child, root), tag, buf.clone());
+            }
+            mask >>= 1;
+        }
+        buf
+    }
+
+    /// Binomial-tree gather body: each edge carries the sender's whole
+    /// subtree as framed (vrank, payload) pairs — a leaf sends exactly its
+    /// own payload, nothing is deposited or cloned beyond what its tree
+    /// edge needs.
+    fn gather_impl(&self, data: &[u8], root: usize, seq: u64) -> Option<Vec<Vec<u8>>> {
+        let size = self.shared.size;
+        let v = self.vrank(root);
+        let tag = coll_tag(seq, 0);
+        let mut acc: Vec<(u64, Vec<u8>)> = vec![(v as u64, data.to_vec())];
+        let mut mask = 1usize;
+        while mask < size {
+            if v & mask != 0 {
+                let framed = frame(
+                    &acc.iter().map(|(id, p)| (*id, p.as_slice())).collect::<Vec<_>>(),
+                );
+                self.isend(self.rank_of(v - mask, root), tag, framed);
+                return None;
+            }
+            let child = v + mask;
+            if child < size {
+                acc.extend(unframe(&self.irecv(self.rank_of(child, root), tag)));
+            }
+            mask <<= 1;
+        }
+        // Only vrank 0 (the root) falls through. Every vrank arrives exactly
+        // once; place by real rank.
+        let mut out = vec![Vec::new(); size];
+        for (vr, payload) in acc {
+            out[self.rank_of(vr as usize, root)] = payload;
+        }
+        Some(out)
+    }
+
+    /// Binomial-tree scatter body: the root's per-rank parts flow down the
+    /// tree, each edge carrying only the receiver's subtree.
+    fn scatter_impl(&self, parts: Option<Vec<Vec<u8>>>, root: usize, seq: u64) -> Vec<u8> {
+        let size = self.shared.size;
+        let v = self.vrank(root);
+        let tag = coll_tag(seq, 0);
+        let (mut pending, mut mask) = if v == 0 {
+            let parts = parts.expect("root must supply scatter parts");
+            assert_eq!(parts.len(), size, "scatter needs one part per rank");
+            let pending: Vec<(u64, Vec<u8>)> = parts
+                .into_iter()
+                .enumerate()
+                .map(|(r, p)| (((r + size - root) % size) as u64, p))
+                .collect();
+            (pending, size.next_power_of_two())
+        } else {
+            let lsb = v & v.wrapping_neg();
+            let got = self.irecv(self.rank_of(v & (v - 1), root), tag);
+            (unframe(&got), lsb)
+        };
+        // `pending` covers vranks [v, v + mask); peel off the upper half for
+        // each child.
+        mask >>= 1;
+        while mask > 0 {
+            let child = v + mask;
+            if child < size {
+                let (send, keep): (Vec<_>, Vec<_>) =
+                    pending.into_iter().partition(|(id, _)| *id >= child as u64);
+                let framed =
+                    frame(&send.iter().map(|(id, p)| (*id, p.as_slice())).collect::<Vec<_>>());
+                self.isend(self.rank_of(child, root), tag, framed);
+                pending = keep;
+            }
+            mask >>= 1;
+        }
+        debug_assert_eq!(pending.len(), 1, "own part remains");
+        debug_assert_eq!(pending[0].0, v as u64, "own part remains");
+        pending.pop().expect("own part remains").1
+    }
+
+    /// Allgather body: binomial gather of every rank's payload to rank 0,
+    /// then a binomial broadcast of the framed full set — 2(P−1) messages
+    /// in 2·log P rounds. A dissemination (Bruck) exchange would halve the
+    /// critical-path round count but costs P·log P messages; on the
+    /// thread-backed runtime total message-handling work, not network
+    /// depth, is the scarce resource, and 2(P−1) wins measurably (see the
+    /// `collective_scaling` benchmark).
+    fn allgather_impl(&self, data: &[u8], seq_up: u64, seq_down: u64) -> Vec<Vec<u8>> {
+        let framed = self.gather_impl(data, 0, seq_up).map(|parts| {
+            frame(
+                &parts
+                    .iter()
+                    .enumerate()
+                    .map(|(r, p)| (r as u64, p.as_slice()))
+                    .collect::<Vec<_>>(),
+            )
+        });
+        let full = self.bcast_impl(framed, 0, seq_down);
+        let mut out = vec![Vec::new(); self.shared.size];
+        for (r, p) in unframe(&full) {
+            out[r as usize] = p;
+        }
+        out
+    }
+
+    /// Tree barrier body: binomial fan-in of empty messages to rank 0,
+    /// then a binomial fan-out release — 2(P−1) messages, no rendezvous
+    /// primitive.
+    fn barrier_impl(&self, seq: u64) {
+        let size = self.shared.size;
+        if size == 1 {
+            return;
+        }
+        let up = coll_tag(seq, 0);
+        let down = coll_tag(seq, 1);
+        let v = self.rank; // rooted at rank 0
+        let mut mask = 1usize;
+        while mask < size {
+            if v & mask != 0 {
+                self.isend(v - mask, up, Vec::new());
+                break;
+            }
+            if v + mask < size {
+                self.irecv(v + mask, up);
+            }
+            mask <<= 1;
+        }
+        if v == 0 {
+            mask = size.next_power_of_two();
+        } else {
+            // `mask` is v's lowest set bit; the release arrives from the
+            // same parent the fan-in went to.
+            self.irecv(v & (v - 1), down);
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if v + mask < size {
+                self.isend(v + mask, down, Vec::new());
+            }
+            mask >>= 1;
+        }
     }
 }
 
@@ -75,88 +347,86 @@ impl Comm for Communicator {
         self.shared.size
     }
 
+    fn stats(&self) -> Option<Arc<CommStats>> {
+        Some(self.stats.clone())
+    }
+
     fn barrier(&self) {
-        self.shared.barrier.wait();
+        self.stats.bump_barrier();
+        let seq = self.next_seq();
+        self.barrier_impl(seq);
     }
 
     fn gather(&self, data: &[u8], root: usize) -> Option<Vec<Vec<u8>>> {
         assert!(root < self.size(), "gather root {root} out of range");
-        self.deposit(Some(data.to_vec()));
-        self.barrier();
-        let result = if self.rank == root {
-            Some(
-                self.shared
-                    .slots
-                    .iter()
-                    .map(|s| s.lock().take().expect("every rank deposited"))
-                    .collect(),
-            )
-        } else {
-            None
-        };
-        self.barrier();
-        result
+        self.stats.bump_gather();
+        let seq = self.next_seq();
+        self.gather_impl(data, root, seq)
     }
 
     fn scatter(&self, parts: Option<Vec<Vec<u8>>>, root: usize) -> Vec<u8> {
         assert!(root < self.size(), "scatter root {root} out of range");
-        if self.rank == root {
-            let parts = parts.expect("root must supply scatter parts");
-            assert_eq!(parts.len(), self.size(), "scatter needs one part per rank");
-            for (slot, part) in self.shared.slots.iter().zip(parts) {
-                *slot.lock() = Some(part);
-            }
-        }
-        self.barrier();
-        let mine = self.shared.slots[self.rank]
-            .lock()
-            .take()
-            .expect("root deposited a part for every rank");
-        self.barrier();
-        mine
+        self.stats.bump_scatter();
+        let seq = self.next_seq();
+        self.scatter_impl(parts, root, seq)
     }
 
     fn bcast(&self, data: Option<Vec<u8>>, root: usize) -> Vec<u8> {
         assert!(root < self.size(), "bcast root {root} out of range");
-        if self.rank == root {
-            self.deposit(Some(data.expect("root must supply bcast data")));
-        }
-        self.barrier();
-        let out = self.shared.slots[root]
-            .lock()
-            .as_ref()
-            .expect("root deposited")
-            .clone();
-        // Second barrier so the root's slot is not overwritten by a later
-        // collective while slow ranks still read it. The payload itself is
-        // left in place: clearing it here would race against a subsequent
-        // collective's deposits from other ranks.
-        self.barrier();
-        out
+        self.stats.bump_bcast();
+        let seq = self.next_seq();
+        self.bcast_impl(data, root, seq)
     }
 
     fn allgather(&self, data: &[u8]) -> Vec<Vec<u8>> {
-        self.deposit(Some(data.to_vec()));
-        self.barrier();
-        let out: Vec<Vec<u8>> = self
-            .shared
-            .slots
-            .iter()
-            .map(|s| s.lock().as_ref().expect("every rank deposited").clone())
-            .collect();
-        // As in bcast: no post-barrier cleanup — a deposit after the second
-        // barrier would race against the next collective's writes.
-        self.barrier();
-        out
+        self.stats.bump_allgather();
+        let seq_up = self.next_seq();
+        let seq_down = self.next_seq();
+        self.allgather_impl(data, seq_up, seq_down)
+    }
+
+    fn reduce_u64(&self, value: u64, op: ReduceOp, root: usize) -> Option<u64> {
+        assert!(root < self.size(), "reduce root {root} out of range");
+        self.stats.bump_reduce();
+        let seq = self.next_seq();
+        let size = self.shared.size;
+        let v = self.vrank(root);
+        let tag = coll_tag(seq, 0);
+        // Combining binomial fan-in: each edge carries one partial result,
+        // not the subtree's values.
+        let mut acc = value;
+        let mut mask = 1usize;
+        while mask < size {
+            if v & mask != 0 {
+                self.isend(self.rank_of(v - mask, root), tag, acc.to_le_bytes().to_vec());
+                return None;
+            }
+            let child = v + mask;
+            if child < size {
+                let got = self.irecv(self.rank_of(child, root), tag);
+                let other = u64::from_le_bytes(got[..8].try_into().expect("u64 payload"));
+                acc = match op {
+                    ReduceOp::Sum => acc.wrapping_add(other),
+                    ReduceOp::Max => acc.max(other),
+                    ReduceOp::Min => acc.min(other),
+                };
+            }
+            mask <<= 1;
+        }
+        Some(acc)
     }
 
     fn split(&self, color: u64, key: u64) -> Box<dyn Comm> {
-        // Determine group membership: allgather (color, key, rank).
+        self.stats.bump_split();
+        // Determine group membership: allgather (color, key, rank). Counted
+        // as part of the split, not as a separate allgather.
+        let seq_up = self.next_seq();
+        let seq_down = self.next_seq();
         let mut payload = Vec::with_capacity(24);
         payload.extend_from_slice(&color.to_le_bytes());
         payload.extend_from_slice(&key.to_le_bytes());
         payload.extend_from_slice(&(self.rank as u64).to_le_bytes());
-        let all = self.allgather(&payload);
+        let all = self.allgather_impl(&payload, seq_up, seq_down);
         let mut members: Vec<(u64, u64)> = all
             .iter()
             .filter_map(|b| {
@@ -173,32 +443,35 @@ impl Comm for Communicator {
             .position(|&(_, r)| r == self.rank as u64)
             .expect("caller is in its own color group");
 
-        let seq = {
-            let mut s = self.split_seq.lock();
-            *s += 1;
-            *s
-        };
+        let split_no = self.split_seq.fetch_add(1, Ordering::Relaxed) + 1;
 
         // First member of the group to arrive creates the shared state.
         let sub = {
             let mut splits = self.shared.splits.lock();
             splits
-                .entry((seq, color))
+                .entry((split_no, color))
                 .or_insert_with(|| Arc::new(Shared::new(new_size)))
                 .clone()
         };
         let comm = Communicator::new(new_rank, sub);
         // All ranks must have attached to their group's shared state before
         // the construction entries are retired from the map.
-        self.barrier();
+        let seq = self.next_seq();
+        self.barrier_impl(seq);
         if new_rank == 0 {
-            self.shared.splits.lock().remove(&(seq, color));
+            self.shared.splits.lock().remove(&(split_no, color));
         }
         Box::new(comm)
     }
 
     fn send(&self, dest: usize, tag: u64, data: &[u8]) {
         assert!(dest < self.size(), "send dest {dest} out of range");
+        assert!(
+            tag & COLL_TAG_MASK != COLL_TAG_PREFIX,
+            "tags with top byte 0xC3 are reserved for internal collectives"
+        );
+        self.stats.bump_send();
+        self.stats.add_bytes(data.len() as u64);
         self.shared.senders[dest]
             .send((self.rank, tag, data.to_vec()))
             .expect("receiver mailbox alive for the world's lifetime");
@@ -206,21 +479,8 @@ impl Comm for Communicator {
 
     fn recv(&self, src: usize, tag: u64) -> Vec<u8> {
         assert!(src < self.size(), "recv src {src} out of range");
-        // Check previously stashed non-matching messages first.
-        {
-            let mut stash = self.stash.lock();
-            if let Some(pos) = stash.iter().position(|(s, t, _)| *s == src && *t == tag) {
-                return stash.remove(pos).expect("position valid").2;
-            }
-        }
-        let rx = self.shared.receivers[self.rank].lock();
-        loop {
-            let msg = rx.recv().expect("sender side alive for the world's lifetime");
-            if msg.0 == src && msg.1 == tag {
-                return msg.2;
-            }
-            self.stash.lock().push_back(msg);
-        }
+        self.stats.bump_recv();
+        self.irecv(src, tag)
     }
 }
 
@@ -280,6 +540,25 @@ mod tests {
     }
 
     #[test]
+    fn gather_every_size_and_root() {
+        for n in 1..=9usize {
+            for root in 0..n {
+                let out = World::run(n, |c| c.gather(&[c.rank() as u8, 0xEE], root));
+                for (r, res) in out.iter().enumerate() {
+                    if r == root {
+                        let bufs = res.as_ref().unwrap();
+                        let expect: Vec<Vec<u8>> =
+                            (0..n).map(|i| vec![i as u8, 0xEE]).collect();
+                        assert_eq!(bufs, &expect, "n={n} root={root}");
+                    } else {
+                        assert!(res.is_none());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn scatter_delivers_distinct_parts() {
         let out = World::run(5, |c| {
             let parts = (c.rank() == 1)
@@ -292,6 +571,22 @@ mod tests {
     }
 
     #[test]
+    fn scatter_every_size_and_root() {
+        for n in 1..=9usize {
+            for root in 0..n {
+                let out = World::run(n, |c| {
+                    let parts = (c.rank() == root)
+                        .then(|| (0..n).map(|i| vec![i as u8; i + 1]).collect::<Vec<_>>());
+                    c.scatter(parts, root)
+                });
+                for (r, got) in out.iter().enumerate() {
+                    assert_eq!(got, &vec![r as u8; r + 1], "n={n} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn bcast_replicates_root_payload() {
         let out = World::run(4, |c| {
             c.bcast((c.rank() == 3).then(|| b"metadata".to_vec()), 3)
@@ -300,7 +595,55 @@ mod tests {
     }
 
     #[test]
-    fn repeated_collectives_reuse_slots_safely() {
+    fn bcast_every_size_and_root() {
+        for n in 1..=9usize {
+            for root in 0..n {
+                let out = World::run(n, |c| {
+                    c.bcast((c.rank() == root).then(|| vec![root as u8; 5]), root)
+                });
+                assert!(out.iter().all(|b| b == &vec![root as u8; 5]), "n={n} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_every_size() {
+        for n in 1..=9usize {
+            let out = World::run(n, |c| {
+                let data = vec![c.rank() as u8; c.rank() % 3 + 1];
+                c.allgather(&data)
+            });
+            let expect: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; i % 3 + 1]).collect();
+            assert!(out.iter().all(|got| got == &expect), "n={n}");
+        }
+    }
+
+    #[test]
+    fn reduce_combines_up_the_tree() {
+        for n in [1usize, 2, 5, 8, 13] {
+            for root in [0, n - 1] {
+                let out = World::run(n, |c| {
+                    (
+                        c.reduce_u64(c.rank() as u64 + 1, ReduceOp::Sum, root),
+                        c.reduce_u64(c.rank() as u64, ReduceOp::Max, root),
+                        c.reduce_u64(c.rank() as u64 + 7, ReduceOp::Min, root),
+                    )
+                });
+                for (r, (sum, max, min)) in out.iter().enumerate() {
+                    if r == root {
+                        assert_eq!(*sum, Some((n * (n + 1) / 2) as u64));
+                        assert_eq!(*max, Some(n as u64 - 1));
+                        assert_eq!(*min, Some(7));
+                    } else {
+                        assert_eq!((*sum, *max, *min), (None, None, None));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_reuse_tags_safely() {
         let out = World::run(4, |c| {
             let mut acc = 0u64;
             for round in 0..50u64 {
@@ -311,6 +654,26 @@ mod tests {
         // sum over rounds of (4*round + 0+1+2+3)
         let expect: u64 = (0..50u64).map(|r| 4 * r + 6).sum();
         assert!(out.iter().all(|&v| v == expect), "{out:?} != {expect}");
+    }
+
+    #[test]
+    fn mixed_collective_sequences_do_not_cross_talk() {
+        // Fast ranks may race ahead into the next collective; sequence
+        // numbers in the tags must keep the messages apart.
+        let out = World::run(7, |c| {
+            let mut digest = 0u64;
+            for i in 0..10u64 {
+                let root = (i as usize) % 7;
+                let b = c.bcast((c.rank() == root).then(|| vec![i as u8; 3]), root);
+                digest = digest.wrapping_mul(31).wrapping_add(b[0] as u64);
+                c.barrier();
+                let g = c.allgather_u64(c.rank() as u64 + i);
+                digest = digest.wrapping_mul(31).wrapping_add(g.iter().sum::<u64>());
+                let _ = c.gather(&[i as u8], 3);
+            }
+            digest
+        });
+        assert!(out.windows(2).all(|w| w[0] == w[1]), "{out:?}");
     }
 
     #[test]
@@ -412,5 +775,58 @@ mod tests {
         assert_eq!(root[0], vec![0]);
         assert_eq!(root[1], vec![0, 1]);
         assert_eq!(root[2], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stats_count_this_ranks_ops() {
+        let out = World::run(4, |c| {
+            c.barrier();
+            c.bcast((c.rank() == 0).then(|| vec![1u8, 2, 3]), 0);
+            let _ = c.gather(&[c.rank() as u8], 1);
+            c.allgather_u64(7);
+            let _ = c.reduce_u64(1, ReduceOp::Sum, 0);
+            let sub = c.split(0, c.rank() as u64);
+            sub.barrier();
+            let s = c.stats().expect("thread runtime tracks stats");
+            let sub_s = sub.stats().expect("sub-communicator tracks stats");
+            (
+                s.barriers(),
+                s.bcasts(),
+                s.gathers(),
+                s.allgathers(),
+                s.reduces(),
+                s.splits(),
+                sub_s.barriers(),
+                s.bytes_sent() > 0,
+            )
+        });
+        for got in out {
+            assert_eq!(got, (1, 1, 1, 1, 1, 1, 1, true));
+        }
+    }
+
+    #[test]
+    fn reserved_tag_namespace_is_enforced() {
+        // The panic fires inside a rank thread; catch it there so the
+        // message survives the join.
+        let out = World::run(2, |c| {
+            if c.rank() == 0 {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    c.send(1, 0xC3 << 56, b"nope");
+                }))
+                .err()
+                .and_then(|e| {
+                    e.downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| e.downcast_ref::<String>().cloned())
+                })
+            } else {
+                None
+            }
+        });
+        assert!(
+            out[0].as_ref().expect("send panicked").contains("reserved for internal"),
+            "{out:?}"
+        );
     }
 }

@@ -107,7 +107,7 @@ mod stream;
 
 pub use adapter::SionWriteAdapter;
 pub use error::{Result, SionError};
-pub use format::SionFlags;
+pub use format::{CloseRecord, OpenRecord, SionFlags};
 pub use layout::{Alignment, FileLayout};
 pub use keyval::{KeyValIndex, KeyValReader, KeyValWriter};
 pub use mapping::Mapping;

@@ -8,14 +8,35 @@
 //! each task its chunk geometry. At close, the master collects the bytes
 //! effectively written and stores them in metablock 2. Reads and writes in
 //! between are completely independent per task.
+//!
+//! # Collective round structure
+//!
+//! All per-task metadata travels in *packed* fixed-layout records
+//! ([`OpenRecord`], [`CloseRecord`]) so each phase costs a constant number
+//! of collective rounds regardless of how many fields it moves:
+//!
+//! * write open — 2 `split`s, then per file group ONE metadata gather +
+//!   ONE status broadcast + ONE geometry scatter, then ONE global
+//!   allgather that doubles as the all-or-nothing failure agreement *and*
+//!   the cross-group parameter-agreement check;
+//! * write close — ONE usage gather + ONE status broadcast per file
+//!   group, then ONE global barrier;
+//! * read open — ONE parent broadcast carrying status and the rank map
+//!   together, 2 `split`s, then per file group ONE status broadcast + ONE
+//!   geometry scatter, then ONE global allgather.
+//!
+//! A task whose *local* pre-open validation fails must still join every
+//! collective (deserting a gather would hang its peers), so the failure
+//! travels as a status bit inside its packed record and surfaces as an
+//! error on every task after the exchange.
 
 use crate::error::{Result, SionError};
-use crate::format::{MetaBlock1, MetaBlock2, SionFlags};
+use crate::format::{CloseRecord, MetaBlock1, MetaBlock2, OpenRecord, SionFlags};
 use crate::layout::FileLayout;
 use crate::physical_name;
 use crate::stream::{ChunkGeom, IoCounters, TaskReader, TaskWriter, DEFAULT_READ_AHEAD};
 use crate::SionParams;
-use simmpi::Comm;
+use simmpi::{Comm, CommStats};
 use std::sync::Arc;
 use vfs::Vfs;
 
@@ -24,10 +45,15 @@ use vfs::Vfs;
 type GroupSetup = (Vec<Vec<u8>>, Arc<dyn vfs::VfsFile>);
 
 /// Status word broadcast by a master after its setup phase, so that a
-/// master-side failure surfaces as an error on every task instead of a
-/// hang or a half-written multifile.
+/// failure anywhere in the group surfaces as an error on every task
+/// instead of a hang or a half-written multifile.
 const STATUS_OK: u64 = 0;
+/// The master itself failed (layout, create, or metablock write).
 const STATUS_ERR: u64 = 1;
+/// The gathered records carried more than one parameter fingerprint.
+const STATUS_PARAM_MISMATCH: u64 = 2;
+/// Some task's record carried the local-validation-failure bit.
+const STATUS_LOCAL_INVALID: u64 = 3;
 
 fn check_master_status(lcom: &dyn Comm, local: Result<u64>) -> Result<()> {
     // Master converts its Result into a status word; everyone else echoes
@@ -70,17 +96,6 @@ fn params_fingerprint(p: &SionParams) -> u64 {
         ^ ((p.rescue as u64) << 61)
 }
 
-fn check_params_agree(comm: &dyn Comm, p: &SionParams) -> Result<()> {
-    let fp = params_fingerprint(p);
-    let all = comm.allgather_u64(fp);
-    if all.iter().any(|&v| v != fp) {
-        return Err(SionError::CollectiveMismatch(
-            "tasks passed different multifile parameters to the collective open".into(),
-        ));
-    }
-    Ok(())
-}
-
 /// Statistics returned by [`SionParWriter::close`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CloseStats {
@@ -105,6 +120,75 @@ pub struct SionParWriter {
     grank: usize,
 }
 
+/// The file master's verdict on its group's gathered open records: either
+/// the prepared scatter payloads, or a status word for the broadcast plus
+/// the error the master itself will return.
+type MasterSetup = std::result::Result<GroupSetup, (u64, SionError)>;
+
+fn master_open_setup(
+    vfs: &dyn Vfs,
+    base: &str,
+    params: &SionParams,
+    fingerprint: u64,
+    filenum: u32,
+    ntasks: usize,
+    raw: Vec<Vec<u8>>,
+) -> MasterSetup {
+    let records: Vec<OpenRecord> = match raw.iter().map(|b| OpenRecord::decode(b)).collect() {
+        Ok(r) => r,
+        Err(e) => return Err((STATUS_ERR, e)),
+    };
+    // Agreement and validity checks come before any file is created, so a
+    // rejected open leaves nothing on disk for this group.
+    if records.iter().any(|r| r.fingerprint != fingerprint) {
+        return Err((
+            STATUS_PARAM_MISMATCH,
+            SionError::CollectiveMismatch(
+                "tasks passed different multifile parameters to the collective open".into(),
+            ),
+        ));
+    }
+    if records.iter().any(|r| r.status != OpenRecord::STATUS_OK) {
+        return Err((
+            STATUS_LOCAL_INVALID,
+            SionError::CollectiveMismatch(
+                "a task's parameters failed local pre-open validation".into(),
+            ),
+        ));
+    }
+    let reqs: Vec<u64> = records.iter().map(|r| r.chunksize).collect();
+    let granks: Vec<u64> = records.iter().map(|r| r.grank).collect();
+    (|| {
+        let layout =
+            FileLayout::compute(&reqs, vfs.block_size(), params.alignment, params.rescue)?;
+        let file = vfs.create(&physical_name(base, filenum))?;
+        let mb1 = MetaBlock1 {
+            version: crate::format::VERSION,
+            flags: params.flags(),
+            fsblksize: vfs.block_size(),
+            ntasks_global: ntasks as u64,
+            nfiles: params.nfiles,
+            filenum,
+            data_start: layout.data_start,
+            global_ranks: granks.clone(),
+            chunksize_req: reqs,
+            chunk_cap: layout.cap.clone(),
+        };
+        file.write_all_at(&mb1.encode(), 0)?;
+        let parts: Vec<Vec<u8>> = (0..layout.ntasks())
+            .map(|t| {
+                ChunkGeom::from_layout(&layout, t, granks[t])
+                    .encode()
+                    .iter()
+                    .flat_map(|w| w.to_le_bytes())
+                    .collect()
+            })
+            .collect();
+        Ok((parts, file))
+    })()
+    .map_err(|e: SionError| (STATUS_ERR, e))
+}
+
 /// Collectively create a multifile for writing (`sion_paropen_mpi`).
 ///
 /// Every task of `comm` calls this with identical parameters except for
@@ -118,91 +202,111 @@ pub fn paropen_write(
 ) -> Result<SionParWriter> {
     let grank = comm.rank();
     let ntasks = comm.size();
-    check_params_agree(comm, params)?;
-    params.mapping.validate(ntasks, params.nfiles)?;
 
+    // Local pre-open validation is *deferred*: a task whose parameters
+    // fail the check still joins every collective below (returning early
+    // would hang its peers), carrying the failure as a status bit in its
+    // packed record instead.
+    let local_check = params.mapping.validate(ntasks, params.nfiles);
+    let fingerprint = params_fingerprint(params);
+
+    // `file_of` is total, so even a task holding invalid parameters
+    // computes a split color and lands in a well-formed file group.
     let filenum = params.mapping.file_of(grank, ntasks, params.nfiles);
     let lcom = comm.split(filenum as u64, grank as u64);
     // A private duplicate of the global communicator, so the handle can run
     // global collectives (the paper's open/close are collective over gcom).
     let gcom = comm.split(0, grank as u64);
 
-    // Collect requests and global ranks at the file master.
-    let reqs = lcom.gather_u64(params.chunksize, 0);
-    let granks = lcom.gather_u64(grank as u64, 0);
-
-    let setup: Result<GroupSetup> = if lcom.rank() == 0 {
-        (|| {
-            let reqs = reqs.expect("master receives gather");
-            let granks = granks.expect("master receives gather");
-            let layout =
-                FileLayout::compute(&reqs, vfs.block_size(), params.alignment, params.rescue)?;
-            let file = vfs.create(&physical_name(base, filenum))?;
-            let mb1 = MetaBlock1 {
-                version: crate::format::VERSION,
-                flags: params.flags(),
-                fsblksize: vfs.block_size(),
-                ntasks_global: ntasks as u64,
-                nfiles: params.nfiles,
-                filenum,
-                data_start: layout.data_start,
-                global_ranks: granks.clone(),
-                chunksize_req: reqs,
-                chunk_cap: layout.cap.clone(),
-            };
-            file.write_all_at(&mb1.encode(), 0)?;
-            let parts: Vec<Vec<u8>> = (0..layout.ntasks())
-                .map(|t| {
-                    ChunkGeom::from_layout(&layout, t, granks[t])
-                        .encode()
-                        .iter()
-                        .flat_map(|w| w.to_le_bytes())
-                        .collect()
-                })
-                .collect();
-            Ok((parts, file))
-        })()
-    } else {
-        Err(SionError::CollectiveMismatch("not master".into())) // placeholder, unused
-    };
-
-    // Per-file-group phase. Any failure here (master setup, worker reopen)
-    // is captured, not returned: the global status exchange below must run
-    // on every task or the healthy file groups would hang.
-    let group_result: Result<(ChunkGeom, Arc<dyn vfs::VfsFile>)> = (|| {
-        if lcom.rank() == 0 {
-            check_master_status(lcom.as_ref(), setup.as_ref().map(|_| 0).map_err(clone_err))?;
+    // Single-round metadata exchange: everything the master needs from
+    // each task — chunk-size request, global rank, parameter fingerprint,
+    // local status — travels in ONE packed gather instead of one
+    // sequential collective per field.
+    let record = OpenRecord {
+        chunksize: params.chunksize,
+        grank: grank as u64,
+        fingerprint,
+        status: if local_check.is_ok() {
+            OpenRecord::STATUS_OK
         } else {
-            check_master_status(lcom.as_ref(), Ok(0))?;
+            OpenRecord::STATUS_LOCAL_INVALID
+        },
+    };
+    let gathered = lcom.gather(&record.encode(), 0);
+
+    let (word, setup_ok, setup_err) = if lcom.rank() == 0 {
+        let raw = gathered.expect("master receives the gather");
+        match master_open_setup(vfs, base, params, fingerprint, filenum, ntasks, raw) {
+            Ok(setup) => (Some(STATUS_OK), Some(setup), None),
+            Err((w, e)) => (Some(w), None, Some(e)),
+        }
+    } else {
+        (None, None, None)
+    };
+    let status = lcom.bcast_u64(word, 0);
+
+    // Per-file-group phase. Any failure here is captured, not returned:
+    // the global exchange below must run on every task or the healthy file
+    // groups would hang.
+    let group_result: Result<(ChunkGeom, Arc<dyn vfs::VfsFile>)> = (|| {
+        if status != STATUS_OK {
+            // The task's own validation error is the most precise report;
+            // the master returns the error it diagnosed; everyone else
+            // reconstructs the verdict from the status word.
+            local_check?;
+            if let Some(e) = setup_err {
+                return Err(e);
+            }
+            return Err(SionError::CollectiveMismatch(match status {
+                STATUS_PARAM_MISMATCH => {
+                    "tasks passed different multifile parameters to the collective open".into()
+                }
+                STATUS_LOCAL_INVALID => {
+                    "another task's parameters failed local pre-open validation".into()
+                }
+                _ => "master task failed during collective open".into(),
+            }));
         }
         if lcom.rank() == 0 {
-            let (parts, file) = setup.expect("status was OK");
+            let (parts, file) = setup_ok.expect("status was OK");
             let mine = lcom.scatter(Some(parts), 0);
             Ok((decode_geom(&mine)?, file))
         } else {
             let mine = lcom.scatter(None, 0);
             let geom = decode_geom(&mine)?;
-            // The master created the file before the status broadcast, so it
-            // exists by now.
+            // The master created the file before the status broadcast, so
+            // it exists by now.
             let file = vfs.open_rw(&physical_name(base, filenum))?;
             Ok((geom, file))
         }
     })();
 
-    // The open is collective over the *global* communicator: when it
-    // returns Ok, every physical file of the multifile exists and every
-    // task holds a handle; when any file group failed, every task errors.
-    let any_failed = gcom
-        .allgather_u64(group_result.is_err() as u64)
-        .into_iter()
-        .any(|s| s != 0);
-    let (geom, file) = match (any_failed, group_result) {
+    // One global exchange closes the open. Its 16-byte payload carries
+    // [failed flag, parameter fingerprint]: it is simultaneously the
+    // all-or-nothing failure agreement across file groups (when it returns
+    // clean, every physical file exists and every task holds a handle) and
+    // the cross-group parameter-agreement check — the per-group gather
+    // already verified agreement *within* each group, so the former
+    // standalone fingerprint allgather round is gone.
+    let mut word16 = [0u8; 16];
+    word16[..8].copy_from_slice(&(group_result.is_err() as u64).to_le_bytes());
+    word16[8..].copy_from_slice(&fingerprint.to_le_bytes());
+    let all = gcom.allgather(&word16);
+    let mut any_failed = false;
+    let mut fp_mismatch = false;
+    for b in &all {
+        any_failed |= u64::from_le_bytes(b[..8].try_into().unwrap()) != 0;
+        fp_mismatch |= u64::from_le_bytes(b[8..16].try_into().unwrap()) != fingerprint;
+    }
+    let (geom, file) = match (any_failed || fp_mismatch, group_result) {
         (false, Ok(pair)) => pair,
         (_, Err(e)) => return Err(e),
         (true, Ok(_)) => {
-            return Err(SionError::CollectiveMismatch(
-                "another file group failed during the collective open".into(),
-            ))
+            return Err(SionError::CollectiveMismatch(if fp_mismatch {
+                "tasks passed different multifile parameters to the collective open".into()
+            } else {
+                "another file group failed during the collective open".into()
+            }))
         }
     };
 
@@ -213,12 +317,6 @@ pub fn paropen_write(
         filenum,
         grank,
     })
-}
-
-fn clone_err(e: &SionError) -> SionError {
-    // SionError is not Clone (it wraps io::Error); a formatted copy is
-    // enough for the error path.
-    SionError::CollectiveMismatch(e.to_string())
 }
 
 fn decode_geom(bytes: &[u8]) -> Result<ChunkGeom> {
@@ -269,6 +367,21 @@ impl SionParWriter {
         self.writer.io_counters()
     }
 
+    /// Per-rank op/byte counters of this task's *file-group* communicator,
+    /// when the runtime tracks them. The returned handle keeps counting
+    /// through [`close`](Self::close) (which consumes the writer), so
+    /// callers can assert collective round counts after the fact.
+    pub fn local_comm_stats(&self) -> Option<Arc<CommStats>> {
+        self.lcom.stats()
+    }
+
+    /// Per-rank op/byte counters of this task's *global* communicator
+    /// duplicate; same lifetime guarantees as
+    /// [`local_comm_stats`](Self::local_comm_stats).
+    pub fn global_comm_stats(&self) -> Option<Arc<CommStats>> {
+        self.gcom.stats()
+    }
+
     /// This task's global rank.
     pub fn rank(&self) -> usize {
         self.grank
@@ -284,49 +397,55 @@ impl SionParWriter {
     ///
     /// Crash behaviour: a task whose local flush/sync fails still takes
     /// part in every collective below (deserting the gather would hang the
-    /// surviving tasks) and the group then skips writing metablock 2
-    /// entirely — finalizing without the failed task's usage would
-    /// silently drop its data. The un-finalized file remains recoverable
-    /// via [`rescue::repair`](crate::rescue::repair) when rescue headers
-    /// are enabled. Only when close returns `Ok` on every task is the
-    /// multifile's metadata durable and final.
+    /// surviving tasks) — its packed [`CloseRecord`] carries the failure
+    /// flag alongside the usage vector, and the group then skips writing
+    /// metablock 2 entirely: finalizing without the failed task's usage
+    /// would silently drop its data. The un-finalized file remains
+    /// recoverable via [`rescue::repair`](crate::rescue::repair) when
+    /// rescue headers are enabled. Only when close returns `Ok` on every
+    /// task is the multifile's metadata durable and final.
     pub fn close(mut self) -> Result<CloseStats> {
         let finish_res = self.writer.finish();
-        let used = finish_res.as_ref().map(|u| u.clone()).unwrap_or_default();
 
-        // All-or-nothing across the file group: learn whether any task
-        // failed before deciding to finalize.
-        let any_failed = self
-            .lcom
-            .allgather_u64(finish_res.is_err() as u64)
-            .iter()
-            .any(|&v| v != 0);
-
-        let gathered = self.lcom.gather_u64s(&used, 0);
-        let finalize: Result<u64> = if self.lcom.rank() == 0 {
-            if any_failed {
-                Err(SionError::CollectiveMismatch(
-                    "a task failed to flush; metablock 2 not written".into(),
-                ))
+        // Packed close exchange: the error flag rides in the same record
+        // as the per-block usage, so the former standalone failure
+        // allgather round is gone — ONE gather and ONE status broadcast
+        // finish the file group.
+        let record = CloseRecord {
+            status: if finish_res.is_ok() {
+                CloseRecord::STATUS_OK
             } else {
-                (|| {
-                    let per_task = gathered.expect("master receives gather");
-                    let n = per_task.len();
-                    let nblocks = per_task.iter().map(Vec::len).max().unwrap_or(0) as u64;
-                    let mut usage = vec![0u64; (nblocks as usize) * n];
-                    for (t, blocks) in per_task.iter().enumerate() {
-                        for (b, &u) in blocks.iter().enumerate() {
-                            usage[b * n + t] = u;
-                        }
+                CloseRecord::STATUS_FLUSH_FAILED
+            },
+            used: finish_res.as_ref().map(|u| u.clone()).unwrap_or_default(),
+        };
+        let gathered = self.lcom.gather(&record.encode(), 0);
+
+        let finalize: Result<u64> = if self.lcom.rank() == 0 {
+            (|| {
+                let per_task: Vec<CloseRecord> = gathered
+                    .expect("master receives the gather")
+                    .iter()
+                    .map(|b| CloseRecord::decode(b))
+                    .collect::<Result<_>>()?;
+                if per_task.iter().any(|r| r.status != CloseRecord::STATUS_OK) {
+                    return Err(SionError::CollectiveMismatch(
+                        "a task failed to flush; metablock 2 not written".into(),
+                    ));
+                }
+                let n = per_task.len();
+                let nblocks = per_task.iter().map(|r| r.used.len()).max().unwrap_or(0) as u64;
+                let mut usage = vec![0u64; (nblocks as usize) * n];
+                for (t, rec) in per_task.iter().enumerate() {
+                    for (b, &u) in rec.used.iter().enumerate() {
+                        usage[b * n + t] = u;
                     }
-                    // Reconstruct the layout geometry from this task's view:
-                    // the master's own geometry carries data_start/block_size.
-                    let mb2 = MetaBlock2 { nblocks, used: usage };
-                    let mb2_off = self.writer.mb2_offset(nblocks);
-                    mb2.write_to(self.writer.file(), mb2_off, n)?;
-                    Ok(0)
-                })()
-            }
+                }
+                let mb2 = MetaBlock2 { nblocks, used: usage };
+                let mb2_off = self.writer.mb2_offset(nblocks);
+                mb2.write_to(self.writer.file(), mb2_off, n)?;
+                Ok(0)
+            })()
         } else {
             Ok(0)
         };
@@ -352,6 +471,9 @@ pub struct SionParReader {
     reader: TaskReader,
     gcom: Box<dyn Comm>,
     grank: usize,
+    /// Stats handle of the file-group communicator used during open (the
+    /// communicator itself is dropped once the geometry is distributed).
+    lcom_stats: Option<Arc<CommStats>>,
 }
 
 /// Collectively open an existing multifile for reading.
@@ -404,33 +526,31 @@ pub fn paropen_read(vfs: &dyn Vfs, base: &str, comm: &dyn Comm) -> Result<SionPa
         Ok(Vec::new())
     };
 
-    // Broadcast the discovery payload (or fail everywhere).
-    let word = if grank == 0 {
-        Some(match &discovery {
-            Ok(_) => STATUS_OK,
-            Err(_) => STATUS_ERR,
-        })
+    // ONE combined broadcast: the status word travels as the payload's
+    // leading word ([STATUS_OK, nfiles, flags, map...] on success, just
+    // [STATUS_ERR] on failure) instead of costing a separate status round.
+    let packed: Option<Vec<u8>> = if grank == 0 {
+        let words: Vec<u64> = match &discovery {
+            Ok(p) => std::iter::once(STATUS_OK).chain(p.iter().copied()).collect(),
+            Err(_) => vec![STATUS_ERR],
+        };
+        Some(words.iter().flat_map(|w| w.to_le_bytes()).collect())
     } else {
         None
     };
-    if comm.bcast_u64(word, 0) != STATUS_OK {
-        return Err(discovery.err().unwrap_or_else(|| {
-            SionError::CollectiveMismatch("master failed during read open".into())
-        }));
-    }
-    let payload_bytes = comm.bcast(
-        discovery
-            .ok()
-            .map(|p| p.iter().flat_map(|w| w.to_le_bytes()).collect()),
-        0,
-    );
+    let payload_bytes = comm.bcast(packed, 0);
     let words: Vec<u64> = payload_bytes
         .chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
         .collect();
-    let flags = SionFlags::from_bits(words[1])?;
+    if words.first().copied() != Some(STATUS_OK) {
+        return Err(discovery.err().unwrap_or_else(|| {
+            SionError::CollectiveMismatch("master failed during read open".into())
+        }));
+    }
+    let flags = SionFlags::from_bits(words[2])?;
     let compressed = flags.contains(SionFlags::COMPRESSED);
-    let entry = words[2 + grank];
+    let entry = words[3 + grank];
     let filenum = (entry >> 32) as u32;
 
     let lcom = comm.split(filenum as u64, grank as u64);
@@ -482,6 +602,7 @@ pub fn paropen_read(vfs: &dyn Vfs, base: &str, comm: &dyn Comm) -> Result<SionPa
         let file = vfs.open(&physical_name(base, filenum))?;
         Ok((geom, used, file))
     })();
+    let lcom_stats = lcom.stats();
 
     // All-or-nothing across file groups, as in the write open.
     let any_failed = gcom
@@ -501,7 +622,14 @@ pub fn paropen_read(vfs: &dyn Vfs, base: &str, comm: &dyn Comm) -> Result<SionPa
         reader: TaskReader::new(file, geom, used, compressed, DEFAULT_READ_AHEAD),
         gcom,
         grank,
+        lcom_stats,
     })
+}
+
+fn clone_err(e: &SionError) -> SionError {
+    // SionError is not Clone (it wraps io::Error); a formatted copy is
+    // enough for the error path.
+    SionError::CollectiveMismatch(e.to_string())
 }
 
 impl SionParReader {
@@ -535,6 +663,19 @@ impl SionParReader {
     /// I/O-call accounting for this task's read stream so far.
     pub fn io_counters(&self) -> IoCounters {
         self.reader.io_counters()
+    }
+
+    /// Per-rank op/byte counters of the file-group communicator that
+    /// carried this task's open-time exchange, when the runtime tracks
+    /// them.
+    pub fn local_comm_stats(&self) -> Option<Arc<CommStats>> {
+        self.lcom_stats.clone()
+    }
+
+    /// Per-rank op/byte counters of this task's global communicator
+    /// duplicate.
+    pub fn global_comm_stats(&self) -> Option<Arc<CommStats>> {
+        self.gcom.stats()
     }
 
     /// `sion_parclose_mpi` for the read side.

@@ -1,0 +1,93 @@
+//! Collective round-count accounting: the packed metadata protocol must
+//! cost exactly the constant number of rounds §"Collective round
+//! structure" in `par.rs` promises, independent of how many metadata
+//! fields move. Asserted per communicator through the runtime's
+//! [`CommStats`](simmpi::CommStats) counters, whose handles keep counting
+//! after `close()` consumes the writer.
+
+use simmpi::{Comm, World};
+use sion::{paropen_read, paropen_write, SionParams};
+use vfs::MemFs;
+
+#[test]
+fn write_open_and_close_cost_one_gather_each() {
+    let fs = MemFs::with_block_size(512);
+    let n = 8;
+    World::run(n, |comm| {
+        let params = SionParams::new(2048).with_nfiles(2);
+        let mut w = paropen_write(&fs, "mf.sion", &params, comm).unwrap();
+
+        let lcom = w.local_comm_stats().expect("runtime tracks stats");
+        let gcom = w.global_comm_stats().expect("runtime tracks stats");
+        let parent = comm.stats().expect("runtime tracks stats");
+
+        // Open: ONE packed metadata gather + ONE status broadcast + ONE
+        // geometry scatter on the file-group communicator — nothing else.
+        assert_eq!(lcom.gathers(), 1, "open metadata gather");
+        assert_eq!(lcom.bcasts(), 1, "open status broadcast");
+        assert_eq!(lcom.scatters(), 1, "open geometry scatter");
+        assert_eq!(lcom.allgathers(), 0);
+        assert_eq!(lcom.barriers(), 0);
+        assert_eq!(lcom.reduces(), 0);
+        // ONE global allgather (failure agreement + cross-group parameter
+        // check combined) on the duplicated global communicator.
+        assert_eq!(gcom.allgathers(), 1, "open global agreement");
+        assert_eq!(gcom.barriers(), 0);
+        assert_eq!(gcom.gathers(), 0);
+        assert_eq!(gcom.bcasts(), 0);
+        // The parent communicator only pays the two splits.
+        assert_eq!(parent.splits(), 2);
+        assert_eq!(parent.collectives(), 2);
+
+        // Touch two blocks so close gathers a non-trivial usage vector.
+        w.write(&vec![comm.rank() as u8; 3000]).unwrap();
+
+        let c = w.close().unwrap();
+        assert!(c.stored_bytes >= 3000);
+
+        // Close: ONE packed usage gather + ONE status broadcast on the
+        // file group, ONE barrier on the global communicator — nothing
+        // else, and no further parent-communicator traffic.
+        assert_eq!(lcom.gathers(), 2, "close usage gather");
+        assert_eq!(lcom.bcasts(), 2, "close status broadcast");
+        assert_eq!(lcom.scatters(), 1);
+        assert_eq!(lcom.allgathers(), 0);
+        assert_eq!(lcom.barriers(), 0);
+        assert_eq!(gcom.barriers(), 1, "close global barrier");
+        assert_eq!(gcom.allgathers(), 1);
+        assert_eq!(parent.collectives(), 2);
+    });
+}
+
+#[test]
+fn read_open_costs_one_broadcast_on_the_parent() {
+    let fs = MemFs::with_block_size(512);
+    let n = 6;
+    World::run(n, |comm| {
+        let params = SionParams::new(1024).with_nfiles(3);
+        let mut w = paropen_write(&fs, "r.sion", &params, comm).unwrap();
+        w.write(b"payload").unwrap();
+        w.close().unwrap();
+
+        let before = comm.stats().expect("runtime tracks stats").collectives();
+        let r = paropen_read(&fs, "r.sion", comm).unwrap();
+        let parent = comm.stats().expect("runtime tracks stats");
+
+        // Read open on the parent communicator: ONE combined
+        // status+rank-map broadcast plus the two splits.
+        assert_eq!(parent.bcasts(), 1, "combined discovery broadcast");
+        assert_eq!(parent.collectives() - before, 3);
+
+        // File group: ONE status broadcast + ONE geometry scatter.
+        let lcom = r.local_comm_stats().expect("runtime tracks stats");
+        assert_eq!(lcom.bcasts(), 1);
+        assert_eq!(lcom.scatters(), 1);
+        assert_eq!(lcom.gathers(), 0);
+        // Global duplicate: ONE failure-agreement allgather.
+        let gcom = r.global_comm_stats().expect("runtime tracks stats");
+        assert_eq!(gcom.allgathers(), 1);
+
+        r.close().unwrap();
+        assert_eq!(gcom.barriers(), 1);
+    });
+}
