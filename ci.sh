@@ -18,6 +18,20 @@ cargo test --workspace -q
 echo "==> crash-consistency harness (fixed seed)"
 CRASH_SEED=1359024137 cargo test -p sion --test crash_consistency -q
 
+echo "==> simcheck: schedule exploration + mutation detection (fixed seeds)"
+# Quick seed budget: the sweep stays well under a minute while still
+# exploring multiple interleavings per workload. The mutation tests assert
+# that seeded bugs (mismatched root, reserved-tag collision, misaligned
+# chunks, cyclic deadlock) are flagged with replayable schedules.
+SIMCHECK_SEEDS=4 cargo test -p sion-simcheck -q
+
+echo "==> runtime sanitizers: real workloads under SIMCHECK=1"
+# The full parallel round-trip matrix and one crash-consistency config run
+# with the passive sanitizer installed; any collective mismatch, reserved
+# tag, leaked message or hang would fail these.
+SIMCHECK=1 cargo test -p sion --test parallel_roundtrip -q
+SIMCHECK=1 CRASH_SEED=1359024137 cargo test -p sion --test crash_consistency -q crashed_task_cannot_hang_the_collective_close
+
 echo "==> rescue smoke: crash a multifile, sionrepair it, sionverify it"
 rm -rf target/smoke
 cargo run --release --example rescue_smoke

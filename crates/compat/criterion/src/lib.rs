@@ -8,6 +8,8 @@
 //! warmup + fixed-sample mean/min report printed to stdout — enough to
 //! compare configurations locally, without criterion's statistics machinery.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard optimization barrier.

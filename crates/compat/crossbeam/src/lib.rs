@@ -7,6 +7,8 @@
 //! list across threads works exactly as with crossbeam's MPMC channels; the
 //! workspace only ever receives from one thread per receiver.
 
+#![forbid(unsafe_code)]
+
 pub mod channel {
     use std::sync::mpsc;
 
@@ -69,6 +71,23 @@ pub mod channel {
                 mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
             })
         }
+
+        /// Block until a message arrives or `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with the channel still empty.
+        Timeout,
+        /// All senders have disconnected and the queue is drained.
+        Disconnected,
     }
 
     /// Error returned by [`Receiver::try_recv`].
@@ -117,6 +136,22 @@ pub mod channel {
             got.sort_unstable();
             assert_eq!(got, vec![0, 1, 2, 3]);
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(9).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(1)), Ok(9));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
 
         #[test]

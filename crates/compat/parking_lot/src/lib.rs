@@ -6,6 +6,8 @@
 //! ignored — like real parking_lot, a panicked holder does not poison the
 //! lock for later users.
 
+#![forbid(unsafe_code)]
+
 use std::sync::{
     Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
     RwLockReadGuard as StdRwLockReadGuard, RwLockWriteGuard as StdRwLockWriteGuard,

@@ -13,6 +13,8 @@
 //! seed so a failing input can be regenerated deterministically. Runs are
 //! fully deterministic per test name.
 
+#![forbid(unsafe_code)]
+
 pub mod test_runner {
     /// Per-`proptest!`-block configuration.
     #[derive(Clone, Debug)]

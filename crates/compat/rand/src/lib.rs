@@ -8,6 +8,8 @@
 //! upstream rand's StdRng (no test in this workspace depends on upstream's
 //! stream, only on determinism per seed).
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Construct a seeded generator. Subset of `rand::SeedableRng`.

@@ -1,0 +1,58 @@
+//! `simcheck` — deterministic model checking and runtime sanitizers for
+//! the `simmpi`/`sion` stack.
+//!
+//! Parallel SIONlib code has three classic failure classes, all mapped to
+//! invariants of the SC'09 paper:
+//!
+//! * **protocol bugs** — mismatched collectives (one rank calls `bcast`
+//!   while another calls `barrier`, or roots disagree), user point-to-point
+//!   sends into the reserved collective tag namespace, and messages still
+//!   sitting in a mailbox at teardown (§3.1 requires the metadata exchange
+//!   to be deadlock- and mismatch-free);
+//! * **deadlocks** — every rank blocked in a receive that nothing will
+//!   satisfy;
+//! * **layout bugs** — two tasks writing into the same filesystem block
+//!   during a parallel SION write, violating the §3.2 alignment invariant
+//!   that makes lock-free parallel writes safe.
+//!
+//! This crate provides two ways to catch them:
+//!
+//! 1. **[`CheckedWorld`]** — a schedule-exploring harness. It runs a
+//!    `simmpi` program under a seeded deterministic scheduler
+//!    ([`ScheduleCfg`]: seed + preemption bound) that serializes every
+//!    mailbox operation and decides, at quiescence, which rank runs next.
+//!    Failures come back as a [`CheckFailure`] carrying the findings, the
+//!    whole-world deadlock verdict (with per-rank pending operations and
+//!    backtraces), and the full decision trace; re-running the same
+//!    [`ScheduleCfg`] replays the failure with a byte-identical
+//!    [`CheckFailure::stable_report`]. Sweep the space with
+//!    [`CheckedWorld::explore`] over [`schedules`].
+//!
+//! 2. **`SIMCHECK=1`** — zero-code-change passive mode. With the
+//!    environment variable set, `World::run` and `FlatWorld::run` install a
+//!    [`Sanitizer`] that performs the same collective/tag/leak checks and
+//!    converts silent hangs into watchdog-reported deadlocks
+//!    (`SIMCHECK_TIMEOUT_MS`, default 20s). Production runs without the
+//!    variable pay nothing.
+//!
+//! The filesystem-level check is independent of both: wrap any
+//! [`vfs::Vfs`] in a [`BlockGuardFs`] and every FS block that two
+//! different labeled tasks write is reported as a [`BlockViolation`]
+//! ([`BlockGuardFs::assert_exclusive`] panics with the sorted list).
+//! `sion::paropen_write` labels each rank's writes automatically.
+//!
+//! All diagnostics are deterministic — stable rank ordering, no hash-map
+//! iteration — so failing reports can be golden-file tested.
+
+mod report;
+mod sched;
+
+pub use report::{CheckFailure, DeadlockInfo, PendingOp, ScheduleCfg, TraceEv};
+pub use sched::{schedules, seed_budget, CheckedWorld};
+
+pub use simmpi::{
+    current_task, decode_coll_tag, describe_tag, is_reserved_tag, simcheck_env_enabled, Aborted,
+    CheckHook, CollKind, CommCtx, Finding, FindingKind, LeakedMsg, Sanitizer, COLL_TAG_MASK,
+    COLL_TAG_PREFIX,
+};
+pub use vfs::{BlockGuardFs, BlockViolation};

@@ -1,0 +1,156 @@
+//! Deterministic failure reports for checked runs.
+//!
+//! Everything rendered here must be byte-identical between a failing run
+//! and its replay (same [`ScheduleCfg`]): reports are built from sorted or
+//! insertion-ordered state only — no map iteration order, no addresses, no
+//! timestamps. The one nondeterministic ingredient, per-rank backtraces of
+//! a deadlock's pending receives, is kept out of [`CheckFailure::
+//! stable_report`] and only appears in the human-facing `Display`.
+
+use simmpi::Finding;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One point of the schedule space: the interleaving is a pure function of
+/// this configuration and the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleCfg {
+    /// Seed of the scheduler's pseudo-random choice stream.
+    pub seed: u64,
+    /// Maximum number of *preemptions* — decisions that switch away from a
+    /// task that could have kept running. Once exhausted the scheduler
+    /// always continues the last task while it remains runnable (CHESS-style
+    /// iterative context bounding).
+    pub preemption_bound: usize,
+}
+
+impl fmt::Display for ScheduleCfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={:#018x}, preemption-bound={}", self.seed, self.preemption_bound)
+    }
+}
+
+/// One scheduling decision of a checked run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEv {
+    /// Decision ordinal (0-based).
+    pub step: usize,
+    /// World task chosen to run.
+    pub task: usize,
+    /// The operation the task was released into.
+    pub op: String,
+}
+
+/// One rank's pending operation at deadlock time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingOp {
+    /// World task id.
+    pub task: usize,
+    /// Structural name of the communicator the operation is on.
+    pub comm: String,
+    /// Description of the blocked operation (decoded tag included).
+    pub op: String,
+}
+
+/// A whole-world deadlock verdict: every live rank blocked in a receive
+/// with no deliverable message.
+#[derive(Debug, Clone, Default)]
+pub struct DeadlockInfo {
+    /// Blocked ranks in ascending task order.
+    pub pending: Vec<PendingOp>,
+    /// Backtrace of each blocked rank's pending receive, captured lazily by
+    /// the rank itself as it was released to unwind. Not part of the stable
+    /// report (addresses differ between runs).
+    pub backtraces: BTreeMap<usize, String>,
+}
+
+/// Everything known about a failed checked run: the findings, the deadlock
+/// verdict if there was one, and the full decision trace that reproduces it.
+#[derive(Debug)]
+pub struct CheckFailure {
+    /// The schedule point that produced the failure; re-running the same
+    /// program under this configuration replays it exactly.
+    pub cfg: ScheduleCfg,
+    /// All sanitizer findings, in (deterministic) detection order.
+    pub findings: Vec<Finding>,
+    /// Present when the failure was a whole-world deadlock.
+    pub deadlock: Option<DeadlockInfo>,
+    /// Every scheduling decision of the run, in order.
+    pub trace: Vec<TraceEv>,
+}
+
+impl CheckFailure {
+    /// Deterministic rendering: byte-identical between a failing seed and
+    /// its replay, suitable for golden-file comparison. Excludes
+    /// backtraces.
+    pub fn stable_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("simcheck failure ({})\n", self.cfg));
+        out.push_str(&format!("findings ({}):\n", self.findings.len()));
+        for f in &self.findings {
+            out.push_str(&format!("  {f}\n"));
+        }
+        if let Some(d) = &self.deadlock {
+            out.push_str(&format!(
+                "deadlock: {} rank(s) blocked with no deliverable message:\n",
+                d.pending.len()
+            ));
+            for p in &d.pending {
+                out.push_str(&format!("  rank {}: {} on \"{}\"\n", p.task, p.op, p.comm));
+            }
+        }
+        out.push_str(&format!("trace ({} decisions):\n", self.trace.len()));
+        for ev in &self.trace {
+            out.push_str(&format!("  #{} task {}: {}\n", ev.step, ev.task, ev.op));
+        }
+        out
+    }
+}
+
+impl fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.stable_report())?;
+        if let Some(d) = &self.deadlock {
+            for (task, bt) in &d.backtraces {
+                writeln!(f, "backtrace of rank {task}'s pending receive:\n{bt}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CheckFailure {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmpi::FindingKind;
+
+    #[test]
+    fn stable_report_is_reproducible_text() {
+        let fail = CheckFailure {
+            cfg: ScheduleCfg { seed: 7, preemption_bound: 2 },
+            findings: vec![Finding {
+                kind: FindingKind::Deadlock,
+                message: "whole-world deadlock: 2 task(s) blocked".into(),
+            }],
+            deadlock: Some(DeadlockInfo {
+                pending: vec![PendingOp {
+                    task: 0,
+                    comm: "world".into(),
+                    op: "recv(src=1, tag=0x2)".into(),
+                }],
+                backtraces: BTreeMap::from([(0, "0: somewhere".into())]),
+            }),
+            trace: vec![TraceEv { step: 0, task: 1, op: "send(to=0, tag=0x1, len=3)".into() }],
+        };
+        let a = fail.stable_report();
+        let b = fail.stable_report();
+        assert_eq!(a, b);
+        assert!(a.contains("seed=0x0000000000000007"), "{a}");
+        assert!(a.contains("#0 task 1"), "{a}");
+        assert!(!a.contains("somewhere"), "stable report must exclude backtraces: {a}");
+        let full = fail.to_string();
+        assert!(full.contains("somewhere"), "{full}");
+    }
+}

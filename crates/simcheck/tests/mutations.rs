@@ -1,0 +1,179 @@
+//! Mutation tests: each seeded bug class from the issue — mismatched
+//! collective root, user tag colliding with the reserved namespace,
+//! misaligned chunk start violating the §3.2 block-exclusivity invariant,
+//! and a cyclic-receive deadlock — must be flagged by the checker, with a
+//! replayable [`ScheduleCfg`] and a byte-identical report on replay.
+
+use simcheck::{
+    BlockGuardFs, CheckFailure, CheckedWorld, FindingKind, ScheduleCfg, COLL_TAG_PREFIX,
+};
+use simmpi::Comm;
+use sion::{paropen_write, Alignment, FileLayout, SionParams};
+use std::sync::Arc;
+use vfs::MemFs;
+
+const CFG: ScheduleCfg = ScheduleCfg { seed: 11, preemption_bound: 2 };
+
+fn assert_replayable(a: &CheckFailure, b: &CheckFailure) {
+    assert_eq!(
+        a.stable_report(),
+        b.stable_report(),
+        "replay under the same ScheduleCfg must reproduce the byte-identical report"
+    );
+}
+
+/// Bug class 1: ranks disagree on a collective's root.
+#[test]
+fn mismatched_root_is_flagged() {
+    let run = || {
+        CheckedWorld::run(4, CFG, |c| {
+            // Every rank names itself as the root: a classic index bug.
+            c.bcast(Some(vec![1, 2, 3]), c.rank());
+        })
+        .expect_err("mismatched bcast roots must not pass")
+    };
+    let fail = run();
+    assert!(
+        fail.findings.iter().any(|f| f.kind == FindingKind::CollectiveMismatch),
+        "expected a collective-mismatch finding:\n{fail}"
+    );
+    assert!(
+        fail.findings.iter().any(|f| f.message.contains("bcast(root=")),
+        "finding must name the mismatching operations:\n{fail}"
+    );
+    assert_replayable(&fail, &run());
+}
+
+/// Bug class 1b: ranks disagree on *which* collective they are in.
+#[test]
+fn mismatched_kind_is_flagged() {
+    let fail = CheckedWorld::run(2, CFG, |c| {
+        if c.rank() == 0 {
+            c.barrier();
+        } else {
+            c.allgather(&[9]);
+        }
+    })
+    .expect_err("barrier-vs-allgather must not pass");
+    assert!(
+        fail.findings.iter().any(|f| f.kind == FindingKind::CollectiveMismatch),
+        "expected a collective-mismatch finding:\n{fail}"
+    );
+}
+
+/// Bug class 2: a user point-to-point tag colliding with the reserved
+/// collective namespace (top byte 0xC3).
+#[test]
+fn reserved_tag_collision_is_flagged() {
+    // Craft the exact wire tag of an internal barrier (kind 1, seq 0,
+    // round 0) — the strongest possible collision.
+    let crafted = COLL_TAG_PREFIX | (1u64 << 48);
+    let run = || {
+        CheckedWorld::run(2, CFG, |c| {
+            if c.rank() == 0 {
+                c.send(1, crafted, b"oops");
+            }
+        })
+        .expect_err("reserved-namespace tag must be rejected")
+    };
+    let fail = run();
+    assert!(
+        fail.findings.iter().any(|f| f.kind == FindingKind::ReservedTag),
+        "expected a reserved-tag finding:\n{fail}"
+    );
+    assert_replayable(&fail, &run());
+}
+
+/// Bug class 3: misaligned chunk starts — an unaligned layout packs two
+/// tasks' chunks into the same filesystem block, violating the invariant
+/// (§3.2) that makes lock-free parallel writes safe. The block-contention
+/// sanitizer must observe cross-task overlap, and the layout math must
+/// agree that sharing exists.
+#[test]
+fn misaligned_chunks_trigger_block_contention() {
+    const FS_BLOCK: u64 = 4096;
+    let ntasks = 4;
+    // Chunks far smaller than an FS block, no alignment: guaranteed sharing.
+    let params = SionParams::new(600).with_alignment(Alignment::None);
+
+    // The layout math predicts the overlap...
+    let layout =
+        FileLayout::compute(&vec![600; ntasks], FS_BLOCK, Alignment::None, false).unwrap();
+    let predicted = layout.shared_fs_blocks(FS_BLOCK);
+    assert!(
+        !predicted.is_empty(),
+        "test premise broken: unaligned 600-byte chunks should share {FS_BLOCK}-byte FS blocks"
+    );
+
+    // ...and the sanitizer observes it happening on the wire.
+    let fs = BlockGuardFs::new(Arc::new(MemFs::with_block_size(FS_BLOCK)));
+    CheckedWorld::run(ntasks, CFG, |comm| {
+        let mut w = paropen_write(&fs, "out/misaligned.sion", &params, comm).unwrap();
+        w.write(&vec![comm.rank() as u8; 600]).unwrap();
+        w.close().unwrap();
+    })
+    .unwrap_or_else(|fail| panic!("protocol layer is fine, only blocks overlap:\n{fail}"));
+
+    let violations = fs.violations();
+    assert!(
+        !violations.is_empty(),
+        "expected cross-task FS-block overlap with unaligned chunks"
+    );
+    // Every report names two distinct tasks on one block.
+    for v in &violations {
+        assert_ne!(v.prev_task, v.task, "violation must be cross-task: {v}");
+    }
+
+    // The aligned control: same workload, aligned layout, zero violations.
+    let aligned = SionParams::new(FS_BLOCK);
+    let fs2 = BlockGuardFs::new(Arc::new(MemFs::with_block_size(FS_BLOCK)));
+    CheckedWorld::run(ntasks, CFG, |comm| {
+        let mut w = paropen_write(&fs2, "out/aligned.sion", &aligned, comm).unwrap();
+        w.write(&vec![comm.rank() as u8; 600]).unwrap();
+        w.close().unwrap();
+    })
+    .unwrap_or_else(|fail| panic!("aligned control run flagged:\n{fail}"));
+    fs2.assert_exclusive();
+}
+
+/// Bug class 4: whole-world deadlock — both ranks receive first. The
+/// checker must name each rank's pending operation and produce a stable
+/// report that replays byte-for-byte and matches the golden file.
+#[test]
+fn cyclic_recv_deadlocks_with_golden_report() {
+    let run = || {
+        CheckedWorld::run(2, ScheduleCfg { seed: 5, preemption_bound: 1 }, |c| {
+            // Both ranks recv before anyone sends: classic head-to-head.
+            let _ = c.recv(1 - c.rank(), 7);
+            c.send(1 - c.rank(), 7, b"late");
+        })
+        .expect_err("cyclic receives must deadlock")
+    };
+    let fail = run();
+    assert!(
+        fail.findings.iter().any(|f| f.kind == FindingKind::Deadlock),
+        "expected a deadlock finding:\n{fail}"
+    );
+    let dl = fail.deadlock.as_ref().expect("deadlock details must be present");
+    assert_eq!(dl.pending.len(), 2, "both ranks are blocked:\n{fail}");
+    for (rank, p) in dl.pending.iter().enumerate() {
+        assert_eq!(p.task, rank, "pending ops are in stable rank order");
+        assert!(p.op.contains("recv("), "pending op names the receive: {}", p.op);
+    }
+    // Backtraces of the blocked receives were captured per rank.
+    assert_eq!(dl.backtraces.len(), 2, "per-rank backtraces:\n{fail}");
+
+    assert_replayable(&fail, &run());
+
+    // Golden-file pin of the exact report bytes (bless with
+    // SIMCHECK_BLESS=1 after an intentional diagnostic change).
+    let golden_path =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/deadlock_report.txt");
+    let got = fail.stable_report();
+    if std::env::var_os("SIMCHECK_BLESS").is_some() {
+        std::fs::write(golden_path, &got).unwrap();
+    }
+    let want = std::fs::read_to_string(golden_path)
+        .expect("golden file missing — run once with SIMCHECK_BLESS=1");
+    assert_eq!(got, want, "deadlock report drifted from the golden file");
+}

@@ -2,9 +2,9 @@
 //!
 //! [`FlatCommunicator`] is the runtime this crate shipped before the tree
 //! collectives landed: every collective deposits payloads into a `P`-slot
-//! exchange array and synchronizes with two global [`std::sync::Barrier`]
-//! waits, and the root scans all `P` slots linearly. That is O(P) latency
-//! per collective and a full-communicator wake-up storm per barrier.
+//! exchange array and synchronizes with two global barrier waits, and the
+//! root scans all `P` slots linearly. That is O(P) latency per collective
+//! and a full-communicator wake-up storm per barrier.
 //!
 //! It is retained for two reasons:
 //!
@@ -14,24 +14,92 @@
 //!   tree collectives must agree with byte-for-byte.
 //!
 //! New code should use [`World`](crate::World); this module is not part of
-//! the performance story.
+//! the performance story. It *is* part of the correctness-analysis story:
+//! the same [`CheckHook`] instrumentation as the tree runtime reports
+//! collective entries, reserved-tag sends and teardown leaks, and
+//! [`FlatWorld::run`] installs the passive sanitizer under `SIMCHECK=1`.
+//! Under a hook the rendezvous barrier is an abortable reimplementation
+//! (a finding panics the offending rank; peers parked in a
+//! `std::sync::Barrier` could never be released).
 
 use crate::comm::{Comm, CommStats};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::hook::{self, CheckHook, CollKind, CommCtx, LeakedMsg};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::sync::{Arc, Barrier};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Condvar};
+use std::time::Instant;
 
 type Message = (usize, u64, Vec<u8>);
+
+/// Rendezvous barrier that can be abandoned: waiters poll the check hook's
+/// abort flag so one rank's sanitizer panic releases the others (as an
+/// [`Aborted`](crate::hook::Aborted) unwind) instead of deadlocking the
+/// world. Used only when a hook is installed.
+struct AbortableBarrier {
+    state: std::sync::Mutex<(usize, u64)>, // (arrived count, generation)
+    cv: Condvar,
+    size: usize,
+}
+
+impl AbortableBarrier {
+    fn new(size: usize) -> Self {
+        AbortableBarrier { state: std::sync::Mutex::new((0, 0)), cv: Condvar::new(), size }
+    }
+
+    fn wait(&self, hook: &Arc<dyn CheckHook>) {
+        let mut g = self.state.lock().expect("barrier state never poisoned");
+        g.0 += 1;
+        if g.0 == self.size {
+            g.0 = 0;
+            g.1 = g.1.wrapping_add(1);
+            self.cv.notify_all();
+            return;
+        }
+        let gen = g.1;
+        let start = Instant::now();
+        let watchdog = hook::watchdog_timeout();
+        while g.1 == gen {
+            let (back, _) = self
+                .cv
+                .wait_timeout(g, hook::ABORT_POLL)
+                .expect("barrier state never poisoned");
+            g = back;
+            if g.1 != gen {
+                break;
+            }
+            if let Some(reason) = hook.should_abort() {
+                drop(g);
+                std::panic::panic_any(hook::Aborted(reason));
+            }
+            if start.elapsed() >= watchdog {
+                drop(g);
+                panic!("simcheck: rank blocked in flat barrier past the watchdog");
+            }
+        }
+    }
+}
+
+/// Barrier flavour: the plain `std` barrier on the production path, the
+/// abortable one under a check hook.
+enum BarrierImpl {
+    Std(Barrier),
+    Abortable(AbortableBarrier),
+}
 
 /// State shared by every rank of one flat communicator.
 struct Shared {
     size: usize,
+    /// Deterministic identity, identical on every rank and across runs.
+    ctx: CommCtx,
+    /// Correctness-analysis hook; `None` on the production path.
+    hook: Option<Arc<dyn CheckHook>>,
     /// One exchange slot per rank, used by the collectives.
     slots: Vec<Mutex<Option<Vec<u8>>>>,
     /// Reusable rendezvous barrier.
-    barrier: Barrier,
+    barrier: BarrierImpl,
     /// Point-to-point mailboxes: `senders[r]` delivers to rank `r`, whose
     /// thread drains `receivers[r]` (locked only by its owner).
     senders: Vec<Sender<Message>>,
@@ -43,14 +111,22 @@ struct Shared {
 }
 
 impl Shared {
-    fn new(size: usize) -> Self {
+    fn new(ctx: CommCtx, hook: Option<Arc<dyn CheckHook>>) -> Self {
+        let size = ctx.size;
         assert!(size > 0, "communicator must have at least one rank");
         let (senders, receivers): (Vec<_>, Vec<_>) =
             (0..size).map(|_| unbounded::<Message>()).unzip();
+        let barrier = if hook.is_some() {
+            BarrierImpl::Abortable(AbortableBarrier::new(size))
+        } else {
+            BarrierImpl::Std(Barrier::new(size))
+        };
         Shared {
             size,
+            ctx,
+            hook,
             slots: (0..size).map(|_| Mutex::new(None)).collect(),
-            barrier: Barrier::new(size),
+            barrier,
             senders,
             receivers: receivers.into_iter().map(Mutex::new).collect(),
             splits: Mutex::new(HashMap::new()),
@@ -64,6 +140,9 @@ pub struct FlatCommunicator {
     shared: Arc<Shared>,
     /// Messages received but not yet matched by (source, tag).
     stash: Mutex<VecDeque<Message>>,
+    /// Count of collective calls on this handle; since collectives are
+    /// ordered, all ranks agree on it (reported to the check hook).
+    coll_seq: AtomicU64,
     /// Per-rank count of `split` calls on this communicator; since splits
     /// are collective and ordered, all ranks agree on the sequence number.
     split_seq: Mutex<u64>,
@@ -76,8 +155,18 @@ impl FlatCommunicator {
             rank,
             shared,
             stash: Mutex::new(VecDeque::new()),
+            coll_seq: AtomicU64::new(0),
             split_seq: Mutex::new(0),
             stats: Arc::new(CommStats::default()),
+        }
+    }
+
+    /// Report a collective entry to the hook, if one is installed, claiming
+    /// the next collective sequence number.
+    fn note_collective(&self, kind: CollKind, root: Option<usize>) {
+        let seq = self.coll_seq.fetch_add(1, Ordering::Relaxed);
+        if let Some(h) = &self.shared.hook {
+            h.on_collective(&self.shared.ctx, self.rank, seq, kind, root);
         }
     }
 
@@ -89,7 +178,14 @@ impl FlatCommunicator {
     }
 
     fn wait(&self) {
-        self.shared.barrier.wait();
+        match &self.shared.barrier {
+            BarrierImpl::Std(b) => {
+                b.wait();
+            }
+            BarrierImpl::Abortable(b) => {
+                b.wait(self.shared.hook.as_ref().expect("abortable barrier implies hook"));
+            }
+        }
     }
 }
 
@@ -108,12 +204,14 @@ impl Comm for FlatCommunicator {
 
     fn barrier(&self) {
         self.stats.bump_barrier();
+        self.note_collective(CollKind::Barrier, None);
         self.wait();
     }
 
     fn gather(&self, data: &[u8], root: usize) -> Option<Vec<Vec<u8>>> {
         assert!(root < self.size(), "gather root {root} out of range");
         self.stats.bump_gather();
+        self.note_collective(CollKind::Gather, Some(root));
         self.deposit(Some(data.to_vec()));
         self.wait();
         let result = if self.rank == root {
@@ -134,6 +232,7 @@ impl Comm for FlatCommunicator {
     fn scatter(&self, parts: Option<Vec<Vec<u8>>>, root: usize) -> Vec<u8> {
         assert!(root < self.size(), "scatter root {root} out of range");
         self.stats.bump_scatter();
+        self.note_collective(CollKind::Scatter, Some(root));
         if self.rank == root {
             let parts = parts.expect("root must supply scatter parts");
             assert_eq!(parts.len(), self.size(), "scatter needs one part per rank");
@@ -154,6 +253,7 @@ impl Comm for FlatCommunicator {
     fn bcast(&self, data: Option<Vec<u8>>, root: usize) -> Vec<u8> {
         assert!(root < self.size(), "bcast root {root} out of range");
         self.stats.bump_bcast();
+        self.note_collective(CollKind::Bcast, Some(root));
         if self.rank == root {
             self.deposit(Some(data.expect("root must supply bcast data")));
         }
@@ -173,6 +273,7 @@ impl Comm for FlatCommunicator {
 
     fn allgather(&self, data: &[u8]) -> Vec<Vec<u8>> {
         self.stats.bump_allgather();
+        self.note_collective(CollKind::Allgather, None);
         self.deposit(Some(data.to_vec()));
         self.wait();
         let out: Vec<Vec<u8>> = self
@@ -189,6 +290,7 @@ impl Comm for FlatCommunicator {
 
     fn split(&self, color: u64, key: u64) -> Box<dyn Comm> {
         self.stats.bump_split();
+        self.note_collective(CollKind::Split, None);
         // Determine group membership: allgather (color, key, rank).
         let mut payload = Vec::with_capacity(24);
         payload.extend_from_slice(&color.to_le_bytes());
@@ -225,12 +327,18 @@ impl Comm for FlatCommunicator {
             *s
         };
 
-        // First member of the group to arrive creates the shared state.
+        // First member of the group to arrive creates the shared state; the
+        // child's identity is derived structurally so every member agrees.
         let sub = {
             let mut splits = self.shared.splits.lock();
             splits
                 .entry((seq, color))
-                .or_insert_with(|| Arc::new(Shared::new(new_size)))
+                .or_insert_with(|| {
+                    Arc::new(Shared::new(
+                        self.shared.ctx.child(seq, color, new_size),
+                        self.shared.hook.clone(),
+                    ))
+                })
                 .clone()
         };
         let comm = FlatCommunicator::new(new_rank, sub);
@@ -245,6 +353,12 @@ impl Comm for FlatCommunicator {
 
     fn send(&self, dest: usize, tag: u64, data: &[u8]) {
         assert!(dest < self.size(), "send dest {dest} out of range");
+        if tag & hook::COLL_TAG_MASK == hook::COLL_TAG_PREFIX {
+            if let Some(h) = &self.shared.hook {
+                h.on_reserved_tag(&self.shared.ctx, self.rank, dest, tag);
+            }
+            panic!("tags with top byte 0xC3 are reserved for internal collectives");
+        }
         self.stats.bump_send();
         self.stats.add_bytes(data.len() as u64);
         self.shared.senders[dest]
@@ -263,12 +377,73 @@ impl Comm for FlatCommunicator {
             }
         }
         let rx = self.shared.receivers[self.rank].lock();
+        if let Some(h) = self.shared.hook.clone() {
+            // Checked path: poll so this rank can unwind on a world abort,
+            // and diagnose a hang instead of blocking forever.
+            let start = Instant::now();
+            let watchdog = hook::watchdog_timeout();
+            loop {
+                match rx.recv_timeout(hook::ABORT_POLL) {
+                    Ok(msg) => {
+                        if msg.0 == src && msg.1 == tag {
+                            return msg.2;
+                        }
+                        self.stash.lock().push_back(msg);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if let Some(reason) = h.should_abort() {
+                            std::panic::panic_any(hook::Aborted(reason));
+                        }
+                        if start.elapsed() >= watchdog {
+                            h.on_stuck(&self.shared.ctx, self.rank, src, tag, start.elapsed());
+                            panic!(
+                                "simcheck: rank {} blocked in recv(src={src}, tag={tag:#x}) \
+                                 past the watchdog",
+                                self.rank
+                            );
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        unreachable!("sender side alive for the world's lifetime")
+                    }
+                }
+            }
+        }
         loop {
             let msg = rx.recv().expect("sender side alive for the world's lifetime");
             if msg.0 == src && msg.1 == tag {
                 return msg.2;
             }
             self.stash.lock().push_back(msg);
+        }
+    }
+}
+
+impl Drop for FlatCommunicator {
+    /// Teardown check mirroring the tree runtime's: report unconsumed
+    /// messages when a hook is installed.
+    fn drop(&mut self) {
+        let Some(hook) = self.shared.hook.clone() else { return };
+        let mut leaked: Vec<LeakedMsg> = self
+            .stash
+            .lock()
+            .drain(..)
+            .map(|(from, tag, payload)| LeakedMsg {
+                from,
+                tag,
+                len: payload.len(),
+                stashed: true,
+            })
+            .collect();
+        {
+            let rx = self.shared.receivers[self.rank].lock();
+            while let Ok((from, tag, payload)) = rx.try_recv() {
+                leaked.push(LeakedMsg { from, tag, len: payload.len(), stashed: false });
+            }
+        }
+        if !leaked.is_empty() {
+            leaked.sort();
+            hook.on_teardown(&self.shared.ctx, self.rank, &leaked);
         }
     }
 }
@@ -282,13 +457,22 @@ impl FlatWorld {
     /// Run `f` on `ntasks` threads, each receiving its own
     /// [`FlatCommunicator`] for a world of size `ntasks`. Returns the
     /// per-rank results in rank order. Panics in any task propagate.
+    ///
+    /// With `SIMCHECK=1` in the environment, the run is instrumented with
+    /// the passive [`Sanitizer`](crate::sanitize::Sanitizer), exactly as
+    /// [`World::run`](crate::World::run).
     pub fn run<T, F>(ntasks: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(&FlatCommunicator) -> T + Send + Sync,
     {
+        if hook::simcheck_env_enabled() {
+            let san = Arc::new(crate::sanitize::Sanitizer::new());
+            let results = Self::run_checked(ntasks, san.clone(), f);
+            return crate::sanitize::finalize_env_checked(results, &san);
+        }
         assert!(ntasks > 0, "world must have at least one task");
-        let shared = Arc::new(Shared::new(ntasks));
+        let shared = Arc::new(Shared::new(CommCtx::new("world".into(), ntasks), None));
         let f = &f;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..ntasks)
@@ -300,6 +484,52 @@ impl FlatWorld {
             handles
                 .into_iter()
                 .map(|h| h.join().expect("task panicked"))
+                .collect()
+        })
+    }
+
+    /// Run `f` under a [`CheckHook`], catching each rank's panic — the flat
+    /// counterpart of [`World::run_checked`](crate::World::run_checked).
+    pub fn run_checked<T, F>(
+        ntasks: usize,
+        check: Arc<dyn CheckHook>,
+        f: F,
+    ) -> Vec<std::thread::Result<T>>
+    where
+        T: Send,
+        F: Fn(&FlatCommunicator) -> T + Send + Sync,
+    {
+        assert!(ntasks > 0, "world must have at least one task");
+        let shared = Arc::new(Shared::new(
+            CommCtx::new("world".into(), ntasks),
+            Some(check.clone()),
+        ));
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..ntasks)
+                .map(|rank| {
+                    let comm = FlatCommunicator::new(rank, shared.clone());
+                    let check = check.clone();
+                    scope.spawn(move || {
+                        hook::set_current_task(rank);
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || f(&comm),
+                        ));
+                        let teardown =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(comm)));
+                        let result = match (result, teardown) {
+                            (Ok(v), Ok(())) => Ok(v),
+                            (Err(e), _) => Err(e),
+                            (Ok(_), Err(e)) => Err(e),
+                        };
+                        check.on_task_finish(rank, result.is_err());
+                        result
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("task thread itself never panics"))
                 .collect()
         })
     }
@@ -340,5 +570,47 @@ mod tests {
             assert_eq!(*splits, 1);
             assert_eq!(*sub_allgathers, 1);
         }
+    }
+
+    #[test]
+    fn flat_rejects_reserved_tags() {
+        let out = FlatWorld::run(2, |c| {
+            if c.rank() == 0 {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    c.send(1, crate::hook::COLL_TAG_PREFIX | 5, b"nope");
+                }))
+                .err()
+                .and_then(|e| {
+                    e.downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| e.downcast_ref::<String>().cloned())
+                })
+            } else {
+                None
+            }
+        });
+        assert!(
+            out[0].as_ref().expect("send panicked").contains("reserved for internal"),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn flat_checked_run_flags_kind_mismatch() {
+        use crate::sanitize::{FindingKind, Sanitizer};
+        let san = Arc::new(Sanitizer::new());
+        let results = FlatWorld::run_checked(2, san.clone(), |c| {
+            if c.rank() == 0 {
+                c.barrier();
+            } else {
+                c.allgather(b"x");
+            }
+        });
+        assert!(results.iter().any(|r| r.is_err()));
+        assert!(
+            san.findings().iter().any(|f| f.kind == FindingKind::CollectiveMismatch),
+            "{:?}",
+            san.findings()
+        );
     }
 }

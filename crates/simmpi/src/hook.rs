@@ -1,0 +1,349 @@
+//! Instrumentation points for correctness analysis.
+//!
+//! The runtime exposes a small set of *check hooks* so an external checker
+//! (the `simcheck` crate) can observe — and, in scheduling mode, serialize —
+//! every mailbox operation and collective entry without the production path
+//! paying anything: a communicator with no hook installed takes one
+//! `Option` branch per operation and nothing else.
+//!
+//! Two kinds of hooks exist:
+//!
+//! * **passive** hooks ([`CheckHook::scheduling`] returns `false`) observe
+//!   collective entries, reserved-tag violations and teardown leaks, and can
+//!   abort a blocked world via [`CheckHook::should_abort`]. The built-in
+//!   [`Sanitizer`](crate::sanitize::Sanitizer) is one; it is installed
+//!   automatically by [`World::run`](crate::World::run) and
+//!   [`FlatWorld::run`](crate::flat::FlatWorld::run) when `SIMCHECK=1` is
+//!   set in the environment.
+//! * **scheduling** hooks additionally own the interleaving: every send and
+//!   every receive attempt becomes a *schedule point* where the calling
+//!   rank parks until the hook chooses it to run. The `simcheck` crate's
+//!   deterministic scheduler is built on this.
+//!
+//! The reserved collective tag namespace also lives here. A collective
+//! message tag packs, from the top: the `0xC3` reserved prefix byte, one
+//! *op-kind* byte identifying the collective ([`CollKind`]), a 40-bit
+//! per-communicator sequence number, and an 8-bit round — so a checker can
+//! decode, from a pending tag alone, exactly which collective a blocked
+//! rank is stuck inside.
+
+use std::cell::Cell;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// Top byte of the reserved collective tag namespace. User point-to-point
+/// tags must keep their top byte different from `0xC3`.
+pub const COLL_TAG_PREFIX: u64 = 0xC3 << 56;
+/// Mask selecting the tag's top (namespace) byte.
+pub const COLL_TAG_MASK: u64 = 0xFF << 56;
+
+/// The collective operation kinds carried in the op-kind byte of reserved
+/// tags and reported to check hooks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CollKind {
+    /// `barrier()`.
+    Barrier,
+    /// `bcast(root)`.
+    Bcast,
+    /// `gather(root)` (gatherv semantics).
+    Gather,
+    /// `scatter(root)` (scatterv semantics).
+    Scatter,
+    /// `allgather()` (internally gather + bcast, both tagged `Allgather`).
+    Allgather,
+    /// `reduce_u64(root)` combining tree.
+    Reduce,
+    /// `split(color, key)` (internally allgather + barrier, tagged `Split`).
+    Split,
+}
+
+impl CollKind {
+    /// Wire encoding of the op-kind byte (nonzero, so an all-zero byte is
+    /// never a valid kind).
+    pub fn code(self) -> u8 {
+        match self {
+            CollKind::Barrier => 1,
+            CollKind::Bcast => 2,
+            CollKind::Gather => 3,
+            CollKind::Scatter => 4,
+            CollKind::Allgather => 5,
+            CollKind::Reduce => 6,
+            CollKind::Split => 7,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code).
+    pub fn from_code(code: u8) -> Option<CollKind> {
+        Some(match code {
+            1 => CollKind::Barrier,
+            2 => CollKind::Bcast,
+            3 => CollKind::Gather,
+            4 => CollKind::Scatter,
+            5 => CollKind::Allgather,
+            6 => CollKind::Reduce,
+            7 => CollKind::Split,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollKind::Barrier => "barrier",
+            CollKind::Bcast => "bcast",
+            CollKind::Gather => "gather",
+            CollKind::Scatter => "scatter",
+            CollKind::Allgather => "allgather",
+            CollKind::Reduce => "reduce",
+            CollKind::Split => "split",
+        }
+    }
+}
+
+/// Tag of an internal collective message: reserved prefix byte, op-kind
+/// byte, 40-bit per-communicator sequence number, 8-bit round within the
+/// collective.
+pub(crate) fn coll_tag(kind: CollKind, seq: u64, round: u32) -> u64 {
+    debug_assert!(round < 256, "collective round fits one byte");
+    COLL_TAG_PREFIX
+        | ((kind.code() as u64) << 48)
+        | ((seq & 0x00FF_FFFF_FFFF) << 8)
+        | round as u64
+}
+
+/// Decode a reserved collective tag into (kind, sequence number, round).
+/// Returns `None` for tags outside the reserved namespace or with an
+/// unknown op-kind byte.
+pub fn decode_coll_tag(tag: u64) -> Option<(CollKind, u64, u8)> {
+    if tag & COLL_TAG_MASK != COLL_TAG_PREFIX {
+        return None;
+    }
+    let kind = CollKind::from_code(((tag >> 48) & 0xFF) as u8)?;
+    Some((kind, (tag >> 8) & 0x00FF_FFFF_FFFF, (tag & 0xFF) as u8))
+}
+
+/// Whether `tag` lies in the reserved collective namespace (regardless of
+/// whether its op-kind byte decodes).
+pub fn is_reserved_tag(tag: u64) -> bool {
+    tag & COLL_TAG_MASK == COLL_TAG_PREFIX
+}
+
+/// Render a tag for diagnostics: decoded collective tags show kind, seq and
+/// round; user tags show hex.
+pub fn describe_tag(tag: u64) -> String {
+    match decode_coll_tag(tag) {
+        Some((kind, seq, round)) => format!("{}#{}:r{}", kind.name(), seq, round),
+        None if is_reserved_tag(tag) => format!("reserved:{tag:#x}"),
+        None => format!("{tag:#x}"),
+    }
+}
+
+/// Deterministic identity of one communicator, identical on every rank and
+/// across runs (no pointers, no global counters — the name is derived
+/// structurally from the split history, e.g. `world/s1.c0` for color 0 of
+/// the first split of the world communicator).
+#[derive(Debug, Clone)]
+pub struct CommCtx {
+    /// FNV-1a hash of `name` — a compact map key for checkers.
+    pub id: u64,
+    /// Structural name of the communicator.
+    pub name: Arc<str>,
+    /// Number of ranks.
+    pub size: usize,
+}
+
+impl CommCtx {
+    pub(crate) fn new(name: String, size: usize) -> CommCtx {
+        let mut id = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            id ^= *b as u64;
+            id = id.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        CommCtx { id, name: name.into(), size }
+    }
+
+    /// Derive the child context produced by `split` number `split_no` with
+    /// color `color`.
+    pub(crate) fn child(&self, split_no: u64, color: u64, size: usize) -> CommCtx {
+        CommCtx::new(format!("{}/s{}.c{}", self.name, split_no, color), size)
+    }
+}
+
+/// One message left unconsumed when a communicator handle was dropped.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LeakedMsg {
+    /// Sending rank (communicator-local).
+    pub from: usize,
+    /// Message tag.
+    pub tag: u64,
+    /// Payload length in bytes.
+    pub len: usize,
+    /// `true` if the message had been received and stashed (arrived but
+    /// never matched), `false` if it still sat in the mailbox.
+    pub stashed: bool,
+}
+
+/// Panic payload used to tear down rank threads once a world-level failure
+/// (deadlock, sanitizer finding on another rank) has been diagnosed. A
+/// checker catching panics should treat `Aborted` unwinds as secondary —
+/// the primary diagnosis is recorded where the failure was detected.
+#[derive(Debug)]
+pub struct Aborted(pub String);
+
+/// Observation and scheduling hooks called by the communicator runtimes.
+///
+/// All methods have no-op defaults; passive checkers implement the
+/// observation subset, a scheduler implements the schedule points too and
+/// returns `true` from [`scheduling`](Self::scheduling). Methods that
+/// detect a violation report it by panicking (the runtime makes no attempt
+/// to continue past a hook panic) and should arrange for
+/// [`should_abort`](Self::should_abort) to release the other ranks.
+#[allow(unused_variables)]
+pub trait CheckHook: Send + Sync {
+    /// Whether every mailbox operation must pass through the schedule
+    /// points ([`before_send`](Self::before_send) /
+    /// [`before_recv`](Self::before_recv) /
+    /// [`on_recv_blocked`](Self::on_recv_blocked)). Passive hooks leave
+    /// this `false` and the runtime keeps its ordinary blocking receives.
+    fn scheduling(&self) -> bool {
+        false
+    }
+
+    /// A rank entered a collective: communicator, local rank, the ordinal
+    /// sequence number of the collective on that communicator, the
+    /// operation kind, and its root (`None` for unrooted collectives).
+    fn on_collective(&self, comm: &CommCtx, rank: usize, seq: u64, kind: CollKind, root: Option<usize>) {}
+
+    /// A user-level send attempted to use a tag inside the reserved
+    /// collective namespace. The runtime panics right after this returns;
+    /// hooks may panic themselves with a richer diagnostic.
+    fn on_reserved_tag(&self, comm: &CommCtx, rank: usize, dest: usize, tag: u64) {}
+
+    /// A communicator handle was dropped with unconsumed messages.
+    fn on_teardown(&self, comm: &CommCtx, rank: usize, leaked: &[LeakedMsg]) {}
+
+    /// Passive mode: polled by blocked receives; returning `Some(reason)`
+    /// makes the blocked rank unwind with an [`Aborted`] panic.
+    fn should_abort(&self) -> Option<String> {
+        None
+    }
+
+    /// Passive mode: a blocked receive exceeded the deadlock watchdog.
+    /// Hooks should record and panic; if this returns, the runtime panics
+    /// with a generic message.
+    fn on_stuck(&self, comm: &CommCtx, rank: usize, src: usize, tag: u64, waited: Duration) {}
+
+    /// Scheduling mode: schedule point before a message (user or internal)
+    /// is pushed into `to`'s mailbox. Parks until this rank is chosen; the
+    /// push happens immediately after this returns.
+    fn before_send(&self, comm: &CommCtx, from: usize, to: usize, tag: u64, len: usize) {}
+
+    /// Scheduling mode: schedule point before a receive attempt.
+    fn before_recv(&self, comm: &CommCtx, rank: usize, src: usize, tag: u64) {}
+
+    /// Scheduling mode: the receive attempt found no matching message
+    /// (stash and mailbox drained). Parks until a matching message is
+    /// deliverable; on return the caller re-drains its mailbox.
+    fn on_recv_blocked(&self, comm: &CommCtx, rank: usize, src: usize, tag: u64) {}
+
+    /// Scheduling mode: a message was physically taken out of `rank`'s
+    /// mailbox (whether it matched the pending receive or was stashed).
+    fn on_consumed(&self, comm: &CommCtx, rank: usize, from: usize, tag: u64) {}
+
+    /// A task's closure returned (or panicked). Called after the task's
+    /// world communicator was dropped.
+    fn on_task_finish(&self, task: usize, panicked: bool) {}
+}
+
+thread_local! {
+    static CURRENT_TASK: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Record the world rank executing on this thread (set by the world
+/// launchers before the task closure runs).
+pub(crate) fn set_current_task(task: usize) {
+    CURRENT_TASK.with(|c| c.set(Some(task)));
+}
+
+/// The world rank executing on this thread, if it was launched by a checked
+/// world. Scheduling hooks use this as the parking identity, which stays
+/// stable across sub-communicators.
+pub fn current_task() -> Option<usize> {
+    CURRENT_TASK.with(|c| c.get())
+}
+
+/// Whether `SIMCHECK=1` (or any value other than `0`/empty) is set in the
+/// environment. Read once per process.
+pub fn simcheck_env_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        std::env::var("SIMCHECK").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+    })
+}
+
+/// Deadlock watchdog for passive (non-scheduling) checked runs:
+/// `SIMCHECK_TIMEOUT_MS` in the environment, default 20 s.
+pub(crate) fn watchdog_timeout() -> Duration {
+    static MS: OnceLock<u64> = OnceLock::new();
+    Duration::from_millis(*MS.get_or_init(|| {
+        std::env::var("SIMCHECK_TIMEOUT_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(20_000)
+    }))
+}
+
+/// Poll interval of the passive blocked-receive loop.
+pub(crate) const ABORT_POLL: Duration = Duration::from_millis(5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coll_tags_roundtrip_and_stay_reserved() {
+        for kind in [
+            CollKind::Barrier,
+            CollKind::Bcast,
+            CollKind::Gather,
+            CollKind::Scatter,
+            CollKind::Allgather,
+            CollKind::Reduce,
+            CollKind::Split,
+        ] {
+            for seq in [0u64, 1, 0x00FF_FFFF_FFFF] {
+                for round in [0u32, 1, 255] {
+                    let tag = coll_tag(kind, seq, round);
+                    assert!(is_reserved_tag(tag));
+                    assert_eq!(decode_coll_tag(tag), Some((kind, seq, round as u8)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn user_tags_do_not_decode() {
+        assert_eq!(decode_coll_tag(0), None);
+        assert_eq!(decode_coll_tag(0x0A11_70A1), None);
+        assert_eq!(decode_coll_tag(!COLL_TAG_MASK), None);
+        // Reserved prefix with a bogus kind byte: reserved but undecodable.
+        assert!(is_reserved_tag(COLL_TAG_PREFIX));
+        assert_eq!(decode_coll_tag(COLL_TAG_PREFIX), None);
+    }
+
+    #[test]
+    fn comm_ctx_names_are_structural() {
+        let w = CommCtx::new("world".into(), 4);
+        let c = w.child(1, 0, 2);
+        assert_eq!(&*c.name, "world/s1.c0");
+        assert_eq!(c.size, 2);
+        assert_ne!(c.id, w.id);
+        // Same derivation on another rank gives the same identity.
+        let c2 = w.child(1, 0, 2);
+        assert_eq!(c2.id, c.id);
+    }
+
+    #[test]
+    fn tag_description_decodes_collectives() {
+        let t = coll_tag(CollKind::Gather, 7, 0);
+        assert_eq!(describe_tag(t), "gather#7:r0");
+        assert_eq!(describe_tag(0x2A), "0x2a");
+    }
+}

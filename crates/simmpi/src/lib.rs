@@ -36,12 +36,19 @@
 mod comm;
 mod extra;
 pub mod flat;
+pub mod hook;
+pub mod sanitize;
 mod serial;
 mod world;
 
 pub use comm::{Comm, CommStats, ReduceOp};
 pub use extra::CommExt;
 pub use flat::{FlatCommunicator, FlatWorld};
+pub use hook::{
+    current_task, decode_coll_tag, describe_tag, is_reserved_tag, simcheck_env_enabled, Aborted,
+    CheckHook, CollKind, CommCtx, LeakedMsg, COLL_TAG_MASK, COLL_TAG_PREFIX,
+};
+pub use sanitize::{Finding, FindingKind, Sanitizer};
 pub use serial::SerialComm;
 pub use world::{Communicator, World};
 

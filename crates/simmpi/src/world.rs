@@ -18,31 +18,34 @@
 //! Every collective invocation consumes one *collective sequence number*
 //! (all ranks agree on it because collectives are ordered), and its
 //! internal messages are tagged in a reserved namespace
-//! (`0xC3 << 56 | seq << 8 | round`) so they can never be confused with
-//! user point-to-point traffic or with a neighbouring collective when fast
-//! ranks run ahead. Per-rank op/byte counters are available via
-//! [`Comm::stats`].
+//! (`0xC3 << 56 | kind << 48 | seq << 8 | round`, see
+//! [`hook::decode_coll_tag`](crate::hook::decode_coll_tag)) so they can
+//! never be confused with user point-to-point traffic, with a neighbouring
+//! collective when fast ranks run ahead, or with a *different kind* of
+//! collective at the same ordinal. Per-rank op/byte counters are available
+//! via [`Comm::stats`].
+//!
+//! # Correctness analysis
+//!
+//! Every mailbox operation and collective entry reports to an optional
+//! [`CheckHook`] (see [`crate::hook`]). [`World::run`] installs the passive
+//! [`Sanitizer`](crate::sanitize::Sanitizer) automatically when
+//! `SIMCHECK=1` is set; [`World::run_checked`] lets a checker (the
+//! `simcheck` crate's deterministic scheduler) own the interleaving.
 
 use crate::comm::{Comm, CommStats, ReduceOp};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::hook::{self, CheckHook, CollKind, CommCtx, LeakedMsg};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 type Message = (usize, u64, Vec<u8>);
 
-/// Top byte of the reserved collective tag namespace.
-const COLL_TAG_PREFIX: u64 = 0xC3 << 56;
-const COLL_TAG_MASK: u64 = 0xFF << 56;
-
-/// Tag of an internal collective message: reserved prefix, 48-bit
-/// per-communicator sequence number, 8-bit round within the collective.
-fn coll_tag(seq: u64, round: u32) -> u64 {
-    debug_assert!(round < 256, "collective round fits one byte");
-    COLL_TAG_PREFIX | ((seq & 0x0000_FFFF_FFFF_FFFF) << 8) | round as u64
-}
+use crate::hook::{coll_tag, COLL_TAG_MASK, COLL_TAG_PREFIX};
 
 /// Serialize (id, payload) pairs for one tree edge:
 /// `[count][(id, len, bytes)...]`, all integers little-endian `u64`.
@@ -74,11 +77,17 @@ fn unframe(bytes: &[u8]) -> Vec<(u64, Vec<u8>)> {
     entries
 }
 
-/// State shared by every rank of one communicator: just the mailboxes and
-/// the split-construction rendezvous — collectives need no shared payload
-/// storage of their own.
+/// State shared by every rank of one communicator: the mailboxes, the
+/// split-construction rendezvous, the communicator's deterministic
+/// identity, and the optional check hook — collectives need no shared
+/// payload storage of their own.
 struct Shared {
     size: usize,
+    /// Deterministic identity (structural name + hash), identical on every
+    /// rank and across runs.
+    ctx: CommCtx,
+    /// Correctness-analysis hook; `None` on the production path.
+    hook: Option<Arc<dyn CheckHook>>,
     /// Point-to-point mailboxes: `senders[r]` delivers to rank `r`, whose
     /// thread drains `receivers[r]` (locked only by its owner).
     senders: Vec<Sender<Message>>,
@@ -90,12 +99,14 @@ struct Shared {
 }
 
 impl Shared {
-    fn new(size: usize) -> Self {
-        assert!(size > 0, "communicator must have at least one rank");
+    fn new(ctx: CommCtx, hook: Option<Arc<dyn CheckHook>>) -> Self {
+        assert!(ctx.size > 0, "communicator must have at least one rank");
         let (senders, receivers): (Vec<_>, Vec<_>) =
-            (0..size).map(|_| unbounded::<Message>()).unzip();
+            (0..ctx.size).map(|_| unbounded::<Message>()).unzip();
         Shared {
-            size,
+            size: ctx.size,
+            ctx,
+            hook,
             senders,
             receivers: receivers.into_iter().map(Mutex::new).collect(),
             splits: Mutex::new(HashMap::new()),
@@ -139,6 +150,13 @@ impl Communicator {
         self.coll_seq.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Report a collective entry to the hook, if one is installed.
+    fn note_collective(&self, seq: u64, kind: CollKind, root: Option<usize>) {
+        if let Some(h) = &self.shared.hook {
+            h.on_collective(&self.shared.ctx, self.rank, seq, kind, root);
+        }
+    }
+
     /// This rank's virtual rank in a tree rooted at `root`.
     fn vrank(&self, root: usize) -> usize {
         (self.rank + self.shared.size - root) % self.shared.size
@@ -151,20 +169,39 @@ impl Communicator {
 
     /// Internal send along a tree edge (not counted as a user send).
     fn isend(&self, dest: usize, tag: u64, payload: Vec<u8>) {
+        if let Some(h) = &self.shared.hook {
+            if h.scheduling() {
+                // Schedule point: park until chosen, then push immediately
+                // so the scheduler's in-flight model matches the mailbox.
+                h.before_send(&self.shared.ctx, self.rank, dest, tag, payload.len());
+            }
+        }
         self.stats.add_bytes(payload.len() as u64);
         self.shared.senders[dest]
             .send((self.rank, tag, payload))
             .expect("receiver mailbox alive for the world's lifetime");
     }
 
+    /// Take a stashed message matching (src, tag), if any.
+    fn stash_take(&self, src: usize, tag: u64) -> Option<Vec<u8>> {
+        let mut stash = self.stash.lock();
+        stash
+            .iter()
+            .position(|(s, t, _)| *s == src && *t == tag)
+            .map(|pos| stash.remove(pos).expect("position valid").2)
+    }
+
     /// Internal matched receive (not counted as a user receive).
     fn irecv(&self, src: usize, tag: u64) -> Vec<u8> {
-        // Check previously stashed non-matching messages first.
-        {
-            let mut stash = self.stash.lock();
-            if let Some(pos) = stash.iter().position(|(s, t, _)| *s == src && *t == tag) {
-                return stash.remove(pos).expect("position valid").2;
-            }
+        match self.shared.hook.clone() {
+            Some(h) if h.scheduling() => return self.irecv_scheduled(&h, src, tag),
+            Some(h) => return self.irecv_watched(&h, src, tag),
+            None => {}
+        }
+        // Production path: check previously stashed non-matching messages,
+        // then block on the mailbox.
+        if let Some(payload) = self.stash_take(src, tag) {
+            return payload;
         }
         let rx = self.shared.receivers[self.rank].lock();
         loop {
@@ -176,12 +213,86 @@ impl Communicator {
         }
     }
 
-    /// Binomial-tree broadcast body (shared by `bcast` and nothing else,
-    /// but kept separate from the stats/seq bookkeeping).
-    fn bcast_impl(&self, data: Option<Vec<u8>>, root: usize, seq: u64) -> Vec<u8> {
+    /// Receive under a scheduling hook: every attempt is a schedule point,
+    /// and an empty mailbox parks the rank as *blocked* until the scheduler
+    /// sees a deliverable matching message.
+    fn irecv_scheduled(&self, h: &Arc<dyn CheckHook>, src: usize, tag: u64) -> Vec<u8> {
+        let ctx = &self.shared.ctx;
+        h.before_recv(ctx, self.rank, src, tag);
+        loop {
+            if let Some(payload) = self.stash_take(src, tag) {
+                return payload;
+            }
+            {
+                let rx = self.shared.receivers[self.rank].lock();
+                loop {
+                    match rx.try_recv() {
+                        Ok(msg) => {
+                            h.on_consumed(ctx, self.rank, msg.0, msg.1);
+                            if msg.0 == src && msg.1 == tag {
+                                return msg.2;
+                            }
+                            self.stash.lock().push_back(msg);
+                        }
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => {
+                            unreachable!("sender side alive for the world's lifetime")
+                        }
+                    }
+                }
+            }
+            // Nothing deliverable yet: park until the scheduler wakes us
+            // (a matching message was sent) or aborts the world.
+            h.on_recv_blocked(ctx, self.rank, src, tag);
+        }
+    }
+
+    /// Receive under a passive hook: identical matching semantics, but the
+    /// blocking wait polls so the rank can unwind when another rank's
+    /// sanitizer finding aborts the world, and a watchdog turns a silent
+    /// hang into a diagnosed suspected deadlock.
+    fn irecv_watched(&self, h: &Arc<dyn CheckHook>, src: usize, tag: u64) -> Vec<u8> {
+        if let Some(payload) = self.stash_take(src, tag) {
+            return payload;
+        }
+        let ctx = &self.shared.ctx;
+        let rx = self.shared.receivers[self.rank].lock();
+        let start = Instant::now();
+        let watchdog = hook::watchdog_timeout();
+        loop {
+            match rx.recv_timeout(hook::ABORT_POLL) {
+                Ok(msg) => {
+                    if msg.0 == src && msg.1 == tag {
+                        return msg.2;
+                    }
+                    self.stash.lock().push_back(msg);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(reason) = h.should_abort() {
+                        std::panic::panic_any(hook::Aborted(reason));
+                    }
+                    if start.elapsed() >= watchdog {
+                        h.on_stuck(ctx, self.rank, src, tag, start.elapsed());
+                        panic!(
+                            "simcheck: rank {} blocked in recv(src={src}, tag={tag:#x}) past \
+                             the watchdog",
+                            self.rank
+                        );
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("sender side alive for the world's lifetime")
+                }
+            }
+        }
+    }
+
+    /// Binomial-tree broadcast body (shared by `bcast` and the allgather
+    /// down-phase, kept separate from the stats/seq bookkeeping).
+    fn bcast_impl(&self, data: Option<Vec<u8>>, root: usize, seq: u64, kind: CollKind) -> Vec<u8> {
         let size = self.shared.size;
         let v = self.vrank(root);
-        let tag = coll_tag(seq, 0);
+        let tag = coll_tag(kind, seq, 0);
         let (buf, mut mask) = if v == 0 {
             (data.expect("root must supply bcast data"), size.next_power_of_two())
         } else {
@@ -205,10 +316,16 @@ impl Communicator {
     /// subtree as framed (vrank, payload) pairs — a leaf sends exactly its
     /// own payload, nothing is deposited or cloned beyond what its tree
     /// edge needs.
-    fn gather_impl(&self, data: &[u8], root: usize, seq: u64) -> Option<Vec<Vec<u8>>> {
+    fn gather_impl(
+        &self,
+        data: &[u8],
+        root: usize,
+        seq: u64,
+        kind: CollKind,
+    ) -> Option<Vec<Vec<u8>>> {
         let size = self.shared.size;
         let v = self.vrank(root);
-        let tag = coll_tag(seq, 0);
+        let tag = coll_tag(kind, seq, 0);
         let mut acc: Vec<(u64, Vec<u8>)> = vec![(v as u64, data.to_vec())];
         let mut mask = 1usize;
         while mask < size {
@@ -236,10 +353,16 @@ impl Communicator {
 
     /// Binomial-tree scatter body: the root's per-rank parts flow down the
     /// tree, each edge carrying only the receiver's subtree.
-    fn scatter_impl(&self, parts: Option<Vec<Vec<u8>>>, root: usize, seq: u64) -> Vec<u8> {
+    fn scatter_impl(
+        &self,
+        parts: Option<Vec<Vec<u8>>>,
+        root: usize,
+        seq: u64,
+        kind: CollKind,
+    ) -> Vec<u8> {
         let size = self.shared.size;
         let v = self.vrank(root);
-        let tag = coll_tag(seq, 0);
+        let tag = coll_tag(kind, seq, 0);
         let (mut pending, mut mask) = if v == 0 {
             let parts = parts.expect("root must supply scatter parts");
             assert_eq!(parts.len(), size, "scatter needs one part per rank");
@@ -281,8 +404,14 @@ impl Communicator {
     /// thread-backed runtime total message-handling work, not network
     /// depth, is the scarce resource, and 2(P−1) wins measurably (see the
     /// `collective_scaling` benchmark).
-    fn allgather_impl(&self, data: &[u8], seq_up: u64, seq_down: u64) -> Vec<Vec<u8>> {
-        let framed = self.gather_impl(data, 0, seq_up).map(|parts| {
+    fn allgather_impl(
+        &self,
+        data: &[u8],
+        seq_up: u64,
+        seq_down: u64,
+        kind: CollKind,
+    ) -> Vec<Vec<u8>> {
+        let framed = self.gather_impl(data, 0, seq_up, kind).map(|parts| {
             frame(
                 &parts
                     .iter()
@@ -291,7 +420,7 @@ impl Communicator {
                     .collect::<Vec<_>>(),
             )
         });
-        let full = self.bcast_impl(framed, 0, seq_down);
+        let full = self.bcast_impl(framed, 0, seq_down, kind);
         let mut out = vec![Vec::new(); self.shared.size];
         for (r, p) in unframe(&full) {
             out[r as usize] = p;
@@ -302,13 +431,13 @@ impl Communicator {
     /// Tree barrier body: binomial fan-in of empty messages to rank 0,
     /// then a binomial fan-out release — 2(P−1) messages, no rendezvous
     /// primitive.
-    fn barrier_impl(&self, seq: u64) {
+    fn barrier_impl(&self, seq: u64, kind: CollKind) {
         let size = self.shared.size;
         if size == 1 {
             return;
         }
-        let up = coll_tag(seq, 0);
-        let down = coll_tag(seq, 1);
+        let up = coll_tag(kind, seq, 0);
+        let down = coll_tag(kind, seq, 1);
         let v = self.rank; // rooted at rank 0
         let mut mask = 1usize;
         while mask < size {
@@ -354,44 +483,50 @@ impl Comm for Communicator {
     fn barrier(&self) {
         self.stats.bump_barrier();
         let seq = self.next_seq();
-        self.barrier_impl(seq);
+        self.note_collective(seq, CollKind::Barrier, None);
+        self.barrier_impl(seq, CollKind::Barrier);
     }
 
     fn gather(&self, data: &[u8], root: usize) -> Option<Vec<Vec<u8>>> {
         assert!(root < self.size(), "gather root {root} out of range");
         self.stats.bump_gather();
         let seq = self.next_seq();
-        self.gather_impl(data, root, seq)
+        self.note_collective(seq, CollKind::Gather, Some(root));
+        self.gather_impl(data, root, seq, CollKind::Gather)
     }
 
     fn scatter(&self, parts: Option<Vec<Vec<u8>>>, root: usize) -> Vec<u8> {
         assert!(root < self.size(), "scatter root {root} out of range");
         self.stats.bump_scatter();
         let seq = self.next_seq();
-        self.scatter_impl(parts, root, seq)
+        self.note_collective(seq, CollKind::Scatter, Some(root));
+        self.scatter_impl(parts, root, seq, CollKind::Scatter)
     }
 
     fn bcast(&self, data: Option<Vec<u8>>, root: usize) -> Vec<u8> {
         assert!(root < self.size(), "bcast root {root} out of range");
         self.stats.bump_bcast();
         let seq = self.next_seq();
-        self.bcast_impl(data, root, seq)
+        self.note_collective(seq, CollKind::Bcast, Some(root));
+        self.bcast_impl(data, root, seq, CollKind::Bcast)
     }
 
     fn allgather(&self, data: &[u8]) -> Vec<Vec<u8>> {
         self.stats.bump_allgather();
         let seq_up = self.next_seq();
         let seq_down = self.next_seq();
-        self.allgather_impl(data, seq_up, seq_down)
+        self.note_collective(seq_up, CollKind::Allgather, None);
+        self.allgather_impl(data, seq_up, seq_down, CollKind::Allgather)
     }
 
     fn reduce_u64(&self, value: u64, op: ReduceOp, root: usize) -> Option<u64> {
         assert!(root < self.size(), "reduce root {root} out of range");
         self.stats.bump_reduce();
         let seq = self.next_seq();
+        self.note_collective(seq, CollKind::Reduce, Some(root));
         let size = self.shared.size;
         let v = self.vrank(root);
-        let tag = coll_tag(seq, 0);
+        let tag = coll_tag(CollKind::Reduce, seq, 0);
         // Combining binomial fan-in: each edge carries one partial result,
         // not the subtree's values.
         let mut acc = value;
@@ -422,11 +557,12 @@ impl Comm for Communicator {
         // as part of the split, not as a separate allgather.
         let seq_up = self.next_seq();
         let seq_down = self.next_seq();
+        self.note_collective(seq_up, CollKind::Split, None);
         let mut payload = Vec::with_capacity(24);
         payload.extend_from_slice(&color.to_le_bytes());
         payload.extend_from_slice(&key.to_le_bytes());
         payload.extend_from_slice(&(self.rank as u64).to_le_bytes());
-        let all = self.allgather_impl(&payload, seq_up, seq_down);
+        let all = self.allgather_impl(&payload, seq_up, seq_down, CollKind::Split);
         let mut members: Vec<(u64, u64)> = all
             .iter()
             .filter_map(|b| {
@@ -445,19 +581,26 @@ impl Comm for Communicator {
 
         let split_no = self.split_seq.fetch_add(1, Ordering::Relaxed) + 1;
 
-        // First member of the group to arrive creates the shared state.
+        // First member of the group to arrive creates the shared state. The
+        // child's identity is derived structurally (parent name, split
+        // ordinal, color), so every member — and every run — agrees on it.
         let sub = {
             let mut splits = self.shared.splits.lock();
             splits
                 .entry((split_no, color))
-                .or_insert_with(|| Arc::new(Shared::new(new_size)))
+                .or_insert_with(|| {
+                    Arc::new(Shared::new(
+                        self.shared.ctx.child(split_no, color, new_size),
+                        self.shared.hook.clone(),
+                    ))
+                })
                 .clone()
         };
         let comm = Communicator::new(new_rank, sub);
         // All ranks must have attached to their group's shared state before
         // the construction entries are retired from the map.
         let seq = self.next_seq();
-        self.barrier_impl(seq);
+        self.barrier_impl(seq, CollKind::Split);
         if new_rank == 0 {
             self.shared.splits.lock().remove(&(split_no, color));
         }
@@ -466,21 +609,54 @@ impl Comm for Communicator {
 
     fn send(&self, dest: usize, tag: u64, data: &[u8]) {
         assert!(dest < self.size(), "send dest {dest} out of range");
-        assert!(
-            tag & COLL_TAG_MASK != COLL_TAG_PREFIX,
-            "tags with top byte 0xC3 are reserved for internal collectives"
-        );
+        if tag & COLL_TAG_MASK == COLL_TAG_PREFIX {
+            if let Some(h) = &self.shared.hook {
+                // The hook panics with a richer diagnostic (rank, dest,
+                // decoded namespace); the assert below is the fallback.
+                h.on_reserved_tag(&self.shared.ctx, self.rank, dest, tag);
+            }
+            panic!("tags with top byte 0xC3 are reserved for internal collectives");
+        }
         self.stats.bump_send();
-        self.stats.add_bytes(data.len() as u64);
-        self.shared.senders[dest]
-            .send((self.rank, tag, data.to_vec()))
-            .expect("receiver mailbox alive for the world's lifetime");
+        self.isend(dest, tag, data.to_vec());
     }
 
     fn recv(&self, src: usize, tag: u64) -> Vec<u8> {
         assert!(src < self.size(), "recv src {src} out of range");
         self.stats.bump_recv();
         self.irecv(src, tag)
+    }
+}
+
+impl Drop for Communicator {
+    /// Teardown check: when a hook is installed, report messages this
+    /// rank's mailbox or stash still holds — every message a correct
+    /// program sends is eventually matched by a receive, so leftovers mean
+    /// a lost message (wrong tag, wrong destination, or a receive that
+    /// never ran).
+    fn drop(&mut self) {
+        let Some(hook) = self.shared.hook.clone() else { return };
+        let mut leaked: Vec<LeakedMsg> = self
+            .stash
+            .lock()
+            .drain(..)
+            .map(|(from, tag, payload)| LeakedMsg {
+                from,
+                tag,
+                len: payload.len(),
+                stashed: true,
+            })
+            .collect();
+        {
+            let rx = self.shared.receivers[self.rank].lock();
+            while let Ok((from, tag, payload)) = rx.try_recv() {
+                leaked.push(LeakedMsg { from, tag, len: payload.len(), stashed: false });
+            }
+        }
+        if !leaked.is_empty() {
+            leaked.sort();
+            hook.on_teardown(&self.shared.ctx, self.rank, &leaked);
+        }
     }
 }
 
@@ -492,13 +668,24 @@ impl World {
     /// Run `f` on `ntasks` threads, each receiving its own [`Communicator`]
     /// for a world of size `ntasks`. Returns the per-rank results in rank
     /// order. Panics in any task propagate.
+    ///
+    /// With `SIMCHECK=1` in the environment, the run is instrumented with
+    /// the passive [`Sanitizer`](crate::sanitize::Sanitizer): collective
+    /// mismatches, reserved-tag sends, message leaks and suspected
+    /// deadlocks fail the run with a diagnosis instead of hanging or
+    /// corrupting data.
     pub fn run<T, F>(ntasks: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(&Communicator) -> T + Send + Sync,
     {
+        if hook::simcheck_env_enabled() {
+            let san = Arc::new(crate::sanitize::Sanitizer::new());
+            let results = Self::run_checked(ntasks, san.clone(), f);
+            return crate::sanitize::finalize_env_checked(results, &san);
+        }
         assert!(ntasks > 0, "world must have at least one task");
-        let shared = Arc::new(Shared::new(ntasks));
+        let shared = Arc::new(Shared::new(CommCtx::new("world".into(), ntasks), None));
         let f = &f;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..ntasks)
@@ -510,6 +697,59 @@ impl World {
             handles
                 .into_iter()
                 .map(|h| h.join().expect("task panicked"))
+                .collect()
+        })
+    }
+
+    /// Run `f` on `ntasks` threads under a [`CheckHook`], catching each
+    /// rank's panic instead of propagating it, so a checker can assemble a
+    /// full per-rank report even when ranks fail (the hook is responsible
+    /// for releasing ranks blocked on a failed peer — see
+    /// [`CheckHook::should_abort`]). Returns each rank's result or its
+    /// panic payload, in rank order.
+    pub fn run_checked<T, F>(
+        ntasks: usize,
+        check: Arc<dyn CheckHook>,
+        f: F,
+    ) -> Vec<std::thread::Result<T>>
+    where
+        T: Send,
+        F: Fn(&Communicator) -> T + Send + Sync,
+    {
+        assert!(ntasks > 0, "world must have at least one task");
+        let shared = Arc::new(Shared::new(
+            CommCtx::new("world".into(), ntasks),
+            Some(check.clone()),
+        ));
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..ntasks)
+                .map(|rank| {
+                    let comm = Communicator::new(rank, shared.clone());
+                    let check = check.clone();
+                    scope.spawn(move || {
+                        hook::set_current_task(rank);
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || f(&comm),
+                        ));
+                        // Drop the communicator (running its teardown leak
+                        // check, which may panic with a leak diagnosis)
+                        // before declaring the task finished.
+                        let teardown =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(comm)));
+                        let result = match (result, teardown) {
+                            (Ok(v), Ok(())) => Ok(v),
+                            (Err(e), _) => Err(e),
+                            (Ok(_), Err(e)) => Err(e),
+                        };
+                        check.on_task_finish(rank, result.is_err());
+                        result
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("task thread itself never panics"))
                 .collect()
         })
     }
@@ -828,5 +1068,56 @@ mod tests {
             out[0].as_ref().expect("send panicked").contains("reserved for internal"),
             "{out:?}"
         );
+    }
+
+    #[test]
+    fn checked_run_reports_teardown_leaks() {
+        use crate::sanitize::{FindingKind, Sanitizer};
+        let san = Arc::new(Sanitizer::new());
+        let results = World::run_checked(2, san.clone(), |c| {
+            if c.rank() == 0 {
+                c.send(1, 42, b"never received");
+            }
+            // Synchronize so the message is in rank 1's mailbox before its
+            // communicator is dropped.
+            c.barrier();
+        });
+        // Rank 1's teardown panics with the leak diagnosis.
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        let findings = san.findings();
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.kind == FindingKind::MessageLeak && f.message.contains("tag 0x2a")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn checked_run_flags_root_mismatch() {
+        use crate::sanitize::{FindingKind, Sanitizer};
+        let san = Arc::new(Sanitizer::new());
+        let results = World::run_checked(2, san.clone(), |c| {
+            // Divergent roots at the same collective ordinal. Every rank
+            // supplies data so only the mismatch can fail the run.
+            c.bcast(Some(vec![1]), c.rank());
+        });
+        assert!(results.iter().any(|r| r.is_err()));
+        assert!(
+            san.findings().iter().any(|f| f.kind == FindingKind::CollectiveMismatch),
+            "{:?}",
+            san.findings()
+        );
+    }
+
+    #[test]
+    fn split_names_are_structural() {
+        let out = World::run(4, |c| {
+            let sub = c.split((c.rank() % 2) as u64, 0);
+            let sub2 = sub.split(0, 0);
+            (sub.size(), sub2.size())
+        });
+        assert!(out.iter().all(|&(a, b)| a == 2 && b == 2));
     }
 }

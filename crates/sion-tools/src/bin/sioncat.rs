@@ -17,7 +17,15 @@ fn main() {
     let fs = LocalFs::new(".");
     match sion_tools::cat(&fs, &args[1], rank) {
         Ok(data) => {
-            std::io::stdout().write_all(&data).expect("stdout");
+            // A closed pipe (e.g. `sioncat f 0 | head`) is a normal way for
+            // this stream to end, not a crash.
+            if let Err(e) = std::io::stdout().write_all(&data) {
+                if e.kind() == std::io::ErrorKind::BrokenPipe {
+                    std::process::exit(0);
+                }
+                eprintln!("sioncat: stdout: {e}");
+                std::process::exit(1);
+            }
         }
         Err(e) => {
             eprintln!("sioncat: {e}");

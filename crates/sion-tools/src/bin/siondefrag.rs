@@ -9,7 +9,13 @@ fn main() {
         eprintln!("usage: siondefrag <multifile> <output> [nfiles]");
         std::process::exit(2);
     }
-    let nfiles: u32 = args.get(3).map(|a| a.parse().expect("nfiles")).unwrap_or(1);
+    let nfiles: u32 = match args.get(3) {
+        None => 1,
+        Some(a) => a.parse().unwrap_or_else(|_| {
+            eprintln!("siondefrag: bad nfiles {a:?}");
+            std::process::exit(2);
+        }),
+    };
     let fs = LocalFs::new(".");
     match sion_tools::defrag(&fs, &args[1], &fs, &args[2], nfiles) {
         Ok(stats) => println!(

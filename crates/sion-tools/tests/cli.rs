@@ -131,3 +131,51 @@ fn tools_reject_bad_usage() {
     assert_eq!(out.status.code(), Some(1));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// User-input hardening: truncated and garbage files must produce a clean
+/// diagnostic and a nonzero exit — never a panic — from every tool, and a
+/// malformed numeric argument is a usage error.
+#[test]
+fn tools_survive_garbage_and_truncated_files() {
+    let dir = scratch("garbage");
+    make_multifile(&dir);
+    // Garbage: plausible length, hostile bytes.
+    std::fs::write(dir.join("garbage.sion"), vec![0xA5u8; 4096]).unwrap();
+    // Truncated: a valid multifile cut mid-header.
+    let whole = std::fs::read(dir.join("data.sion")).unwrap();
+    std::fs::write(dir.join("trunc.sion"), &whole[..40]).unwrap();
+
+    for bin in [
+        env!("CARGO_BIN_EXE_siondump"),
+        env!("CARGO_BIN_EXE_sionverify"),
+        env!("CARGO_BIN_EXE_sionrepair"),
+    ] {
+        for file in ["garbage.sion", "trunc.sion"] {
+            let out = run_tool(bin, &dir, &[file]);
+            assert_eq!(out.status.code(), Some(1), "{bin} on {file} must fail cleanly");
+            let err = String::from_utf8_lossy(&out.stderr);
+            assert!(!err.contains("panicked"), "{bin} on {file} panicked:\n{err}");
+            assert!(!err.is_empty(), "{bin} on {file}: no diagnostic");
+        }
+    }
+    for file in ["garbage.sion", "trunc.sion"] {
+        let out = run_tool(env!("CARGO_BIN_EXE_sioncat"), &dir, &[file, "0"]);
+        assert_eq!(out.status.code(), Some(1), "sioncat on {file} must fail cleanly");
+        assert!(!String::from_utf8_lossy(&out.stderr).contains("panicked"));
+        let out = run_tool(env!("CARGO_BIN_EXE_sionsplit"), &dir, &[file, "y/task"]);
+        assert_eq!(out.status.code(), Some(1), "sionsplit on {file} must fail cleanly");
+        assert!(!String::from_utf8_lossy(&out.stderr).contains("panicked"));
+        let out = run_tool(env!("CARGO_BIN_EXE_siondefrag"), &dir, &[file, "d.sion"]);
+        assert_eq!(out.status.code(), Some(1), "siondefrag on {file} must fail cleanly");
+        assert!(!String::from_utf8_lossy(&out.stderr).contains("panicked"));
+    }
+
+    // Malformed numeric arguments are usage errors, not panics.
+    let out = run_tool(env!("CARGO_BIN_EXE_siondefrag"), &dir, &["data.sion", "d.sion", "zero"]);
+    assert_eq!(out.status.code(), Some(2), "bad nfiles must be a usage error");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad nfiles"));
+    let out = run_tool(env!("CARGO_BIN_EXE_sioncat"), &dir, &["data.sion", "x"]);
+    assert_eq!(out.status.code(), Some(2), "bad rank must be a usage error");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -211,6 +211,32 @@ impl FileLayout {
         };
         SharingStats { max_sharers: max, mean_sharers: mean }
     }
+
+    /// The real FS-block indices (relative to the start of one layout
+    /// block) that more than one task's chunk overlaps — the static
+    /// prediction the runtime block-contention sanitizer
+    /// (`vfs::BlockGuardFs`) must agree with when every task writes its
+    /// full chunk. Sorted, deterministic.
+    pub fn shared_fs_blocks(&self, real_block: u64) -> Vec<u64> {
+        assert!(real_block >= 1);
+        let nblocks_fs = self.block_size.div_ceil(real_block).max(1);
+        let mut sharers = vec![0u32; nblocks_fs as usize];
+        for (t, &off) in self.chunk_off.iter().enumerate() {
+            if self.cap[t] == 0 {
+                continue;
+            }
+            let first = off / real_block;
+            let last = (off + self.cap[t] - 1) / real_block;
+            for b in first..=last {
+                sharers[b as usize] += 1;
+            }
+        }
+        sharers
+            .into_iter()
+            .enumerate()
+            .filter_map(|(b, s)| (s > 1).then_some(b as u64))
+            .collect()
+    }
 }
 
 /// Result of [`FileLayout::block_sharing`].

@@ -203,6 +203,12 @@ pub fn paropen_write(
     let grank = comm.rank();
     let ntasks = comm.size();
 
+    // Label this rank's thread for the block-contention sanitizer: every
+    // write it issues through a `vfs::BlockGuardFs` (including coalesced
+    // stream-engine flushes, which run on this thread) is attributed to
+    // this global rank.
+    vfs::guard::set_task(grank as u64);
+
     // Local pre-open validation is *deferred*: a task whose parameters
     // fail the check still joins every collective below (returning early
     // would hang its peers), carrying the failure as a status bit in its

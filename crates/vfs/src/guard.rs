@@ -1,0 +1,340 @@
+//! [`BlockGuardFs`]: a file-system-block contention sanitizer.
+//!
+//! The paper's §3.2 alignment argument is that aligning each task's chunk
+//! to file-system block boundaries guarantees *no two tasks ever write the
+//! same FS block*, which is what makes task-local writes into one shared
+//! file contention-free (no block ping-pong between GPFS/Lustre lock
+//! managers). This decorator turns that argument into a checked property:
+//! it wraps any [`Vfs`] and tracks, per FS-block-sized extent of every
+//! file, which *logical writer* last touched it. A write by one writer to
+//! a block previously written by a different writer is recorded as a
+//! [`BlockViolation`].
+//!
+//! Logical writer identity is a per-thread label set with [`set_task`] —
+//! `sion::par::paropen_write` labels each rank's thread with its global
+//! rank, so during a parallel SION write every physical `write_at` is
+//! attributed to the rank that issued it (including the coalesced flushes
+//! of the buffered stream engine, which run on the owning task's thread).
+//! Writes from unlabeled threads (test setup, serial tools) are not
+//! tracked.
+//!
+//! Violation reports are deterministic: they are kept in insertion order
+//! per file and sorted by (path, block, tasks) before rendering, so a
+//! failing seed reproduces byte-identical output.
+
+use crate::{Vfs, VfsFile};
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+
+thread_local! {
+    static WRITER_TASK: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Label the current thread's writes with a logical writer id (a rank).
+/// Subsequent `write_at` calls through any [`BlockGuardFs`] are attributed
+/// to this writer until [`clear_task`] or a new [`set_task`].
+pub fn set_task(task: u64) {
+    WRITER_TASK.with(|c| c.set(Some(task)));
+}
+
+/// Remove the current thread's writer label; its writes are no longer
+/// tracked.
+pub fn clear_task() {
+    WRITER_TASK.with(|c| c.set(None));
+}
+
+/// The current thread's writer label, if any.
+pub fn current_writer() -> Option<u64> {
+    WRITER_TASK.with(|c| c.get())
+}
+
+/// One cross-writer FS-block overlap detected by [`BlockGuardFs`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BlockViolation {
+    /// File the overlap happened in.
+    pub path: String,
+    /// FS block index (offset / block size) both writers touched.
+    pub block: u64,
+    /// Writer that previously owned the block.
+    pub prev_task: u64,
+    /// Writer whose write overlapped it.
+    pub task: u64,
+    /// Byte offset of the offending write.
+    pub offset: u64,
+    /// Length of the offending write.
+    pub len: u64,
+}
+
+impl fmt::Display for BlockViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "task {} wrote {} bytes at offset {} of \"{}\", touching FS block {} last \
+             written by task {}",
+            self.task, self.len, self.offset, self.path, self.block, self.prev_task
+        )
+    }
+}
+
+#[derive(Default)]
+struct GuardState {
+    /// path → (block index → last labeled writer).
+    owners: Mutex<BTreeMap<String, BTreeMap<u64, u64>>>,
+    violations: Mutex<Vec<BlockViolation>>,
+}
+
+impl GuardState {
+    fn record_write(&self, block_size: u64, path: &str, offset: u64, len: usize) {
+        let Some(task) = current_writer() else { return };
+        if len == 0 {
+            return;
+        }
+        let first = offset / block_size;
+        let last = (offset + len as u64 - 1) / block_size;
+        let mut owners = self.owners.lock();
+        let file = owners.entry(path.to_string()).or_default();
+        for block in first..=last {
+            match file.insert(block, task) {
+                Some(prev) if prev != task => {
+                    self.violations.lock().push(BlockViolation {
+                        path: path.to_string(),
+                        block,
+                        prev_task: prev,
+                        task,
+                        offset,
+                        len: len as u64,
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Decorator recording FS-block write ownership; see the module docs.
+pub struct BlockGuardFs {
+    inner: Arc<dyn Vfs>,
+    state: Arc<GuardState>,
+}
+
+impl BlockGuardFs {
+    /// Wrap `inner`, tracking write ownership at `inner.block_size()`
+    /// granularity.
+    pub fn new(inner: Arc<dyn Vfs>) -> BlockGuardFs {
+        BlockGuardFs { inner, state: Arc::new(GuardState::default()) }
+    }
+
+    /// All violations recorded so far, in deterministic (sorted) order.
+    pub fn violations(&self) -> Vec<BlockViolation> {
+        let mut v = self.state.violations.lock().clone();
+        v.sort();
+        v
+    }
+
+    /// Drain the recorded violations (deterministic order), resetting the
+    /// log but keeping block ownership.
+    pub fn take_violations(&self) -> Vec<BlockViolation> {
+        let mut v = std::mem::take(&mut *self.state.violations.lock());
+        v.sort();
+        v
+    }
+
+    /// Panic with a deterministic multi-line report if any cross-writer
+    /// block overlap was recorded — the checked form of the paper's §3.2
+    /// "no two tasks share an FS block" invariant.
+    pub fn assert_exclusive(&self) {
+        let v = self.violations();
+        if !v.is_empty() {
+            let lines: Vec<String> = v.iter().map(|x| format!("  {x}")).collect();
+            panic!(
+                "simcheck: [block-contention] {} cross-task FS-block overlap(s):\n{}",
+                v.len(),
+                lines.join("\n")
+            );
+        }
+    }
+}
+
+struct GuardFile {
+    inner: Arc<dyn VfsFile>,
+    path: String,
+    block_size: u64,
+    state: Arc<GuardState>,
+}
+
+impl VfsFile for GuardFile {
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        self.inner.read_at(buf, offset)
+    }
+
+    fn write_at(&self, buf: &[u8], offset: u64) -> io::Result<usize> {
+        let n = self.inner.write_at(buf, offset)?;
+        self.state.record_write(self.block_size, &self.path, offset, n);
+        Ok(n)
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.inner.set_len(len)
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        self.inner.len()
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.inner.sync()
+    }
+}
+
+impl BlockGuardFs {
+    fn wrap(&self, path: &str, file: Arc<dyn VfsFile>) -> Arc<dyn VfsFile> {
+        Arc::new(GuardFile {
+            inner: file,
+            path: crate::normalize_path(path),
+            block_size: self.inner.block_size().max(1),
+            state: self.state.clone(),
+        })
+    }
+}
+
+impl Vfs for BlockGuardFs {
+    fn create(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
+        // Creation truncates: any previous ownership of the file's blocks is
+        // void.
+        self.state.owners.lock().remove(&crate::normalize_path(path));
+        let f = self.inner.create(path)?;
+        Ok(self.wrap(path, f))
+    }
+
+    fn open(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
+        let f = self.inner.open(path)?;
+        Ok(self.wrap(path, f))
+    }
+
+    fn open_rw(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
+        let f = self.inner.open_rw(path)?;
+        Ok(self.wrap(path, f))
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        self.state.owners.lock().remove(&crate::normalize_path(path));
+        self.inner.remove(path)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn block_size(&self) -> u64 {
+        self.inner.block_size()
+    }
+
+    fn list(&self, prefix: &str) -> io::Result<Vec<String>> {
+        self.inner.list(prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemFs;
+
+    fn guarded() -> BlockGuardFs {
+        BlockGuardFs::new(Arc::new(MemFs::with_block_size(64)))
+    }
+
+    #[test]
+    fn same_task_rewrites_are_fine() {
+        let fs = guarded();
+        let f = fs.create("a").unwrap();
+        set_task(0);
+        f.write_all_at(&[1u8; 100], 0).unwrap();
+        f.write_all_at(&[2u8; 100], 0).unwrap();
+        clear_task();
+        assert!(fs.violations().is_empty());
+        fs.assert_exclusive();
+    }
+
+    #[test]
+    fn disjoint_blocks_are_fine() {
+        let fs = guarded();
+        let f = fs.create("a").unwrap();
+        set_task(0);
+        f.write_all_at(&[1u8; 64], 0).unwrap();
+        set_task(1);
+        f.write_all_at(&[2u8; 64], 64).unwrap();
+        clear_task();
+        assert!(fs.violations().is_empty());
+    }
+
+    #[test]
+    fn cross_task_overlap_is_flagged() {
+        let fs = guarded();
+        let f = fs.create("a").unwrap();
+        set_task(0);
+        f.write_all_at(&[1u8; 64], 0).unwrap();
+        set_task(1);
+        // Straddles blocks 0 (owned by task 0) and 1.
+        f.write_all_at(&[2u8; 64], 32).unwrap();
+        clear_task();
+        let v = fs.violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!((v[0].block, v[0].prev_task, v[0].task), (0, 0, 1));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fs.assert_exclusive()
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("[block-contention]"), "{msg}");
+        assert!(msg.contains("FS block 0"), "{msg}");
+    }
+
+    #[test]
+    fn unlabeled_writes_are_ignored() {
+        let fs = guarded();
+        let f = fs.create("a").unwrap();
+        clear_task();
+        f.write_all_at(&[1u8; 256], 0).unwrap();
+        set_task(7);
+        f.write_all_at(&[2u8; 256], 0).unwrap();
+        clear_task();
+        assert!(fs.violations().is_empty());
+    }
+
+    #[test]
+    fn create_truncation_voids_ownership() {
+        let fs = guarded();
+        let f = fs.create("a").unwrap();
+        set_task(0);
+        f.write_all_at(&[1u8; 64], 0).unwrap();
+        drop(f);
+        let f = fs.create("a").unwrap();
+        set_task(1);
+        f.write_all_at(&[2u8; 64], 0).unwrap();
+        clear_task();
+        assert!(fs.violations().is_empty());
+    }
+
+    #[test]
+    fn reports_are_sorted_and_deterministic() {
+        let fs = guarded();
+        let f = fs.create("z").unwrap();
+        let g = fs.create("a").unwrap();
+        set_task(0);
+        f.write_all_at(&[1u8; 64], 0).unwrap();
+        g.write_all_at(&[1u8; 64], 0).unwrap();
+        set_task(1);
+        f.write_all_at(&[2u8; 8], 0).unwrap();
+        g.write_all_at(&[2u8; 8], 0).unwrap();
+        clear_task();
+        let v = fs.take_violations();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].path, "a");
+        assert_eq!(v[1].path, "z");
+        assert!(fs.take_violations().is_empty());
+    }
+}

@@ -21,10 +21,12 @@
 //! bytes, as POSIX sparse files do.
 
 mod fault;
+pub mod guard;
 mod local;
 mod mem;
 
 pub use fault::{FaultFs, FaultKind, FaultRule, OpRecord};
+pub use guard::{BlockGuardFs, BlockViolation};
 pub use local::LocalFs;
 pub use mem::{MemFs, MemFsStats};
 

@@ -12,10 +12,12 @@
 //! * [`szip`] — LZSS codec used by transparent compression;
 //! * [`tracer`] — Scalasca-like event tracing (paper §5.2);
 //! * [`mp2c`] — multi-particle collision mini-app (paper §5.1);
-//! * [`sion_tools`] — dump/split/defrag/repair utilities (paper §3.3).
+//! * [`sion_tools`] — dump/split/defrag/repair utilities (paper §3.3);
+//! * [`simcheck`] — deterministic model checker and runtime sanitizers.
 
 pub use mp2c;
 pub use parfs;
+pub use simcheck;
 pub use simmpi;
 pub use sion;
 pub use sion_tools;
