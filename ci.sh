@@ -32,6 +32,15 @@ echo "==> runtime sanitizers: real workloads under SIMCHECK=1"
 SIMCHECK=1 cargo test -p sion --test parallel_roundtrip -q
 SIMCHECK=1 CRASH_SEED=1359024137 cargo test -p sion --test crash_consistency -q crashed_task_cannot_hang_the_collective_close
 
+echo "==> par_smoke: real 64Ki-rank collective open/write/close (task runtime)"
+# A real (non-scripted) sion::par run at the paper's full scale — a rank
+# count threads cannot reach — wall-clock bounded so a scheduler
+# regression fails as time, not as a hang (~57 s on the 1-core CI box).
+# The smaller SIMCHECK=1 run layers the passive sanitizer over the same
+# protocol (collective mismatches, reserved tags, leaks).
+./target/release/par_smoke --ranks 65536 --nfiles 32 --budget-secs 300
+SIMCHECK=1 ./target/release/par_smoke --ranks 256 --budget-secs 120
+
 echo "==> rescue smoke: crash a multifile, sionrepair it, sionverify it"
 rm -rf target/smoke
 cargo run --release --example rescue_smoke

@@ -48,7 +48,7 @@ mod report;
 mod sched;
 
 pub use report::{CheckFailure, DeadlockInfo, PendingOp, ScheduleCfg, TraceEv};
-pub use sched::{schedules, seed_budget, CheckedWorld};
+pub use sched::{schedules, seed_budget, CheckedTaskWorld, CheckedWorld};
 
 pub use simmpi::{
     current_task, decode_coll_tag, describe_tag, is_reserved_tag, simcheck_env_enabled, Aborted,

@@ -495,6 +495,123 @@ impl CheckedWorld {
     }
 }
 
+/// Launcher executing programs written for the **task runtime**
+/// ([`simmpi::TaskWorld`]) under deterministic seeded schedules.
+///
+/// Where [`CheckedWorld`] serializes OS threads with a parking scheduler,
+/// the task runtime *is* a scheduler — so checking it needs no thread
+/// choreography at all: [`simmpi::SchedPolicy::Serial`] replays the same
+/// seeded-splitmix64, preemption-bounded decision procedure at poll
+/// granularity, and the executor's exact quiescence detection supplies the
+/// deadlock verdict (no watchdog, no in-flight message model needed — an
+/// undeliverable receive simply never wakes). The passive [`Sanitizer`]
+/// provides the identical collective/tag/leak diagnoses, so a
+/// [`CheckFailure`] from either checker reads the same.
+pub struct CheckedTaskWorld;
+
+impl CheckedTaskWorld {
+    /// Run `f` as an `ntasks` task world under the schedule defined by
+    /// `cfg` (seed + preemption bound, both honored by the serial policy).
+    /// On success returns per-rank results; on any finding returns the
+    /// [`CheckFailure`], replayable by re-running with the same `cfg`.
+    pub fn run<T, F, Fut>(
+        ntasks: usize,
+        cfg: ScheduleCfg,
+        f: F,
+    ) -> Result<Vec<T>, Box<CheckFailure>>
+    where
+        T: Send,
+        F: Fn(simmpi::TaskComm) -> Fut,
+        Fut: std::future::Future<Output = T> + Send,
+    {
+        let san = Arc::new(Sanitizer::new());
+        let policy = simmpi::SchedPolicy::Serial {
+            seed: cfg.seed,
+            preemption_bound: cfg.preemption_bound,
+        };
+        let run = simmpi::TaskWorld::run_checked(policy, ntasks, san.clone(), f);
+        let mut findings = san.findings();
+        let deadlock = run.deadlock.map(|d| {
+            san.record_deadlock(format!(
+                "whole-world deadlock: {} task(s) parked with no runnable peer",
+                d.parked.len()
+            ));
+            DeadlockInfo {
+                pending: d
+                    .parked
+                    .into_iter()
+                    .map(|p| PendingOp { task: p.world_rank, comm: p.comm, op: p.op })
+                    .collect(),
+                backtraces: BTreeMap::new(),
+            }
+        });
+        if deadlock.is_some() {
+            findings = san.findings();
+        }
+        let mut vals = Vec::new();
+        for (rank, r) in run.results.into_iter().enumerate() {
+            match r {
+                Ok(v) => vals.push(v),
+                Err(p) if p.is::<Aborted>() => {}
+                Err(p) => {
+                    let msg = panic_message(p.as_ref());
+                    if !msg.starts_with("simcheck:") {
+                        findings.push(Finding {
+                            kind: FindingKind::Panic,
+                            message: format!("rank {rank} panicked: {msg}"),
+                        });
+                    }
+                }
+            }
+        }
+        findings.extend(san.incomplete_collectives());
+        if findings.is_empty() && vals.len() != ntasks {
+            findings.push(Finding {
+                kind: FindingKind::Panic,
+                message: format!(
+                    "{} of {ntasks} rank(s) unwound without a recorded finding",
+                    ntasks - vals.len()
+                ),
+            });
+        }
+        if findings.is_empty() {
+            return Ok(vals);
+        }
+        Err(Box::new(CheckFailure {
+            cfg,
+            findings,
+            deadlock,
+            trace: run
+                .trace
+                .into_iter()
+                .enumerate()
+                .map(|(step, task)| TraceEv { step, task, op: "poll".to_string() })
+                .collect(),
+        }))
+    }
+
+    /// Run `f` once per configuration, stopping at the first failure (whose
+    /// [`CheckFailure::cfg`] replays it). Returns the number of schedules
+    /// explored.
+    pub fn explore<T, F, Fut>(
+        ntasks: usize,
+        cfgs: impl IntoIterator<Item = ScheduleCfg>,
+        f: F,
+    ) -> Result<usize, Box<CheckFailure>>
+    where
+        T: Send,
+        F: Fn(simmpi::TaskComm) -> Fut,
+        Fut: std::future::Future<Output = T> + Send,
+    {
+        let mut explored = 0;
+        for cfg in cfgs {
+            Self::run(ntasks, cfg, &f)?;
+            explored += 1;
+        }
+        Ok(explored)
+    }
+}
+
 /// The standard schedule sweep: `seeds` seeds at each preemption bound
 /// (iterative context bounding — low bounds first, where most concurrency
 /// bugs live).

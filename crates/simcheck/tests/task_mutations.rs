@@ -1,0 +1,168 @@
+//! Mutation tests on the **task runtime**: the same seeded bug classes as
+//! `mutations.rs` (mismatched collective root, reserved-tag collision,
+//! cyclic-receive deadlock), but executed as resumable rank tasks under
+//! [`CheckedTaskWorld`] — proving the checker's diagnoses survive the move
+//! from thread-per-rank to the coroutine executor. The clean control is
+//! the real `sion::par` open/write/close/read protocol swept across
+//! schedules, which must pass without a finding.
+
+use simcheck::{
+    schedules, seed_budget, CheckFailure, CheckedTaskWorld, FindingKind, ScheduleCfg,
+    COLL_TAG_PREFIX,
+};
+use simmpi::CoComm;
+use sion::{paropen_read_co, paropen_write_co, Multifile, SionParams};
+use vfs::MemFs;
+
+const CFG: ScheduleCfg = ScheduleCfg { seed: 11, preemption_bound: 2 };
+
+fn assert_replayable(a: &CheckFailure, b: &CheckFailure) {
+    assert_eq!(
+        a.stable_report(),
+        b.stable_report(),
+        "replay under the same ScheduleCfg must reproduce the byte-identical report"
+    );
+}
+
+/// Deterministic per-rank payload.
+fn payload(rank: usize, len: usize) -> Vec<u8> {
+    (0..len).map(|i| ((i * 31 + rank * 131 + 7) % 251) as u8).collect()
+}
+
+/// Clean control: the full SION parallel protocol as coroutines, across a
+/// schedule sweep (including tight preemption bounds), with zero findings.
+#[test]
+fn parallel_roundtrip_clean_across_task_schedules() {
+    let ntasks = 4;
+    let len = 3_000;
+    let params = SionParams::new(4096).with_nfiles(2);
+    let cfgs = schedules(seed_budget().min(8), &[0, 2]);
+    let ncfgs = cfgs.len();
+    let mut verified = 0;
+    for cfg in cfgs {
+        let fs = MemFs::with_block_size(4096);
+        CheckedTaskWorld::run(ntasks, cfg, |c| {
+            let fs = &fs;
+            let params = &params;
+            async move {
+                let data = payload(c.rank(), len);
+                let mut w = paropen_write_co(fs, "out/data.sion", params, &c).await.unwrap();
+                for piece in data.chunks(700 + c.rank() * 13 + 1) {
+                    w.write(piece).unwrap();
+                }
+                let stats = w.close_co().await.unwrap();
+                assert_eq!(stats.user_bytes, len as u64);
+
+                let mut r = paropen_read_co(fs, "out/data.sion", &c).await.unwrap();
+                let mut back = vec![0u8; len];
+                r.read_exact(&mut back).unwrap();
+                assert_eq!(back, data, "rank {} read-back mismatch", c.rank());
+                r.close_co().await.unwrap();
+            }
+        })
+        .unwrap_or_else(|fail| panic!("clean task workload flagged:\n{fail}"));
+
+        // The image is valid after this interleaving.
+        let mf = Multifile::open(&fs, "out/data.sion").unwrap();
+        for rank in 0..ntasks {
+            assert_eq!(mf.read_rank(rank).unwrap(), payload(rank, len), "rank {rank}");
+        }
+        verified += 1;
+    }
+    assert!(verified == ncfgs && verified >= 2, "schedule sweep too small: {verified}");
+}
+
+/// Bug class 1: ranks disagree on a collective's root — same index bug as
+/// the thread-runtime test, diagnosed identically on the task runtime.
+#[test]
+fn mismatched_root_is_flagged_on_task_runtime() {
+    let run = || {
+        CheckedTaskWorld::run(4, CFG, |c| async move {
+            // Every rank names itself as the root: a classic index bug.
+            c.bcast(Some(vec![1, 2, 3]), c.rank()).await;
+        })
+        .expect_err("mismatched bcast roots must not pass")
+    };
+    let fail = run();
+    assert!(
+        fail.findings.iter().any(|f| f.kind == FindingKind::CollectiveMismatch),
+        "expected a collective-mismatch finding:\n{fail}"
+    );
+    assert!(
+        fail.findings.iter().any(|f| f.message.contains("bcast(root=")),
+        "finding must name the mismatching operations:\n{fail}"
+    );
+    assert_replayable(&fail, &run());
+}
+
+/// Bug class 2: a user point-to-point tag colliding with the reserved
+/// collective namespace (top byte 0xC3).
+#[test]
+fn reserved_tag_collision_is_flagged_on_task_runtime() {
+    let crafted = COLL_TAG_PREFIX | (1u64 << 48);
+    let run = || {
+        CheckedTaskWorld::run(2, CFG, |c| async move {
+            if c.rank() == 0 {
+                c.send(1, crafted, b"oops");
+            }
+        })
+        .expect_err("reserved-namespace tag must be rejected")
+    };
+    let fail = run();
+    assert!(
+        fail.findings.iter().any(|f| f.kind == FindingKind::ReservedTag),
+        "expected a reserved-tag finding:\n{fail}"
+    );
+    assert_replayable(&fail, &run());
+}
+
+/// Bug class 4 (the deadlock satellite): both ranks receive first. The
+/// executor's exact quiescence detection — no watchdog — must name each
+/// rank's pending operation, and the report must replay byte-for-byte.
+#[test]
+fn cyclic_recv_deadlocks_on_task_runtime() {
+    let run = || {
+        CheckedTaskWorld::run(2, ScheduleCfg { seed: 5, preemption_bound: 1 }, |c| async move {
+            // Both ranks recv before anyone sends: classic head-to-head.
+            let _ = c.recv(1 - c.rank(), 7).await;
+            c.send(1 - c.rank(), 7, b"late");
+        })
+        .expect_err("cyclic receives must deadlock")
+    };
+    let fail = run();
+    assert!(
+        fail.findings.iter().any(|f| f.kind == FindingKind::Deadlock),
+        "expected a deadlock finding:\n{fail}"
+    );
+    let dl = fail.deadlock.as_ref().expect("deadlock details must be present");
+    assert_eq!(dl.pending.len(), 2, "both ranks are blocked:\n{fail}");
+    for (rank, p) in dl.pending.iter().enumerate() {
+        assert_eq!(p.task, rank, "pending ops are in stable rank order");
+        assert!(p.op.contains("recv("), "pending op names the receive: {}", p.op);
+    }
+    // Poll-granularity futures park by returning, not by blocking a
+    // thread, so there is no stack to walk: backtraces are empty by
+    // design on the task runtime (the op text carries the diagnosis).
+    assert!(dl.backtraces.is_empty(), "task runtime reports no backtraces:\n{fail}");
+    // The poll trace that led here is part of the replayable evidence.
+    assert!(!fail.trace.is_empty(), "decision trace must be recorded:\n{fail}");
+
+    assert_replayable(&fail, &run());
+}
+
+/// A preemption bound of zero is the strictest schedule — run each task
+/// until it parks, never preempting a runnable one — and a correct
+/// collective program must still complete under it.
+#[test]
+fn preemption_bound_zero_still_completes() {
+    for seed in 0..4 {
+        let cfg = ScheduleCfg { seed, preemption_bound: 0 };
+        let sums = CheckedTaskWorld::run(6, cfg, |c| async move {
+            let all = c.allgather_u64(c.rank() as u64 * 3).await;
+            c.barrier().await;
+            all.iter().sum::<u64>()
+        })
+        .unwrap_or_else(|fail| panic!("bound-0 schedule flagged (seed {seed}):\n{fail}"));
+        assert_eq!(sums, vec![45; 6], "seed {seed}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Executor scaling probe: wall-clock of whole task worlds (spawn → run →
+//! teardown) for a trivial workload, a barrier-only workload, and a
+//! split+gather workload, across world sizes. Useful when hunting
+//! superlinear costs in the scheduler itself.
+
+use simmpi::{CoComm, SchedPolicy, TaskWorld};
+use std::time::Instant;
+
+fn timed(label: &str, p: usize, f: impl FnOnce()) {
+    let t = Instant::now();
+    f();
+    eprintln!("{label:>14} P={p:<6} {:>9.1}ms", t.elapsed().as_secs_f64() * 1e3);
+}
+
+fn main() {
+    let policy = SchedPolicy::host();
+    let ps: Vec<usize> = {
+        let args: Vec<usize> =
+            std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+        if args.is_empty() { vec![512, 1024, 2048, 4096] } else { args }
+    };
+    for p in ps {
+        timed("noop", p, || {
+            TaskWorld::run_with(policy, p, |_c| async move {});
+        });
+        timed("barrier x4", p, || {
+            TaskWorld::run_with(policy, p, |c| async move {
+                for _ in 0..4 {
+                    c.barrier().await;
+                }
+            });
+        });
+        timed("gather32 x4", p, || {
+            TaskWorld::run_with(policy, p, |c| async move {
+                for _ in 0..4 {
+                    let _ = c.gather(&[7u8; 32], 0).await;
+                }
+            });
+        });
+        timed("allgather24", p, || {
+            TaskWorld::run_with(policy, p, |c| async move {
+                let _ = c.allgather(&[7u8; 24]).await;
+            });
+        });
+        timed("split only", p, || {
+            TaskWorld::run_with(policy, p, |c| async move {
+                let _ = c.split((c.rank() % 16) as u64, c.rank() as u64).await;
+            });
+        });
+        timed("split+gather", p, || {
+            TaskWorld::run_with(policy, p, |c| async move {
+                let sub = c.split((c.rank() % 16) as u64, c.rank() as u64).await;
+                let _ = sub.gather(&[7u8; 32], 0).await;
+            });
+        });
+    }
+}

@@ -33,17 +33,25 @@
 //! assert_eq!(sums, vec![10, 10, 10, 10]);
 //! ```
 
+pub mod co;
 mod comm;
 mod extra;
 pub mod flat;
 pub mod hook;
 pub mod sanitize;
 mod serial;
+pub mod task;
+mod wire;
 mod world;
 
+pub use co::{drive_ready, AllGathered, BlockingComm, BlockingRef, BoxFut, CoComm};
 pub use comm::{Comm, CommStats, ReduceOp};
 pub use extra::CommExt;
 pub use flat::{FlatCommunicator, FlatWorld};
+pub use task::{
+    DeadlockReport, FlatTaskComm, FlatTaskWorld, ParkedOp, SchedPolicy, SchedStats, TaskComm,
+    TaskRun, TaskWorld,
+};
 pub use hook::{
     current_task, decode_coll_tag, describe_tag, is_reserved_tag, simcheck_env_enabled, Aborted,
     CheckHook, CollKind, CommCtx, LeakedMsg, COLL_TAG_MASK, COLL_TAG_PREFIX,

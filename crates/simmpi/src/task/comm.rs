@@ -1,0 +1,838 @@
+//! Task-runtime mailboxes and the tree-collective [`TaskComm`].
+//!
+//! The protocol layer is a literal translation of the thread-backed
+//! [`Communicator`](crate::Communicator): the same binomial trees, the
+//! same reserved collective tags, the same frame encoding
+//! ([`crate::wire`]), the same per-rank [`CommStats`] bump points. The only
+//! difference is the blocking primitive — where a thread parks on a
+//! channel, a rank task returns `Poll::Pending` from a [`Recv`] future and
+//! the matching send wakes it. Byte identity against the thread runtime is
+//! asserted by `tests/task_properties.rs`.
+//!
+//! Every parked operation registers itself in the world's pending-op table
+//! ([`WorldRt`]), so when the executor detects quiescence the deadlock
+//! report can name exactly which rank is stuck in which receive on which
+//! communicator — the task-runtime analogue of `simcheck`'s blocked-rank
+//! dump, with no watchdog involved.
+
+use crate::co::AllGathered;
+use crate::comm::CommStats;
+use crate::hook::{
+    self, coll_tag, CheckHook, CollKind, CommCtx, LeakedMsg, COLL_TAG_MASK, COLL_TAG_PREFIX,
+};
+use crate::wire::{frame, subtree_size, unframe};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+/// A mailbox payload: owned bytes for point-to-point and fan-in traffic,
+/// or an `Arc` share of one buffer when the same bytes go to many
+/// destinations (the allgather down-phase, where per-edge copies of an
+/// O(P)-byte frame would make the collective O(P²) in total bytes).
+/// Logical length (and therefore every byte counter) is identical either
+/// way — sharing is a transport optimization, invisible on the wire.
+pub(super) enum MsgBuf {
+    Owned(Vec<u8>),
+    Shared(Arc<Vec<u8>>),
+}
+
+impl MsgBuf {
+    /// Extract owned bytes; free for `Owned` and for the last holder of a
+    /// `Shared` buffer, one copy otherwise.
+    pub(super) fn into_vec(self) -> Vec<u8> {
+        match self {
+            MsgBuf::Owned(v) => v,
+            MsgBuf::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()),
+        }
+    }
+
+    fn into_shared(self) -> Arc<Vec<u8>> {
+        match self {
+            MsgBuf::Owned(v) => Arc::new(v),
+            MsgBuf::Shared(a) => a,
+        }
+    }
+}
+
+impl std::ops::Deref for MsgBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            MsgBuf::Owned(v) => v,
+            MsgBuf::Shared(a) => a,
+        }
+    }
+}
+
+impl From<Vec<u8>> for MsgBuf {
+    fn from(v: Vec<u8>) -> MsgBuf {
+        MsgBuf::Owned(v)
+    }
+}
+
+impl From<Arc<Vec<u8>>> for MsgBuf {
+    fn from(a: Arc<Vec<u8>>) -> MsgBuf {
+        MsgBuf::Shared(a)
+    }
+}
+
+type Message = (usize, u64, MsgBuf);
+
+/// What a parked task is waiting for (deadlock diagnosis).
+pub(crate) enum ParkKind {
+    /// Matched receive (collective round edges included).
+    Recv { src: usize, tag: u64 },
+    /// Slot-and-barrier rendezvous (flat task runtime).
+    Rendezvous,
+}
+
+/// One parked operation, registered while its future is `Pending`.
+pub(crate) struct Parked {
+    pub(crate) comm: Arc<str>,
+    pub(crate) comm_rank: usize,
+    pub(crate) kind: ParkKind,
+}
+
+impl Parked {
+    /// The blocked operation alone (no communicator name), in the same
+    /// shape as `simcheck`'s pending-op dumps.
+    pub(crate) fn op_text(&self) -> String {
+        match &self.kind {
+            ParkKind::Recv { src, tag } => format!(
+                "recv(src={src}, tag={}) as rank {}",
+                hook::describe_tag(*tag),
+                self.comm_rank
+            ),
+            ParkKind::Rendezvous => {
+                format!("collective rendezvous as rank {}", self.comm_rank)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Parked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "on comm \"{}\" parked in {}", self.comm, self.op_text())
+    }
+}
+
+/// Per-world runtime state shared by every communicator of one task world:
+/// the pending-op table (indexed by *world* rank, so registration is a
+/// single per-rank lock), the abort flag that silences teardown checks
+/// once the world is being torn down early, and the mailbox high-water
+/// marks reported in [`SchedStats`](super::SchedStats).
+pub(crate) struct WorldRt {
+    pending: Vec<Mutex<Option<Parked>>>,
+    aborting: AtomicBool,
+    peak_mbox_msgs: AtomicU64,
+    peak_mbox_bytes: AtomicU64,
+}
+
+impl WorldRt {
+    pub(crate) fn new(ntasks: usize) -> WorldRt {
+        WorldRt {
+            pending: (0..ntasks).map(|_| Mutex::new(None)).collect(),
+            aborting: AtomicBool::new(false),
+            peak_mbox_msgs: AtomicU64::new(0),
+            peak_mbox_bytes: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn abort(&self) {
+        self.aborting.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn is_aborting(&self) -> bool {
+        self.aborting.load(Ordering::SeqCst)
+    }
+
+    fn note_mbox(&self, msgs: u64, bytes: u64) {
+        self.peak_mbox_msgs.fetch_max(msgs, Ordering::Relaxed);
+        self.peak_mbox_bytes.fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn mbox_peaks(&self) -> (u64, u64) {
+        (
+            self.peak_mbox_msgs.load(Ordering::Relaxed),
+            self.peak_mbox_bytes.load(Ordering::Relaxed),
+        )
+    }
+
+    pub(super) fn pending(&self, world_rank: usize) -> &Mutex<Option<Parked>> {
+        &self.pending[world_rank]
+    }
+
+    /// The parked operations of every still-blocked task, in world-rank
+    /// order — the body of a deadlock report.
+    pub(crate) fn snapshot_pending(&self) -> Vec<(usize, Parked)> {
+        self.pending
+            .iter()
+            .enumerate()
+            .filter_map(|(rank, slot)| slot.lock().take().map(|p| (rank, p)))
+            .collect()
+    }
+}
+
+/// One rank's point-to-point mailbox. The queue doubles as the stash: a
+/// receive scans it for the first (src, tag) match, so non-matching
+/// messages simply stay put (same matching semantics as the thread
+/// runtime's channel + stash pair).
+pub(super) struct Mbox {
+    queue: VecDeque<Message>,
+    bytes: u64,
+    /// The rank's single in-flight receive, when parked. One slot
+    /// suffices: a rank task awaits at most one receive at a time.
+    waiting: Option<(usize, u64, Waker)>,
+}
+
+impl Mbox {
+    /// Pre-sized for tree traffic: a rank holds at most one message per
+    /// tree level per in-flight collective round (~log₂ P), not O(P).
+    pub(super) fn for_world(size: usize) -> Mbox {
+        let depth = usize::BITS as usize - size.leading_zeros() as usize + 2;
+        Mbox {
+            queue: VecDeque::with_capacity(depth),
+            bytes: 0,
+            waiting: None,
+        }
+    }
+
+    /// Drain all queued messages (teardown leak check).
+    pub(super) fn drain_messages(
+        &mut self,
+    ) -> std::collections::vec_deque::Drain<'_, Message> {
+        self.bytes = 0;
+        self.queue.drain(..)
+    }
+}
+
+/// Deliver a message and wake the destination if it is parked on a match.
+pub(super) fn mbox_send(
+    mboxes: &[Mutex<Mbox>],
+    world: &WorldRt,
+    from: usize,
+    dest: usize,
+    tag: u64,
+    payload: MsgBuf,
+) {
+    let waker = {
+        let mut mb = mboxes[dest].lock();
+        mb.bytes += payload.len() as u64;
+        world.note_mbox(mb.queue.len() as u64 + 1, mb.bytes);
+        mb.queue.push_back((from, tag, payload));
+        match &mb.waiting {
+            Some((s, t, _)) if *s == from && *t == tag => {
+                mb.waiting.take().map(|(_, _, w)| w)
+            }
+            _ => None,
+        }
+    };
+    // Wake outside the mailbox lock; the wake enqueues into the executor.
+    if let Some(w) = waker {
+        w.wake();
+    }
+}
+
+/// Matched-receive future over a mailbox slice; the runtime's only
+/// point-to-point parking point.
+pub(super) struct Recv<'a> {
+    mboxes: &'a [Mutex<Mbox>],
+    world: &'a WorldRt,
+    comm_name: &'a Arc<str>,
+    comm_rank: usize,
+    world_rank: usize,
+    src: usize,
+    tag: u64,
+    parked: bool,
+}
+
+impl<'a> Recv<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn new(
+        mboxes: &'a [Mutex<Mbox>],
+        world: &'a WorldRt,
+        comm_name: &'a Arc<str>,
+        comm_rank: usize,
+        world_rank: usize,
+        src: usize,
+        tag: u64,
+    ) -> Recv<'a> {
+        Recv { mboxes, world, comm_name, comm_rank, world_rank, src, tag, parked: false }
+    }
+}
+
+impl Future for Recv<'_> {
+    type Output = MsgBuf;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<MsgBuf> {
+        let this = self.get_mut();
+        let mut mb = this.mboxes[this.comm_rank].lock();
+        let hit = mb
+            .queue
+            .iter()
+            .position(|(s, t, _)| *s == this.src && *t == this.tag);
+        if let Some(pos) = hit {
+            let (_, _, payload) = mb.queue.remove(pos).expect("position valid");
+            mb.bytes -= payload.len() as u64;
+            drop(mb);
+            if this.parked {
+                this.parked = false;
+                *this.world.pending[this.world_rank].lock() = None;
+            }
+            return Poll::Ready(payload);
+        }
+        mb.waiting = Some((this.src, this.tag, cx.waker().clone()));
+        drop(mb);
+        // Register for the deadlock report after arming the waker: if the
+        // world quiesces with this entry in place, this receive is what the
+        // rank is stuck on.
+        *this.world.pending[this.world_rank].lock() = Some(Parked {
+            comm: this.comm_name.clone(),
+            comm_rank: this.comm_rank,
+            kind: ParkKind::Recv { src: this.src, tag: this.tag },
+        });
+        this.parked = true;
+        Poll::Pending
+    }
+}
+
+/// State shared by every rank of one task-runtime communicator; the
+/// async counterpart of the thread runtime's `Shared`.
+pub(crate) struct CoShared {
+    size: usize,
+    ctx: CommCtx,
+    hook: Option<Arc<dyn CheckHook>>,
+    world: Arc<WorldRt>,
+    mboxes: Vec<Mutex<Mbox>>,
+    splits: Mutex<HashMap<(u64, u64), Arc<CoShared>>>,
+}
+
+impl CoShared {
+    pub(crate) fn new(
+        ctx: CommCtx,
+        hook: Option<Arc<dyn CheckHook>>,
+        world: Arc<WorldRt>,
+    ) -> CoShared {
+        assert!(ctx.size > 0, "communicator must have at least one rank");
+        let size = ctx.size;
+        CoShared {
+            size,
+            ctx,
+            hook,
+            world,
+            mboxes: (0..size).map(|_| Mutex::new(Mbox::for_world(size))).collect(),
+            splits: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// One rank's handle onto a task-runtime tree-collective communicator;
+/// the resumable twin of [`Communicator`](crate::Communicator).
+pub struct TaskComm {
+    rank: usize,
+    /// Rank in the *world* communicator — the pending-table index, stable
+    /// across splits.
+    world_rank: usize,
+    shared: Arc<CoShared>,
+    coll_seq: AtomicU64,
+    split_seq: AtomicU64,
+    stats: Arc<CommStats>,
+}
+
+impl TaskComm {
+    pub(crate) fn new(rank: usize, world_rank: usize, shared: Arc<CoShared>) -> TaskComm {
+        TaskComm {
+            rank,
+            world_rank,
+            shared,
+            coll_seq: AtomicU64::new(0),
+            split_seq: AtomicU64::new(0),
+            stats: Arc::new(CommStats::default()),
+        }
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.coll_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn note_collective(&self, seq: u64, kind: CollKind, root: Option<usize>) {
+        if let Some(h) = &self.shared.hook {
+            h.on_collective(&self.shared.ctx, self.rank, seq, kind, root);
+        }
+    }
+
+    fn vrank(&self, root: usize) -> usize {
+        (self.rank + self.shared.size - root) % self.shared.size
+    }
+
+    fn rank_of(&self, v: usize, root: usize) -> usize {
+        (v + root) % self.shared.size
+    }
+
+    fn isend(&self, dest: usize, tag: u64, payload: impl Into<MsgBuf>) {
+        let payload = payload.into();
+        self.stats.add_bytes(payload.len() as u64);
+        mbox_send(&self.shared.mboxes, &self.shared.world, self.rank, dest, tag, payload);
+    }
+
+    fn irecv(&self, src: usize, tag: u64) -> Recv<'_> {
+        Recv::new(
+            &self.shared.mboxes,
+            &self.shared.world,
+            &self.shared.ctx.name,
+            self.rank,
+            self.world_rank,
+            src,
+            tag,
+        )
+    }
+
+    async fn bcast_impl(
+        &self,
+        data: Option<Vec<u8>>,
+        root: usize,
+        seq: u64,
+        kind: CollKind,
+    ) -> Vec<u8> {
+        let size = self.shared.size;
+        let v = self.vrank(root);
+        let tag = coll_tag(kind, seq, 0);
+        let (buf, mut mask) = if v == 0 {
+            (data.expect("root must supply bcast data"), size.next_power_of_two())
+        } else {
+            let lsb = v & v.wrapping_neg();
+            (self.irecv(self.rank_of(v & (v - 1), root), tag).await.into_vec(), lsb)
+        };
+        mask >>= 1;
+        while mask > 0 {
+            let child = v + mask;
+            if child < size {
+                self.isend(self.rank_of(child, root), tag, buf.clone());
+            }
+            mask >>= 1;
+        }
+        buf
+    }
+
+    /// Broadcast an already-framed allgather result down the vrank-0 tree,
+    /// sharing one refcounted buffer across all P−1 edges instead of
+    /// copying the O(P)-byte frame per edge — the step that makes
+    /// allgather (and with it `split`) linear instead of quadratic in
+    /// total bytes. Wire bytes and tags are identical to [`Self::bcast_impl`]
+    /// rooted at 0.
+    async fn bcast_frame_impl(
+        &self,
+        data: Option<Vec<u8>>,
+        seq: u64,
+        kind: CollKind,
+    ) -> Arc<Vec<u8>> {
+        let size = self.shared.size;
+        let v = self.rank; // rooted at rank 0, like the allgather up-phase
+        let tag = coll_tag(kind, seq, 0);
+        let (buf, mut mask) = if v == 0 {
+            (Arc::new(data.expect("root must supply bcast data")), size.next_power_of_two())
+        } else {
+            let lsb = v & v.wrapping_neg();
+            (self.irecv(v & (v - 1), tag).await.into_shared(), lsb)
+        };
+        mask >>= 1;
+        while mask > 0 {
+            let child = v + mask;
+            if child < size {
+                self.isend(child, tag, buf.clone());
+            }
+            mask >>= 1;
+        }
+        buf
+    }
+
+    async fn gather_impl(
+        &self,
+        data: &[u8],
+        root: usize,
+        seq: u64,
+        kind: CollKind,
+    ) -> Option<Vec<Vec<u8>>> {
+        let size = self.shared.size;
+        let v = self.vrank(root);
+        let tag = coll_tag(kind, seq, 0);
+        // Pre-sized to this vrank's exact binomial subtree: the
+        // accumulator never reallocates on the way up.
+        let mut acc: Vec<(u64, Vec<u8>)> = Vec::with_capacity(subtree_size(v, size));
+        acc.push((v as u64, data.to_vec()));
+        let mut mask = 1usize;
+        while mask < size {
+            if v & mask != 0 {
+                let framed = frame(
+                    &acc.iter().map(|(id, p)| (*id, p.as_slice())).collect::<Vec<_>>(),
+                );
+                self.isend(self.rank_of(v - mask, root), tag, framed);
+                return None;
+            }
+            let child = v + mask;
+            if child < size {
+                acc.extend(unframe(&self.irecv(self.rank_of(child, root), tag).await));
+            }
+            mask <<= 1;
+        }
+        let mut out = vec![Vec::new(); size];
+        for (vr, payload) in acc {
+            out[self.rank_of(vr as usize, root)] = payload;
+        }
+        Some(out)
+    }
+
+    async fn scatter_impl(
+        &self,
+        parts: Option<Vec<Vec<u8>>>,
+        root: usize,
+        seq: u64,
+        kind: CollKind,
+    ) -> Vec<u8> {
+        let size = self.shared.size;
+        let v = self.vrank(root);
+        let tag = coll_tag(kind, seq, 0);
+        let (mut pending, mut mask) = if v == 0 {
+            let parts = parts.expect("root must supply scatter parts");
+            assert_eq!(parts.len(), size, "scatter needs one part per rank");
+            let pending: Vec<(u64, Vec<u8>)> = parts
+                .into_iter()
+                .enumerate()
+                .map(|(r, p)| (((r + size - root) % size) as u64, p))
+                .collect();
+            (pending, size.next_power_of_two())
+        } else {
+            let lsb = v & v.wrapping_neg();
+            let got = self.irecv(self.rank_of(v & (v - 1), root), tag).await;
+            (unframe(&got), lsb)
+        };
+        mask >>= 1;
+        while mask > 0 {
+            let child = v + mask;
+            if child < size {
+                let (send, keep): (Vec<_>, Vec<_>) =
+                    pending.into_iter().partition(|(id, _)| *id >= child as u64);
+                let framed =
+                    frame(&send.iter().map(|(id, p)| (*id, p.as_slice())).collect::<Vec<_>>());
+                self.isend(self.rank_of(child, root), tag, framed);
+                pending = keep;
+            }
+            mask >>= 1;
+        }
+        debug_assert_eq!(pending.len(), 1, "own part remains");
+        debug_assert_eq!(pending[0].0, v as u64, "own part remains");
+        pending.pop().expect("own part remains").1
+    }
+
+    async fn allgather_impl(
+        &self,
+        data: &[u8],
+        seq_up: u64,
+        seq_down: u64,
+        kind: CollKind,
+    ) -> Vec<Vec<u8>> {
+        self.allgather_arc_impl(data, seq_up, seq_down, kind).await.to_parts()
+    }
+
+    /// Allgather with a shared result: tree gather to vrank 0, one frame
+    /// built there, then `Arc` clones of that frame down the tree. Every
+    /// rank ends up scanning the same buffer.
+    async fn allgather_arc_impl(
+        &self,
+        data: &[u8],
+        seq_up: u64,
+        seq_down: u64,
+        kind: CollKind,
+    ) -> AllGathered {
+        let framed = self.gather_impl(data, 0, seq_up, kind).await.map(|parts| {
+            frame(
+                &parts
+                    .iter()
+                    .enumerate()
+                    .map(|(r, p)| (r as u64, p.as_slice()))
+                    .collect::<Vec<_>>(),
+            )
+        });
+        AllGathered::from_frame(self.bcast_frame_impl(framed, seq_down, kind).await)
+    }
+
+    async fn barrier_impl(&self, seq: u64, kind: CollKind) {
+        let size = self.shared.size;
+        if size == 1 {
+            return;
+        }
+        let up = coll_tag(kind, seq, 0);
+        let down = coll_tag(kind, seq, 1);
+        let v = self.rank; // rooted at rank 0
+        let mut mask = 1usize;
+        while mask < size {
+            if v & mask != 0 {
+                self.isend(v - mask, up, Vec::new());
+                break;
+            }
+            if v + mask < size {
+                self.irecv(v + mask, up).await;
+            }
+            mask <<= 1;
+        }
+        if v == 0 {
+            mask = size.next_power_of_two();
+        } else {
+            self.irecv(v & (v - 1), down).await;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if v + mask < size {
+                self.isend(v + mask, down, Vec::new());
+            }
+            mask >>= 1;
+        }
+    }
+
+    async fn reduce_impl(&self, value: u64, op: crate::ReduceOp, root: usize, seq: u64) -> Option<u64> {
+        use crate::ReduceOp;
+        let size = self.shared.size;
+        let v = self.vrank(root);
+        let tag = coll_tag(CollKind::Reduce, seq, 0);
+        let mut acc = value;
+        let mut mask = 1usize;
+        while mask < size {
+            if v & mask != 0 {
+                self.isend(self.rank_of(v - mask, root), tag, acc.to_le_bytes().to_vec());
+                return None;
+            }
+            let child = v + mask;
+            if child < size {
+                let got = self.irecv(self.rank_of(child, root), tag).await;
+                let other = u64::from_le_bytes(got[..8].try_into().expect("u64 payload"));
+                acc = match op {
+                    ReduceOp::Sum => acc.wrapping_add(other),
+                    ReduceOp::Max => acc.max(other),
+                    ReduceOp::Min => acc.min(other),
+                };
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    async fn split_impl(&self, color: u64, key: u64) -> TaskComm {
+        let seq_up = self.next_seq();
+        let seq_down = self.next_seq();
+        self.note_collective(seq_up, CollKind::Split, None);
+        let mut payload = Vec::with_capacity(24);
+        payload.extend_from_slice(&color.to_le_bytes());
+        payload.extend_from_slice(&key.to_le_bytes());
+        payload.extend_from_slice(&(self.rank as u64).to_le_bytes());
+        // Scan the shared frame in place. A rank only needs its group's
+        // *size* and its own *position* in the (key, rank) order; since
+        // ranks are unique, position = how many same-color entries sort
+        // before us. One allocation-free O(P) pass replaces the
+        // collect-and-sort (whose per-rank O(group) member vector was the
+        // dominant cost of a 32Ki-rank open: P such vectors per split).
+        let all = self.allgather_arc_impl(&payload, seq_up, seq_down, CollKind::Split).await;
+        let me = (key, self.rank as u64);
+        let mut new_size = 0usize;
+        let mut new_rank = 0usize;
+        for b in all.iter() {
+            let c = u64::from_le_bytes(b[0..8].try_into().unwrap());
+            if c != color {
+                continue;
+            }
+            let k = u64::from_le_bytes(b[8..16].try_into().unwrap());
+            let r = u64::from_le_bytes(b[16..24].try_into().unwrap());
+            new_size += 1;
+            if (k, r) < me {
+                new_rank += 1;
+            }
+        }
+        debug_assert!(new_size > 0, "caller is in its own color group");
+
+        let split_no = self.split_seq.fetch_add(1, Ordering::Relaxed) + 1;
+
+        let sub = {
+            let mut splits = self.shared.splits.lock();
+            splits
+                .entry((split_no, color))
+                .or_insert_with(|| {
+                    Arc::new(CoShared::new(
+                        self.shared.ctx.child(split_no, color, new_size),
+                        self.shared.hook.clone(),
+                        self.shared.world.clone(),
+                    ))
+                })
+                .clone()
+        };
+        let comm = TaskComm::new(new_rank, self.world_rank, sub);
+        let seq = self.next_seq();
+        self.barrier_impl(seq, CollKind::Split).await;
+        if new_rank == 0 {
+            self.shared.splits.lock().remove(&(split_no, color));
+        }
+        comm
+    }
+}
+
+impl crate::co::CoComm for TaskComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    fn stats(&self) -> Option<Arc<CommStats>> {
+        Some(self.stats.clone())
+    }
+
+    fn send(&self, dest: usize, tag: u64, data: &[u8]) {
+        assert!(dest < self.shared.size, "send dest {dest} out of range");
+        if tag & COLL_TAG_MASK == COLL_TAG_PREFIX {
+            if let Some(h) = &self.shared.hook {
+                h.on_reserved_tag(&self.shared.ctx, self.rank, dest, tag);
+            }
+            panic!("tags with top byte 0xC3 are reserved for internal collectives");
+        }
+        self.stats.bump_send();
+        self.isend(dest, tag, data.to_vec());
+    }
+
+    fn recv<'a>(&'a self, src: usize, tag: u64) -> crate::co::BoxFut<'a, Vec<u8>> {
+        Box::pin(async move {
+            assert!(src < self.shared.size, "recv src {src} out of range");
+            self.stats.bump_recv();
+            self.irecv(src, tag).await.into_vec()
+        })
+    }
+
+    fn barrier<'a>(&'a self) -> crate::co::BoxFut<'a, ()> {
+        Box::pin(async move {
+            self.stats.bump_barrier();
+            let seq = self.next_seq();
+            self.note_collective(seq, CollKind::Barrier, None);
+            self.barrier_impl(seq, CollKind::Barrier).await;
+        })
+    }
+
+    fn gather<'a>(
+        &'a self,
+        data: &'a [u8],
+        root: usize,
+    ) -> crate::co::BoxFut<'a, Option<Vec<Vec<u8>>>> {
+        Box::pin(async move {
+            assert!(root < self.shared.size, "gather root {root} out of range");
+            self.stats.bump_gather();
+            let seq = self.next_seq();
+            self.note_collective(seq, CollKind::Gather, Some(root));
+            self.gather_impl(data, root, seq, CollKind::Gather).await
+        })
+    }
+
+    fn scatter<'a>(
+        &'a self,
+        parts: Option<Vec<Vec<u8>>>,
+        root: usize,
+    ) -> crate::co::BoxFut<'a, Vec<u8>> {
+        Box::pin(async move {
+            assert!(root < self.shared.size, "scatter root {root} out of range");
+            self.stats.bump_scatter();
+            let seq = self.next_seq();
+            self.note_collective(seq, CollKind::Scatter, Some(root));
+            self.scatter_impl(parts, root, seq, CollKind::Scatter).await
+        })
+    }
+
+    fn bcast<'a>(
+        &'a self,
+        data: Option<Vec<u8>>,
+        root: usize,
+    ) -> crate::co::BoxFut<'a, Vec<u8>> {
+        Box::pin(async move {
+            assert!(root < self.shared.size, "bcast root {root} out of range");
+            self.stats.bump_bcast();
+            let seq = self.next_seq();
+            self.note_collective(seq, CollKind::Bcast, Some(root));
+            self.bcast_impl(data, root, seq, CollKind::Bcast).await
+        })
+    }
+
+    fn allgather<'a>(&'a self, data: &'a [u8]) -> crate::co::BoxFut<'a, Vec<Vec<u8>>> {
+        Box::pin(async move {
+            self.stats.bump_allgather();
+            let seq_up = self.next_seq();
+            let seq_down = self.next_seq();
+            self.note_collective(seq_up, CollKind::Allgather, None);
+            self.allgather_impl(data, seq_up, seq_down, CollKind::Allgather).await
+        })
+    }
+
+    fn allgather_shared<'a>(&'a self, data: &'a [u8]) -> crate::co::BoxFut<'a, AllGathered> {
+        Box::pin(async move {
+            self.stats.bump_allgather();
+            let seq_up = self.next_seq();
+            let seq_down = self.next_seq();
+            self.note_collective(seq_up, CollKind::Allgather, None);
+            self.allgather_arc_impl(data, seq_up, seq_down, CollKind::Allgather).await
+        })
+    }
+
+    fn reduce_u64<'a>(
+        &'a self,
+        value: u64,
+        op: crate::ReduceOp,
+        root: usize,
+    ) -> crate::co::BoxFut<'a, Option<u64>> {
+        Box::pin(async move {
+            assert!(root < self.shared.size, "reduce root {root} out of range");
+            self.stats.bump_reduce();
+            let seq = self.next_seq();
+            self.note_collective(seq, CollKind::Reduce, Some(root));
+            self.reduce_impl(value, op, root, seq).await
+        })
+    }
+
+    fn split<'a>(&'a self, color: u64, key: u64) -> crate::co::BoxFut<'a, Box<dyn crate::co::CoComm>> {
+        Box::pin(async move {
+            self.stats.bump_split();
+            Box::new(self.split_impl(color, key).await) as Box<dyn crate::co::CoComm>
+        })
+    }
+}
+
+impl Drop for TaskComm {
+    /// Teardown leak check, mirroring the thread runtime's: messages still
+    /// in this rank's mailbox when the handle drops are lost messages.
+    /// Skipped while the world is aborting (deadlock or panic teardown) —
+    /// the primary diagnosis is already on its way out.
+    fn drop(&mut self) {
+        let Some(hook) = self.shared.hook.clone() else { return };
+        if self.shared.world.is_aborting() {
+            return;
+        }
+        let mut mb = self.shared.mboxes[self.rank].lock();
+        let mut leaked: Vec<LeakedMsg> = mb
+            .queue
+            .drain(..)
+            .map(|(from, tag, payload)| LeakedMsg {
+                from,
+                tag,
+                len: payload.len(),
+                stashed: false,
+            })
+            .collect();
+        mb.bytes = 0;
+        drop(mb);
+        if !leaked.is_empty() {
+            leaked.sort();
+            hook.on_teardown(&self.shared.ctx, self.rank, &leaked);
+        }
+    }
+}

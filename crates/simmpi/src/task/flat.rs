@@ -1,0 +1,409 @@
+//! Flat slot-and-barrier collectives on the task runtime.
+//!
+//! [`FlatTaskComm`] is the resumable twin of
+//! [`FlatCommunicator`](crate::FlatCommunicator): the same P-slot exchange
+//! array, the same double-rendezvous per collective, the same deposit and
+//! scan order — only the rendezvous is an async generation-counting
+//! barrier instead of `std::sync::Barrier`, so thousands of ranks can park
+//! in it on a bounded worker pool. It exists so the O(P) baseline can be
+//! measured at ranks far beyond what thread-per-rank sustains (the
+//! `collective_scaling` sweep compares task-tree against task-flat up to
+//! 64Ki ranks), and as a third independent reference for the byte-identity
+//! property tests.
+
+use super::comm::{mbox_send, Mbox, ParkKind, Parked, Recv, WorldRt};
+use crate::co::{BoxFut, CoComm};
+use crate::comm::CommStats;
+use crate::hook::{CheckHook, CollKind, CommCtx, LeakedMsg, COLL_TAG_MASK, COLL_TAG_PREFIX};
+use crate::ReduceOp;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+/// Generation-counting rendezvous: arrivals below `size` park; the last
+/// arrival advances the generation and wakes everyone parked in it.
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    wakers: Vec<Waker>,
+}
+
+/// State shared by every rank of one flat task communicator.
+pub(crate) struct FlatShared {
+    size: usize,
+    ctx: CommCtx,
+    hook: Option<Arc<dyn CheckHook>>,
+    world: Arc<WorldRt>,
+    slots: Vec<Mutex<Option<Vec<u8>>>>,
+    barrier: Mutex<BarrierState>,
+    mboxes: Vec<Mutex<Mbox>>,
+    splits: Mutex<HashMap<(u64, u64), Arc<FlatShared>>>,
+}
+
+impl FlatShared {
+    pub(crate) fn new(
+        ctx: CommCtx,
+        hook: Option<Arc<dyn CheckHook>>,
+        world: Arc<WorldRt>,
+    ) -> FlatShared {
+        let size = ctx.size;
+        assert!(size > 0, "communicator must have at least one rank");
+        FlatShared {
+            size,
+            ctx,
+            hook,
+            world,
+            slots: (0..size).map(|_| Mutex::new(None)).collect(),
+            barrier: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                // Pre-sized once; `drain` on release keeps the capacity, so
+                // the rendezvous allocates nothing in steady state.
+                wakers: Vec::with_capacity(size.saturating_sub(1)),
+            }),
+            mboxes: (0..size).map(|_| Mutex::new(Mbox::for_world(size))).collect(),
+            splits: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// Rendezvous future; the flat runtime's collective parking point.
+struct BarrierWait<'a> {
+    comm: &'a FlatTaskComm,
+    /// Generation we arrived in, once parked; the barrier has released us
+    /// when the shared generation has moved past it.
+    arrived_in: Option<u64>,
+}
+
+impl Future for BarrierWait<'_> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        let shared = &this.comm.shared;
+        let mut st = shared.barrier.lock();
+        if let Some(gen) = this.arrived_in {
+            if st.generation != gen {
+                drop(st);
+                *shared.world.pending(this.comm.world_rank).lock() = None;
+                return Poll::Ready(());
+            }
+            st.wakers.push(cx.waker().clone());
+            return Poll::Pending;
+        }
+        if st.arrived + 1 == shared.size {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            let wakers: Vec<Waker> = st.wakers.drain(..).collect();
+            drop(st);
+            for w in wakers {
+                w.wake();
+            }
+            return Poll::Ready(());
+        }
+        st.arrived += 1;
+        this.arrived_in = Some(st.generation);
+        st.wakers.push(cx.waker().clone());
+        drop(st);
+        *shared.world.pending(this.comm.world_rank).lock() = Some(Parked {
+            comm: shared.ctx.name.clone(),
+            comm_rank: this.comm.rank,
+            kind: ParkKind::Rendezvous,
+        });
+        Poll::Pending
+    }
+}
+
+/// One rank's handle onto the flat slot-and-barrier task communicator.
+pub struct FlatTaskComm {
+    rank: usize,
+    world_rank: usize,
+    shared: Arc<FlatShared>,
+    coll_seq: AtomicU64,
+    split_seq: Mutex<u64>,
+    stats: Arc<CommStats>,
+}
+
+impl FlatTaskComm {
+    pub(crate) fn new(rank: usize, world_rank: usize, shared: Arc<FlatShared>) -> FlatTaskComm {
+        FlatTaskComm {
+            rank,
+            world_rank,
+            shared,
+            coll_seq: AtomicU64::new(0),
+            split_seq: Mutex::new(0),
+            stats: Arc::new(CommStats::default()),
+        }
+    }
+
+    fn note_collective(&self, kind: CollKind, root: Option<usize>) {
+        let seq = self.coll_seq.fetch_add(1, Ordering::Relaxed);
+        if let Some(h) = &self.shared.hook {
+            h.on_collective(&self.shared.ctx, self.rank, seq, kind, root);
+        }
+    }
+
+    fn deposit(&self, data: Option<Vec<u8>>) {
+        if let Some(d) = &data {
+            self.stats.add_bytes(d.len() as u64);
+        }
+        *self.shared.slots[self.rank].lock() = data;
+    }
+
+    fn wait(&self) -> BarrierWait<'_> {
+        BarrierWait { comm: self, arrived_in: None }
+    }
+}
+
+impl CoComm for FlatTaskComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    fn stats(&self) -> Option<Arc<CommStats>> {
+        Some(self.stats.clone())
+    }
+
+    fn send(&self, dest: usize, tag: u64, data: &[u8]) {
+        assert!(dest < self.shared.size, "send dest {dest} out of range");
+        if tag & COLL_TAG_MASK == COLL_TAG_PREFIX {
+            if let Some(h) = &self.shared.hook {
+                h.on_reserved_tag(&self.shared.ctx, self.rank, dest, tag);
+            }
+            panic!("tags with top byte 0xC3 are reserved for internal collectives");
+        }
+        self.stats.bump_send();
+        self.stats.add_bytes(data.len() as u64);
+        mbox_send(
+            &self.shared.mboxes,
+            &self.shared.world,
+            self.rank,
+            dest,
+            tag,
+            data.to_vec().into(),
+        );
+    }
+
+    fn recv<'a>(&'a self, src: usize, tag: u64) -> BoxFut<'a, Vec<u8>> {
+        Box::pin(async move {
+            assert!(src < self.shared.size, "recv src {src} out of range");
+            self.stats.bump_recv();
+            Recv::new(
+                &self.shared.mboxes,
+                &self.shared.world,
+                &self.shared.ctx.name,
+                self.rank,
+                self.world_rank,
+                src,
+                tag,
+            )
+            .await
+            .into_vec()
+        })
+    }
+
+    fn barrier<'a>(&'a self) -> BoxFut<'a, ()> {
+        Box::pin(async move {
+            self.stats.bump_barrier();
+            self.note_collective(CollKind::Barrier, None);
+            self.wait().await;
+        })
+    }
+
+    fn gather<'a>(&'a self, data: &'a [u8], root: usize) -> BoxFut<'a, Option<Vec<Vec<u8>>>> {
+        Box::pin(async move {
+            assert!(root < self.shared.size, "gather root {root} out of range");
+            self.stats.bump_gather();
+            self.note_collective(CollKind::Gather, Some(root));
+            self.deposit(Some(data.to_vec()));
+            self.wait().await;
+            let result = if self.rank == root {
+                Some(
+                    self.shared
+                        .slots
+                        .iter()
+                        .map(|s| s.lock().take().expect("every rank deposited"))
+                        .collect(),
+                )
+            } else {
+                None
+            };
+            self.wait().await;
+            result
+        })
+    }
+
+    fn scatter<'a>(&'a self, parts: Option<Vec<Vec<u8>>>, root: usize) -> BoxFut<'a, Vec<u8>> {
+        Box::pin(async move {
+            assert!(root < self.shared.size, "scatter root {root} out of range");
+            self.stats.bump_scatter();
+            self.note_collective(CollKind::Scatter, Some(root));
+            if self.rank == root {
+                let parts = parts.expect("root must supply scatter parts");
+                assert_eq!(parts.len(), self.shared.size, "scatter needs one part per rank");
+                for (slot, part) in self.shared.slots.iter().zip(parts) {
+                    self.stats.add_bytes(part.len() as u64);
+                    *slot.lock() = Some(part);
+                }
+            }
+            self.wait().await;
+            let mine = self.shared.slots[self.rank]
+                .lock()
+                .take()
+                .expect("root deposited a part for every rank");
+            self.wait().await;
+            mine
+        })
+    }
+
+    fn bcast<'a>(&'a self, data: Option<Vec<u8>>, root: usize) -> BoxFut<'a, Vec<u8>> {
+        Box::pin(async move {
+            assert!(root < self.shared.size, "bcast root {root} out of range");
+            self.stats.bump_bcast();
+            self.note_collective(CollKind::Bcast, Some(root));
+            if self.rank == root {
+                self.deposit(Some(data.expect("root must supply bcast data")));
+            }
+            self.wait().await;
+            let out = self.shared.slots[root]
+                .lock()
+                .as_ref()
+                .expect("root deposited")
+                .clone();
+            // Same double rendezvous as the thread-backed flat runtime: the
+            // payload stays in the slot; clearing it here would race against
+            // a later collective's deposits.
+            self.wait().await;
+            out
+        })
+    }
+
+    fn allgather<'a>(&'a self, data: &'a [u8]) -> BoxFut<'a, Vec<Vec<u8>>> {
+        Box::pin(async move {
+            self.stats.bump_allgather();
+            self.note_collective(CollKind::Allgather, None);
+            self.deposit(Some(data.to_vec()));
+            self.wait().await;
+            let out: Vec<Vec<u8>> = self
+                .shared
+                .slots
+                .iter()
+                .map(|s| s.lock().as_ref().expect("every rank deposited").clone())
+                .collect();
+            self.wait().await;
+            out
+        })
+    }
+
+    fn reduce_u64<'a>(
+        &'a self,
+        value: u64,
+        op: ReduceOp,
+        root: usize,
+    ) -> BoxFut<'a, Option<u64>> {
+        // The thread-backed flat runtime uses the `Comm` default
+        // (gather-and-fold); mirror it exactly, counters included.
+        Box::pin(async move {
+            self.gather_u64(value, root).await.map(|vals| match op {
+                ReduceOp::Sum => vals.iter().sum(),
+                ReduceOp::Max => vals.into_iter().max().expect("non-empty communicator"),
+                ReduceOp::Min => vals.into_iter().min().expect("non-empty communicator"),
+            })
+        })
+    }
+
+    fn split<'a>(&'a self, color: u64, key: u64) -> BoxFut<'a, Box<dyn CoComm>> {
+        Box::pin(async move {
+            self.stats.bump_split();
+            self.note_collective(CollKind::Split, None);
+            let mut payload = Vec::with_capacity(24);
+            payload.extend_from_slice(&color.to_le_bytes());
+            payload.extend_from_slice(&key.to_le_bytes());
+            payload.extend_from_slice(&(self.rank as u64).to_le_bytes());
+            self.deposit(Some(payload));
+            self.wait().await;
+            let all: Vec<Vec<u8>> = self
+                .shared
+                .slots
+                .iter()
+                .map(|s| s.lock().as_ref().expect("every rank deposited").clone())
+                .collect();
+            self.wait().await;
+            let mut members: Vec<(u64, u64)> = all
+                .iter()
+                .filter_map(|b| {
+                    let c = u64::from_le_bytes(b[0..8].try_into().unwrap());
+                    let k = u64::from_le_bytes(b[8..16].try_into().unwrap());
+                    let r = u64::from_le_bytes(b[16..24].try_into().unwrap());
+                    (c == color).then_some((k, r))
+                })
+                .collect();
+            members.sort_unstable();
+            let new_size = members.len();
+            let new_rank = members
+                .iter()
+                .position(|&(_, r)| r == self.rank as u64)
+                .expect("caller is in its own color group");
+
+            let seq = {
+                let mut s = self.split_seq.lock();
+                *s += 1;
+                *s
+            };
+
+            let sub = {
+                let mut splits = self.shared.splits.lock();
+                splits
+                    .entry((seq, color))
+                    .or_insert_with(|| {
+                        Arc::new(FlatShared::new(
+                            self.shared.ctx.child(seq, color, new_size),
+                            self.shared.hook.clone(),
+                            self.shared.world.clone(),
+                        ))
+                    })
+                    .clone()
+            };
+            let comm = FlatTaskComm::new(new_rank, self.world_rank, sub);
+            self.wait().await;
+            if new_rank == 0 {
+                self.shared.splits.lock().remove(&(seq, color));
+            }
+            Box::new(comm) as Box<dyn CoComm>
+        })
+    }
+}
+
+impl Drop for FlatTaskComm {
+    /// Same teardown leak check as [`FlatTaskComm`]'s tree sibling; see
+    /// [`super::comm::TaskComm`].
+    fn drop(&mut self) {
+        let Some(hook) = self.shared.hook.clone() else { return };
+        if self.shared.world.is_aborting() {
+            return;
+        }
+        let mut mb = self.shared.mboxes[self.rank].lock();
+        let mut leaked: Vec<LeakedMsg> = mb
+            .drain_messages()
+            .map(|(from, tag, payload)| LeakedMsg {
+                from,
+                tag,
+                len: payload.len(),
+                stashed: false,
+            })
+            .collect();
+        drop(mb);
+        if !leaked.is_empty() {
+            leaked.sort();
+            hook.on_teardown(&self.shared.ctx, self.rank, &leaked);
+        }
+    }
+}

@@ -1,0 +1,652 @@
+//! The task runtime: ranks as resumable state machines on a work-stealing
+//! pool.
+//!
+//! [`TaskWorld`] is the scalable counterpart of [`World`](crate::World):
+//! instead of one OS thread per rank, each rank is an `async` state
+//! machine that parks on mailbox receives and collective rendezvous and is
+//! scheduled — with its peers — on a bounded worker pool
+//! ([`SchedPolicy::host`] sizes it to the machine). That is what makes
+//! *real* 16Ki–64Ki-rank runs of the `sion` collective open/write/close
+//! path possible: rank state is a few hundred bytes of suspended future,
+//! not an 8 MiB thread stack, and a blocked rank costs nothing but its
+//! entry in the pending table.
+//!
+//! The protocol layer is shared with the thread runtime (`crate::wire`,
+//! the same binomial trees, tags, and stats bump points), and byte
+//! identity between the two is enforced by property tests. `simcheck`
+//! plugs in through [`SchedPolicy::Serial`] — its serialized scheduler is
+//! literally one policy of this executor — and through the same
+//! [`CheckHook`]/[`Sanitizer`](crate::Sanitizer) hooks as the thread
+//! runtimes. Deadlock detection is *exact* here, not watchdog-based: the
+//! executor declares a deadlock the moment no task is runnable while live
+//! tasks remain (see [`exec`]), and the report names every parked
+//! operation.
+
+mod comm;
+mod exec;
+mod flat;
+
+pub use comm::TaskComm;
+pub use exec::SchedPolicy;
+pub use flat::FlatTaskComm;
+
+use crate::hook::{self, Aborted, CheckHook, CommCtx};
+use crate::sanitize::Sanitizer;
+use comm::{CoShared, WorldRt};
+use flat::FlatShared;
+use std::any::Any;
+use std::fmt;
+use std::future::Future;
+use std::sync::Arc;
+
+/// Counters of one task-world run: scheduler behaviour plus the per-rank
+/// memory high-water marks the runtime guarantees stay bounded (a rank's
+/// mailbox holds tree-edge messages, ~log₂ P of them, never O(P)).
+#[derive(Debug, Clone, Default)]
+pub struct SchedStats {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Rank tasks executed.
+    pub tasks: usize,
+    /// Future polls, including re-polls after wake-ups.
+    pub polls: u64,
+    /// Wake-ups enqueued (message deliveries, rendezvous releases, initial
+    /// spawns).
+    pub wakes: u64,
+    /// Tasks taken from another worker's deque.
+    pub steals: u64,
+    /// Polls that parked (`Pending`).
+    pub parks: u64,
+    /// High-water mark of simultaneously runnable tasks.
+    pub peak_runnable: u64,
+    /// High-water mark of any single rank's mailbox depth, in messages.
+    pub peak_mailbox_msgs: u64,
+    /// High-water mark of any single rank's queued mailbox payload bytes.
+    pub peak_mailbox_bytes: u64,
+}
+
+/// One operation parked at the moment a deadlock was declared.
+#[derive(Debug, Clone)]
+pub struct ParkedOp {
+    /// Rank in the world communicator.
+    pub world_rank: usize,
+    /// Structural name of the communicator the operation is on.
+    pub comm: String,
+    /// The blocked operation (decoded tag included), e.g.
+    /// `recv(src=1, tag=0x9) as rank 0`.
+    pub op: String,
+    /// Human-readable description: communicator, rank within it, and the
+    /// receive or rendezvous it is stuck in.
+    pub description: String,
+}
+
+/// Exact deadlock diagnosis: every task still parked when the executor
+/// quiesced with live tasks remaining.
+#[derive(Debug, Clone)]
+pub struct DeadlockReport {
+    /// Parked operations in world-rank order.
+    pub parked: Vec<ParkedOp>,
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "deadlock: {} task(s) parked with no runnable peer and no message in flight:",
+            self.parked.len()
+        )?;
+        for op in &self.parked {
+            writeln!(f, "  [task {}] {}", op.world_rank, op.description)?;
+        }
+        Ok(())
+    }
+}
+
+/// Full outcome of a checked task-world run.
+pub struct TaskRun<T> {
+    /// Per-rank results in rank order: the closure's value, its panic
+    /// payload, or an [`Aborted`] unwind for ranks still parked when the
+    /// world deadlocked.
+    pub results: Vec<std::thread::Result<T>>,
+    /// Present iff the run quiesced with parked tasks.
+    pub deadlock: Option<DeadlockReport>,
+    /// Scheduler counters.
+    pub stats: SchedStats,
+    /// Poll order, recorded under [`SchedPolicy::Serial`] (empty
+    /// otherwise) — the schedule a failing seed can be replayed from.
+    pub trace: Vec<usize>,
+}
+
+/// Shared launch path for both task runtimes: hand each pre-built
+/// communicator to `f`, execute the futures, and assemble results,
+/// deadlock report and stats.
+fn run_engine<T, C, F, Fut>(
+    policy: &SchedPolicy,
+    hook: Option<Arc<dyn CheckHook>>,
+    trace: bool,
+    world: &Arc<WorldRt>,
+    comms: Vec<C>,
+    f: F,
+) -> TaskRun<T>
+where
+    T: Send,
+    C: Send,
+    F: Fn(C) -> Fut,
+    Fut: Future<Output = T> + Send,
+{
+    if let Some(h) = &hook {
+        assert!(
+            !h.scheduling(),
+            "the task runtime drives schedules itself (SchedPolicy::Serial); \
+             thread-parking scheduling hooks only work on the thread runtimes"
+        );
+    }
+    let ntasks = comms.len();
+    let mut pool: Vec<Option<C>> = comms.into_iter().map(Some).collect();
+    let (raw, report) = exec::execute(
+        policy,
+        ntasks,
+        hook,
+        trace,
+        |rank| f(pool[rank].take().expect("one future per rank")),
+        || world.abort(),
+    );
+    let deadlock = report.deadlocked.then(|| DeadlockReport {
+        parked: world
+            .snapshot_pending()
+            .into_iter()
+            .map(|(world_rank, p)| ParkedOp {
+                world_rank,
+                comm: p.comm.to_string(),
+                op: p.op_text(),
+                description: p.to_string(),
+            })
+            .collect(),
+    });
+    let reason = deadlock.as_ref().map(|d| format!("simmpi task world {d}"));
+    let results = raw
+        .into_iter()
+        .map(|r| match r {
+            Some(r) => r,
+            None => Err(Box::new(Aborted(
+                reason.clone().unwrap_or_else(|| "task world torn down early".into()),
+            )) as Box<dyn Any + Send>),
+        })
+        .collect();
+    let (peak_mailbox_msgs, peak_mailbox_bytes) = world.mbox_peaks();
+    TaskRun {
+        results,
+        deadlock,
+        stats: SchedStats {
+            workers: report.workers,
+            tasks: ntasks,
+            polls: report.polls,
+            wakes: report.wakes,
+            steals: report.steals,
+            parks: report.parks,
+            peak_runnable: report.peak_runnable,
+            peak_mailbox_msgs,
+            peak_mailbox_bytes,
+        },
+        trace: report.trace,
+    }
+}
+
+/// Collapse a plain (hook-free) run back to the [`World::run`] contract:
+/// propagate the first real panic, or fail loudly with the deadlock
+/// diagnosis.
+fn finish_plain<T>(run: TaskRun<T>) -> (Vec<T>, SchedStats) {
+    let TaskRun { results, deadlock, stats, .. } = run;
+    let mut out = Vec::with_capacity(results.len());
+    let mut primary: Option<Box<dyn Any + Send>> = None;
+    for r in results {
+        match r {
+            Ok(v) => out.push(v),
+            Err(e) => {
+                if primary.is_none() && e.downcast_ref::<Aborted>().is_none() {
+                    primary = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(p) = primary {
+        std::panic::resume_unwind(p);
+    }
+    if let Some(d) = deadlock {
+        panic!("simmpi task world {d}");
+    }
+    (out, stats)
+}
+
+/// Launcher for SPMD execution as rank tasks over the tree-collective
+/// [`TaskComm`] — the scalable sibling of [`World`](crate::World).
+pub struct TaskWorld;
+
+impl TaskWorld {
+    /// Run `f` as `ntasks` rank tasks on the host-sized work-stealing pool.
+    /// Returns per-rank results in rank order; panics in any task
+    /// propagate, and a communication deadlock panics with an exact
+    /// diagnosis instead of hanging.
+    ///
+    /// With `SIMCHECK=1` in the environment the run is instrumented with
+    /// the passive [`Sanitizer`](crate::Sanitizer), exactly as
+    /// [`World::run`](crate::World::run).
+    pub fn run<T, F, Fut>(ntasks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(TaskComm) -> Fut,
+        Fut: Future<Output = T> + Send,
+    {
+        Self::run_with(SchedPolicy::host(), ntasks, f).0
+    }
+
+    /// [`TaskWorld::run`] under an explicit policy, also returning the
+    /// scheduler counters.
+    pub fn run_with<T, F, Fut>(policy: SchedPolicy, ntasks: usize, f: F) -> (Vec<T>, SchedStats)
+    where
+        T: Send,
+        F: Fn(TaskComm) -> Fut,
+        Fut: Future<Output = T> + Send,
+    {
+        if hook::simcheck_env_enabled() {
+            let san = Arc::new(Sanitizer::new());
+            let run = Self::run_checked(policy, ntasks, san.clone(), f);
+            if let Some(d) = &run.deadlock {
+                san.record_deadlock(format!("simmpi task world {d}"));
+            }
+            let TaskRun { results, stats, .. } = run;
+            return (crate::sanitize::finalize_env_checked(results, &san), stats);
+        }
+        let world = Arc::new(WorldRt::new(ntasks));
+        let shared = Arc::new(CoShared::new(
+            CommCtx::new("world".into(), ntasks),
+            None,
+            world.clone(),
+        ));
+        let comms: Vec<TaskComm> =
+            (0..ntasks).map(|r| TaskComm::new(r, r, shared.clone())).collect();
+        finish_plain(run_engine(&policy, None, false, &world, comms, f))
+    }
+
+    /// Run `f` under a [`CheckHook`], catching each rank's panic, with the
+    /// full scheduler outcome (deadlock report, stats, serial trace) — the
+    /// task-runtime analogue of
+    /// [`World::run_checked`](crate::World::run_checked), and the entry
+    /// point `simcheck` drives with seeded [`SchedPolicy::Serial`]
+    /// schedules.
+    pub fn run_checked<T, F, Fut>(
+        policy: SchedPolicy,
+        ntasks: usize,
+        check: Arc<dyn CheckHook>,
+        f: F,
+    ) -> TaskRun<T>
+    where
+        T: Send,
+        F: Fn(TaskComm) -> Fut,
+        Fut: Future<Output = T> + Send,
+    {
+        let trace = matches!(policy, SchedPolicy::Serial { .. });
+        let world = Arc::new(WorldRt::new(ntasks));
+        let shared = Arc::new(CoShared::new(
+            CommCtx::new("world".into(), ntasks),
+            Some(check.clone()),
+            world.clone(),
+        ));
+        let comms: Vec<TaskComm> =
+            (0..ntasks).map(|r| TaskComm::new(r, r, shared.clone())).collect();
+        run_engine(&policy, Some(check), trace, &world, comms, f)
+    }
+}
+
+/// Launcher over the flat slot-and-barrier [`FlatTaskComm`] — the task
+/// sibling of [`FlatWorld`](crate::FlatWorld), kept as the O(P) baseline
+/// the tree runtime is benchmarked against at high rank counts.
+pub struct FlatTaskWorld;
+
+impl FlatTaskWorld {
+    /// Run `f` as `ntasks` flat-collective rank tasks; see
+    /// [`TaskWorld::run`].
+    pub fn run<T, F, Fut>(ntasks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(FlatTaskComm) -> Fut,
+        Fut: Future<Output = T> + Send,
+    {
+        Self::run_with(SchedPolicy::host(), ntasks, f).0
+    }
+
+    /// [`FlatTaskWorld::run`] under an explicit policy, with scheduler
+    /// counters.
+    pub fn run_with<T, F, Fut>(policy: SchedPolicy, ntasks: usize, f: F) -> (Vec<T>, SchedStats)
+    where
+        T: Send,
+        F: Fn(FlatTaskComm) -> Fut,
+        Fut: Future<Output = T> + Send,
+    {
+        if hook::simcheck_env_enabled() {
+            let san = Arc::new(Sanitizer::new());
+            let run = Self::run_checked(policy, ntasks, san.clone(), f);
+            if let Some(d) = &run.deadlock {
+                san.record_deadlock(format!("simmpi task world {d}"));
+            }
+            let TaskRun { results, stats, .. } = run;
+            return (crate::sanitize::finalize_env_checked(results, &san), stats);
+        }
+        let world = Arc::new(WorldRt::new(ntasks));
+        let shared = Arc::new(FlatShared::new(
+            CommCtx::new("world".into(), ntasks),
+            None,
+            world.clone(),
+        ));
+        let comms: Vec<FlatTaskComm> =
+            (0..ntasks).map(|r| FlatTaskComm::new(r, r, shared.clone())).collect();
+        finish_plain(run_engine(&policy, None, false, &world, comms, f))
+    }
+
+    /// Checked flat-task run; see [`TaskWorld::run_checked`].
+    pub fn run_checked<T, F, Fut>(
+        policy: SchedPolicy,
+        ntasks: usize,
+        check: Arc<dyn CheckHook>,
+        f: F,
+    ) -> TaskRun<T>
+    where
+        T: Send,
+        F: Fn(FlatTaskComm) -> Fut,
+        Fut: Future<Output = T> + Send,
+    {
+        let trace = matches!(policy, SchedPolicy::Serial { .. });
+        let world = Arc::new(WorldRt::new(ntasks));
+        let shared = Arc::new(FlatShared::new(
+            CommCtx::new("world".into(), ntasks),
+            Some(check.clone()),
+            world.clone(),
+        ));
+        let comms: Vec<FlatTaskComm> =
+            (0..ntasks).map(|r| FlatTaskComm::new(r, r, shared.clone())).collect();
+        run_engine(&policy, Some(check), trace, &world, comms, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::co::CoComm;
+    use crate::comm::ReduceOp;
+    use crate::sanitize::{FindingKind, Sanitizer};
+    use crate::{drive_ready, BlockingRef, FlatWorld, World};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    const WS4: SchedPolicy = SchedPolicy::WorkSteal { workers: 4 };
+
+    fn panic_text(e: Box<dyn Any + Send>) -> String {
+        e.downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| e.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string payload>".into())
+    }
+
+    /// One protocol-shaped script exercised identically over every
+    /// runtime; the cross-runtime tests assert its results byte-equal.
+    async fn mixed_script(
+        c: &dyn CoComm,
+    ) -> (Vec<u64>, Vec<u8>, Option<Vec<Vec<u8>>>, Vec<u8>, Option<u64>, usize, usize, Vec<u64>, Vec<u8>)
+    {
+        let n = c.size();
+        let r = c.rank();
+        let all = c.allgather_u64(r as u64 + 1).await;
+        let b = c.bcast((r == 2 % n).then(|| vec![9, 9, r as u8]), 2 % n).await;
+        let g = c.gather(&[r as u8; 3], 1 % n).await;
+        let parts = (r == 0).then(|| (0..n).map(|i| vec![i as u8; i + 1]).collect());
+        let s = c.scatter(parts, 0).await;
+        let red = c.reduce_u64(r as u64 * 3, ReduceOp::Max, n - 1).await;
+        c.send((r + 1) % n, 17, &[r as u8, 0xAB]);
+        let token = c.recv((r + n - 1) % n, 17).await;
+        let sub = c.split((r % 2) as u64, (n - r) as u64).await;
+        let sub_all = sub.allgather_u64(r as u64).await;
+        c.barrier().await;
+        (all, b, g, s, red, sub.rank(), sub.size(), sub_all, token)
+    }
+
+    #[test]
+    fn task_world_runs_all_ranks() {
+        let out = TaskWorld::run(8, |c| async move { (c.rank(), c.size()) });
+        assert_eq!(out, (0..8).map(|r| (r, 8)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_four_runtimes_agree_on_the_mixed_script() {
+        for n in [1, 2, 3, 5, 8] {
+            let task = TaskWorld::run(n, |c| async move { mixed_script(&c).await });
+            let flat_task = FlatTaskWorld::run(n, |c| async move { mixed_script(&c).await });
+            let thread = World::run(n, |c| drive_ready(mixed_script(&BlockingRef(c))));
+            let flat = FlatWorld::run(n, |c| drive_ready(mixed_script(&BlockingRef(c))));
+            assert_eq!(task, thread, "task tree vs thread tree at n={n}");
+            assert_eq!(flat_task, flat, "task flat vs thread flat at n={n}");
+            assert_eq!(task, flat_task, "tree vs flat at n={n}");
+        }
+    }
+
+    #[test]
+    fn serial_policy_matches_work_stealing() {
+        let ws = TaskWorld::run_with(WS4, 6, |c| async move { mixed_script(&c).await }).0;
+        for seed in 0..8 {
+            let ser = TaskWorld::run_with(
+                SchedPolicy::Serial { seed, preemption_bound: usize::MAX },
+                6,
+                |c| async move { mixed_script(&c).await },
+            )
+            .0;
+            assert_eq!(ser, ws, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn split_groups_by_color_and_orders_by_key() {
+        let out = TaskWorld::run(8, |c| async move {
+            let color = (c.rank() % 2) as u64;
+            let key = (c.size() - c.rank()) as u64; // reverse order
+            let sub = c.split(color, key).await;
+            (sub.rank(), sub.size(), sub.allgather_u64(c.rank() as u64).await)
+        });
+        for (r, (sub_rank, sub_size, members)) in out.iter().enumerate() {
+            assert_eq!(*sub_size, 4);
+            let mut same_color: Vec<usize> = (0..8).filter(|x| x % 2 == r % 2).collect();
+            same_color.reverse();
+            assert_eq!(*sub_rank, same_color.iter().position(|&x| x == r).unwrap());
+            let expect: Vec<u64> = same_color.iter().map(|&x| x as u64).collect();
+            assert_eq!(members, &expect);
+        }
+    }
+
+    #[test]
+    fn p2p_matching_by_source_and_tag() {
+        let out = TaskWorld::run(3, |c| async move {
+            match c.rank() {
+                0 => {
+                    c.send(2, 7, b"seven");
+                    c.send(2, 5, b"five");
+                    Vec::new()
+                }
+                1 => {
+                    c.send(2, 7, b"other-seven");
+                    Vec::new()
+                }
+                _ => {
+                    // Receive out of order: tag 5 first although tag 7 may
+                    // arrive first, then by source.
+                    let five = c.recv(0, 5).await;
+                    let seven0 = c.recv(0, 7).await;
+                    let seven1 = c.recv(1, 7).await;
+                    [five, seven0, seven1].concat()
+                }
+            }
+        });
+        assert_eq!(out[2], b"fivesevenother-seven");
+    }
+
+    #[test]
+    fn stats_count_this_ranks_ops() {
+        let out = TaskWorld::run(4, |c| async move {
+            c.barrier().await;
+            c.bcast((c.rank() == 0).then(|| vec![1u8, 2, 3]), 0).await;
+            let _ = c.gather(&[c.rank() as u8], 1).await;
+            c.allgather_u64(7).await;
+            let _ = c.reduce_u64(1, ReduceOp::Sum, 0).await;
+            let sub = c.split(0, c.rank() as u64).await;
+            sub.barrier().await;
+            let s = c.stats().expect("task runtime tracks stats");
+            let sub_s = sub.stats().expect("sub-communicator tracks stats");
+            (
+                s.barriers(),
+                s.bcasts(),
+                s.gathers(),
+                s.allgathers(),
+                s.reduces(),
+                s.splits(),
+                sub_s.barriers(),
+                s.bytes_sent() > 0,
+            )
+        });
+        for got in out {
+            assert_eq!(got, (1, 1, 1, 1, 1, 1, 1, true));
+        }
+    }
+
+    #[test]
+    fn reserved_tag_namespace_is_enforced() {
+        let out = TaskWorld::run(2, |c| async move {
+            if c.rank() == 0 {
+                catch_unwind(AssertUnwindSafe(|| c.send(1, 0xC3 << 56, b"nope")))
+                    .err()
+                    .map(panic_text)
+            } else {
+                None
+            }
+        });
+        assert!(
+            out[0].as_ref().expect("send panicked").contains("reserved for internal"),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn panics_propagate_from_rank_tasks() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            TaskWorld::run(4, |c| async move {
+                c.barrier().await;
+                assert!(c.rank() != 2, "task two exploded");
+            })
+        }))
+        .expect_err("rank panic must propagate");
+        assert!(panic_text(err).contains("task two exploded"));
+    }
+
+    #[test]
+    fn deadlock_is_reported_exactly() {
+        let san = Arc::new(Sanitizer::new());
+        let run = TaskWorld::run_checked(WS4, 3, san, |c| async move {
+            if c.rank() == 0 {
+                // Nobody ever sends this; the other ranks finish normally.
+                c.recv(1, 9).await;
+            }
+            c.rank()
+        });
+        let report = run.deadlock.expect("quiesced with a parked task");
+        assert_eq!(report.parked.len(), 1);
+        assert_eq!(report.parked[0].world_rank, 0);
+        assert!(
+            report.parked[0].description.contains("recv(src=1"),
+            "{}",
+            report.parked[0].description
+        );
+        let aborted = run.results[0].as_ref().expect_err("parked rank did not finish");
+        assert!(aborted.downcast_ref::<Aborted>().is_some());
+        assert!(run.results[1].is_ok() && run.results[2].is_ok());
+    }
+
+    #[test]
+    fn plain_run_panics_with_deadlock_diagnosis() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            TaskWorld::run(2, |c| async move {
+                if c.rank() == 0 {
+                    c.barrier().await; // rank 1 never joins
+                }
+            })
+        }))
+        .expect_err("deadlocked world must not return");
+        let text = panic_text(err);
+        assert!(text.contains("deadlock: 1 task(s) parked"), "{text}");
+    }
+
+    #[test]
+    fn serial_schedules_are_reproducible_and_traced() {
+        let run = |seed| {
+            TaskWorld::run_checked(
+                SchedPolicy::Serial { seed, preemption_bound: usize::MAX },
+                4,
+                Arc::new(Sanitizer::new()),
+                |c| async move { c.allgather_u64(c.rank() as u64).await },
+            )
+        };
+        let (a, b) = (run(11), run(11));
+        assert!(!a.trace.is_empty());
+        assert_eq!(a.trace, b.trace);
+        for r in a.results {
+            assert_eq!(r.expect("no panic"), vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn checked_run_reports_teardown_leaks() {
+        let san = Arc::new(Sanitizer::new());
+        let run = TaskWorld::run_checked(WS4, 2, san.clone(), |c| async move {
+            if c.rank() == 0 {
+                c.send(1, 42, b"never received");
+            }
+            // Synchronize so the message is in rank 1's mailbox before its
+            // communicator is dropped.
+            c.barrier().await;
+        });
+        assert!(run.deadlock.is_none());
+        assert!(run.results[0].is_ok());
+        assert!(run.results[1].is_err(), "rank 1 teardown panics with the leak");
+        let findings = san.findings();
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.kind == FindingKind::MessageLeak && f.message.contains("tag 0x2a")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn sched_stats_expose_runtime_footprint() {
+        let (out, stats) = TaskWorld::run_with(WS4, 16, |c| async move {
+            let all = c.allgather_u64(c.rank() as u64).await;
+            c.barrier().await;
+            all.iter().sum::<u64>()
+        });
+        assert_eq!(out, vec![120; 16]);
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.tasks, 16);
+        assert!(stats.polls >= 16, "{stats:?}");
+        assert!(stats.wakes >= 16, "{stats:?}");
+        assert!(stats.peak_mailbox_msgs >= 1, "{stats:?}");
+        assert!(stats.peak_mailbox_bytes >= 8, "{stats:?}");
+        // The tree keeps any one mailbox logarithmic, never O(P).
+        assert!(stats.peak_mailbox_msgs <= 6, "{stats:?}");
+    }
+
+    #[test]
+    fn flat_task_world_runs_checked_too() {
+        let san = Arc::new(Sanitizer::new());
+        let run = FlatTaskWorld::run_checked(WS4, 4, san, |c| async move {
+            c.bcast((c.rank() == 1).then(|| vec![5u8]), 1).await
+        });
+        assert!(run.deadlock.is_none());
+        for r in run.results {
+            assert_eq!(r.expect("no panic"), vec![5u8]);
+        }
+    }
+}

@@ -46,36 +46,7 @@ use std::time::Instant;
 type Message = (usize, u64, Vec<u8>);
 
 use crate::hook::{coll_tag, COLL_TAG_MASK, COLL_TAG_PREFIX};
-
-/// Serialize (id, payload) pairs for one tree edge:
-/// `[count][(id, len, bytes)...]`, all integers little-endian `u64`.
-fn frame(entries: &[(u64, &[u8])]) -> Vec<u8> {
-    let total: usize = entries.iter().map(|(_, p)| p.len() + 16).sum();
-    let mut out = Vec::with_capacity(8 + total);
-    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
-    for (id, payload) in entries {
-        out.extend_from_slice(&id.to_le_bytes());
-        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        out.extend_from_slice(payload);
-    }
-    out
-}
-
-/// Inverse of [`frame`].
-fn unframe(bytes: &[u8]) -> Vec<(u64, Vec<u8>)> {
-    let count = u64::from_le_bytes(bytes[..8].try_into().expect("frame header"));
-    let mut entries = Vec::with_capacity(count as usize);
-    let mut at = 8usize;
-    for _ in 0..count {
-        let id = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("frame id"));
-        let len =
-            u64::from_le_bytes(bytes[at + 8..at + 16].try_into().expect("frame len")) as usize;
-        at += 16;
-        entries.push((id, bytes[at..at + len].to_vec()));
-        at += len;
-    }
-    entries
-}
+use crate::wire::{frame, unframe};
 
 /// State shared by every rank of one communicator: the mailboxes, the
 /// split-construction rendezvous, the communicator's deterministic

@@ -111,7 +111,10 @@ pub use format::{CloseRecord, OpenRecord, SionFlags};
 pub use layout::{Alignment, FileLayout};
 pub use keyval::{KeyValIndex, KeyValReader, KeyValWriter};
 pub use mapping::Mapping;
-pub use par::{paropen_read, paropen_write, CloseStats, SionParReader, SionParWriter};
+pub use par::{
+    paropen_read, paropen_read_co, paropen_write, paropen_write_co, CloseStats, SionParReader,
+    SionParWriter,
+};
 pub use serial::{ChunkInfo, Locations, Multifile, RankReader, SerialWriter, TaskLocation};
 pub use stream::{IoCounters, DEFAULT_READ_AHEAD, DEFAULT_WRITE_BUFFER};
 

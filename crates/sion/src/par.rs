@@ -29,6 +29,28 @@
 //! collective (deserting a gather would hang its peers), so the failure
 //! travels as a status bit inside its packed record and surfaces as an
 //! error on every task after the exchange.
+//!
+//! # Maybe-async protocol bodies
+//!
+//! The collective protocols are written once, as `async` functions over
+//! [`simmpi::CoComm`] ([`paropen_write_co`], [`paropen_read_co`],
+//! [`SionParWriter::close_co`], [`SionParReader::close_co`]), so the same
+//! state machines run on every runtime:
+//!
+//! * on the thread-backed runtimes the public blocking entry points
+//!   ([`paropen_write`], [`paropen_read`], `close`) wrap the communicator
+//!   in [`simmpi::BlockingRef`] and retire the whole protocol in a single
+//!   [`simmpi::drive_ready`] poll — byte-for-byte the old behaviour;
+//! * inside a [`simmpi::TaskWorld`] the `_co` entry points are awaited
+//!   directly and genuinely park on each collective round, which is what
+//!   lets a 16Ki–64Ki-rank collective open run on a handful of worker
+//!   threads.
+//!
+//! One caveat: `vfs::guard` block-contention attribution is per *thread*,
+//! so it is armed only by the blocking entry points (where a rank owns its
+//! thread). Under the task runtime, ranks migrate across workers and the
+//! guard's writer attribution would be meaningless; run `SIONCHECK` block
+//! guards on the thread runtimes.
 
 use crate::error::{Result, SionError};
 use crate::format::{CloseRecord, MetaBlock1, MetaBlock2, OpenRecord, SionFlags};
@@ -36,7 +58,7 @@ use crate::layout::FileLayout;
 use crate::physical_name;
 use crate::stream::{ChunkGeom, IoCounters, TaskReader, TaskWriter, DEFAULT_READ_AHEAD};
 use crate::SionParams;
-use simmpi::{Comm, CommStats};
+use simmpi::{drive_ready, BlockingRef, CoComm, Comm, CommStats};
 use std::sync::Arc;
 use vfs::Vfs;
 
@@ -55,7 +77,7 @@ const STATUS_PARAM_MISMATCH: u64 = 2;
 /// Some task's record carried the local-validation-failure bit.
 const STATUS_LOCAL_INVALID: u64 = 3;
 
-fn check_master_status(lcom: &dyn Comm, local: Result<u64>) -> Result<()> {
+async fn check_master_status(lcom: &dyn CoComm, local: Result<u64>) -> Result<()> {
     // Master converts its Result into a status word; everyone else echoes
     // STATUS_OK and learns the verdict from the broadcast.
     let word = if lcom.rank() == 0 {
@@ -66,7 +88,7 @@ fn check_master_status(lcom: &dyn Comm, local: Result<u64>) -> Result<()> {
     } else {
         None
     };
-    let status = lcom.bcast_u64(word, 0);
+    let status = lcom.bcast_u64(word, 0).await;
     match (status, local) {
         (STATUS_OK, _) => Ok(()),
         (_, Err(e)) => Err(e),
@@ -114,8 +136,8 @@ pub struct CloseStats {
 /// (`sion_paropen_mpi` in write mode).
 pub struct SionParWriter {
     writer: TaskWriter,
-    lcom: Box<dyn Comm>,
-    gcom: Box<dyn Comm>,
+    lcom: Box<dyn CoComm>,
+    gcom: Box<dyn CoComm>,
     filenum: u32,
     grank: usize,
 }
@@ -200,14 +222,26 @@ pub fn paropen_write(
     params: &SionParams,
     comm: &dyn Comm,
 ) -> Result<SionParWriter> {
-    let grank = comm.rank();
-    let ntasks = comm.size();
-
     // Label this rank's thread for the block-contention sanitizer: every
     // write it issues through a `vfs::BlockGuardFs` (including coalesced
     // stream-engine flushes, which run on this thread) is attributed to
-    // this global rank.
-    vfs::guard::set_task(grank as u64);
+    // this global rank. Meaningful only here, where a rank owns its
+    // thread — see the module docs.
+    vfs::guard::set_task(comm.rank() as u64);
+    drive_ready(paropen_write_co(vfs, base, params, &BlockingRef(comm)))
+}
+
+/// [`paropen_write`] as a resumable protocol over [`CoComm`]: the entry
+/// point for task-runtime ranks (`TaskWorld`), which `.await` it instead
+/// of blocking a thread per rank.
+pub async fn paropen_write_co(
+    vfs: &dyn Vfs,
+    base: &str,
+    params: &SionParams,
+    comm: &dyn CoComm,
+) -> Result<SionParWriter> {
+    let grank = comm.rank();
+    let ntasks = comm.size();
 
     // Local pre-open validation is *deferred*: a task whose parameters
     // fail the check still joins every collective below (returning early
@@ -219,10 +253,10 @@ pub fn paropen_write(
     // `file_of` is total, so even a task holding invalid parameters
     // computes a split color and lands in a well-formed file group.
     let filenum = params.mapping.file_of(grank, ntasks, params.nfiles);
-    let lcom = comm.split(filenum as u64, grank as u64);
+    let lcom = comm.split(filenum as u64, grank as u64).await;
     // A private duplicate of the global communicator, so the handle can run
     // global collectives (the paper's open/close are collective over gcom).
-    let gcom = comm.split(0, grank as u64);
+    let gcom = comm.split(0, grank as u64).await;
 
     // Single-round metadata exchange: everything the master needs from
     // each task — chunk-size request, global rank, parameter fingerprint,
@@ -238,7 +272,8 @@ pub fn paropen_write(
             OpenRecord::STATUS_LOCAL_INVALID
         },
     };
-    let gathered = lcom.gather(&record.encode(), 0);
+    let encoded = record.encode();
+    let gathered = lcom.gather(&encoded, 0).await;
 
     let (word, setup_ok, setup_err) = if lcom.rank() == 0 {
         let raw = gathered.expect("master receives the gather");
@@ -249,12 +284,12 @@ pub fn paropen_write(
     } else {
         (None, None, None)
     };
-    let status = lcom.bcast_u64(word, 0);
+    let status = lcom.bcast_u64(word, 0).await;
 
     // Per-file-group phase. Any failure here is captured, not returned:
     // the global exchange below must run on every task or the healthy file
     // groups would hang.
-    let group_result: Result<(ChunkGeom, Arc<dyn vfs::VfsFile>)> = (|| {
+    let group_result: Result<(ChunkGeom, Arc<dyn vfs::VfsFile>)> = async {
         if status != STATUS_OK {
             // The task's own validation error is the most precise report;
             // the master returns the error it diagnosed; everyone else
@@ -275,17 +310,18 @@ pub fn paropen_write(
         }
         if lcom.rank() == 0 {
             let (parts, file) = setup_ok.expect("status was OK");
-            let mine = lcom.scatter(Some(parts), 0);
+            let mine = lcom.scatter(Some(parts), 0).await;
             Ok((decode_geom(&mine)?, file))
         } else {
-            let mine = lcom.scatter(None, 0);
+            let mine = lcom.scatter(None, 0).await;
             let geom = decode_geom(&mine)?;
             // The master created the file before the status broadcast, so
             // it exists by now.
             let file = vfs.open_rw(&physical_name(base, filenum))?;
             Ok((geom, file))
         }
-    })();
+    }
+    .await;
 
     // One global exchange closes the open. Its 16-byte payload carries
     // [failed flag, parameter fingerprint]: it is simultaneously the
@@ -297,10 +333,12 @@ pub fn paropen_write(
     let mut word16 = [0u8; 16];
     word16[..8].copy_from_slice(&(group_result.is_err() as u64).to_le_bytes());
     word16[8..].copy_from_slice(&fingerprint.to_le_bytes());
-    let all = gcom.allgather(&word16);
+    // Scanned in place via the shared-frame allgather: the result is only
+    // reduced to two booleans, so no rank materializes per-rank vectors.
+    let all = gcom.allgather_shared(&word16).await;
     let mut any_failed = false;
     let mut fp_mismatch = false;
-    for b in &all {
+    for b in all.iter() {
         any_failed |= u64::from_le_bytes(b[..8].try_into().unwrap()) != 0;
         fp_mismatch |= u64::from_le_bytes(b[8..16].try_into().unwrap()) != fingerprint;
     }
@@ -410,7 +448,13 @@ impl SionParWriter {
     /// recoverable via [`rescue::repair`](crate::rescue::repair) when
     /// rescue headers are enabled. Only when close returns `Ok` on every
     /// task is the multifile's metadata durable and final.
-    pub fn close(mut self) -> Result<CloseStats> {
+    pub fn close(self) -> Result<CloseStats> {
+        drive_ready(self.close_co())
+    }
+
+    /// [`close`](Self::close) as a resumable protocol; the task-runtime
+    /// entry point.
+    pub async fn close_co(mut self) -> Result<CloseStats> {
         let finish_res = self.writer.finish();
 
         // Packed close exchange: the error flag rides in the same record
@@ -425,7 +469,8 @@ impl SionParWriter {
             },
             used: finish_res.as_ref().map(|u| u.clone()).unwrap_or_default(),
         };
-        let gathered = self.lcom.gather(&record.encode(), 0);
+        let encoded = record.encode();
+        let gathered = self.lcom.gather(&encoded, 0).await;
 
         let finalize: Result<u64> = if self.lcom.rank() == 0 {
             (|| {
@@ -455,11 +500,11 @@ impl SionParWriter {
         } else {
             Ok(0)
         };
-        let status = check_master_status(self.lcom.as_ref(), finalize);
+        let status = check_master_status(self.lcom.as_ref(), finalize).await;
         // Collective over the global communicator: when close returns, the
         // entire multifile (all physical files' metablocks) is final.
         // Always reached, error or not, so no file group can hang another.
-        self.gcom.barrier();
+        self.gcom.barrier().await;
         let used = finish_res?;
         status?;
         Ok(CloseStats {
@@ -475,7 +520,7 @@ impl SionParWriter {
 /// (`sion_paropen_mpi` in read mode).
 pub struct SionParReader {
     reader: TaskReader,
-    gcom: Box<dyn Comm>,
+    gcom: Box<dyn CoComm>,
     grank: usize,
     /// Stats handle of the file-group communicator used during open (the
     /// communicator itself is dropped once the geometry is distributed).
@@ -487,6 +532,16 @@ pub struct SionParReader {
 /// The task count of `comm` must equal the task count the multifile was
 /// written with, and each task is positioned at its own logical file.
 pub fn paropen_read(vfs: &dyn Vfs, base: &str, comm: &dyn Comm) -> Result<SionParReader> {
+    drive_ready(paropen_read_co(vfs, base, &BlockingRef(comm)))
+}
+
+/// [`paropen_read`] as a resumable protocol over [`CoComm`]; the
+/// task-runtime entry point.
+pub async fn paropen_read_co(
+    vfs: &dyn Vfs,
+    base: &str,
+    comm: &dyn CoComm,
+) -> Result<SionParReader> {
     let grank = comm.rank();
     let ntasks = comm.size();
 
@@ -544,7 +599,7 @@ pub fn paropen_read(vfs: &dyn Vfs, base: &str, comm: &dyn Comm) -> Result<SionPa
     } else {
         None
     };
-    let payload_bytes = comm.bcast(packed, 0);
+    let payload_bytes = comm.bcast(packed, 0).await;
     let words: Vec<u64> = payload_bytes
         .chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
@@ -559,8 +614,8 @@ pub fn paropen_read(vfs: &dyn Vfs, base: &str, comm: &dyn Comm) -> Result<SionPa
     let entry = words[3 + grank];
     let filenum = (entry >> 32) as u32;
 
-    let lcom = comm.split(filenum as u64, grank as u64);
-    let gcom = comm.split(0, grank as u64);
+    let lcom = comm.split(filenum as u64, grank as u64).await;
+    let gcom = comm.split(0, grank as u64).await;
 
     // Each file master reads its metablocks once and scatters per-task
     // geometry plus usage vectors.
@@ -585,16 +640,17 @@ pub fn paropen_read(vfs: &dyn Vfs, base: &str, comm: &dyn Comm) -> Result<SionPa
         Ok(Vec::new())
     };
 
-    let group_result: Result<(ChunkGeom, Vec<u64>, Arc<dyn vfs::VfsFile>)> = (|| {
+    let group_result: Result<(ChunkGeom, Vec<u64>, Arc<dyn vfs::VfsFile>)> = async {
         if lcom.rank() == 0 {
-            check_master_status(lcom.as_ref(), setup.as_ref().map(|_| 0).map_err(clone_err))?;
+            check_master_status(lcom.as_ref(), setup.as_ref().map(|_| 0).map_err(clone_err))
+                .await?;
         } else {
-            check_master_status(lcom.as_ref(), Ok(0))?;
+            check_master_status(lcom.as_ref(), Ok(0)).await?;
         }
         let mine = if lcom.rank() == 0 {
-            lcom.scatter(Some(setup.expect("status was OK")), 0)
+            lcom.scatter(Some(setup.expect("status was OK")), 0).await
         } else {
-            lcom.scatter(None, 0)
+            lcom.scatter(None, 0).await
         };
         if mine.len() % 8 != 0 || mine.len() < 6 * 8 {
             return Err(SionError::Format("bad read-open payload".into()));
@@ -607,14 +663,17 @@ pub fn paropen_read(vfs: &dyn Vfs, base: &str, comm: &dyn Comm) -> Result<SionPa
         let used = words[6..].to_vec();
         let file = vfs.open(&physical_name(base, filenum))?;
         Ok((geom, used, file))
-    })();
+    }
+    .await;
     let lcom_stats = lcom.stats();
 
-    // All-or-nothing across file groups, as in the write open.
+    // All-or-nothing across file groups, as in the write open (shared
+    // frame, scanned in place).
     let any_failed = gcom
-        .allgather_u64(group_result.is_err() as u64)
-        .into_iter()
-        .any(|s| s != 0);
+        .allgather_shared(&(group_result.is_err() as u64).to_le_bytes())
+        .await
+        .iter()
+        .any(|b| u64::from_le_bytes(b[..8].try_into().unwrap()) != 0);
     let (geom, used, file) = match (any_failed, group_result) {
         (false, Ok(triple)) => triple,
         (_, Err(e)) => return Err(e),
@@ -686,7 +745,13 @@ impl SionParReader {
 
     /// `sion_parclose_mpi` for the read side.
     pub fn close(self) -> Result<()> {
-        self.gcom.barrier();
+        drive_ready(self.close_co())
+    }
+
+    /// [`close`](Self::close) as a resumable protocol; the task-runtime
+    /// entry point.
+    pub async fn close_co(self) -> Result<()> {
+        self.gcom.barrier().await;
         Ok(())
     }
 }

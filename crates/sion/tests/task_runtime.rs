@@ -1,0 +1,166 @@
+//! End-to-end `sion::par` on the task runtime: the collective
+//! open/write/close protocol driven as resumable rank tasks
+//! (`paropen_write_co` / `paropen_read_co` inside a `TaskWorld`), including
+//! byte-identity of the produced multifile against the thread runtime and
+//! a four-digit-rank smoke run that would be infeasible thread-per-rank.
+
+use simmpi::{CoComm, Comm, SchedPolicy, TaskWorld, World};
+use sion::{
+    paropen_read_co, paropen_write, paropen_write_co, Mapping, Multifile, SionParams,
+};
+use vfs::{MemFs, Vfs};
+
+/// Deterministic per-rank payload.
+fn payload(rank: usize, len: usize) -> Vec<u8> {
+    (0..len).map(|i| ((i * 31 + rank * 131 + 7) % 251) as u8).collect()
+}
+
+/// Read back every physical file under `prefix` as raw bytes.
+fn dump(fs: &dyn Vfs, prefix: &str) -> Vec<(String, Vec<u8>)> {
+    fs.list(prefix)
+        .unwrap()
+        .into_iter()
+        .map(|path| {
+            let f = fs.open(&path).unwrap();
+            let mut buf = vec![0u8; f.len().unwrap() as usize];
+            f.read_exact_at(&mut buf, 0).unwrap();
+            (path, buf)
+        })
+        .collect()
+}
+
+#[test]
+fn task_world_collective_roundtrip() {
+    let fs = MemFs::with_block_size(4096);
+    let ntasks = 96;
+    let bytes_per_task = 9_000;
+    let params = SionParams::new(4096).with_nfiles(4);
+    TaskWorld::run(ntasks, |c| {
+        let fs = &fs;
+        let params = &params;
+        async move {
+            let data = payload(c.rank(), bytes_per_task);
+            let mut w = paropen_write_co(fs, "out/data.sion", params, &c).await.unwrap();
+            for piece in data.chunks(1000 + c.rank() * 37 + 1) {
+                w.write(piece).unwrap();
+            }
+            let stats = w.close_co().await.unwrap();
+            assert_eq!(stats.user_bytes, bytes_per_task as u64);
+
+            let mut r = paropen_read_co(fs, "out/data.sion", &c).await.unwrap();
+            let mut back = vec![0u8; bytes_per_task];
+            r.read_exact(&mut back).unwrap();
+            assert_eq!(back, data, "rank {} read-back mismatch", r.rank());
+            assert!(r.feof());
+            r.close_co().await.unwrap();
+        }
+    });
+
+    // Serial global-view read-back sees every rank's data.
+    let mf = Multifile::open(&fs, "out/data.sion").unwrap();
+    assert_eq!(mf.ntasks(), ntasks);
+    for rank in 0..ntasks {
+        assert_eq!(mf.read_rank(rank).unwrap(), payload(rank, bytes_per_task), "rank {rank}");
+    }
+    assert_eq!(fs.list("out/").unwrap().len(), 4);
+}
+
+#[test]
+fn task_and_thread_runtimes_write_identical_multifiles() {
+    let params = SionParams::new(2048).with_nfiles(3).with_mapping(Mapping::RoundRobin);
+    let ntasks = 24;
+    let bytes_per_task = 5_000;
+
+    let fs_task = MemFs::with_block_size(4096);
+    TaskWorld::run(ntasks, |c| {
+        let fs = &fs_task;
+        let params = &params;
+        async move {
+            let data = payload(c.rank(), bytes_per_task);
+            let mut w = paropen_write_co(fs, "m.sion", params, &c).await.unwrap();
+            w.write(&data).unwrap();
+            w.close_co().await.unwrap();
+        }
+    });
+
+    let fs_thread = MemFs::with_block_size(4096);
+    World::run(ntasks, |c| {
+        let data = payload(c.rank(), bytes_per_task);
+        let mut w = paropen_write(&fs_thread, "m.sion", &params, c).unwrap();
+        w.write(&data).unwrap();
+        w.close().unwrap();
+    });
+
+    // The multifile on disk is byte-identical, physical file by physical
+    // file — the task runtime changes scheduling, not one bit of output.
+    assert_eq!(dump(&fs_task, ""), dump(&fs_thread, ""));
+}
+
+#[test]
+fn serial_schedules_produce_the_same_multifile() {
+    let params = SionParams::new(1024).with_nfiles(2);
+    let run = |policy| {
+        let fs = MemFs::with_block_size(4096);
+        TaskWorld::run_with(policy, 12, |c| {
+            let fs = &fs;
+            let params = &params;
+            async move {
+                let mut w = paropen_write_co(fs, "s.sion", params, &c).await.unwrap();
+                w.write(&payload(c.rank(), 2_000)).unwrap();
+                w.close_co().await.unwrap();
+            }
+        });
+        dump(&fs, "")
+    };
+    let baseline = run(SchedPolicy::WorkSteal { workers: 4 });
+    for seed in 0..4 {
+        let serial = SchedPolicy::Serial { seed, preemption_bound: usize::MAX };
+        assert_eq!(run(serial), baseline, "seed {seed}");
+    }
+}
+
+#[test]
+fn mismatched_params_fail_collectively_on_task_runtime() {
+    let fs = MemFs::with_block_size(4096);
+    let results = TaskWorld::run(8, |c| {
+        let fs = &fs;
+        async move {
+            // Rank 5 disagrees about the file count.
+            let nfiles = if c.rank() == 5 { 2 } else { 1 };
+            let params = SionParams::new(1024).with_nfiles(nfiles);
+            paropen_write_co(fs, "clash.sion", &params, &c).await.is_err()
+        }
+    });
+    assert!(results.iter().all(|&failed| failed));
+}
+
+#[test]
+fn four_digit_rank_open_write_close() {
+    // 2048 resumable rank tasks on a handful of workers — a world that
+    // would need 2048 OS threads (and their stacks) thread-per-rank.
+    let fs = MemFs::with_block_size(4096);
+    let ntasks = 2048;
+    let params = SionParams::new(512).with_nfiles(8).with_write_buffer(4096);
+    let (_, sched) = TaskWorld::run_with(SchedPolicy::WorkSteal { workers: 4 }, ntasks, |c| {
+        let fs = &fs;
+        let params = &params;
+        async move {
+            let data = payload(c.rank(), 256);
+            let mut w = paropen_write_co(fs, "big/huge.sion", params, &c).await.unwrap();
+            w.write(&data).unwrap();
+            let stats = w.close_co().await.unwrap();
+            assert_eq!(stats.user_bytes, 256);
+        }
+    });
+    // Tree fan-in keeps every mailbox logarithmic even at 2Ki ranks.
+    assert!(
+        sched.peak_mailbox_msgs <= 16,
+        "mailboxes must stay O(log P): {sched:?}"
+    );
+    assert_eq!(fs.list("big/").unwrap().len(), 8);
+    let mf = Multifile::open(&fs, "big/huge.sion").unwrap();
+    assert_eq!(mf.ntasks(), ntasks);
+    for rank in [0, 1, 1023, 2047] {
+        assert_eq!(mf.read_rank(rank).unwrap(), payload(rank, 256), "rank {rank}");
+    }
+}
