@@ -55,8 +55,23 @@ cargo run --release -p sion-bench --bin collective_scaling -- \
     --quick --out target/bench/BENCH_collectives.json
 grep -q '"bench": "collective_scaling"' target/bench/BENCH_collectives.json
 grep -q '"runtime": "tree"' target/bench/BENCH_collectives.json
-# The binary itself exits nonzero unless the tree runtime beats the flat
-# baseline on open+close latency at the largest rank count of the sweep.
+# The binary itself exits nonzero unless the thread tree runtime beats
+# the thread flat baseline on open+close latency at the largest rank
+# count both reach. (The coroutine pair is reported, not gated: flat task
+# collectives assemble one shared frame per round, so in-process
+# wall-clock parity with the tree is expected there.)
+
+echo "==> metadata_scaling quick sweep (lazy vs eager open+seek, 16Ki smoke)"
+# Doubles as the 16Ki-rank lazy serial open+seek smoke: the quick sweep's
+# largest point writes a 16384-rank multifile, then opens and seeks it
+# both eagerly and lazily under the same wall-clock budget discipline as
+# par_smoke (exit 2 on overrun). The binary exits 3 unless the lazy
+# header-open + chunk-index seek beats the eager full-directory walk by
+# >= 10x at 16Ki ranks.
+cargo run --release -p sion-bench --bin metadata_scaling -- \
+    --quick --budget-secs 120 --out target/bench/BENCH_metadata.json
+grep -q '"bench": "metadata_scaling"' target/bench/BENCH_metadata.json
+grep -q '"ranks": 16384' target/bench/BENCH_metadata.json
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -10,9 +10,18 @@
 //! `collective_scaling` sweep compares task-tree against task-flat up to
 //! 64Ki ranks), and as a third independent reference for the byte-identity
 //! property tests.
+//!
+//! The one departure from the thread-backed twin: rounds whose result is
+//! identical on every rank (`allgather`, `allgather_shared`, `split`
+//! membership) assemble that result **once** per round, in a shared cell
+//! keyed by the lockstep collective sequence number, and hand the other
+//! P−1 ranks `Arc` clones. Without it every rank re-scans all P slots —
+//! O(P²) work per round, which is why flat-task sweeps beyond 8Ki ranks
+//! used to stop terminating. The wire results are byte-identical; only
+//! who computes them changed.
 
 use super::comm::{mbox_send, Mbox, ParkKind, Parked, Recv, WorldRt};
-use crate::co::{BoxFut, CoComm};
+use crate::co::{AllGathered, BoxFut, CoComm};
 use crate::comm::CommStats;
 use crate::hook::{CheckHook, CollKind, CommCtx, LeakedMsg, COLL_TAG_MASK, COLL_TAG_PREFIX};
 use crate::ReduceOp;
@@ -32,16 +41,37 @@ struct BarrierState {
     wakers: Vec<Waker>,
 }
 
+/// The shared result one collective round produces, assembled from the
+/// slot array exactly once per round (see [`FlatTaskComm::assemble`]).
+#[derive(Clone)]
+enum RoundResult {
+    /// Every rank's contribution, rank-ordered, in one refcounted frame
+    /// (`allgather`, `allgather_shared`).
+    Frame(AllGathered),
+    /// `split` membership: color → `(key, parent rank)` pairs, sorted —
+    /// each rank resolves its sub-rank by binary search instead of
+    /// re-scanning and re-sorting all P entries.
+    Groups(Arc<HashMap<u64, Vec<(u64, u64)>>>),
+}
+
+/// One rank's deposit slot for the current collective round.
+type Slot = Mutex<Option<Vec<u8>>>;
+
 /// State shared by every rank of one flat task communicator.
 pub(crate) struct FlatShared {
     size: usize,
     ctx: CommCtx,
     hook: Option<Arc<dyn CheckHook>>,
     world: Arc<WorldRt>,
-    slots: Vec<Mutex<Option<Vec<u8>>>>,
+    slots: Vec<Slot>,
     barrier: Mutex<BarrierState>,
     mboxes: Vec<Mutex<Mbox>>,
     splits: Mutex<HashMap<(u64, u64), Arc<FlatShared>>>,
+    /// Per-round assembly cell, keyed by the collective sequence number.
+    /// Collectives run in lockstep (every rank, same order), so one slot
+    /// suffices: a new round simply overwrites the previous one, which the
+    /// double rendezvous guarantees every rank has already consumed.
+    cell: Mutex<Option<(u64, RoundResult)>>,
 }
 
 impl FlatShared {
@@ -67,8 +97,36 @@ impl FlatShared {
             }),
             mboxes: (0..size).map(|_| Mutex::new(Mbox::for_world(size))).collect(),
             splits: Mutex::new(HashMap::new()),
+            cell: Mutex::new(None),
         }
     }
+}
+
+/// Clone all P deposited slots into one rank-ordered shared frame.
+fn assemble_frame(slots: &[Slot]) -> RoundResult {
+    let parts: Vec<Vec<u8>> = slots
+        .iter()
+        .map(|s| s.lock().as_ref().expect("every rank deposited").clone())
+        .collect();
+    RoundResult::Frame(AllGathered::from_parts(&parts))
+}
+
+/// Partition all P deposited `(color, key, rank)` records into sorted
+/// per-color membership lists.
+fn assemble_groups(slots: &[Slot]) -> RoundResult {
+    let mut groups: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
+    for s in slots {
+        let guard = s.lock();
+        let b = guard.as_ref().expect("every rank deposited");
+        let c = u64::from_le_bytes(b[0..8].try_into().unwrap());
+        let k = u64::from_le_bytes(b[8..16].try_into().unwrap());
+        let r = u64::from_le_bytes(b[16..24].try_into().unwrap());
+        groups.entry(c).or_default().push((k, r));
+    }
+    for members in groups.values_mut() {
+        members.sort_unstable();
+    }
+    RoundResult::Groups(Arc::new(groups))
 }
 
 /// Rendezvous future; the flat runtime's collective parking point.
@@ -140,11 +198,31 @@ impl FlatTaskComm {
         }
     }
 
-    fn note_collective(&self, kind: CollKind, root: Option<usize>) {
+    fn note_collective(&self, kind: CollKind, root: Option<usize>) -> u64 {
         let seq = self.coll_seq.fetch_add(1, Ordering::Relaxed);
         if let Some(h) = &self.shared.hook {
             h.on_collective(&self.shared.ctx, self.rank, seq, kind, root);
         }
+        seq
+    }
+
+    /// Between a collective's two rendezvous: the round's shared result,
+    /// assembled from the slot array by the *first* rank to ask and handed
+    /// to the other P−1 ranks as a clone of the cached `Arc` — the whole
+    /// round costs O(P) work instead of the O(P²) of every rank scanning
+    /// every slot. Rounds are identified by the lockstep collective
+    /// sequence number, so a stale cell from the previous round is simply
+    /// overwritten.
+    fn assemble(&self, seq: u64, build: fn(&[Slot]) -> RoundResult) -> RoundResult {
+        let mut cell = self.shared.cell.lock();
+        if let Some((s, v)) = cell.as_ref() {
+            if *s == seq {
+                return v.clone();
+            }
+        }
+        let v = build(&self.shared.slots);
+        *cell = Some((seq, v.clone()));
+        v
     }
 
     fn deposit(&self, data: Option<Vec<u8>>) {
@@ -289,17 +367,33 @@ impl CoComm for FlatTaskComm {
     fn allgather<'a>(&'a self, data: &'a [u8]) -> BoxFut<'a, Vec<Vec<u8>>> {
         Box::pin(async move {
             self.stats.bump_allgather();
-            self.note_collective(CollKind::Allgather, None);
+            let seq = self.note_collective(CollKind::Allgather, None);
             self.deposit(Some(data.to_vec()));
             self.wait().await;
-            let out: Vec<Vec<u8>> = self
-                .shared
-                .slots
-                .iter()
-                .map(|s| s.lock().as_ref().expect("every rank deposited").clone())
-                .collect();
+            // One rank assembles the shared frame; this rank only pays for
+            // materializing its own `Vec<Vec<u8>>` view of it.
+            let RoundResult::Frame(all) = self.assemble(seq, assemble_frame) else {
+                unreachable!("allgather round assembled a non-frame result")
+            };
             self.wait().await;
-            out
+            all.to_parts()
+        })
+    }
+
+    fn allgather_shared<'a>(&'a self, data: &'a [u8]) -> BoxFut<'a, AllGathered> {
+        // Override of the copying default: P−1 ranks get `Arc` clones of
+        // the one frame the first rank assembled — O(P) work and O(1)
+        // allocations per rank for the whole collective.
+        Box::pin(async move {
+            self.stats.bump_allgather();
+            let seq = self.note_collective(CollKind::Allgather, None);
+            self.deposit(Some(data.to_vec()));
+            self.wait().await;
+            let RoundResult::Frame(all) = self.assemble(seq, assemble_frame) else {
+                unreachable!("allgather round assembled a non-frame result")
+            };
+            self.wait().await;
+            all
         })
     }
 
@@ -323,34 +417,25 @@ impl CoComm for FlatTaskComm {
     fn split<'a>(&'a self, color: u64, key: u64) -> BoxFut<'a, Box<dyn CoComm>> {
         Box::pin(async move {
             self.stats.bump_split();
-            self.note_collective(CollKind::Split, None);
+            let seq = self.note_collective(CollKind::Split, None);
             let mut payload = Vec::with_capacity(24);
             payload.extend_from_slice(&color.to_le_bytes());
             payload.extend_from_slice(&key.to_le_bytes());
             payload.extend_from_slice(&(self.rank as u64).to_le_bytes());
             self.deposit(Some(payload));
             self.wait().await;
-            let all: Vec<Vec<u8>> = self
-                .shared
-                .slots
-                .iter()
-                .map(|s| s.lock().as_ref().expect("every rank deposited").clone())
-                .collect();
+            // One rank partitions and sorts the membership; every other
+            // rank resolves its place by binary search in the shared map —
+            // O(P log P) for the whole round instead of every rank paying
+            // its own O(P log P) scan-and-sort.
+            let RoundResult::Groups(groups) = self.assemble(seq, assemble_groups) else {
+                unreachable!("split round assembled a non-membership result")
+            };
             self.wait().await;
-            let mut members: Vec<(u64, u64)> = all
-                .iter()
-                .filter_map(|b| {
-                    let c = u64::from_le_bytes(b[0..8].try_into().unwrap());
-                    let k = u64::from_le_bytes(b[8..16].try_into().unwrap());
-                    let r = u64::from_le_bytes(b[16..24].try_into().unwrap());
-                    (c == color).then_some((k, r))
-                })
-                .collect();
-            members.sort_unstable();
+            let members = &groups[&color];
             let new_size = members.len();
             let new_rank = members
-                .iter()
-                .position(|&(_, r)| r == self.rank as u64)
+                .binary_search(&(key, self.rank as u64))
                 .expect("caller is in its own color group");
 
             let seq = {

@@ -20,7 +20,9 @@ use vfs::Vfs;
 /// chunk locations and fill states.
 pub fn dump(vfs: &dyn Vfs, base: &str) -> Result<String> {
     let mf = Multifile::open(vfs, base)?;
-    let loc = mf.locations();
+    // The per-task table genuinely needs every rank, so this is the one
+    // tool that asks for the eager materialization.
+    let loc = mf.locations()?;
     let mut out = String::new();
     let _ = writeln!(out, "multifile:      {base}");
     let _ = writeln!(out, "tasks:          {}", loc.ntasks);
@@ -133,30 +135,37 @@ pub fn defrag(
     nfiles: u32,
 ) -> Result<DefragStats> {
     let mf = Multifile::open(vfs_in, base)?;
-    let loc = mf.locations().clone();
-    // One chunk per task, sized to exactly its stored data.
-    let chunksizes: Vec<u64> = loc.tasks.iter().map(|t| t.stored_bytes.max(1)).collect();
+    let ntasks = mf.ntasks();
+    let flags = mf.flags();
+    // Two streaming passes over the ranks — sizing, then copying — so no
+    // full `Locations` is ever materialized. One chunk per task, sized to
+    // exactly its stored data.
+    let mut chunksizes = Vec::with_capacity(ntasks);
+    for rank in 0..ntasks {
+        chunksizes.push(mf.location(rank)?.stored_bytes.max(1));
+    }
     let mut params = SionParams::new(0).with_nfiles(nfiles);
-    if !loc.flags.contains(SionFlags::ALIGNED) {
+    if !flags.contains(SionFlags::ALIGNED) {
         params = params.with_alignment(sion::Alignment::None);
     }
-    params.rescue = loc.flags.contains(SionFlags::RESCUE);
+    params.rescue = flags.contains(SionFlags::RESCUE);
     // Copy stored bytes verbatim: the writer itself runs uncompressed, but
     // the recorded flags keep the COMPRESSED bit for readers.
     let mut writer =
-        SerialWriter::create_with_flags(vfs_out, out_base, &chunksizes, &params, loc.flags)?;
+        SerialWriter::create_with_flags(vfs_out, out_base, &chunksizes, &params, flags)?;
     let mut stored = 0u64;
     let mut buf = vec![0u8; 256 * 1024];
-    for t in &loc.tasks {
-        writer.select_rank(t.global_rank)?;
+    for rank in 0..ntasks {
+        let t = mf.location(rank)?;
+        writer.select_rank(rank)?;
         for c in &t.chunks {
             let mut pos = 0u64;
             while pos < c.used {
-                let n = mf.read_at(t.global_rank, c.block, pos, &mut buf)?;
+                let n = mf.read_at(rank, c.block, pos, &mut buf)?;
                 if n == 0 {
                     return Err(SionError::Format(format!(
-                        "chunk of rank {} block {} ended early",
-                        t.global_rank, c.block
+                        "chunk of rank {rank} block {} ended early",
+                        c.block
                     )));
                 }
                 writer.write(&buf[..n])?;
@@ -167,8 +176,8 @@ pub fn defrag(
     }
     writer.close()?;
     Ok(DefragStats {
-        ntasks: loc.ntasks,
-        blocks_before: loc.max_blocks(),
+        ntasks,
+        blocks_before: mf.max_blocks(),
         stored_bytes: stored,
     })
 }
@@ -200,36 +209,47 @@ impl VerifyReport {
 /// stream is readable end to end (which exercises decompression), and — if
 /// rescue headers are present — they agree with metablock 2.
 ///
-/// [`Multifile::open`] itself rejects inconsistent metadata (usage
-/// overflowing capacity, impossible extents, duplicate ranks), which
-/// would turn every such defect into an opaque `Err` here. Instead, when
-/// the strict open fails, verify falls back to a *lenient raw-metadata
-/// scan* ([`verify_raw`]) that reads metablocks 1 and 2 directly and
-/// reports each inconsistency as a problem in the returned report — so
-/// damaged files still yield a diagnosis instead of just an error.
+/// The strict decoder rejects inconsistent metadata — impossible extents
+/// and duplicate ranks at [`Multifile::open`], usage overflowing capacity
+/// at the lazy per-rank fetch — which would turn every such defect into
+/// an opaque `Err` here. Instead, when either the open or a per-rank
+/// fetch fails, verify falls back to a *lenient raw-metadata scan*
+/// ([`verify_raw`]) that reads metablocks 1 and 2 directly and reports
+/// each inconsistency as a problem in the returned report — so damaged
+/// files still yield a diagnosis instead of just an error.
 pub fn verify(vfs: &dyn Vfs, base: &str) -> Result<VerifyReport> {
     let mf = match Multifile::open(vfs, base) {
         Ok(mf) => mf,
         Err(open_err) => return verify_raw(vfs, base, open_err),
     };
-    let loc = mf.locations().clone();
+    let rescue = mf.flags().contains(SionFlags::RESCUE);
+    let compressed = mf.flags().contains(SionFlags::COMPRESSED);
     let mut report = VerifyReport::default();
+    // Per-file handles for the rescue cross-check, opened on first use.
+    let mut handles: Vec<Option<std::sync::Arc<dyn vfs::VfsFile>>> =
+        vec![None; mf.nfiles() as usize];
 
-    for t in &loc.tasks {
+    // Metadata streams one rank at a time — a 64Ki-task multifile is
+    // verified without ever materializing the full `Locations`.
+    for rank in 0..mf.ntasks() {
+        // A per-rank fetch the strict decoder rejects sends the whole
+        // report through the raw fallback, exactly like a failed open:
+        // without consistent metadata, no stream can be certified.
+        let t = match mf.location(rank) {
+            Ok(t) => t,
+            Err(e) => return verify_raw(vfs, base, e),
+        };
         let mut ok = true;
         // Note: per-chunk `used <= usable` needs no check here — metadata
-        // violating it cannot pass Multifile::open and is diagnosed by the
-        // raw fallback path instead.
-        match mf.read_rank(t.global_rank) {
+        // violating it cannot pass the strict fetch and is diagnosed by
+        // the raw fallback path instead.
+        match mf.read_rank(rank) {
             Ok(data) => {
                 // For uncompressed files the logical length must equal the
                 // stored length.
-                if !loc.flags.contains(SionFlags::COMPRESSED)
-                    && data.len() as u64 != t.stored_bytes
-                {
+                if !compressed && data.len() as u64 != t.stored_bytes {
                     report.problems.push(format!(
-                        "rank {}: logical length {} != stored bytes {}",
-                        t.global_rank,
+                        "rank {rank}: logical length {} != stored bytes {}",
                         data.len(),
                         t.stored_bytes
                     ));
@@ -237,49 +257,47 @@ pub fn verify(vfs: &dyn Vfs, base: &str) -> Result<VerifyReport> {
                 }
             }
             Err(e) => {
-                report
-                    .problems
-                    .push(format!("rank {}: stream unreadable: {e}", t.global_rank));
+                report.problems.push(format!("rank {rank}: stream unreadable: {e}"));
                 ok = false;
             }
         }
         if ok {
             report.tasks_ok += 1;
         }
-    }
 
-    // Rescue-header cross-check.
-    if loc.flags.contains(SionFlags::RESCUE) {
-        for k in 0..loc.nfiles {
-            let file = vfs.open(&sion::physical_name(base, k))?;
-            for t in loc.tasks.iter().filter(|t| t.file == k) {
-                for c in &t.chunks {
-                    if c.used == 0 {
-                        continue;
-                    }
-                    let mut hdr = [0u8; RESCUE_HEADER_LEN as usize];
-                    let at = c.offset - RESCUE_HEADER_LEN;
-                    if file.read_exact_at(&mut hdr, at).is_err() {
-                        report.problems.push(format!(
-                            "rank {} block {}: rescue header unreadable",
-                            t.global_rank, c.block
-                        ));
-                        continue;
-                    }
-                    match RescueHeader::decode(&hdr) {
-                        Some(h)
-                            if h.global_rank == t.global_rank as u64
-                                && h.block == c.block
-                                && h.used == c.used => {}
-                        Some(h) => report.problems.push(format!(
-                            "rank {} block {}: rescue header disagrees                              (rank {}, block {}, used {})",
-                            t.global_rank, c.block, h.global_rank, h.block, h.used
-                        )),
-                        None => report.problems.push(format!(
-                            "rank {} block {}: rescue header missing",
-                            t.global_rank, c.block
-                        )),
-                    }
+        // Rescue-header cross-check, on the same pass.
+        if rescue {
+            let k = t.file as usize;
+            if handles[k].is_none() {
+                handles[k] = Some(vfs.open(&sion::physical_name(base, k as u32))?);
+            }
+            let file = handles[k].as_ref().expect("opened above");
+            for c in &t.chunks {
+                if c.used == 0 {
+                    continue;
+                }
+                let mut hdr = [0u8; RESCUE_HEADER_LEN as usize];
+                let at = c.offset - RESCUE_HEADER_LEN;
+                if file.read_exact_at(&mut hdr, at).is_err() {
+                    report.problems.push(format!(
+                        "rank {rank} block {}: rescue header unreadable",
+                        c.block
+                    ));
+                    continue;
+                }
+                match RescueHeader::decode(&hdr) {
+                    Some(h)
+                        if h.global_rank == rank as u64
+                            && h.block == c.block
+                            && h.used == c.used => {}
+                    Some(h) => report.problems.push(format!(
+                        "rank {rank} block {}: rescue header disagrees                          (rank {}, block {}, used {})",
+                        c.block, h.global_rank, h.block, h.used
+                    )),
+                    None => report.problems.push(format!(
+                        "rank {rank} block {}: rescue header missing",
+                        c.block
+                    )),
                 }
             }
         }
@@ -453,7 +471,7 @@ mod tests {
         // 512-byte chunks, 3000 bytes/task → 6 blocks in the input.
         sample_multifile(&fs, &SionParams::new(512), 4);
         let before = Multifile::open(&fs, "in.sion").unwrap();
-        assert!(before.locations().max_blocks() > 1);
+        assert!(before.max_blocks() > 1);
         drop(before);
 
         let out = MemFs::with_block_size(512);
@@ -463,7 +481,7 @@ mod tests {
         assert!(stats.blocks_before > 1);
 
         let mf = Multifile::open(&out, "out.sion").unwrap();
-        assert_eq!(mf.locations().max_blocks(), 1, "defragmented file must be one block");
+        assert_eq!(mf.max_blocks(), 1, "defragmented file must be one block");
         for rank in 0..4 {
             assert_eq!(mf.read_rank(rank).unwrap(), payload(rank, 3000));
         }
@@ -473,7 +491,8 @@ mod tests {
     fn defrag_preserves_compression_verbatim() {
         let fs = MemFs::with_block_size(512);
         sample_multifile(&fs, &SionParams::new(512).with_compression(), 3);
-        let stored_in = Multifile::open(&fs, "in.sion").unwrap().locations().total_stored_bytes();
+        let stored_in =
+            Multifile::open(&fs, "in.sion").unwrap().locations().unwrap().total_stored_bytes();
 
         let out = MemFs::with_block_size(512);
         let stats = defrag(&fs, "in.sion", &out, "out.sion", 1).unwrap();
@@ -540,17 +559,21 @@ mod tests {
         let fs = MemFs::with_block_size(512);
         sample_multifile(&fs, &SionParams::new(512), 2);
         // Corrupt metablock 2: blow up one task's used count. Find it via
-        // the trailer.
+        // the v2 trailer ([mb2_off, mb2_len, idx_off, idx_len, magic]).
         let f = fs.open_rw("in.sion").unwrap();
         let len = f.len().unwrap();
-        let mut tr = [0u8; 24];
-        f.read_exact_at(&mut tr, len - 24).unwrap();
+        let mut tr = [0u8; 40];
+        f.read_exact_at(&mut tr, len - 40).unwrap();
         let mb2_off = u64::from_le_bytes(tr[0..8].try_into().unwrap());
+        let idx_off = u64::from_le_bytes(tr[16..24].try_into().unwrap());
         // First usage word lives after magic(8)+nblocks(8)+ntasks(8).
         // 600 bytes exceed the 512-byte chunk capacity.
         f.write_all_at(&600u64.to_le_bytes(), mb2_off + 24).unwrap();
-        // The strict open rejects this file, so verify must fall back to
-        // the raw-metadata scan and name the overflowing chunk.
+        // Smash the index magic too, so the lazy fetch degrades to the
+        // linear metablock-2 path and meets the corrupted row.
+        f.write_all_at(b"XXXXXXXX", idx_off).unwrap();
+        // The strict per-rank fetch rejects this file, so verify must fall
+        // back to the raw-metadata scan and name the overflowing chunk.
         let report = verify(&fs, "in.sion").unwrap();
         assert!(!report.is_clean());
         assert_eq!(report.tasks_ok, 0);
@@ -566,7 +589,7 @@ mod tests {
         let fs = MemFs::with_block_size(512);
         sample_multifile(&fs, &SionParams::new(512).with_rescue(), 2);
         let mf = Multifile::open(&fs, "in.sion").unwrap();
-        let chunk0 = mf.locations().tasks[0].chunks[0].offset
+        let chunk0 = mf.location(0).unwrap().chunks[0].offset
             - sion::rescue::RESCUE_HEADER_LEN;
         drop(mf);
         let f = fs.open_rw("in.sion").unwrap();
@@ -583,7 +606,7 @@ mod tests {
         let out = MemFs::with_block_size(512);
         defrag(&fs, "in.sion", &out, "two.sion", 2).unwrap();
         let mf = Multifile::open(&out, "two.sion").unwrap();
-        assert_eq!(mf.locations().nfiles, 2);
+        assert_eq!(mf.nfiles(), 2);
         for rank in 0..6 {
             assert_eq!(mf.read_rank(rank).unwrap(), payload(rank, 3000));
         }

@@ -3,9 +3,9 @@
 //! Each physical file of a multifile is laid out as
 //!
 //! ```text
-//! +------------+---------+---------+     +---------+------------+---------+
-//! | metablock1 | block 0 | block 1 | ... | block B | metablock2 | trailer |
-//! +------------+---------+---------+     +---------+------------+---------+
+//! +------------+---------+     +---------+------------+-------------+---------+
+//! | metablock1 | block 0 | ... | block B | metablock2 | chunk index | trailer |
+//! +------------+---------+     +---------+------------+-------------+---------+
 //! ```
 //!
 //! * **Metablock 1** — written by the master task at collective open:
@@ -16,11 +16,17 @@
 //!   offsets (`layout` module). A task that exhausts its chunk continues in
 //!   the equally-sized chunk of the next block; untouched chunks remain
 //!   file-system holes.
-//! * **Metablock 2** — written by the master at collective close: number of
-//!   blocks and the bytes actually used in every (block, task) chunk.
-//! * **Trailer** — fixed-size pointer to metablock 2 (SIONlib locates its
-//!   end block via the file pointer; an explicit trailer is more robust and
-//!   serves the same purpose).
+//! * **Metablock 2** — written at collective close: number of blocks and
+//!   the bytes actually used in every (block, task) chunk, row-major
+//!   `[block][task]`.
+//! * **Chunk index** ([`ChunkIndex`], v2 closes) — the task-major transpose
+//!   of metablock 2 as inclusive per-block prefix sums, so a lazy serial
+//!   open fetches one task's complete seek index with a single contiguous
+//!   read and resolves logical positions by binary search. Redundant with
+//!   metablock 2: a torn or corrupt index degrades to the linear path.
+//! * **Trailer** ([`Trailer`]) — fixed-size pointer to metablock 2 (and,
+//!   since v2, the chunk index); the last 8 bytes dispatch the trailer
+//!   version, so pre-index files keep decoding unchanged.
 //!
 //! All integers are little-endian. Arrays are stored contiguously.
 
@@ -32,8 +38,13 @@ use vfs::VfsFile;
 pub const MAGIC1: [u8; 8] = *b"RSIONv1\0";
 /// Magic prefixing metablock 2.
 pub const MAGIC2: [u8; 8] = *b"RSIONMB2";
-/// Magic terminating the trailer (last 8 bytes of the file).
+/// Magic terminating the 24-byte v1 trailer (last 8 bytes of the file).
 pub const MAGIC_EOF: [u8; 8] = *b"RSIONEOF";
+/// Magic terminating the 40-byte v2 trailer, which additionally locates
+/// the per-task chunk-index record.
+pub const MAGIC_EOF2: [u8; 8] = *b"RSIONEO2";
+/// Magic prefixing the per-task chunk-index record (v2 closes).
+pub const MAGIC_IDX: [u8; 8] = *b"RSIONIDX";
 /// Current format version.
 pub const VERSION: u32 = 1;
 
@@ -46,8 +57,13 @@ pub const MAX_TASKS: u64 = 1 << 26;
 pub const MB1_FIXED_LEN: u64 = 8 + 4 + 8 + 8 + 8 + 4 + 4 + 8 + 8;
 /// Fixed-size portion of metablock 2, preceding the usage matrix.
 pub const MB2_FIXED_LEN: u64 = 8 + 8 + 8;
-/// Trailer length: metablock-2 offset + length + magic.
+/// v1 trailer length: metablock-2 offset + length + magic.
 pub const TRAILER_LEN: u64 = 8 + 8 + 8;
+/// v2 trailer length: metablock-2 offset + length, index offset + length,
+/// magic.
+pub const TRAILER2_LEN: u64 = 8 + 8 + 8 + 8 + 8;
+/// Fixed-size portion of the chunk-index record, preceding the prefix sums.
+pub const IDX_FIXED_LEN: u64 = 8 + 8 + 8;
 
 /// Feature flags stored in metablock 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -268,14 +284,23 @@ impl MetaBlock2 {
         (0..self.nblocks).map(|b| self.used_in(b, ltask, ntasks_local)).collect()
     }
 
+    /// The fixed 24-byte header alone (magic, block count, task count) —
+    /// what a sharded collective close writes after the sub-masters have
+    /// deposited their usage slices.
+    pub fn header_bytes(nblocks: u64, ntasks_local: usize) -> [u8; MB2_FIXED_LEN as usize] {
+        let mut out = [0u8; MB2_FIXED_LEN as usize];
+        out[0..8].copy_from_slice(&MAGIC2);
+        out[8..16].copy_from_slice(&nblocks.to_le_bytes());
+        out[16..24].copy_from_slice(&(ntasks_local as u64).to_le_bytes());
+        out
+    }
+
     /// Serialize to bytes (including the local task count for validation).
     pub fn encode(&self, ntasks_local: usize) -> Vec<u8> {
         assert_eq!(self.used.len() as u64, self.nblocks * ntasks_local as u64);
         let mut out =
             Vec::with_capacity(MB2_FIXED_LEN as usize + 8 * self.used.len());
-        out.extend_from_slice(&MAGIC2);
-        out.extend_from_slice(&self.nblocks.to_le_bytes());
-        out.extend_from_slice(&(ntasks_local as u64).to_le_bytes());
+        out.extend_from_slice(&Self::header_bytes(self.nblocks, ntasks_local));
         for v in &self.used {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -316,34 +341,62 @@ impl MetaBlock2 {
         Ok(MetaBlock2 { nblocks, used })
     }
 
-    /// Read a metablock 2 via the trailer at the end of `file`.
+    /// Read a metablock 2 via the trailer at the end of `file` (either
+    /// trailer version).
     pub fn read_from(file: &dyn VfsFile, ntasks_local: usize) -> Result<Self> {
-        let len = file.len()?;
-        if len < TRAILER_LEN {
-            return Err(SionError::Format("file too short for trailer".into()));
-        }
-        let mut tr = [0u8; TRAILER_LEN as usize];
-        file.read_exact_at(&mut tr, len - TRAILER_LEN)?;
-        if tr[16..24] != MAGIC_EOF {
-            return Err(SionError::Format(
-                "missing end-of-file trailer (file not closed?)".into(),
-            ));
-        }
-        let mb2_off = u64::from_le_bytes(tr[0..8].try_into().unwrap());
-        let mb2_len = u64::from_le_bytes(tr[8..16].try_into().unwrap());
-        let end = mb2_off
-            .checked_add(mb2_len)
-            .and_then(|v| v.checked_add(TRAILER_LEN))
-            .ok_or_else(|| SionError::Format("trailer offsets overflow".into()))?;
-        if end != len {
-            return Err(SionError::Format("trailer does not point at metablock 2".into()));
-        }
-        let mut bytes = vec![0u8; mb2_len as usize];
-        file.read_exact_at(&mut bytes, mb2_off)?;
+        let trailer = Trailer::read_from(file)?;
+        Self::read_at(file, &trailer, ntasks_local)
+    }
+
+    /// Read a metablock 2 at the position an already-read trailer names.
+    pub fn read_at(file: &dyn VfsFile, trailer: &Trailer, ntasks_local: usize) -> Result<Self> {
+        let mut bytes = vec![0u8; trailer.mb2_len as usize];
+        file.read_exact_at(&mut bytes, trailer.mb2_off)?;
         Self::decode(&bytes, ntasks_local)
     }
 
-    /// Write the metablock and trailer at `offset`, finishing the file.
+    /// Read only the fixed header of metablock 2 (magic, block count, task
+    /// count) without materializing the usage matrix — the cheap open path.
+    /// Validates the task count and that the trailer's length matches the
+    /// matrix the header claims.
+    pub fn read_header(
+        file: &dyn VfsFile,
+        trailer: &Trailer,
+        expect_ntasks_local: usize,
+    ) -> Result<u64> {
+        let mut fixed = [0u8; MB2_FIXED_LEN as usize];
+        file.read_exact_at(&mut fixed, trailer.mb2_off)
+            .map_err(|_| SionError::Format("file too short for metablock 2".into()))?;
+        if fixed[0..8] != MAGIC2 {
+            return Err(SionError::Format("bad metablock 2 magic".into()));
+        }
+        let nblocks = u64::from_le_bytes(fixed[8..16].try_into().unwrap());
+        let ntasks = u64::from_le_bytes(fixed[16..24].try_into().unwrap());
+        if nblocks > (1 << 32) {
+            return Err(SionError::Format(format!(
+                "block count {nblocks} exceeds the sanity limit"
+            )));
+        }
+        if ntasks != expect_ntasks_local as u64 {
+            return Err(SionError::Format(format!(
+                "metablock 2 task count {ntasks} != metablock 1 task count {expect_ntasks_local}"
+            )));
+        }
+        let want = nblocks
+            .checked_mul(ntasks)
+            .and_then(|c| c.checked_mul(8))
+            .and_then(|c| c.checked_add(MB2_FIXED_LEN))
+            .ok_or_else(|| SionError::Format("metablock 2 size overflow".into()))?;
+        if trailer.mb2_len != want {
+            return Err(SionError::Format("metablock 2 length mismatch".into()));
+        }
+        Ok(nblocks)
+    }
+
+    /// Write the metablock and a **v1** (index-less) trailer at `offset`,
+    /// finishing the file. Production closes go through
+    /// [`write_close_metadata`]; this survives for unit tests and for
+    /// constructing pre-index images (compat fixtures).
     pub fn write_to(&self, file: &dyn VfsFile, offset: u64, ntasks_local: usize) -> Result<()> {
         let body = self.encode(ntasks_local);
         let mut tail = Vec::with_capacity(body.len() + TRAILER_LEN as usize);
@@ -359,6 +412,230 @@ impl MetaBlock2 {
         file.set_len(offset + body.len() as u64 + TRAILER_LEN)?;
         Ok(())
     }
+}
+
+/// Decoded end-of-file trailer: where metablock 2 lives, and — for files
+/// closed by an index-writing (v2) close — where the per-task chunk-index
+/// record lives.
+///
+/// The last 8 bytes of the file dispatch the version: [`MAGIC_EOF`] names
+/// the original 24-byte trailer (`[mb2_off, mb2_len, magic]`),
+/// [`MAGIC_EOF2`] the 40-byte trailer
+/// (`[mb2_off, mb2_len, idx_off, idx_len, magic]`). Both versions keep the
+/// full metablock 2, so every v2 file also decodes down the v1 path — the
+/// index is a redundant, read-optimized transpose, not the only truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trailer {
+    /// Offset of metablock 2.
+    pub mb2_off: u64,
+    /// Encoded length of metablock 2.
+    pub mb2_len: u64,
+    /// `(offset, length)` of the chunk-index record, when present.
+    pub index: Option<(u64, u64)>,
+}
+
+impl Trailer {
+    /// Read and validate the trailer at the end of `file`.
+    pub fn read_from(file: &dyn VfsFile) -> Result<Trailer> {
+        let len = file.len()?;
+        if len < TRAILER_LEN {
+            return Err(SionError::Format("file too short for trailer".into()));
+        }
+        let mut tr = [0u8; TRAILER_LEN as usize];
+        file.read_exact_at(&mut tr, len - TRAILER_LEN)?;
+        if tr[16..24] == MAGIC_EOF {
+            let mb2_off = u64::from_le_bytes(tr[0..8].try_into().unwrap());
+            let mb2_len = u64::from_le_bytes(tr[8..16].try_into().unwrap());
+            let end = mb2_off
+                .checked_add(mb2_len)
+                .and_then(|v| v.checked_add(TRAILER_LEN))
+                .ok_or_else(|| SionError::Format("trailer offsets overflow".into()))?;
+            if end != len {
+                return Err(SionError::Format("trailer does not point at metablock 2".into()));
+            }
+            return Ok(Trailer { mb2_off, mb2_len, index: None });
+        }
+        if tr[16..24] == MAGIC_EOF2 {
+            if len < TRAILER2_LEN {
+                return Err(SionError::Format("file too short for v2 trailer".into()));
+            }
+            let mut tr = [0u8; TRAILER2_LEN as usize];
+            file.read_exact_at(&mut tr, len - TRAILER2_LEN)?;
+            let word = |i: usize| u64::from_le_bytes(tr[i * 8..i * 8 + 8].try_into().unwrap());
+            let (mb2_off, mb2_len, idx_off, idx_len) = (word(0), word(1), word(2), word(3));
+            // The index record sits immediately after metablock 2 and the
+            // trailer immediately after the index; both seams must be exact
+            // or the tail is torn.
+            if mb2_off.checked_add(mb2_len) != Some(idx_off) {
+                return Err(SionError::Format(
+                    "v2 trailer: index does not follow metablock 2".into(),
+                ));
+            }
+            let end = idx_off
+                .checked_add(idx_len)
+                .and_then(|v| v.checked_add(TRAILER2_LEN))
+                .ok_or_else(|| SionError::Format("trailer offsets overflow".into()))?;
+            if end != len {
+                return Err(SionError::Format("v2 trailer does not point at the file tail".into()));
+            }
+            return Ok(Trailer { mb2_off, mb2_len, index: Some((idx_off, idx_len)) });
+        }
+        Err(SionError::Format("missing end-of-file trailer (file not closed?)".into()))
+    }
+}
+
+/// Per-task chunk index: the read-optimized transpose of metablock 2,
+/// written by v2 closes immediately after it.
+///
+/// Layout: `MAGIC_IDX | nblocks | ntasks_local |` then, **task-major**, the
+/// inclusive per-block prefix sums of each local task's `used` bytes
+/// (`nblocks` little-endian `u64` per task). Task-major order makes one
+/// task's whole seek index a single contiguous read of `8·nblocks` bytes,
+/// and the prefix sums make `seek(rank, logical_pos)` a binary search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkIndex {
+    /// Number of blocks in the file (mirror of `MetaBlock2::nblocks`).
+    pub nblocks: u64,
+    /// Inclusive prefix sums, task-major: entry `t * nblocks + b` is the
+    /// total bytes task `t` stored in blocks `0..=b`.
+    pub cum: Vec<u64>,
+}
+
+impl ChunkIndex {
+    /// Encoded size of an index for `nblocks` blocks and `n` local tasks.
+    pub fn encoded_len(nblocks: u64, ntasks_local: usize) -> u64 {
+        IDX_FIXED_LEN + 8 * nblocks * ntasks_local as u64
+    }
+
+    /// Build the index from a decoded metablock 2 (transpose + prefix sum).
+    pub fn from_mb2(mb2: &MetaBlock2, ntasks_local: usize) -> ChunkIndex {
+        let nblocks = mb2.nblocks;
+        let mut cum = Vec::with_capacity((nblocks as usize) * ntasks_local);
+        for t in 0..ntasks_local {
+            let mut acc = 0u64;
+            for b in 0..nblocks {
+                acc += mb2.used_in(b, t, ntasks_local);
+                cum.push(acc);
+            }
+        }
+        ChunkIndex { nblocks, cum }
+    }
+
+    /// Prefix sums for one task's slice (task-major, so this is the byte
+    /// image of one contiguous read).
+    pub fn encode_task_slice(used: &[u64], nblocks: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(nblocks as usize * 8);
+        let mut acc = 0u64;
+        for b in 0..nblocks {
+            acc += used.get(b as usize).copied().unwrap_or(0);
+            out.extend_from_slice(&acc.to_le_bytes());
+        }
+        out
+    }
+
+    /// Serialize header + prefix sums.
+    pub fn encode(&self, ntasks_local: usize) -> Vec<u8> {
+        assert_eq!(self.cum.len() as u64, self.nblocks * ntasks_local as u64);
+        let mut out = Vec::with_capacity(Self::encoded_len(self.nblocks, ntasks_local) as usize);
+        out.extend_from_slice(&Self::header_bytes(self.nblocks, ntasks_local));
+        for v in &self.cum {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// The fixed 24-byte header alone.
+    pub fn header_bytes(nblocks: u64, ntasks_local: usize) -> [u8; IDX_FIXED_LEN as usize] {
+        let mut out = [0u8; IDX_FIXED_LEN as usize];
+        out[0..8].copy_from_slice(&MAGIC_IDX);
+        out[8..16].copy_from_slice(&nblocks.to_le_bytes());
+        out[16..24].copy_from_slice(&(ntasks_local as u64).to_le_bytes());
+        out
+    }
+
+    /// Validate the index record a trailer points at against the file's
+    /// metablock geometry. Returns an error when the record is torn or
+    /// disagrees — callers then fall back to the linear metablock-2 path.
+    pub fn validate_header(
+        file: &dyn VfsFile,
+        idx: (u64, u64),
+        nblocks: u64,
+        ntasks_local: usize,
+    ) -> Result<()> {
+        let (idx_off, idx_len) = idx;
+        if idx_len != Self::encoded_len(nblocks, ntasks_local) {
+            return Err(SionError::Format("chunk index length mismatch".into()));
+        }
+        let mut fixed = [0u8; IDX_FIXED_LEN as usize];
+        file.read_exact_at(&mut fixed, idx_off)
+            .map_err(|_| SionError::Format("file too short for chunk index".into()))?;
+        if fixed[0..8] != MAGIC_IDX {
+            return Err(SionError::Format("bad chunk index magic".into()));
+        }
+        let idx_nblocks = u64::from_le_bytes(fixed[8..16].try_into().unwrap());
+        let idx_ntasks = u64::from_le_bytes(fixed[16..24].try_into().unwrap());
+        if idx_nblocks != nblocks || idx_ntasks != ntasks_local as u64 {
+            return Err(SionError::Format(format!(
+                "chunk index header ({idx_nblocks} blocks, {idx_ntasks} tasks) disagrees with \
+                 metablock 2 ({nblocks} blocks, {ntasks_local} tasks)"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Read one task's inclusive prefix sums — a single contiguous
+    /// `8·nblocks`-byte read at a computed offset; this is the whole
+    /// per-rank metadata fetch of a lazy open.
+    pub fn read_task_cum(
+        file: &dyn VfsFile,
+        idx_off: u64,
+        nblocks: u64,
+        ltask: usize,
+    ) -> Result<Vec<u64>> {
+        let mut bytes = vec![0u8; nblocks as usize * 8];
+        let off = idx_off + IDX_FIXED_LEN + 8 * nblocks * ltask as u64;
+        file.read_exact_at(&mut bytes, off)
+            .map_err(|_| SionError::Format("file too short for chunk index slice".into()))?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+/// Write the complete close-time metadata tail — metablock 2, its chunk
+/// index, and the v2 trailer — in **one** positioned write at `offset`,
+/// then truncate the file there.
+///
+/// Every writer of finished files (serial close, collective close, rescue
+/// repair) goes through this function, so a forced repair of a cleanly
+/// closed file reproduces it byte for byte. The single write keeps the
+/// crash model of the v1 close: a torn tail has no valid trailer, and the
+/// file stays in the "never closed" state that repair handles.
+pub fn write_close_metadata(
+    file: &dyn VfsFile,
+    offset: u64,
+    mb2: &MetaBlock2,
+    ntasks_local: usize,
+) -> Result<()> {
+    let body = mb2.encode(ntasks_local);
+    let index = ChunkIndex::from_mb2(mb2, ntasks_local).encode(ntasks_local);
+    let idx_off = offset + body.len() as u64;
+    let mut tail =
+        Vec::with_capacity(body.len() + index.len() + TRAILER2_LEN as usize);
+    tail.extend_from_slice(&body);
+    tail.extend_from_slice(&index);
+    tail.extend_from_slice(&offset.to_le_bytes());
+    tail.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    tail.extend_from_slice(&idx_off.to_le_bytes());
+    tail.extend_from_slice(&(index.len() as u64).to_le_bytes());
+    tail.extend_from_slice(&MAGIC_EOF2);
+    file.write_all_at(&tail, offset)?;
+    // Make the trailer the authoritative end of file even if earlier sparse
+    // writes extended it further, and drop stale bytes from a previous
+    // longer close when rewriting in place.
+    file.set_len(offset + tail.len() as u64)?;
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -577,6 +854,86 @@ mod tests {
         mb2.write_to(f.as_ref(), 128, 7).unwrap();
         let back = MetaBlock2::read_from(f.as_ref(), 7).unwrap();
         assert_eq!(back.nblocks, 0);
+    }
+
+    #[test]
+    fn v2_close_metadata_roundtrip() {
+        let fs = MemFs::new();
+        let f = fs.create("m").unwrap();
+        let mb2 = MetaBlock2 { nblocks: 3, used: (0..12).map(|i| i * 11).collect() };
+        write_close_metadata(f.as_ref(), 5000, &mb2, 4).unwrap();
+
+        let trailer = Trailer::read_from(f.as_ref()).unwrap();
+        assert_eq!(trailer.mb2_off, 5000);
+        let (idx_off, idx_len) = trailer.index.expect("v2 close carries an index");
+        assert_eq!(idx_off, 5000 + trailer.mb2_len);
+        assert_eq!(idx_len, ChunkIndex::encoded_len(3, 4));
+
+        // Both decode paths see the same metadata.
+        assert_eq!(MetaBlock2::read_from(f.as_ref(), 4).unwrap(), mb2);
+        assert_eq!(MetaBlock2::read_header(f.as_ref(), &trailer, 4).unwrap(), 3);
+        ChunkIndex::validate_header(f.as_ref(), (idx_off, idx_len), 3, 4).unwrap();
+        for t in 0..4usize {
+            let cum = ChunkIndex::read_task_cum(f.as_ref(), idx_off, 3, t).unwrap();
+            let used = mb2.task_usage(t, 4);
+            let mut acc = 0;
+            for (b, &u) in used.iter().enumerate() {
+                acc += u;
+                assert_eq!(cum[b], acc, "task {t} block {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_index_matches_per_task_slices() {
+        let mb2 = MetaBlock2 { nblocks: 2, used: vec![5, 0, 7, 3] };
+        let idx = ChunkIndex::from_mb2(&mb2, 2);
+        assert_eq!(idx.cum, vec![5, 12, 0, 3]);
+        let enc = idx.encode(2);
+        assert_eq!(enc.len() as u64, ChunkIndex::encoded_len(2, 2));
+        // The full encoding is header + concatenated per-task slices, so
+        // sharded sub-master writes compose to the same bytes.
+        let mut sharded = ChunkIndex::header_bytes(2, 2).to_vec();
+        sharded.extend(ChunkIndex::encode_task_slice(&mb2.task_usage(0, 2), 2));
+        sharded.extend(ChunkIndex::encode_task_slice(&mb2.task_usage(1, 2), 2));
+        assert_eq!(enc, sharded);
+        // Short task slices pad with the running total.
+        assert_eq!(ChunkIndex::encode_task_slice(&[4], 3), {
+            let mut v = Vec::new();
+            for w in [4u64, 4, 4] {
+                v.extend_from_slice(&w.to_le_bytes());
+            }
+            v
+        });
+    }
+
+    #[test]
+    fn torn_index_is_detected_but_mb2_survives() {
+        let fs = MemFs::new();
+        let f = fs.create("m").unwrap();
+        let mb2 = MetaBlock2 { nblocks: 1, used: vec![9, 8] };
+        write_close_metadata(f.as_ref(), 200, &mb2, 2).unwrap();
+        let trailer = Trailer::read_from(f.as_ref()).unwrap();
+        let idx = trailer.index.unwrap();
+        // Clobber the index magic: validation fails, the linear path works.
+        f.write_all_at(b"XXXXXXXX", idx.0).unwrap();
+        assert!(ChunkIndex::validate_header(f.as_ref(), idx, 1, 2).is_err());
+        assert_eq!(MetaBlock2::read_from(f.as_ref(), 2).unwrap(), mb2);
+        // Mismatched geometry is also rejected.
+        write_close_metadata(f.as_ref(), 200, &mb2, 2).unwrap();
+        assert!(ChunkIndex::validate_header(f.as_ref(), idx, 2, 2).is_err());
+    }
+
+    #[test]
+    fn v1_trailer_still_decodes() {
+        let fs = MemFs::new();
+        let f = fs.create("m").unwrap();
+        let mb2 = MetaBlock2 { nblocks: 1, used: vec![3] };
+        mb2.write_to(f.as_ref(), 64, 1).unwrap();
+        let trailer = Trailer::read_from(f.as_ref()).unwrap();
+        assert_eq!(trailer.index, None);
+        assert_eq!(MetaBlock2::read_header(f.as_ref(), &trailer, 1).unwrap(), 1);
+        assert_eq!(MetaBlock2::read_at(f.as_ref(), &trailer, 1).unwrap(), mb2);
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //!   allgather that doubles as the all-or-nothing failure agreement *and*
 //!   the cross-group parameter-agreement check;
 //! * write close — ONE usage gather + ONE status broadcast per file
-//!   group, then ONE global barrier;
+//!   group, then ONE global barrier; file groups beyond
+//!   [`SHARDED_CLOSE_THRESHOLD`] tasks instead shard the gather across
+//!   per-256-task sub-masters that write disjoint metadata slices, so the
+//!   file master never materializes O(ranks·blocks) usage rows (see
+//!   [`close_sharded`]);
 //! * read open — ONE parent broadcast carrying status and the rank map
 //!   together, 2 `split`s, then per file group ONE status broadcast + ONE
 //!   geometry scatter, then ONE global allgather.
@@ -53,7 +57,10 @@
 //! guards on the thread runtimes.
 
 use crate::error::{Result, SionError};
-use crate::format::{CloseRecord, MetaBlock1, MetaBlock2, OpenRecord, SionFlags};
+use crate::format::{
+    write_close_metadata, ChunkIndex, CloseRecord, MetaBlock1, MetaBlock2, OpenRecord, SionFlags,
+    IDX_FIXED_LEN, MAGIC_EOF2, MB2_FIXED_LEN, TRAILER2_LEN,
+};
 use crate::layout::FileLayout;
 use crate::physical_name;
 use crate::stream::{ChunkGeom, IoCounters, TaskReader, TaskWriter, DEFAULT_READ_AHEAD};
@@ -65,6 +72,17 @@ use vfs::Vfs;
 /// Payload a file master prepares during the collective write open: the
 /// per-task geometry blobs to scatter plus the created file handle.
 type GroupSetup = (Vec<Vec<u8>>, Arc<dyn vfs::VfsFile>);
+
+/// File groups larger than this close through sub-master sharding
+/// ([`close_sharded`]) instead of one global usage gather. The threshold
+/// keeps the exact small-P round structure pinned by the
+/// `collective_rounds` test, and keeps every thread-backed runtime (capped
+/// at a few hundred ranks) on the simple path.
+const SHARDED_CLOSE_THRESHOLD: usize = 512;
+
+/// Local tasks per close shard: each sub-master gathers and writes the
+/// metadata slices of this many consecutive local tasks.
+const CLOSE_SHARD_TASKS: usize = 256;
 
 /// Status word broadcast by a master after its setup phase, so that a
 /// failure anywhere in the group surfaces as an error on every task
@@ -470,35 +488,44 @@ impl SionParWriter {
             used: finish_res.as_ref().map(|u| u.clone()).unwrap_or_default(),
         };
         let encoded = record.encode();
-        let gathered = self.lcom.gather(&encoded, 0).await;
 
-        let finalize: Result<u64> = if self.lcom.rank() == 0 {
-            (|| {
-                let per_task: Vec<CloseRecord> = gathered
-                    .expect("master receives the gather")
-                    .iter()
-                    .map(|b| CloseRecord::decode(b))
-                    .collect::<Result<_>>()?;
-                if per_task.iter().any(|r| r.status != CloseRecord::STATUS_OK) {
-                    return Err(SionError::CollectiveMismatch(
-                        "a task failed to flush; metablock 2 not written".into(),
-                    ));
-                }
-                let n = per_task.len();
-                let nblocks = per_task.iter().map(|r| r.used.len()).max().unwrap_or(0) as u64;
-                let mut usage = vec![0u64; (nblocks as usize) * n];
-                for (t, rec) in per_task.iter().enumerate() {
-                    for (b, &u) in rec.used.iter().enumerate() {
-                        usage[b * n + t] = u;
-                    }
-                }
-                let mb2 = MetaBlock2 { nblocks, used: usage };
-                let mb2_off = self.writer.mb2_offset(nblocks);
-                mb2.write_to(self.writer.file(), mb2_off, n)?;
-                Ok(0)
-            })()
+        // Small groups: ONE usage gather at the file master, which
+        // assembles and writes the whole metadata tail. Large groups:
+        // sharded assembly so no task — the master included — ever
+        // materializes O(ranks·blocks) usage rows.
+        let finalize: Result<u64> = if self.lcom.size() > SHARDED_CLOSE_THRESHOLD {
+            close_sharded(self.lcom.as_ref(), &self.writer, &encoded).await
         } else {
-            Ok(0)
+            let gathered = self.lcom.gather(&encoded, 0).await;
+            if self.lcom.rank() == 0 {
+                (|| {
+                    let per_task: Vec<CloseRecord> = gathered
+                        .expect("master receives the gather")
+                        .iter()
+                        .map(|b| CloseRecord::decode(b))
+                        .collect::<Result<_>>()?;
+                    if per_task.iter().any(|r| r.status != CloseRecord::STATUS_OK) {
+                        return Err(SionError::CollectiveMismatch(
+                            "a task failed to flush; metablock 2 not written".into(),
+                        ));
+                    }
+                    let n = per_task.len();
+                    let nblocks =
+                        per_task.iter().map(|r| r.used.len()).max().unwrap_or(0) as u64;
+                    let mut usage = vec![0u64; (nblocks as usize) * n];
+                    for (t, rec) in per_task.iter().enumerate() {
+                        for (b, &u) in rec.used.iter().enumerate() {
+                            usage[b * n + t] = u;
+                        }
+                    }
+                    let mb2 = MetaBlock2 { nblocks, used: usage };
+                    let mb2_off = self.writer.mb2_offset(nblocks);
+                    write_close_metadata(self.writer.file(), mb2_off, &mb2, n)?;
+                    Ok(0)
+                })()
+            } else {
+                Ok(0)
+            }
         };
         let status = check_master_status(self.lcom.as_ref(), finalize).await;
         // Collective over the global communicator: when close returns, the
@@ -514,6 +541,145 @@ impl SionParWriter {
             write_io: self.writer.io_counters(),
         })
     }
+}
+
+/// Sharded collective close for large file groups: the group is cut into
+/// [`CLOSE_SHARD_TASKS`]-wide shards of consecutive local tasks, and each
+/// shard's sub-master gathers only its own tasks' usage and writes the
+/// shard's *disjoint slices* of metablock 2 (one contiguous run per block
+/// row) and of the task-major chunk index (one contiguous run total). The
+/// file master contributes nothing but the fixed headers and the trailer,
+/// written after a sub-master rendezvous confirms every slice is on disk —
+/// so the trailer still flips the file to "validly closed" last, and the
+/// bytes produced are identical to
+/// [`write_close_metadata`](crate::format::write_close_metadata)'s.
+///
+/// Round structure: 2 `split`s on the file-group communicator, ONE usage
+/// gather per shard, then among sub-masters ONE 16-byte allgather (failure
+/// agreement + block-count reduction) and ONE status gather; the caller's
+/// status broadcast and global barrier are unchanged.
+async fn close_sharded(
+    lcom: &dyn CoComm,
+    writer: &TaskWriter,
+    record: &[u8],
+) -> Result<u64> {
+    let n = lcom.size();
+    // `lcom` was split keyed by global rank, so the local rank *is* the
+    // local task index used by the on-disk layout.
+    let me = lcom.rank();
+    let shard_base = (me / CLOSE_SHARD_TASKS) * CLOSE_SHARD_TASKS;
+    let is_sub_master = me == shard_base;
+
+    // Both splits are collective over the whole group; the second hands
+    // non-sub-masters a communicator they never use.
+    let scom = lcom.split((me / CLOSE_SHARD_TASKS) as u64, me as u64).await;
+    let mcom = lcom
+        .split(if is_sub_master { 0 } else { 1 }, me as u64)
+        .await;
+
+    let gathered = scom.gather(record, 0).await;
+    if !is_sub_master {
+        return Ok(0);
+    }
+
+    // Decode this shard's records. A sub-master that fails here must still
+    // join every collective below (deserting would hang its peers), so the
+    // failure travels as a status flag.
+    let decoded: Result<Vec<CloseRecord>> = gathered
+        .expect("sub-master receives the gather")
+        .iter()
+        .map(|b| CloseRecord::decode(b))
+        .collect();
+    let (shard_failed, shard_nblocks) = match &decoded {
+        Ok(recs) => (
+            recs.iter().any(|r| r.status != CloseRecord::STATUS_OK),
+            recs.iter().map(|r| r.used.len()).max().unwrap_or(0) as u64,
+        ),
+        Err(_) => (true, 0),
+    };
+
+    // Sub-master agreement: one 16-byte allgather carries [failed flag,
+    // shard block count]; every sub-master derives the file-wide verdict
+    // and block count by scanning the shared frame in place.
+    let mut word16 = [0u8; 16];
+    word16[..8].copy_from_slice(&(shard_failed as u64).to_le_bytes());
+    word16[8..].copy_from_slice(&shard_nblocks.to_le_bytes());
+    let all = mcom.allgather_shared(&word16).await;
+    let mut any_failed = false;
+    let mut nblocks = 0u64;
+    for b in all.iter() {
+        any_failed |= u64::from_le_bytes(b[..8].try_into().unwrap()) != 0;
+        nblocks = nblocks.max(u64::from_le_bytes(b[8..16].try_into().unwrap()));
+    }
+
+    let slice_res: Result<()> = (|| {
+        let per_task = decoded?;
+        if any_failed {
+            return Err(SionError::CollectiveMismatch(
+                "a task failed to flush; metablock 2 not written".into(),
+            ));
+        }
+        let file = writer.file();
+        let mb2_off = writer.mb2_offset(nblocks);
+        let idx_off = mb2_off + MB2_FIXED_LEN + 8 * nblocks * n as u64;
+        let m = per_task.len();
+        // Usage is block-major, so this shard's share of each block row is
+        // one contiguous run of `m` words (zero-filled for tasks whose
+        // stream stopped earlier).
+        let mut row = vec![0u8; 8 * m];
+        for b in 0..nblocks {
+            for (i, rec) in per_task.iter().enumerate() {
+                let u = rec.used.get(b as usize).copied().unwrap_or(0);
+                row[i * 8..i * 8 + 8].copy_from_slice(&u.to_le_bytes());
+            }
+            file.write_all_at(
+                &row,
+                mb2_off + MB2_FIXED_LEN + 8 * (b * n as u64 + shard_base as u64),
+            )?;
+        }
+        // The chunk index is task-major, so the whole shard is ONE
+        // contiguous write.
+        let mut idx = Vec::with_capacity(8 * (nblocks as usize) * m);
+        for rec in &per_task {
+            idx.extend_from_slice(&ChunkIndex::encode_task_slice(&rec.used, nblocks));
+        }
+        file.write_all_at(&idx, idx_off + IDX_FIXED_LEN + 8 * nblocks * shard_base as u64)?;
+        Ok(())
+    })();
+
+    // Rendezvous before the trailer: the file master finalizes only after
+    // every shard reports its slices written.
+    let status_word = (slice_res.is_err() as u64).to_le_bytes();
+    let statuses = mcom.gather(&status_word, 0).await;
+    if me != 0 {
+        return slice_res.map(|_| 0);
+    }
+    let any_shard_failed = statuses
+        .expect("file master receives the gather")
+        .iter()
+        .any(|b| u64::from_le_bytes(b[..8].try_into().unwrap()) != 0);
+    slice_res?;
+    if any_shard_failed {
+        return Err(SionError::CollectiveMismatch(
+            "a close shard failed to write its metadata slice".into(),
+        ));
+    }
+    let file = writer.file();
+    let mb2_off = writer.mb2_offset(nblocks);
+    let mb2_len = MB2_FIXED_LEN + 8 * nblocks * n as u64;
+    let idx_off = mb2_off + mb2_len;
+    let idx_len = ChunkIndex::encoded_len(nblocks, n);
+    file.write_all_at(&MetaBlock2::header_bytes(nblocks, n), mb2_off)?;
+    file.write_all_at(&ChunkIndex::header_bytes(nblocks, n), idx_off)?;
+    let mut trailer = Vec::with_capacity(TRAILER2_LEN as usize);
+    trailer.extend_from_slice(&mb2_off.to_le_bytes());
+    trailer.extend_from_slice(&mb2_len.to_le_bytes());
+    trailer.extend_from_slice(&idx_off.to_le_bytes());
+    trailer.extend_from_slice(&idx_len.to_le_bytes());
+    trailer.extend_from_slice(&MAGIC_EOF2);
+    file.write_all_at(&trailer, idx_off + idx_len)?;
+    file.set_len(idx_off + idx_len + TRAILER2_LEN)?;
+    Ok(0)
 }
 
 /// Handle for reading one task's logical file of a multifile

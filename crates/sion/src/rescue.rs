@@ -210,7 +210,15 @@ pub fn repair(vfs: &dyn Vfs, base: &str, force: bool) -> Result<RepairReport> {
         let nblocks = rows.len() as u64;
         let used: Vec<u64> = rows.into_iter().flatten().collect();
         let mb2 = MetaBlock2 { nblocks, used };
-        if let Err(e) = mb2.write_to(file.as_ref(), layout.mb2_offset(nblocks), n) {
+        // Same writer as the collective close: metablock 2 + chunk index +
+        // v2 trailer in one write, so forced repair of a cleanly closed
+        // file is byte-identical to the close it replays.
+        if let Err(e) = crate::format::write_close_metadata(
+            file.as_ref(),
+            layout.mb2_offset(nblocks),
+            &mb2,
+            n,
+        ) {
             report.problems.push(format!("{name}: cannot write rebuilt metablock 2: {e}"));
             continue;
         }

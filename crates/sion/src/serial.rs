@@ -8,14 +8,29 @@
 //! is the serial counterpart for *creating* a multifile from one process
 //! (`sion_open` in write mode), used for example by the defragmentation
 //! tool.
+//!
+//! # Lazy metadata
+//!
+//! [`Multifile::open`] is a **header open**: it reads metablock 1, the
+//! trailer, and the fixed metablock-2 header of each physical file — O(one
+//! small read per file plus the rank directory), never the O(ranks·blocks)
+//! usage matrix. Per-rank metadata is fetched on demand by
+//! [`Multifile::location`]: for index-carrying (v2) files one contiguous
+//! read of that rank's prefix sums, for pre-index (v1) files — or when the
+//! index is torn — a lazily cached materialization of the file's full
+//! metablock 2. Fetched [`TaskLocation`]s live in a small LRU cache, so
+//! repeated seeks over a working set of ranks cost no further I/O;
+//! [`Multifile::locations`] remains the eager full materialization, now
+//! computed once and shared.
 
 use crate::error::{Result, SionError};
-use crate::format::{MetaBlock1, MetaBlock2, SionFlags};
+use crate::format::{ChunkIndex, MetaBlock1, MetaBlock2, SionFlags, Trailer};
 use crate::layout::FileLayout;
 use crate::physical_name;
 use crate::stream::{ChunkGeom, IoCounters, TaskReader, TaskWriter, DEFAULT_READ_AHEAD};
 use crate::SionParams;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use vfs::{Vfs, VfsFile};
 
 /// Location and fill state of one chunk (`sion_get_locations` output).
@@ -46,8 +61,27 @@ pub struct TaskLocation {
     pub usable: u64,
     /// One entry per block of the physical file (zero-use chunks included).
     pub chunks: Vec<ChunkInfo>,
+    /// Inclusive prefix sums of `chunks[..].used` — `cum[b]` is the total
+    /// stored bytes in blocks `0..=b`. This is the on-disk chunk-index
+    /// slice for v2 files (computed for v1), and what
+    /// [`find_chunk`](Self::find_chunk) binary-searches.
+    pub cum: Vec<u64>,
     /// Total stored bytes across all chunks.
     pub stored_bytes: u64,
+}
+
+impl TaskLocation {
+    /// Map a logical stream position to `(chunk, offset within chunk)` by
+    /// binary search over the prefix sums — O(log blocks) instead of the
+    /// linear chunk walk. `None` past the end of the stream.
+    pub fn find_chunk(&self, pos: u64) -> Option<(u64, u64)> {
+        if pos >= self.stored_bytes {
+            return None;
+        }
+        let b = self.cum.partition_point(|&c| c <= pos);
+        let before = if b == 0 { 0 } else { self.cum[b - 1] };
+        Some((b as u64, pos - before))
+    }
 }
 
 /// Global metadata of a multifile (`sion_get_locations`).
@@ -71,30 +105,91 @@ impl Locations {
         self.tasks.iter().map(|t| t.stored_bytes).sum()
     }
 
-    /// Largest number of blocks in any physical file.
+    /// Largest number of blocks in any physical file, **counting trailing
+    /// empty blocks**: every task's chunk list has one entry per block of
+    /// its file, so this equals the largest `metablock 2 nblocks` and
+    /// agrees with what `siondump` prints and `siondefrag` reports. (It
+    /// previously filtered `used > 0`, silently hiding a trailing all-zero
+    /// block and disagreeing with the on-disk block count.)
     pub fn max_blocks(&self) -> u64 {
-        self.tasks
-            .iter()
-            .map(|t| t.chunks.iter().filter(|c| c.used > 0).map(|c| c.block + 1).max().unwrap_or(0))
-            .max()
-            .unwrap_or(0)
+        self.tasks.iter().map(|t| t.chunks.len() as u64).max().unwrap_or(0)
     }
 }
 
+/// Per-physical-file state of a lazily opened multifile: the layout and
+/// trailer geometry read at open, plus the lazily materialized full
+/// metablock 2 for files without a usable chunk index.
 struct FileView {
     handle: Arc<dyn VfsFile>,
+    mb1: MetaBlock1,
     layout: FileLayout,
+    trailer: Trailer,
+    /// Block count from the metablock-2 fixed header.
+    nblocks: u64,
+    /// Validated chunk-index region; `None` for pre-index files and for
+    /// files whose index is torn (the linear fallback).
+    index: Option<(u64, u64)>,
+    /// Full metablock 2, materialized at most once (v1 / torn-index path).
+    mb2: Mutex<Option<Arc<MetaBlock2>>>,
+}
+
+/// Capacity of the per-rank [`TaskLocation`] LRU: plenty for tool working
+/// sets, bounded so a 64Ki-rank scan cannot reconstruct the eager open.
+const LOCATION_CACHE_CAP: usize = 256;
+
+/// A tiny clock-stamped LRU over fetched task locations.
+struct LocationCache {
+    stamp: u64,
+    entries: HashMap<usize, (u64, Arc<TaskLocation>)>,
+}
+
+impl LocationCache {
+    fn get(&mut self, rank: usize) -> Option<Arc<TaskLocation>> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.entries.get_mut(&rank).map(|e| {
+            e.0 = stamp;
+            e.1.clone()
+        })
+    }
+
+    fn insert(&mut self, rank: usize, loc: Arc<TaskLocation>) {
+        if self.entries.len() >= LOCATION_CACHE_CAP && !self.entries.contains_key(&rank) {
+            // Evict the least recently used entry; an O(capacity) scan of a
+            // 256-entry map is noise next to the read it replaces.
+            if let Some(&lru) =
+                self.entries.iter().min_by_key(|(_, (s, _))| *s).map(|(r, _)| r)
+            {
+                self.entries.remove(&lru);
+            }
+        }
+        self.stamp += 1;
+        self.entries.insert(rank, (self.stamp, loc));
+    }
 }
 
 /// A multifile opened with the serial global view (`sion_open` read mode).
+///
+/// Opening is cheap (headers only); per-rank metadata arrives on demand —
+/// see the [module docs](self) for the lazy lifecycle.
 pub struct Multifile {
     files: Vec<FileView>,
-    locations: Locations,
+    ntasks: usize,
+    nfiles: u32,
+    fsblksize: u64,
+    flags: SionFlags,
+    /// Global rank → (physical file, local task index).
+    rank_map: Vec<(u32, u32)>,
+    cache: Mutex<LocationCache>,
+    /// The eager materialization, computed at most once.
+    all: Mutex<Option<Arc<Locations>>>,
 }
 
 impl Multifile {
-    /// Open the multifile rooted at `base`, reading all metadata of all
-    /// physical files.
+    /// Header open: read metablock 1, the trailer, and the metablock-2
+    /// fixed header of every physical file, and build the global rank
+    /// directory. No per-(task, block) usage is touched — that is fetched
+    /// per rank by [`location`](Self::location).
     pub fn open(vfs: &dyn Vfs, base: &str) -> Result<Multifile> {
         let f0 = vfs.open(base)?;
         let mb1_0 = MetaBlock1::read_from(f0.as_ref())?;
@@ -107,7 +202,7 @@ impl Multifile {
         }
 
         let mut files = Vec::with_capacity(nfiles as usize);
-        let mut tasks: Vec<Option<TaskLocation>> = vec![None; ntasks];
+        let mut rank_map: Vec<Option<(u32, u32)>> = vec![None; ntasks];
         for k in 0..nfiles {
             let handle = if k == 0 { f0.clone() } else { vfs.open(&physical_name(base, k))? };
             let mb1 =
@@ -117,50 +212,37 @@ impl Multifile {
                     "physical file {k} disagrees with file 0 about the multifile shape"
                 )));
             }
-            let mb2 = MetaBlock2::read_from(handle.as_ref(), mb1.ntasks_local())?;
+            let trailer = Trailer::read_from(handle.as_ref())?;
+            let nblocks = MetaBlock2::read_header(handle.as_ref(), &trailer, mb1.ntasks_local())?;
             let layout = FileLayout::from_mb1(&mb1);
-            layout.validate_extent(mb2.nblocks, handle.len()?)?;
-            // Usage must fit the chunks it claims to fill.
-            for (lt, _) in mb1.global_ranks.iter().enumerate() {
-                for b in 0..mb2.nblocks {
-                    if mb2.used_in(b, lt, mb1.ntasks_local()) > layout.usable(lt) {
-                        return Err(SionError::Format(format!(
-                            "file {k}: task {lt} block {b} claims more bytes than its chunk holds"
-                        )));
-                    }
-                }
-            }
+            layout.validate_extent(nblocks, handle.len()?)?;
+            // A v2 trailer names an index record; use it only if its header
+            // agrees with the metablock geometry — a torn index silently
+            // degrades this file to the linear metablock-2 path.
+            let index = trailer.index.filter(|&idx| {
+                ChunkIndex::validate_header(handle.as_ref(), idx, nblocks, mb1.ntasks_local())
+                    .is_ok()
+            });
             for (lt, &gr) in mb1.global_ranks.iter().enumerate() {
                 let gr = gr as usize;
-                if gr >= ntasks || tasks[gr].is_some() {
+                if gr >= ntasks || rank_map[gr].is_some() {
                     return Err(SionError::Format(format!(
                         "global rank {gr} duplicated or out of range in file {k}"
                     )));
                 }
-                let usage = mb2.task_usage(lt, mb1.ntasks_local());
-                let chunks: Vec<ChunkInfo> = usage
-                    .iter()
-                    .enumerate()
-                    .map(|(b, &used)| ChunkInfo {
-                        block: b as u64,
-                        offset: layout.data_offset(lt, b as u64),
-                        used,
-                    })
-                    .collect();
-                tasks[gr] = Some(TaskLocation {
-                    global_rank: gr,
-                    file: k,
-                    ltask: lt,
-                    chunksize_req: mb1.chunksize_req[lt],
-                    capacity: mb1.chunk_cap[lt],
-                    usable: layout.usable(lt),
-                    stored_bytes: usage.iter().sum(),
-                    chunks,
-                });
+                rank_map[gr] = Some((k, lt as u32));
             }
-            files.push(FileView { handle, layout });
+            files.push(FileView {
+                handle,
+                mb1,
+                layout,
+                trailer,
+                nblocks,
+                index,
+                mb2: Mutex::new(None),
+            });
         }
-        let tasks: Vec<TaskLocation> = tasks
+        let rank_map: Vec<(u32, u32)> = rank_map
             .into_iter()
             .enumerate()
             .map(|(r, t)| {
@@ -169,40 +251,173 @@ impl Multifile {
             .collect::<Result<_>>()?;
         Ok(Multifile {
             files,
-            locations: Locations {
-                ntasks,
-                nfiles,
-                fsblksize: mb1_0.fsblksize,
-                flags: mb1_0.flags,
-                tasks,
-            },
+            ntasks,
+            nfiles,
+            fsblksize: mb1_0.fsblksize,
+            flags: mb1_0.flags,
+            rank_map,
+            cache: Mutex::new(LocationCache { stamp: 0, entries: HashMap::new() }),
+            all: Mutex::new(None),
         })
     }
 
-    /// All metadata (`sion_get_locations`).
-    pub fn locations(&self) -> &Locations {
-        &self.locations
+    /// The file's full metablock 2, materialized at most once (the linear
+    /// path for pre-index files and torn indexes).
+    fn full_mb2(&self, k: usize) -> Result<Arc<MetaBlock2>> {
+        let fv = &self.files[k];
+        let mut slot = fv.mb2.lock().expect("metablock cache poisoned");
+        if let Some(mb2) = slot.as_ref() {
+            return Ok(mb2.clone());
+        }
+        let mb2 = Arc::new(MetaBlock2::read_at(
+            fv.handle.as_ref(),
+            &fv.trailer,
+            fv.mb1.ntasks_local(),
+        )?);
+        *slot = Some(mb2.clone());
+        Ok(mb2)
+    }
+
+    /// Build one rank's location from its per-block usage, folding the
+    /// usage-validation pass into the same walk that builds the chunk list.
+    fn build_location(&self, rank: usize, usage: &[u64]) -> Result<TaskLocation> {
+        let (k, lt) = self.rank_map[rank];
+        let (k, lt) = (k as usize, lt as usize);
+        let fv = &self.files[k];
+        let usable = fv.layout.usable(lt);
+        let mut chunks = Vec::with_capacity(usage.len());
+        let mut cum = Vec::with_capacity(usage.len());
+        let mut stored = 0u64;
+        for (b, &used) in usage.iter().enumerate() {
+            if used > usable {
+                return Err(SionError::Format(format!(
+                    "file {k}: task {lt} block {b} claims more bytes than its chunk holds"
+                )));
+            }
+            stored += used;
+            cum.push(stored);
+            chunks.push(ChunkInfo {
+                block: b as u64,
+                offset: fv.layout.data_offset(lt, b as u64),
+                used,
+            });
+        }
+        Ok(TaskLocation {
+            global_rank: rank,
+            file: k as u32,
+            ltask: lt,
+            chunksize_req: fv.mb1.chunksize_req[lt],
+            capacity: fv.mb1.chunk_cap[lt],
+            usable,
+            chunks,
+            cum,
+            stored_bytes: stored,
+        })
+    }
+
+    /// On-demand per-rank metadata fetch (`sion_get_locations` for one
+    /// rank): one contiguous chunk-index read for v2 files — O(blocks of
+    /// this rank), independent of the total rank count — served from a
+    /// small LRU on repeat access. Usage validation happens here, on
+    /// exactly the rows read.
+    pub fn location(&self, rank: usize) -> Result<Arc<TaskLocation>> {
+        if rank >= self.ntasks {
+            return Err(SionError::InvalidArg(format!("rank {rank} out of range")));
+        }
+        if let Some(hit) = self.cache.lock().expect("location cache poisoned").get(rank) {
+            return Ok(hit);
+        }
+        let (k, lt) = self.rank_map[rank];
+        let (k, lt) = (k as usize, lt as usize);
+        let fv = &self.files[k];
+        let usage = if let Some((idx_off, _)) = fv.index {
+            let cum =
+                ChunkIndex::read_task_cum(fv.handle.as_ref(), idx_off, fv.nblocks, lt)?;
+            let mut usage = Vec::with_capacity(cum.len());
+            let mut prev = 0u64;
+            for (b, &c) in cum.iter().enumerate() {
+                let used = c.checked_sub(prev).ok_or_else(|| {
+                    SionError::Format(format!(
+                        "file {k}: task {lt} chunk index is not monotone at block {b}"
+                    ))
+                })?;
+                usage.push(used);
+                prev = c;
+            }
+            usage
+        } else {
+            self.full_mb2(k)?.task_usage(lt, fv.mb1.ntasks_local())
+        };
+        let loc = Arc::new(self.build_location(rank, &usage)?);
+        self.cache.lock().expect("location cache poisoned").insert(rank, loc.clone());
+        Ok(loc)
+    }
+
+    /// All metadata (`sion_get_locations`): the eager full materialization,
+    /// computed once per open and shared. Tools that truly need every rank
+    /// (`siondump`) use this; everything else should stream via
+    /// [`location`](Self::location).
+    pub fn locations(&self) -> Result<Arc<Locations>> {
+        let mut slot = self.all.lock().expect("locations cache poisoned");
+        if let Some(all) = slot.as_ref() {
+            return Ok(all.clone());
+        }
+        let mut tasks = Vec::with_capacity(self.ntasks);
+        for rank in 0..self.ntasks {
+            let (k, lt) = self.rank_map[rank];
+            let (k, lt) = (k as usize, lt as usize);
+            let fv = &self.files[k];
+            // Bulk path: one metablock 2 per file, not ntasks index reads.
+            let usage = self.full_mb2(k)?.task_usage(lt, fv.mb1.ntasks_local());
+            tasks.push(self.build_location(rank, &usage)?);
+        }
+        let all = Arc::new(Locations {
+            ntasks: self.ntasks,
+            nfiles: self.nfiles,
+            fsblksize: self.fsblksize,
+            flags: self.flags,
+            tasks,
+        });
+        *slot = Some(all.clone());
+        Ok(all)
     }
 
     /// Number of tasks stored in the multifile.
     pub fn ntasks(&self) -> usize {
-        self.locations.ntasks
+        self.ntasks
+    }
+
+    /// Number of physical files.
+    pub fn nfiles(&self) -> u32 {
+        self.nfiles
+    }
+
+    /// Feature flags recorded in metablock 1.
+    pub fn flags(&self) -> SionFlags {
+        self.flags
+    }
+
+    /// File-system block size recorded at write time.
+    pub fn fsblksize(&self) -> u64 {
+        self.fsblksize
+    }
+
+    /// Largest number of blocks in any physical file — from the metablock-2
+    /// headers read at open, no usage materialization.
+    pub fn max_blocks(&self) -> u64 {
+        self.files.iter().map(|f| f.nblocks).max().unwrap_or(0)
     }
 
     /// Whether logical streams are compressed.
     pub fn compressed(&self) -> bool {
-        self.locations.flags.contains(SionFlags::COMPRESSED)
+        self.flags.contains(SionFlags::COMPRESSED)
     }
 
     /// `sion_seek` + `fread` with the global view: read stored bytes of
     /// `rank`'s chunk in block `chunk`, starting `pos` bytes in. Returns
     /// the number of bytes read (short at the end of the chunk's data).
     pub fn read_at(&self, rank: usize, chunk: u64, pos: u64, buf: &mut [u8]) -> Result<usize> {
-        let t = self
-            .locations
-            .tasks
-            .get(rank)
-            .ok_or_else(|| SionError::InvalidArg(format!("rank {rank} out of range")))?;
+        let t = self.location(rank)?;
         let info = t
             .chunks
             .get(chunk as usize)
@@ -217,15 +432,18 @@ impl Multifile {
         Ok(n)
     }
 
+    /// Resolve a logical stream position of `rank` to `(chunk, offset
+    /// within chunk)` — a binary search over the rank's prefix sums.
+    /// `Ok(None)` past the end of the stream.
+    pub fn seek_logical(&self, rank: usize, pos: u64) -> Result<Option<(u64, u64)>> {
+        Ok(self.location(rank)?.find_chunk(pos))
+    }
+
     /// Open the task-local view of `rank` (`sion_open_rank`): a streaming
     /// reader over that task's logical file, transparently decompressing
     /// if the multifile is compressed.
     pub fn rank_reader(&self, rank: usize) -> Result<RankReader> {
-        let t = self
-            .locations
-            .tasks
-            .get(rank)
-            .ok_or_else(|| SionError::InvalidArg(format!("rank {rank} out of range")))?;
+        let t = self.location(rank)?;
         let fv = &self.files[t.file as usize];
         let geom = ChunkGeom::from_layout(&fv.layout, t.ltask, rank as u64);
         let used: Vec<u64> = t.chunks.iter().map(|c| c.used).collect();
@@ -436,7 +654,8 @@ impl SerialWriter {
         Ok(self.writers[rank].io_counters())
     }
 
-    /// Finalize: write every physical file's metablock 2 (`sion_close`).
+    /// Finalize: write every physical file's metablock 2, chunk index, and
+    /// trailer (`sion_close`).
     pub fn close(mut self) -> Result<()> {
         // Collect per-rank usage, then group by file in local order.
         let usage: Vec<Vec<u64>> = self
@@ -461,7 +680,12 @@ impl SerialWriter {
                 }
             }
             let mb2 = MetaBlock2 { nblocks, used: flat };
-            mb2.write_to(self.files[k].as_ref(), self.layouts[k].mb2_offset(nblocks), n)?;
+            crate::format::write_close_metadata(
+                self.files[k].as_ref(),
+                self.layouts[k].mb2_offset(nblocks),
+                &mb2,
+                n,
+            )?;
         }
         Ok(())
     }

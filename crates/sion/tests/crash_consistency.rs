@@ -232,7 +232,7 @@ fn clobbered_rescue_header_costs_one_chunk_not_the_repair() {
     // Clobber the rescue header of rank 0's first chunk with a *valid*
     // header of the wrong (rank, block) — the hardest case to reject.
     let mf = Multifile::open(&fs, "clob.sion").unwrap();
-    let c0 = mf.locations().tasks[0].chunks[0].offset - sion::rescue::RESCUE_HEADER_LEN;
+    let c0 = mf.location(0).unwrap().chunks[0].offset - sion::rescue::RESCUE_HEADER_LEN;
     drop(mf);
     let f = fs.open_rw("clob.sion").unwrap();
     let bogus = sion::rescue::RescueHeader { global_rank: 999, block: 42, used: 10 };

@@ -126,7 +126,7 @@ fn per_task_chunk_sizes_differ() {
     });
     let mf = Multifile::open(&fs, "uneven.sion").unwrap();
     for rank in 0..ntasks {
-        assert_eq!(mf.locations().tasks[rank].chunksize_req, 1024 * (rank as u64 + 1));
+        assert_eq!(mf.locations().unwrap().tasks[rank].chunksize_req, 1024 * (rank as u64 + 1));
     }
 }
 

@@ -27,10 +27,10 @@ fn serial_writer_roundtrip() {
 
     let mf = Multifile::open(&fs, "serial.sion").unwrap();
     assert_eq!(mf.ntasks(), 4);
-    assert_eq!(mf.locations().nfiles, 2);
+    assert_eq!(mf.locations().unwrap().nfiles, 2);
     for (rank, &req) in chunksizes.iter().enumerate() {
         assert_eq!(mf.read_rank(rank).unwrap(), payload(rank, 2000), "rank {rank}");
-        assert_eq!(mf.locations().tasks[rank].chunksize_req, req);
+        assert_eq!(mf.locations().unwrap().tasks[rank].chunksize_req, req);
     }
 }
 
@@ -48,14 +48,16 @@ fn serial_seek_positions_by_rank_chunk_pos() {
 
     let mf = Multifile::open(&fs, "seek.sion").unwrap();
     // Rank 1 block 0: 16 bytes used (high-water), first 10 are zeros.
-    let t1 = &mf.locations().tasks[1];
+    let binding = mf.locations().unwrap();
+    let t1 = &binding.tasks[1];
     assert_eq!(t1.chunks[0].used, 16);
     let mut buf = vec![0u8; 16];
     assert_eq!(mf.read_at(1, 0, 0, &mut buf).unwrap(), 16);
     assert_eq!(&buf[..10], &[0u8; 10]);
     assert_eq!(&buf[10..], b"ten-in");
     // Rank 0 wrote only in chunk 2.
-    let t0 = &mf.locations().tasks[0];
+    let binding = mf.locations().unwrap();
+    let t0 = &binding.tasks[0];
     assert_eq!(t0.chunks[0].used, 0);
     assert_eq!(t0.chunks[2].used, 6);
     let mut buf = vec![0u8; 6];
@@ -75,7 +77,7 @@ fn locations_report_geometry() {
         w.close().unwrap();
     });
     let mf = Multifile::open(&fs, "loc.sion").unwrap();
-    let loc = mf.locations();
+    let loc = mf.locations().unwrap();
     assert_eq!(loc.ntasks, 6);
     assert_eq!(loc.nfiles, 2);
     assert_eq!(loc.fsblksize, 4096);
@@ -124,7 +126,7 @@ fn repair_reconstructs_lost_metablock2() {
     // Sanity: opens fine before the crash.
     let before = Multifile::open(&fs, "crash.sion").unwrap();
     let stored_before: Vec<u64> =
-        before.locations().tasks.iter().map(|t| t.stored_bytes).collect();
+        before.locations().unwrap().tasks.iter().map(|t| t.stored_bytes).collect();
     drop(before);
 
     truncate_metadata(&fs, "crash.sion");
@@ -136,7 +138,7 @@ fn repair_reconstructs_lost_metablock2() {
     assert!(report.chunks_recovered > 0);
 
     let after = Multifile::open(&fs, "crash.sion").unwrap();
-    let stored_after: Vec<u64> = after.locations().tasks.iter().map(|t| t.stored_bytes).collect();
+    let stored_after: Vec<u64> = after.locations().unwrap().tasks.iter().map(|t| t.stored_bytes).collect();
     assert_eq!(stored_after, stored_before);
     for rank in 0..ntasks {
         assert_eq!(after.read_rank(rank).unwrap(), payload(rank, 300 * (rank + 1)));
@@ -219,10 +221,10 @@ fn forced_repair_matches_collective_close() {
         w.write(&payload(comm.rank(), 700)).unwrap();
         w.close().unwrap();
     });
-    let before = Multifile::open(&fs, "force.sion").unwrap().locations().clone();
+    let before = Multifile::open(&fs, "force.sion").unwrap().locations().unwrap();
     let report = repair(&fs, "force.sion", true).unwrap();
     assert_eq!(report.files_repaired, 1);
-    let after = Multifile::open(&fs, "force.sion").unwrap().locations().clone();
+    let after = Multifile::open(&fs, "force.sion").unwrap().locations().unwrap();
     assert_eq!(before, after);
 }
 
@@ -264,12 +266,12 @@ fn forced_repair_of_multifile_matches_collective_close() {
         w.write(&payload(comm.rank(), 500 + 100 * comm.rank())).unwrap();
         w.close().unwrap();
     });
-    let before = Multifile::open(&fs, "mforce.sion").unwrap().locations().clone();
+    let before = Multifile::open(&fs, "mforce.sion").unwrap().locations().unwrap();
     let report = repair(&fs, "mforce.sion", true).unwrap();
     assert_eq!(report.files_scanned, 2);
     assert_eq!(report.files_repaired, 2);
     assert_eq!(report.files_intact, 0);
-    let after = Multifile::open(&fs, "mforce.sion").unwrap().locations().clone();
+    let after = Multifile::open(&fs, "mforce.sion").unwrap().locations().unwrap();
     assert_eq!(before, after);
 }
 
@@ -336,7 +338,8 @@ fn rescue_headers_have_expected_layout_overhead() {
         w.close().unwrap();
     });
     let mf = Multifile::open(&fs, "ovh.sion").unwrap();
-    for t in &mf.locations().tasks {
+    let binding = mf.locations().unwrap();
+    for t in &binding.tasks {
         // 4096 + 32 rounds to 2 blocks.
         assert_eq!(t.capacity, 8192);
         assert_eq!(t.usable, 8192 - RESCUE_HEADER_LEN);

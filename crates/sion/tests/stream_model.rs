@@ -117,7 +117,7 @@ proptest! {
             let got = mf.read_rank(rank).unwrap();
             prop_assert_eq!(&got, &model.logical(), "rank {} logical stream", rank);
             // Per-chunk usage and contents.
-            let task = &mf.locations().tasks[rank];
+            let task = mf.location(rank).unwrap();
             for (b, (buf, used)) in model.blocks.iter().enumerate() {
                 let chunk = task.chunks.get(b);
                 let stored_used = chunk.map(|c| c.used).unwrap_or(0);

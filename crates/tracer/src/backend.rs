@@ -201,7 +201,7 @@ mod tests {
         let evs = Event::decode_stream(&logical).unwrap();
         assert_eq!(evs.len(), 100);
         // Repetitive event streams compress well.
-        let stored = mf.locations().tasks[0].stored_bytes;
+        let stored = mf.location(0).unwrap().stored_bytes;
         assert!(stored < logical.len() as u64 / 2, "stored {stored} logical {}", logical.len());
     }
 

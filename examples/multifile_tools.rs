@@ -49,7 +49,7 @@ fn main() {
         stats.ntasks, stats.blocks_before, stats.stored_bytes
     );
     let dense = Multifile::open(&fs, "dense.sion").unwrap();
-    assert_eq!(dense.locations().max_blocks(), 1);
+    assert_eq!(dense.max_blocks(), 1);
 
     // --- crash + sionrepair ------------------------------------------------
     // Chop off metablock 2 of the first physical file, as a killed job

@@ -50,7 +50,7 @@ fn main() {
 
     // --- serial global view (paper Listings 4/5) -------------------------
     let mf = sion::Multifile::open(&fs, "demo.sion").unwrap();
-    let loc = mf.locations();
+    let loc = mf.locations().unwrap();
     println!(
         "multifile holds {} logical files in {} physical files ({} stored bytes)",
         loc.ntasks,

@@ -72,7 +72,7 @@ fn main() {
     // The compressed multifile is also much smaller on disk.
     let mf = sion::Multifile::open(&fs, "traces.sion").unwrap();
     let logical: u64 = (0..ntasks).map(|r| mf.read_rank(r).unwrap().len() as u64).sum();
-    let stored = mf.locations().total_stored_bytes();
+    let stored = mf.locations().unwrap().total_stored_bytes();
     println!("trace data: {logical} bytes logical, {stored} bytes stored (compressed)");
 
     std::fs::remove_dir_all(&dir).ok();

@@ -129,9 +129,9 @@ fn compressed_checkpoint_smaller_than_plain() {
             .unwrap();
         }
     });
-    let plain = sion::Multifile::open(&fs, "plain.sion").unwrap().locations().total_stored_bytes();
+    let plain = sion::Multifile::open(&fs, "plain.sion").unwrap().locations().unwrap().total_stored_bytes();
     let packed =
-        sion::Multifile::open(&fs, "packed.sion").unwrap().locations().total_stored_bytes();
+        sion::Multifile::open(&fs, "packed.sion").unwrap().locations().unwrap().total_stored_bytes();
     // Double-precision particle data is mostly mantissa noise, so the LZSS
     // codec cannot shrink it much — but the stored-block fallback bounds
     // the expansion to the per-frame overhead (the transparency guarantee).

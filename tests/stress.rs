@@ -79,7 +79,7 @@ fn deep_block_chains_with_tiny_chunks() {
         assert_eq!(stats.blocks, 256);
     });
     let mf = sion::Multifile::open(&fs, "deep.sion").unwrap();
-    assert_eq!(mf.locations().max_blocks(), 256);
+    assert_eq!(mf.max_blocks(), 256);
     for rank in 0..4 {
         let data = mf.read_rank(rank).unwrap();
         assert_eq!(data.len(), 256 * 1024);
