@@ -73,6 +73,18 @@ cargo run --release -p sion-bench --bin metadata_scaling -- \
 grep -q '"bench": "metadata_scaling"' target/bench/BENCH_metadata.json
 grep -q '"ranks": 16384' target/bench/BENCH_metadata.json
 
+echo "==> throughput quick sweep (scalar vs vectored hot path, MemFs + tmpfs)"
+# The binary exits 3 unless, on MemFs, the vectored coalesced-flush path
+# reaches >= 2x the scalar (write-through) GB/s on the smallest-record
+# sweep AND a buffered 1 MiB-record write stays below one staging copy
+# per byte written (large records bypass the write-behind buffer, so
+# bytes_copied is 0 there in practice). tmpfs rates are reported, not
+# gated. Exit 2 on wall-clock overrun, like the other benches.
+cargo run --release -p sion-bench --bin throughput -- \
+    --quick --budget-secs 120 --out target/bench/BENCH_throughput.json
+grep -q '"bench": "throughput"' target/bench/BENCH_throughput.json
+grep -q '"backend": "tmpfs"' target/bench/BENCH_throughput.json
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

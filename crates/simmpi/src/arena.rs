@@ -1,0 +1,190 @@
+//! [`FrameArena`]: pooled backing storage for collective frames.
+//!
+//! Every gather/scatter tree edge serializes its subtree into a fresh
+//! `Vec<u8>` frame (`crate::wire::frame`), and every receiver that has
+//! consumed a frame drops it — at a 64Ki-rank collective that is one
+//! allocation *per edge per round*, all of nearly identical sizes. The
+//! arena recycles those buffers through power-of-two size classes:
+//! producers [`acquire`](FrameArena::acquire) cleared backing storage and
+//! frame into it, consumers [`recycle`](FrameArena::recycle) the buffer
+//! once its contents are unframed. After a warm-up round a steady-state
+//! collective allocates nothing per edge — asserted by the zero-alloc
+//! gather test in `task::comm` and observable via the `frame_allocs` /
+//! `frame_reuses` counters surfaced in
+//! [`SchedStats`](crate::task::SchedStats).
+//!
+//! Frames built into recycled (dirty) buffers are byte-identical to
+//! freshly allocated ones — `wire::frame_into` clears before writing and
+//! frame length is explicit in the encoding — which the pooled-vs-fresh
+//! property test pins.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Smallest size class, log2: buffers below 64 B are not worth pooling.
+const MIN_CLASS_LOG2: u32 = 6;
+/// Largest size class, log2 (1 GiB): anything bigger is never pooled.
+const MAX_CLASS_LOG2: u32 = 30;
+/// Byte budget per size class; the pool depth of a class is this budget
+/// divided by the class size, so small frames (the per-edge common case —
+/// thousands live at once in a big collective) pool deeply while a few
+/// huge buffers cannot pin unbounded memory.
+const CLASS_BYTE_BUDGET: usize = 4 << 20;
+
+const NCLASSES: usize = (MAX_CLASS_LOG2 - MIN_CLASS_LOG2 + 1) as usize;
+
+/// Buffers kept in class `class`; recycles beyond this depth are dropped.
+fn depth_for_class(class: usize) -> usize {
+    (CLASS_BYTE_BUDGET >> (class as u32 + MIN_CLASS_LOG2)).clamp(8, 65536)
+}
+
+/// Size class that can satisfy a request for `cap` bytes (rounded up).
+fn class_for_acquire(cap: usize) -> Option<usize> {
+    let bits = usize::BITS - cap.next_power_of_two().leading_zeros() - 1;
+    Some((bits.clamp(MIN_CLASS_LOG2, MAX_CLASS_LOG2) - MIN_CLASS_LOG2) as usize)
+        .filter(|_| cap <= 1usize << MAX_CLASS_LOG2)
+}
+
+/// Size class a buffer of capacity `cap` belongs in (rounded down, so a
+/// pooled buffer always satisfies its class's requests).
+fn class_for_recycle(cap: usize) -> Option<usize> {
+    if cap < 1usize << MIN_CLASS_LOG2 {
+        return None;
+    }
+    let bits = (usize::BITS - cap.leading_zeros() - 1).min(MAX_CLASS_LOG2);
+    Some((bits - MIN_CLASS_LOG2) as usize)
+}
+
+/// A buffer pool keyed by power-of-two size class. See the module docs.
+pub(crate) struct FrameArena {
+    classes: [Mutex<Vec<Vec<u8>>>; NCLASSES],
+    /// Fresh heap allocations (pool misses).
+    allocs: AtomicU64,
+    /// Requests served from the pool (hits).
+    reuses: AtomicU64,
+}
+
+impl FrameArena {
+    pub(crate) fn new() -> FrameArena {
+        FrameArena {
+            classes: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            allocs: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+        }
+    }
+
+    /// An empty `Vec<u8>` with capacity ≥ `cap`: pooled storage when a
+    /// matching buffer is available, a fresh allocation (counted as a
+    /// miss) otherwise.
+    pub(crate) fn acquire(&self, cap: usize) -> Vec<u8> {
+        if let Some(class) = class_for_acquire(cap) {
+            if let Some(mut buf) = self.classes[class].lock().pop() {
+                debug_assert!(buf.capacity() >= cap);
+                buf.clear();
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                return buf;
+            }
+            self.allocs.fetch_add(1, Ordering::Relaxed);
+            // Allocate the full class size so the buffer serves any later
+            // request of its class, not just this exact length.
+            return Vec::with_capacity((1usize << (class as u32 + MIN_CLASS_LOG2)).max(cap));
+        }
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        Vec::with_capacity(cap)
+    }
+
+    /// Return a consumed buffer to its size class. Tiny and oversized
+    /// buffers, and classes already at depth, are dropped instead.
+    pub(crate) fn recycle(&self, buf: Vec<u8>) {
+        if let Some(class) = class_for_recycle(buf.capacity()) {
+            let mut pool = self.classes[class].lock();
+            if pool.len() < depth_for_class(class) {
+                pool.push(buf);
+            }
+        }
+    }
+
+    /// `(fresh allocations, pool hits)` so far.
+    pub(crate) fn stats(&self) -> (u64, u64) {
+        (self.allocs.load(Ordering::Relaxed), self.reuses.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_recycle_reuses_storage() {
+        let a = FrameArena::new();
+        let mut b = a.acquire(100);
+        assert!(b.capacity() >= 100);
+        assert!(b.is_empty());
+        b.extend_from_slice(&[7u8; 100]);
+        let ptr = b.as_ptr();
+        a.recycle(b);
+        let c = a.acquire(100);
+        assert_eq!(c.as_ptr(), ptr, "same backing storage came back");
+        assert!(c.is_empty(), "recycled buffer is cleared on acquire");
+        assert_eq!(a.stats(), (1, 1));
+    }
+
+    #[test]
+    fn size_classes_round_up_on_acquire_and_down_on_recycle() {
+        let a = FrameArena::new();
+        // A 100-byte request lands in the 128-byte class…
+        let b = a.acquire(100);
+        assert!(b.capacity() >= 128);
+        a.recycle(b);
+        // …and can serve any request up to its class size.
+        let c = a.acquire(128);
+        assert!(c.capacity() >= 128);
+        assert_eq!(a.stats(), (1, 1));
+        // A 100-capacity foreign buffer recycles into the 64-byte class
+        // and never serves a 128-byte request.
+        a.recycle(Vec::with_capacity(100));
+        let d = a.acquire(128);
+        assert!(d.capacity() >= 128);
+        assert_eq!(a.stats().0, 2, "foreign short buffer was not misused");
+    }
+
+    #[test]
+    fn tiny_buffers_are_not_pooled() {
+        let a = FrameArena::new();
+        a.recycle(Vec::with_capacity(8));
+        let b = a.acquire(8);
+        assert!(b.capacity() >= 8);
+        assert_eq!(a.stats(), (1, 0));
+    }
+
+    #[test]
+    fn depth_is_bounded_by_class_byte_budget() {
+        let a = FrameArena::new();
+        // 4 MiB buffers: the budget allows only the minimum depth of 8.
+        let class = class_for_recycle(4 << 20).unwrap();
+        assert_eq!(depth_for_class(class), 8);
+        for _ in 0..10 {
+            a.recycle(Vec::with_capacity(4 << 20));
+        }
+        assert_eq!(a.classes[class].lock().len(), 8);
+        // Small frames pool deeply enough for a big collective's edges.
+        assert!(depth_for_class(0) >= 16 * 1024);
+    }
+
+    #[test]
+    fn steady_state_allocates_nothing() {
+        let a = FrameArena::new();
+        for round in 0..10 {
+            let bufs: Vec<Vec<u8>> = (0..8).map(|_| a.acquire(1000)).collect();
+            for b in bufs {
+                a.recycle(b);
+            }
+            if round == 0 {
+                assert_eq!(a.stats().0, 8, "warm-up allocates once per slot");
+            }
+        }
+        let (allocs, reuses) = a.stats();
+        assert_eq!(allocs, 8, "steady state allocates nothing");
+        assert_eq!(reuses, 9 * 8);
+    }
+}

@@ -175,11 +175,14 @@ pub trait CoComm: Send + Sync {
         })
     }
 
-    /// Allgather one `u64` per rank.
+    /// Allgather one `u64` per rank. Decodes straight out of the shared
+    /// [`AllGathered`] frame — on shared-memory runtimes the whole round
+    /// costs O(1) allocations per rank (one `Vec<u64>`), never the
+    /// `Vec<Vec<u8>>` materialization of the byte-level allgather.
     fn allgather_u64<'a>(&'a self, value: u64) -> BoxFut<'a, Vec<u64>> {
         Box::pin(async move {
             let buf = value.to_le_bytes();
-            self.allgather(&buf)
+            self.allgather_shared(&buf)
                 .await
                 .iter()
                 .map(|b| u64::from_le_bytes(b[..8].try_into().expect("u64 payload")))

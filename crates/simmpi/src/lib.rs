@@ -33,6 +33,7 @@
 //! assert_eq!(sums, vec![10, 10, 10, 10]);
 //! ```
 
+mod arena;
 pub mod co;
 mod comm;
 mod extra;

@@ -15,12 +15,13 @@
 //! communicator — the task-runtime analogue of `simcheck`'s blocked-rank
 //! dump, with no watchdog involved.
 
+use crate::arena::FrameArena;
 use crate::co::AllGathered;
 use crate::comm::CommStats;
 use crate::hook::{
     self, coll_tag, CheckHook, CollKind, CommCtx, LeakedMsg, COLL_TAG_MASK, COLL_TAG_PREFIX,
 };
-use crate::wire::{frame, subtree_size, unframe};
+use crate::wire::{frame, frame_into, frame_len, subtree_size, unframe};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -35,8 +36,12 @@ use std::task::{Context, Poll, Waker};
 /// or an `Arc` share of one buffer when the same bytes go to many
 /// destinations (the allgather down-phase, where per-edge copies of an
 /// O(P)-byte frame would make the collective O(P²) in total bytes).
-/// Logical length (and therefore every byte counter) is identical either
-/// way — sharing is a transport optimization, invisible on the wire.
+/// Sharing is visible to the byte accounting: [`CommStats`] charges a
+/// shared frame **once per logical payload** at the rank that forwards
+/// it, however many edges the `Arc` clone fans out to, and the mailbox
+/// byte gauges charge owned bytes only — an `Arc` clone adds no queued
+/// payload memory. The world-wide logical volume moved this way is
+/// tracked separately as `shared_frame_bytes` on [`WorldRt`].
 pub(super) enum MsgBuf {
     Owned(Vec<u8>),
     Shared(Arc<Vec<u8>>),
@@ -56,6 +61,32 @@ impl MsgBuf {
         match self {
             MsgBuf::Owned(v) => Arc::new(v),
             MsgBuf::Shared(a) => a,
+        }
+    }
+
+    /// Return the backing storage to the frame arena once the contents
+    /// have been consumed: free for `Owned` and for the last holder of a
+    /// `Shared` buffer; earlier holders of a shared buffer keep the bytes
+    /// alive, so those are simply dropped.
+    fn recycle(self, arena: &FrameArena) {
+        match self {
+            MsgBuf::Owned(v) => arena.recycle(v),
+            MsgBuf::Shared(a) => {
+                if let Ok(v) = Arc::try_unwrap(a) {
+                    arena.recycle(v);
+                }
+            }
+        }
+    }
+
+    /// Bytes this payload pins in a mailbox queue: a shared clone pins
+    /// nothing beyond the one buffer all clones point at, so only owned
+    /// payloads count toward the mailbox byte gauge. Applied identically
+    /// at enqueue and dequeue so the gauge balances to zero.
+    fn mbox_charge(&self) -> u64 {
+        match self {
+            MsgBuf::Owned(v) => v.len() as u64,
+            MsgBuf::Shared(_) => 0,
         }
     }
 }
@@ -133,6 +164,14 @@ pub(crate) struct WorldRt {
     aborting: AtomicBool,
     peak_mbox_msgs: AtomicU64,
     peak_mbox_bytes: AtomicU64,
+    /// Pooled backing storage for collective frames, shared by every
+    /// communicator of the world (splits included — they all hold this
+    /// `WorldRt`), so a frame allocated on one communicator's edge can be
+    /// reused on any other's.
+    arena: FrameArena,
+    /// Logical bytes moved as `Arc`-shared broadcast frames, counted once
+    /// per frame at the broadcast root (not once per edge clone).
+    shared_frame_bytes: AtomicU64,
 }
 
 impl WorldRt {
@@ -142,7 +181,25 @@ impl WorldRt {
             aborting: AtomicBool::new(false),
             peak_mbox_msgs: AtomicU64::new(0),
             peak_mbox_bytes: AtomicU64::new(0),
+            arena: FrameArena::new(),
+            shared_frame_bytes: AtomicU64::new(0),
         }
+    }
+
+    pub(super) fn arena(&self) -> &FrameArena {
+        &self.arena
+    }
+
+    fn note_shared_frame(&self, bytes: u64) {
+        self.shared_frame_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// `(fresh frame allocations, pooled frame reuses, shared frame
+    /// bytes)` — the allocation-discipline counters surfaced in
+    /// [`SchedStats`](super::SchedStats).
+    pub(crate) fn frame_stats(&self) -> (u64, u64, u64) {
+        let (allocs, reuses) = self.arena.stats();
+        (allocs, reuses, self.shared_frame_bytes.load(Ordering::Relaxed))
     }
 
     pub(crate) fn abort(&self) {
@@ -224,7 +281,7 @@ pub(super) fn mbox_send(
 ) {
     let waker = {
         let mut mb = mboxes[dest].lock();
-        mb.bytes += payload.len() as u64;
+        mb.bytes += payload.mbox_charge();
         world.note_mbox(mb.queue.len() as u64 + 1, mb.bytes);
         mb.queue.push_back((from, tag, payload));
         match &mb.waiting {
@@ -280,7 +337,7 @@ impl Future for Recv<'_> {
             .position(|(s, t, _)| *s == this.src && *t == this.tag);
         if let Some(pos) = hit {
             let (_, _, payload) = mb.queue.remove(pos).expect("position valid");
-            mb.bytes -= payload.len() as u64;
+            mb.bytes -= payload.mbox_charge();
             drop(mb);
             if this.parked {
                 this.parked = false;
@@ -382,6 +439,13 @@ impl TaskComm {
         mbox_send(&self.shared.mboxes, &self.shared.world, self.rank, dest, tag, payload);
     }
 
+    /// [`Self::isend`] without the per-edge byte charge — for `Arc` clones
+    /// of one shared frame, which [`Self::bcast_frame_impl`] charges once
+    /// per logical payload instead of once per edge.
+    fn isend_uncharged(&self, dest: usize, tag: u64, payload: MsgBuf) {
+        mbox_send(&self.shared.mboxes, &self.shared.world, self.rank, dest, tag, payload);
+    }
+
     fn irecv(&self, src: usize, tag: u64) -> Recv<'_> {
         Recv::new(
             &self.shared.mboxes,
@@ -425,8 +489,11 @@ impl TaskComm {
     /// sharing one refcounted buffer across all P−1 edges instead of
     /// copying the O(P)-byte frame per edge — the step that makes
     /// allgather (and with it `split`) linear instead of quadratic in
-    /// total bytes. Wire bytes and tags are identical to [`Self::bcast_impl`]
-    /// rooted at 0.
+    /// total bytes. Wire tags are identical to [`Self::bcast_impl`] rooted
+    /// at 0; the byte counters are not per-edge: a forwarding rank charges
+    /// its [`CommStats`] once per logical payload, however many children
+    /// its `Arc` clones fan out to, and the world counts each frame once
+    /// at the root as `shared_frame_bytes`.
     async fn bcast_frame_impl(
         &self,
         data: Option<Vec<u8>>,
@@ -442,13 +509,21 @@ impl TaskComm {
             let lsb = v & v.wrapping_neg();
             (self.irecv(v & (v - 1), tag).await.into_shared(), lsb)
         };
+        if v == 0 {
+            self.shared.world.note_shared_frame(buf.len() as u64);
+        }
         mask >>= 1;
+        let mut forwarded = false;
         while mask > 0 {
             let child = v + mask;
             if child < size {
-                self.isend(child, tag, buf.clone());
+                self.isend_uncharged(child, tag, MsgBuf::Shared(buf.clone()));
+                forwarded = true;
             }
             mask >>= 1;
+        }
+        if forwarded {
+            self.stats.add_bytes(buf.len() as u64);
         }
         buf
     }
@@ -467,18 +542,22 @@ impl TaskComm {
         // accumulator never reallocates on the way up.
         let mut acc: Vec<(u64, Vec<u8>)> = Vec::with_capacity(subtree_size(v, size));
         acc.push((v as u64, data.to_vec()));
+        let arena = self.shared.world.arena();
         let mut mask = 1usize;
         while mask < size {
             if v & mask != 0 {
-                let framed = frame(
-                    &acc.iter().map(|(id, p)| (*id, p.as_slice())).collect::<Vec<_>>(),
-                );
+                let entries =
+                    acc.iter().map(|(id, p)| (*id, p.as_slice())).collect::<Vec<_>>();
+                let mut framed = arena.acquire(frame_len(&entries));
+                frame_into(&mut framed, &entries);
                 self.isend(self.rank_of(v - mask, root), tag, framed);
                 return None;
             }
             let child = v + mask;
             if child < size {
-                acc.extend(unframe(&self.irecv(self.rank_of(child, root), tag).await));
+                let got = self.irecv(self.rank_of(child, root), tag).await;
+                acc.extend(unframe(&got));
+                got.recycle(arena);
             }
             mask <<= 1;
         }
@@ -499,6 +578,7 @@ impl TaskComm {
         let size = self.shared.size;
         let v = self.vrank(root);
         let tag = coll_tag(kind, seq, 0);
+        let arena = self.shared.world.arena();
         let (mut pending, mut mask) = if v == 0 {
             let parts = parts.expect("root must supply scatter parts");
             assert_eq!(parts.len(), size, "scatter needs one part per rank");
@@ -511,7 +591,9 @@ impl TaskComm {
         } else {
             let lsb = v & v.wrapping_neg();
             let got = self.irecv(self.rank_of(v & (v - 1), root), tag).await;
-            (unframe(&got), lsb)
+            let parts = unframe(&got);
+            got.recycle(arena);
+            (parts, lsb)
         };
         mask >>= 1;
         while mask > 0 {
@@ -519,8 +601,10 @@ impl TaskComm {
             if child < size {
                 let (send, keep): (Vec<_>, Vec<_>) =
                     pending.into_iter().partition(|(id, _)| *id >= child as u64);
-                let framed =
-                    frame(&send.iter().map(|(id, p)| (*id, p.as_slice())).collect::<Vec<_>>());
+                let entries =
+                    send.iter().map(|(id, p)| (*id, p.as_slice())).collect::<Vec<_>>();
+                let mut framed = arena.acquire(frame_len(&entries));
+                frame_into(&mut framed, &entries);
                 self.isend(self.rank_of(child, root), tag, framed);
                 pending = keep;
             }

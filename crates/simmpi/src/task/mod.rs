@@ -61,8 +61,19 @@ pub struct SchedStats {
     pub peak_runnable: u64,
     /// High-water mark of any single rank's mailbox depth, in messages.
     pub peak_mailbox_msgs: u64,
-    /// High-water mark of any single rank's queued mailbox payload bytes.
+    /// High-water mark of any single rank's queued mailbox payload bytes
+    /// (owned payloads only — an `Arc`-shared frame clone pins no
+    /// additional queue memory).
     pub peak_mailbox_bytes: u64,
+    /// Collective frames freshly heap-allocated (frame-arena pool misses).
+    /// In steady state this stops growing: every tree edge reuses pooled
+    /// backing storage.
+    pub frame_allocs: u64,
+    /// Collective frames served from the arena pool (hits).
+    pub frame_reuses: u64,
+    /// Logical bytes broadcast as `Arc`-shared frames, counted once per
+    /// frame — not once per tree edge the clone fans out to.
+    pub shared_frame_bytes: u64,
 }
 
 /// One operation parked at the moment a deadlock was declared.
@@ -174,6 +185,7 @@ where
         })
         .collect();
     let (peak_mailbox_msgs, peak_mailbox_bytes) = world.mbox_peaks();
+    let (frame_allocs, frame_reuses, shared_frame_bytes) = world.frame_stats();
     TaskRun {
         results,
         deadlock,
@@ -187,6 +199,9 @@ where
             peak_runnable: report.peak_runnable,
             peak_mailbox_msgs,
             peak_mailbox_bytes,
+            frame_allocs,
+            frame_reuses,
+            shared_frame_bytes,
         },
         trace: report.trace,
     }
@@ -636,6 +651,58 @@ mod tests {
         assert!(stats.peak_mailbox_bytes >= 8, "{stats:?}");
         // The tree keeps any one mailbox logarithmic, never O(P).
         assert!(stats.peak_mailbox_msgs <= 6, "{stats:?}");
+    }
+
+    #[test]
+    fn shared_bcast_frames_charge_bytes_once_per_logical_payload() {
+        let (out, stats) = TaskWorld::run_with(WS4, 4, |c| async move {
+            c.allgather_u64(c.rank() as u64 + 1).await;
+            c.stats().expect("task runtime tracks stats").bytes_sent()
+        });
+        // Down-phase frame over 4 ranks: 8-byte count + 4 × (id, len, 8-byte
+        // payload) = 104 bytes, Arc-shared down the tree.
+        let frame = 8 + 4 * (8 + 8 + 8) as u64;
+        // Up phase: vranks 1 and 3 frame one entry (32 B), vrank 2 frames
+        // two (56 B), the root sends nothing. Down phase: rank 0 forwards to
+        // two children and rank 2 to one, but each charges the shared frame
+        // ONCE per logical payload; leaves 1 and 3 charge nothing.
+        assert_eq!(out, vec![frame, 32, 56 + frame, 32]);
+        assert_eq!(
+            stats.shared_frame_bytes, frame,
+            "one logical shared payload in the whole world, counted at the root"
+        );
+    }
+
+    #[test]
+    fn steady_state_gather_rounds_reuse_pooled_frames() {
+        const RANKS: usize = 256;
+        const ROUNDS: u64 = 8;
+        let (_, stats) = TaskWorld::run_with(WS4, RANKS, |c| async move {
+            for _ in 0..ROUNDS {
+                let _ = c.gather(&[c.rank() as u8; 16], 0).await;
+                // The barrier bounds live frames to one per sender: by the
+                // time a round ends, every frame has been unframed and
+                // recycled, so later rounds draw entirely from the pool.
+                c.barrier().await;
+            }
+        });
+        let per_round = (RANKS - 1) as u64; // every non-root rank frames one edge
+        assert_eq!(
+            stats.frame_allocs + stats.frame_reuses,
+            ROUNDS * per_round,
+            "one arena acquire per tree edge"
+        );
+        // Total fresh allocations are bounded by the peak number of
+        // simultaneously live frames — one round's worth — regardless of
+        // how many rounds ran: steady-state rounds allocate nothing.
+        assert!(
+            stats.frame_allocs <= per_round,
+            "allocations must not scale with rounds: {stats:?}"
+        );
+        assert!(
+            stats.frame_reuses >= (ROUNDS - 1) * per_round,
+            "steady-state rounds are served from the pool: {stats:?}"
+        );
     }
 
     #[test]

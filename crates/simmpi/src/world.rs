@@ -45,8 +45,9 @@ use std::time::Instant;
 
 type Message = (usize, u64, Vec<u8>);
 
+use crate::arena::FrameArena;
 use crate::hook::{coll_tag, COLL_TAG_MASK, COLL_TAG_PREFIX};
-use crate::wire::{frame, unframe};
+use crate::wire::{frame, frame_into, frame_len, unframe};
 
 /// State shared by every rank of one communicator: the mailboxes, the
 /// split-construction rendezvous, the communicator's deterministic
@@ -67,10 +68,21 @@ struct Shared {
     /// number, color). The first rank of a color group to arrive creates the
     /// shared state; the rest attach.
     splits: Mutex<HashMap<(u64, u64), Arc<Shared>>>,
+    /// Pooled backing storage for tree-edge frames, inherited by splits so
+    /// a frame freed on any communicator serves every other.
+    arena: Arc<FrameArena>,
 }
 
 impl Shared {
     fn new(ctx: CommCtx, hook: Option<Arc<dyn CheckHook>>) -> Self {
+        Self::with_arena(ctx, hook, Arc::new(FrameArena::new()))
+    }
+
+    fn with_arena(
+        ctx: CommCtx,
+        hook: Option<Arc<dyn CheckHook>>,
+        arena: Arc<FrameArena>,
+    ) -> Self {
         assert!(ctx.size > 0, "communicator must have at least one rank");
         let (senders, receivers): (Vec<_>, Vec<_>) =
             (0..ctx.size).map(|_| unbounded::<Message>()).unzip();
@@ -81,6 +93,7 @@ impl Shared {
             senders,
             receivers: receivers.into_iter().map(Mutex::new).collect(),
             splits: Mutex::new(HashMap::new()),
+            arena,
         }
     }
 }
@@ -298,18 +311,22 @@ impl Communicator {
         let v = self.vrank(root);
         let tag = coll_tag(kind, seq, 0);
         let mut acc: Vec<(u64, Vec<u8>)> = vec![(v as u64, data.to_vec())];
+        let arena = &self.shared.arena;
         let mut mask = 1usize;
         while mask < size {
             if v & mask != 0 {
-                let framed = frame(
-                    &acc.iter().map(|(id, p)| (*id, p.as_slice())).collect::<Vec<_>>(),
-                );
+                let entries =
+                    acc.iter().map(|(id, p)| (*id, p.as_slice())).collect::<Vec<_>>();
+                let mut framed = arena.acquire(frame_len(&entries));
+                frame_into(&mut framed, &entries);
                 self.isend(self.rank_of(v - mask, root), tag, framed);
                 return None;
             }
             let child = v + mask;
             if child < size {
-                acc.extend(unframe(&self.irecv(self.rank_of(child, root), tag)));
+                let got = self.irecv(self.rank_of(child, root), tag);
+                acc.extend(unframe(&got));
+                arena.recycle(got);
             }
             mask <<= 1;
         }
@@ -334,6 +351,7 @@ impl Communicator {
         let size = self.shared.size;
         let v = self.vrank(root);
         let tag = coll_tag(kind, seq, 0);
+        let arena = &self.shared.arena;
         let (mut pending, mut mask) = if v == 0 {
             let parts = parts.expect("root must supply scatter parts");
             assert_eq!(parts.len(), size, "scatter needs one part per rank");
@@ -346,7 +364,9 @@ impl Communicator {
         } else {
             let lsb = v & v.wrapping_neg();
             let got = self.irecv(self.rank_of(v & (v - 1), root), tag);
-            (unframe(&got), lsb)
+            let parts = unframe(&got);
+            arena.recycle(got);
+            (parts, lsb)
         };
         // `pending` covers vranks [v, v + mask); peel off the upper half for
         // each child.
@@ -356,8 +376,10 @@ impl Communicator {
             if child < size {
                 let (send, keep): (Vec<_>, Vec<_>) =
                     pending.into_iter().partition(|(id, _)| *id >= child as u64);
-                let framed =
-                    frame(&send.iter().map(|(id, p)| (*id, p.as_slice())).collect::<Vec<_>>());
+                let entries =
+                    send.iter().map(|(id, p)| (*id, p.as_slice())).collect::<Vec<_>>();
+                let mut framed = arena.acquire(frame_len(&entries));
+                frame_into(&mut framed, &entries);
                 self.isend(self.rank_of(child, root), tag, framed);
                 pending = keep;
             }
@@ -560,9 +582,10 @@ impl Comm for Communicator {
             splits
                 .entry((split_no, color))
                 .or_insert_with(|| {
-                    Arc::new(Shared::new(
+                    Arc::new(Shared::with_arena(
                         self.shared.ctx.child(split_no, color, new_size),
                         self.shared.hook.clone(),
+                        self.shared.arena.clone(),
                     ))
                 })
                 .clone()

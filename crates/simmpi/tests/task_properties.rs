@@ -101,6 +101,30 @@ async fn all_ops_script(
     (bc, gathered, scattered, reduced, all)
 }
 
+/// Repeated gather/scatter rounds with *shrinking* payloads: from round 1
+/// on, every frame the pooled runtimes build fits inside a recycled
+/// (dirty) buffer from an earlier round, so any stale-tail or stale-length
+/// leak in the frame pool shows up as a byte mismatch against the
+/// fresh-allocation runtimes.
+async fn recycled_frames_script(
+    c: &dyn CoComm,
+    seed: u64,
+    root: usize,
+) -> Vec<(Option<Vec<Vec<u8>>>, Vec<u8>)> {
+    let mut out = Vec::new();
+    for round in 0..6u64 {
+        let max = 96usize >> round.min(5);
+        let mine = payload(seed ^ round, c.rank(), max);
+        let gathered = c.gather(&mine, root).await;
+        let parts = (c.rank() == root)
+            .then(|| (0..c.size()).map(|i| payload(!seed ^ round, i, max)).collect::<Vec<_>>());
+        let scattered = c.scatter(parts, root).await;
+        c.barrier().await;
+        out.push((gathered, scattered));
+    }
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -194,5 +218,29 @@ proptest! {
         let thread = World::run(n, |c| drive_ready(all_ops_script(&BlockingRef(c), seed, root)));
         prop_assert_eq!(&task, &thread, "serial tasks vs threads");
         prop_assert_eq!(&task, &stolen, "serial vs work-stealing");
+    }
+
+    /// Pooled vs fresh-allocation frames: steady-state rounds that provably
+    /// reuse recycled (dirty) frame buffers in the pooled tree runtimes
+    /// produce gather/scatter results identical to the flat runtimes, whose
+    /// collectives allocate fresh per round.
+    #[test]
+    fn pooled_frames_match_fresh_allocation_runtimes(n in 2usize..49, root_sel in any::<u64>(), seed in any::<u64>()) {
+        let root = (root_sel as usize) % n;
+        let (task, stats) = TaskWorld::run_with(WS4, n, |c| async move {
+            recycled_frames_script(&c, seed, root).await
+        });
+        let thread = World::run(n, |c| drive_ready(recycled_frames_script(&BlockingRef(c), seed, root)));
+        let flat_task = FlatTaskWorld::run(n, |c| async move {
+            recycled_frames_script(&c, seed, root).await
+        });
+        let flat = FlatWorld::run(n, |c| drive_ready(recycled_frames_script(&BlockingRef(c), seed, root)));
+        prop_assert_eq!(&task, &thread, "pooled task tree vs pooled thread tree");
+        prop_assert_eq!(&task, &flat_task, "pooled tree vs flat tasks");
+        prop_assert_eq!(&task, &flat, "pooled tree vs flat threads");
+        // The property is vacuous unless frames actually cycled through the
+        // pool: with >= 2 ranks and 6 rounds the task runtime must have
+        // reused at least one recycled buffer.
+        prop_assert!(stats.frame_reuses > 0, "no frame reuse: allocs={} reuses={}", stats.frame_allocs, stats.frame_reuses);
     }
 }

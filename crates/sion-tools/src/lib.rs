@@ -243,14 +243,24 @@ pub fn verify(vfs: &dyn Vfs, base: &str) -> Result<VerifyReport> {
         // Note: per-chunk `used <= usable` needs no check here — metadata
         // violating it cannot pass the strict fetch and is diagnosed by
         // the raw fallback path instead.
-        match mf.read_rank(rank) {
-            Ok(data) => {
+        // Certify the logical stream readable end to end. Uncompressed
+        // streams go through the borrow-based scan — on a leasing VFS the
+        // pass inspects pages in place and copies nothing — while
+        // compressed streams must be materialized to exercise
+        // decompression.
+        let scanned: Result<u64> = if compressed {
+            mf.read_rank(rank).map(|data| data.len() as u64)
+        } else {
+            mf.rank_reader(rank)
+                .and_then(|mut r| r.scan_remaining(&mut |_page| {}))
+        };
+        match scanned {
+            Ok(len) => {
                 // For uncompressed files the logical length must equal the
                 // stored length.
-                if !compressed && data.len() as u64 != t.stored_bytes {
+                if !compressed && len != t.stored_bytes {
                     report.problems.push(format!(
-                        "rank {rank}: logical length {} != stored bytes {}",
-                        data.len(),
+                        "rank {rank}: logical length {len} != stored bytes {}",
                         t.stored_bytes
                     ));
                     ok = false;

@@ -32,7 +32,7 @@
 
 use crate::error::{Result, SionError};
 use std::ops::{BitOr, BitOrAssign};
-use vfs::VfsFile;
+use vfs::{IoSlice, VfsFile};
 
 /// Magic at offset 0 of every physical file.
 pub const MAGIC1: [u8; 8] = *b"RSIONv1\0";
@@ -604,14 +604,17 @@ impl ChunkIndex {
 }
 
 /// Write the complete close-time metadata tail — metablock 2, its chunk
-/// index, and the v2 trailer — in **one** positioned write at `offset`,
-/// then truncate the file there.
+/// index, and the v2 trailer — as **one** vectored submission at `offset`
+/// (`[body, index, trailer]` slices, no concatenation copy), then truncate
+/// the file there.
 ///
 /// Every writer of finished files (serial close, collective close, rescue
 /// repair) goes through this function, so a forced repair of a cleanly
-/// closed file reproduces it byte for byte. The single write keeps the
-/// crash model of the v1 close: a torn tail has no valid trailer, and the
-/// file stays in the "never closed" state that repair handles.
+/// closed file reproduces it byte for byte. The iovec's in-order prefix
+/// guarantee keeps the crash model of the v1 close: the trailer is the
+/// last slice, so a torn tail — whether cut mid-slice or between slices —
+/// has no valid trailer and the file stays in the "never closed" state
+/// that repair handles.
 pub fn write_close_metadata(
     file: &dyn VfsFile,
     offset: u64,
@@ -621,20 +624,21 @@ pub fn write_close_metadata(
     let body = mb2.encode(ntasks_local);
     let index = ChunkIndex::from_mb2(mb2, ntasks_local).encode(ntasks_local);
     let idx_off = offset + body.len() as u64;
-    let mut tail =
-        Vec::with_capacity(body.len() + index.len() + TRAILER2_LEN as usize);
-    tail.extend_from_slice(&body);
-    tail.extend_from_slice(&index);
-    tail.extend_from_slice(&offset.to_le_bytes());
-    tail.extend_from_slice(&(body.len() as u64).to_le_bytes());
-    tail.extend_from_slice(&idx_off.to_le_bytes());
-    tail.extend_from_slice(&(index.len() as u64).to_le_bytes());
-    tail.extend_from_slice(&MAGIC_EOF2);
-    file.write_all_at(&tail, offset)?;
+    let mut trailer = Vec::with_capacity(TRAILER2_LEN as usize);
+    trailer.extend_from_slice(&offset.to_le_bytes());
+    trailer.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    trailer.extend_from_slice(&idx_off.to_le_bytes());
+    trailer.extend_from_slice(&(index.len() as u64).to_le_bytes());
+    trailer.extend_from_slice(&MAGIC_EOF2);
+    let total = body.len() as u64 + index.len() as u64 + TRAILER2_LEN;
+    file.write_vectored_at(
+        &[IoSlice::new(&body), IoSlice::new(&index), IoSlice::new(&trailer)],
+        offset,
+    )?;
     // Make the trailer the authoritative end of file even if earlier sparse
     // writes extended it further, and drop stale bytes from a previous
     // longer close when rewriting in place.
-    file.set_len(offset + tail.len() as u64)?;
+    file.set_len(offset + total)?;
     Ok(())
 }
 

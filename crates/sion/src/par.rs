@@ -67,7 +67,7 @@ use crate::stream::{ChunkGeom, IoCounters, TaskReader, TaskWriter, DEFAULT_READ_
 use crate::SionParams;
 use simmpi::{drive_ready, BlockingRef, CoComm, Comm, CommStats};
 use std::sync::Arc;
-use vfs::Vfs;
+use vfs::{IoSlice, Vfs};
 
 /// Payload a file master prepares during the collective write open: the
 /// per-task geometry blobs to scatter plus the created file handle.
@@ -637,13 +637,15 @@ async fn close_sharded(
                 mb2_off + MB2_FIXED_LEN + 8 * (b * n as u64 + shard_base as u64),
             )?;
         }
-        // The chunk index is task-major, so the whole shard is ONE
-        // contiguous write.
-        let mut idx = Vec::with_capacity(8 * (nblocks as usize) * m);
-        for rec in &per_task {
-            idx.extend_from_slice(&ChunkIndex::encode_task_slice(&rec.used, nblocks));
-        }
-        file.write_all_at(&idx, idx_off + IDX_FIXED_LEN + 8 * nblocks * shard_base as u64)?;
+        // The chunk index is task-major, so the whole shard lands as ONE
+        // contiguous vectored submission — one slice per task's encoded
+        // cumulative run, no concatenation copy.
+        let slices: Vec<Vec<u8>> = per_task
+            .iter()
+            .map(|rec| ChunkIndex::encode_task_slice(&rec.used, nblocks))
+            .collect();
+        let iov: Vec<IoSlice<'_>> = slices.iter().map(|s| IoSlice::new(s)).collect();
+        file.write_vectored_at(&iov, idx_off + IDX_FIXED_LEN + 8 * nblocks * shard_base as u64)?;
         Ok(())
     })();
 

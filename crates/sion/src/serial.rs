@@ -495,6 +495,17 @@ impl RankReader {
         self.inner.read(buf)
     }
 
+    /// Stream every remaining logical byte through `sink` without copying
+    /// when the backing [`Vfs`](vfs::Vfs) hands out page leases (MemFs
+    /// always does): the borrow-based pass `sionverify` uses to certify a
+    /// stream readable while only *inspecting* its pages. Returns the
+    /// number of bytes scanned. Errors on compressed multifiles — leases
+    /// expose stored bytes, and a compressed stream's logical content only
+    /// exists decompressed; use [`Self::read_some`] there.
+    pub fn scan_remaining(&mut self, sink: &mut dyn FnMut(&[u8])) -> Result<u64> {
+        self.inner.scan_remaining(sink)
+    }
+
     /// I/O-call accounting for this rank's read stream so far.
     pub fn io_counters(&self) -> IoCounters {
         self.inner.io_counters()

@@ -13,7 +13,7 @@ use crate::layout::FileLayout;
 use crate::rescue::{RescueHeader, RESCUE_HEADER_LEN};
 use std::sync::Arc;
 use szip::{FrameDecoder, FrameEncoder};
-use vfs::VfsFile;
+use vfs::{IoSlice, VfsFile};
 
 /// The chunk geometry of a single task within one physical file — the
 /// minimal slice of a [`FileLayout`] a task needs to address its chunks.
@@ -105,6 +105,19 @@ pub struct IoCounters {
     pub flushes: u64,
     /// Rescue-header `used`-field patches written.
     pub rescue_patches: u64,
+    /// Payload bytes memcpy'd through an engine-owned staging buffer
+    /// (write-behind coalescing, read-ahead window fills, bounce-buffer
+    /// scans). Zero-copy paths — vectored submits of caller slices, page
+    /// leases — move bytes without touching this counter, so tests can
+    /// assert the engine's copy discipline, not just its call counts.
+    pub bytes_copied: u64,
+    /// Transient heap buffers allocated on the hot path (staging/bounce
+    /// buffers). A buffer that grows counts once per growth; steady-state
+    /// reuse counts zero.
+    pub allocs: u64,
+    /// Submissions issued via `write_vectored_at` (each also counted once
+    /// in `vfs_calls`, however many slices it carried).
+    pub vectored_writes: u64,
 }
 
 /// Default write-behind buffer size (bytes); see `SionParams::write_buffer`.
@@ -168,7 +181,10 @@ impl TaskWriter {
             wbuf_start: 0,
             wbuf_cap,
             rescue_dirty: false,
-            counters: IoCounters::default(),
+            counters: IoCounters {
+                allocs: (wbuf_cap > 0) as u64,
+                ..IoCounters::default()
+            },
         }
     }
 
@@ -283,14 +299,21 @@ impl TaskWriter {
     }
 
     /// Low-level write of `data` at the current position (must fit). With
-    /// a write-behind buffer this only appends; the VFS sees one
-    /// `write_all_at` per filled buffer / flush point instead of one per
-    /// call. In write-through mode (`wbuf_cap == 0`) data goes straight to
-    /// the VFS, but the rescue patch is still deferred to flush points.
+    /// a write-behind buffer, records smaller than the buffer append to it
+    /// (the VFS sees one write per filled buffer / flush point instead of
+    /// one per call), while records that would fill the buffer anyway skip
+    /// it entirely: the caller's slice is submitted directly, together
+    /// with any pending buffered bytes, as one vectored write
+    /// ([`put_vectored`](Self::put_vectored)) — no memcpy of the payload.
+    /// In write-through mode (`wbuf_cap == 0`) data goes straight to the
+    /// VFS, but the rescue patch is still deferred to flush points.
     fn put(&mut self, data: &[u8]) -> Result<()> {
         debug_assert!(data.len() as u64 <= self.bytes_avail_in_chunk());
         if data.is_empty() {
             return Ok(());
+        }
+        if self.wbuf_cap > 0 && data.len() >= self.wbuf_cap {
+            return self.put_vectored(data);
         }
         self.enter_chunk()?;
         if self.wbuf_cap == 0 {
@@ -306,6 +329,7 @@ impl TaskWriter {
                 let room = self.wbuf_cap - self.wbuf.len();
                 let take = room.min(rest.len());
                 self.wbuf.extend_from_slice(&rest[..take]);
+                self.counters.bytes_copied += take as u64;
                 self.off += take as u64;
                 rest = &rest[take..];
                 if self.wbuf.len() == self.wbuf_cap {
@@ -315,6 +339,69 @@ impl TaskWriter {
         }
         // High-water mark: a seek backwards must not shrink the chunk.
         let b = self.block as usize;
+        self.used[b] = self.used[b].max(self.off);
+        self.rescue_dirty = true;
+        Ok(())
+    }
+
+    /// Large-record zero-copy flush: submit (rescue header on first chunk
+    /// touch) + (pending write-behind bytes) + (the caller's payload) as
+    /// ONE vectored VFS write. The payload never passes through the
+    /// write-behind buffer — the slices are handed to the backend as an
+    /// iovec and land contiguously at the current position.
+    ///
+    /// The same crash-consistency invariant as [`flush_pending`] holds:
+    /// the header slice (when present) carries `used = 0`, so nothing in
+    /// this submission claims bytes beyond what the write itself persists,
+    /// and the `used`-field patch still only happens at a *later* flush
+    /// point, strictly after this data write succeeded. On error the
+    /// pending buffer is left intact (nothing was consumed), so a retry
+    /// remains possible.
+    fn put_vectored(&mut self, data: &[u8]) -> Result<()> {
+        let b = self.block as usize;
+        let run_start = if self.wbuf.is_empty() { self.off } else { self.wbuf_start };
+        // First touch of the chunk with the data run starting right after
+        // the header slot: the header rides along as the leading slice.
+        // (Pending bytes imply the chunk was already entered, so the
+        // header-leading case only arises with an empty buffer at 0.)
+        let lead_header =
+            !self.entered[b] && self.geom.rescue_overhead > 0 && run_start == 0;
+        if !lead_header {
+            self.enter_chunk()?;
+        }
+        let header = RescueHeader {
+            global_rank: self.geom.global_rank,
+            block: self.block,
+            used: 0,
+        }
+        .encode();
+        let mut slices: [IoSlice<'_>; 3] = [IoSlice::new(&[]); 3];
+        let mut n = 0;
+        let at = if lead_header {
+            slices[n] = IoSlice::new(&header);
+            n += 1;
+            self.geom.chunk_start(self.block)
+        } else {
+            self.geom.data_offset(self.block) + run_start
+        };
+        if !self.wbuf.is_empty() {
+            slices[n] = IoSlice::new(&self.wbuf);
+            n += 1;
+        }
+        slices[n] = IoSlice::new(data);
+        n += 1;
+        let total: u64 = slices[..n].iter().map(|s| s.len() as u64).sum();
+        self.file.write_vectored_at(&slices[..n], at)?;
+        self.counters.vfs_calls += 1;
+        self.counters.vectored_writes += 1;
+        self.counters.vfs_bytes += total;
+        self.entered[b] = true;
+        if !self.wbuf.is_empty() {
+            self.counters.flushes += 1;
+            self.wbuf.clear();
+        }
+        self.off += data.len() as u64;
+        self.wbuf_start = self.off;
         self.used[b] = self.used[b].max(self.off);
         self.rescue_dirty = true;
         Ok(())
@@ -486,9 +573,12 @@ pub(crate) struct TaskReader {
     /// Decoded bytes not yet handed to the caller (compressed mode).
     decoded: Vec<u8>,
     decoded_pos: usize,
-    /// Read-ahead cache: stored bytes `[rbuf_start, rbuf_start+rbuf.len())`
-    /// of block `rbuf_block`.
+    /// Read-ahead cache: stored bytes of block `rbuf_block` starting at
+    /// chunk offset `rbuf_start`, backed either by an owned window
+    /// (`rbuf`, filled by a copying VFS read) or — when the backend can
+    /// lease its backing pages — by a zero-copy [`vfs::ByteLease`].
     rbuf: Vec<u8>,
+    rlease: Option<vfs::ByteLease>,
     rbuf_block: usize,
     rbuf_start: u64,
     /// Read-ahead window; 0 disables caching (one VFS read per request
@@ -517,6 +607,7 @@ impl TaskReader {
             decoded: Vec::new(),
             decoded_pos: 0,
             rbuf: Vec::new(),
+            rlease: None,
             rbuf_block: 0,
             rbuf_start: 0,
             ra_cap,
@@ -607,19 +698,37 @@ impl TaskReader {
             if let Some((start, len)) = cached {
                 let pos = (self.off - start) as usize;
                 let n = take.min(len - pos);
-                let src = &self.rbuf[pos..pos + n];
+                let src = match &self.rlease {
+                    Some(lease) => &lease[pos..pos + n],
+                    None => &self.rbuf[pos..pos + n],
+                };
                 buf[done..done + n].copy_from_slice(src);
+                self.counters.bytes_copied += n as u64;
                 self.off += n as u64;
                 done += n;
                 take -= n;
                 continue;
             }
-            // Miss: fetch a window from the current position.
+            // Miss: fetch a window from the current position. A page lease
+            // covering the whole window serves it with zero copies into the
+            // engine; otherwise an owned window is filled by a copying read.
             let avail = self.used[self.block] - self.off;
             let window = (avail as usize).min(self.ra_cap);
-            self.rbuf.resize(window, 0);
             let at = self.geom.data_offset(self.block as u64) + self.off;
-            self.file.read_exact_at(&mut self.rbuf, at)?;
+            match self.file.read_lease(at, window) {
+                Some(lease) if lease.len() == window => {
+                    self.rlease = Some(lease);
+                }
+                _ => {
+                    self.rlease = None;
+                    if window > self.rbuf.capacity() {
+                        self.counters.allocs += 1;
+                    }
+                    self.rbuf.resize(window, 0);
+                    self.file.read_exact_at(&mut self.rbuf, at)?;
+                    self.counters.bytes_copied += window as u64;
+                }
+            }
             self.counters.vfs_calls += 1;
             self.counters.vfs_bytes += window as u64;
             self.rbuf_block = self.block;
@@ -631,14 +740,71 @@ impl TaskReader {
     /// The cache window covering the current position, if any, as
     /// `(start, len)` in chunk offsets of the current block.
     fn cached_range(&self) -> Option<(u64, usize)> {
+        let len = match &self.rlease {
+            Some(lease) => lease.len(),
+            None => self.rbuf.len(),
+        };
         if self.rbuf_block == self.block
-            && !self.rbuf.is_empty()
+            && len > 0
             && self.off >= self.rbuf_start
-            && self.off < self.rbuf_start + self.rbuf.len() as u64
+            && self.off < self.rbuf_start + len as u64
         {
-            Some((self.rbuf_start, self.rbuf.len()))
+            Some((self.rbuf_start, len))
         } else {
             None
+        }
+    }
+
+    /// Borrow-based streaming pass over the rest of the stored stream:
+    /// each contiguous run is handed to `sink` straight from a page lease
+    /// when the backend supports it (zero bytes copied — `sionverify`'s
+    /// inspection pass runs this over `MemFs` without a single memcpy), or
+    /// from a bounce buffer on lease-less backends. Returns the stored
+    /// bytes scanned. Unavailable in compressed mode, where stored bytes
+    /// are not the logical stream.
+    pub fn scan_remaining(&mut self, sink: &mut dyn FnMut(&[u8])) -> Result<u64> {
+        if self.dec.is_some() {
+            return Err(SionError::InvalidArg(
+                "scan_remaining is unavailable in compressed mode; use read()".into(),
+            ));
+        }
+        self.counters.user_calls += 1;
+        // A scan moves the position without going through the window cache;
+        // drop any cached window so later reads re-fetch at the new spot.
+        self.rlease = None;
+        self.rbuf.clear();
+        let mut scratch: Vec<u8> = Vec::new();
+        let mut total = 0u64;
+        loop {
+            self.skip_empty_blocks();
+            if self.block >= self.used.len() {
+                return Ok(total);
+            }
+            let avail = self.used[self.block] - self.off;
+            let at = self.geom.data_offset(self.block as u64) + self.off;
+            let n = match self.file.read_lease(at, avail as usize) {
+                Some(lease) => {
+                    sink(&lease);
+                    lease.len() as u64
+                }
+                None => {
+                    // Bounce buffer, one bounded piece at a time, reused
+                    // across iterations (one alloc per scan, counted).
+                    let take = (avail as usize).min(64 * 1024);
+                    if scratch.is_empty() {
+                        self.counters.allocs += 1;
+                    }
+                    scratch.resize(take, 0);
+                    self.file.read_exact_at(&mut scratch[..take], at)?;
+                    self.counters.bytes_copied += take as u64;
+                    sink(&scratch[..take]);
+                    take as u64
+                }
+            };
+            self.counters.vfs_calls += 1;
+            self.counters.vfs_bytes += n;
+            self.off += n;
+            total += n;
         }
     }
 
@@ -1062,6 +1228,81 @@ mod tests {
         assert_eq!(&back[10..30], &[2u8; 20][..]);
         assert_eq!(&back[30..60], &[1u8; 30][..]);
         assert_eq!(&back[60..], &[3u8; 5][..]);
+    }
+
+    #[test]
+    fn large_records_bypass_buffer_as_one_vectored_write() {
+        let (fs, layout) = setup(&[200], Alignment::None, false);
+        let mut w = writer_buffered(&fs, &layout, 0, false, 32);
+        // Small record stages into the buffer; the large record then rides
+        // out in ONE vectored submission together with the pending bytes,
+        // never touching the write-behind buffer itself.
+        w.write(&[1u8; 10]).unwrap();
+        w.write(&[2u8; 100]).unwrap();
+        let c = w.io_counters();
+        assert_eq!(c.vectored_writes, 1, "{c:?}");
+        assert_eq!(c.vfs_calls, 1, "{c:?}");
+        assert_eq!(c.vfs_bytes, 110);
+        assert_eq!(c.bytes_copied, 10, "only the staged small record was copied");
+        let used = w.finish().unwrap();
+        assert_eq!(used, vec![110]);
+        let mut r = reader(
+            fs.open("f").unwrap(),
+            ChunkGeom::from_layout(&layout, 0, 0),
+            used,
+            false,
+        );
+        let mut back = vec![0u8; 110];
+        r.read_exact(&mut back).unwrap();
+        assert_eq!(&back[..10], &[1u8; 10][..]);
+        assert_eq!(&back[10..], &[2u8; 100][..]);
+    }
+
+    #[test]
+    fn rescue_header_rides_along_in_the_vectored_submit() {
+        let (fs, layout) = setup(&[200], Alignment::FsBlock, true);
+        let usable = layout.cap[0] - layout.rescue_overhead;
+        let mut w = writer_buffered(&fs, &layout, 0, false, 32);
+        // First touch of the chunk with a large record: header slice +
+        // payload slice land in one vectored write.
+        w.write(&vec![9u8; usable as usize]).unwrap();
+        let c = w.io_counters();
+        assert_eq!(c.vectored_writes, 1, "{c:?}");
+        assert_eq!(c.vfs_calls, 1, "header was not a separate write: {c:?}");
+        assert_eq!(c.vfs_bytes, RESCUE_HEADER_LEN + usable);
+        let used = w.finish().unwrap();
+        assert_eq!(used, vec![usable]);
+        let file = fs.open("f").unwrap();
+        let mut hdr = [0u8; RESCUE_HEADER_LEN as usize];
+        file.read_exact_at(&mut hdr, layout.chunk_start(0, 0)).unwrap();
+        let h = RescueHeader::decode(&hdr).unwrap();
+        assert_eq!((h.global_rank, h.block, h.used), (0, 0, usable));
+    }
+
+    #[test]
+    fn borrow_scan_copies_nothing_on_memfs() {
+        // A full-page borrow-read: 4096 bytes written, scanned back via
+        // page leases — the engine moves every byte with zero memcpys.
+        let (fs, layout) = setup(&[4096], Alignment::None, false);
+        let mut w = writer_buffered(&fs, &layout, 0, false, 0);
+        let data: Vec<u8> = (0..4096).map(|i| (i % 239) as u8).collect();
+        w.write(&data).unwrap();
+        let used = w.finish().unwrap();
+
+        let mut r = reader(
+            fs.open("f").unwrap(),
+            ChunkGeom::from_layout(&layout, 0, 0),
+            used,
+            false,
+        );
+        let mut back = Vec::new();
+        let n = r.scan_remaining(&mut |piece| back.extend_from_slice(piece)).unwrap();
+        assert_eq!(n, 4096);
+        assert_eq!(back, data);
+        let c = r.io_counters();
+        assert_eq!(c.bytes_copied, 0, "leases served the whole scan: {c:?}");
+        assert_eq!(c.allocs, 0, "no bounce buffer was needed: {c:?}");
+        assert!(r.feof());
     }
 
     #[test]

@@ -35,6 +35,33 @@ fn serial_writer_roundtrip() {
 }
 
 #[test]
+fn rank_reader_scan_is_zero_copy_on_memfs() {
+    let fs = MemFs::with_block_size(1024);
+    let chunksizes = [700u64, 300, 900];
+    let params = SionParams::new(0);
+    let mut w = SerialWriter::create(&fs, "scan.sion", &chunksizes, &params).unwrap();
+    for rank in 0..3 {
+        w.select_rank(rank).unwrap();
+        w.write(&payload(rank, 1500)).unwrap();
+    }
+    w.close().unwrap();
+
+    let mf = Multifile::open(&fs, "scan.sion").unwrap();
+    for rank in 0..3 {
+        let mut r = mf.rank_reader(rank).unwrap();
+        let mut seen = Vec::new();
+        let n = r.scan_remaining(&mut |piece| seen.extend_from_slice(piece)).unwrap();
+        assert_eq!(n, 1500, "rank {rank}");
+        assert_eq!(seen, payload(rank, 1500), "rank {rank}");
+        let c = r.io_counters();
+        assert_eq!(
+            c.bytes_copied, 0,
+            "rank {rank}: MemFs leases serve the whole scan without copying: {c:?}"
+        );
+    }
+}
+
+#[test]
 fn serial_seek_positions_by_rank_chunk_pos() {
     let fs = MemFs::with_block_size(256);
     let params = SionParams::new(0).with_alignment(Alignment::None);

@@ -45,7 +45,7 @@
 //! quota) so a harness can stop injecting and run recovery over the same
 //! image.
 
-use crate::{Vfs, VfsFile};
+use crate::{IoSlice, Vfs, VfsFile};
 use parking_lot::Mutex;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -372,6 +372,33 @@ impl VfsFile for FaultFile {
         self.do_write(buf, offset)
     }
 
+    /// Vectored writes fan out through the same injected-fault write path,
+    /// one op-log entry (and one global sequence number) per submitted
+    /// slice. Because slices are admitted in order, an armed crash switch
+    /// or byte quota cuts the iovec *mid-stream*: earlier slices persist,
+    /// the slice at the trigger may persist a torn prefix, and everything
+    /// after persists nothing — exactly the prefix guarantee the trait
+    /// documents, so the crash-consistency sweep exercises torn vectored
+    /// tails with no extra harness code.
+    fn write_vectored_at(&self, bufs: &[IoSlice<'_>], offset: u64) -> io::Result<()> {
+        let mut at = offset;
+        for b in bufs {
+            let mut done = 0;
+            while done < b.len() {
+                let n = self.do_write(&b[done..], at + done as u64)?;
+                if n == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "write_vectored_at: wrote zero bytes",
+                    ));
+                }
+                done += n;
+            }
+            at += b.len() as u64;
+        }
+        Ok(())
+    }
+
     fn set_len(&self, len: u64) -> io::Result<()> {
         let (seq, admitted) = self.state.admit(FaultKind::SetLen);
         let ok = admitted.is_ok();
@@ -539,6 +566,50 @@ mod tests {
         let mut back = [0u8; 10];
         f.read_exact_at(&mut back, 0).unwrap();
         assert_eq!(&back, b"12345678ab");
+    }
+
+    #[test]
+    fn vectored_write_logs_one_record_per_slice_and_tears_mid_iovec() {
+        let fs = FaultFs::new(MemFs::new());
+        let f = fs.create("vt").unwrap(); // op 0
+        // Op 1 = slice "aaaa"; op 2 = slice "bbbb", torn after 2 bytes;
+        // any later slice fails cleanly past the crash point.
+        fs.crash_torn_write(2, 2);
+        let err = f
+            .write_vectored_at(
+                &[IoSlice::new(b"aaaa"), IoSlice::new(b"bbbb"), IoSlice::new(b"cccc")],
+                0,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        fs.clear();
+        let g = fs.open("vt").unwrap();
+        assert_eq!(g.len().unwrap(), 6, "first slice + torn prefix of second");
+        let mut back = [0u8; 6];
+        g.read_exact_at(&mut back, 0).unwrap();
+        assert_eq!(&back, b"aaaabb");
+        // One log record per submitted slice, at the slice's own offset.
+        let log = fs.take_log();
+        let writes: Vec<&OpRecord> =
+            log.iter().filter(|r| r.kind == FaultKind::Write).collect();
+        assert_eq!(writes.len(), 2, "third slice was never admitted as a write");
+        assert_eq!((writes[0].offset, writes[0].persisted, writes[0].ok), (0, 4, true));
+        assert_eq!((writes[1].offset, writes[1].persisted, writes[1].ok), (4, 2, false));
+    }
+
+    #[test]
+    fn quota_cuts_vectored_write_mid_iovec() {
+        let fs = FaultFs::new(MemFs::new());
+        fs.set_quota(6);
+        let f = fs.create("vq").unwrap();
+        let err = f
+            .write_vectored_at(&[IoSlice::new(b"1234"), IoSlice::new(b"5678")], 0)
+            .unwrap_err();
+        assert!(err.to_string().contains("quota"), "{err}");
+        assert_eq!(f.len().unwrap(), 6, "exactly the quota persisted");
+        let mut back = [0u8; 6];
+        f.read_exact_at(&mut back, 0).unwrap();
+        assert_eq!(&back, b"123456");
     }
 
     #[test]

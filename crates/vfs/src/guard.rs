@@ -22,7 +22,7 @@
 //! per file and sorted by (path, block, tasks) before rendering, so a
 //! failing seed reproduces byte-identical output.
 
-use crate::{Vfs, VfsFile};
+use crate::{ByteLease, IoSlice, Vfs, VfsFile};
 use parking_lot::Mutex;
 use std::cell::Cell;
 use std::collections::BTreeMap;
@@ -177,6 +177,24 @@ impl VfsFile for GuardFile {
         Ok(n)
     }
 
+    /// Forward the whole iovec to the inner backend's batched submission,
+    /// then attribute each slice's extent to the current writer — block
+    /// ownership is per physical byte range, so the guard sees the same
+    /// extents whether the caller submitted them scalar or vectored.
+    fn write_vectored_at(&self, bufs: &[IoSlice<'_>], offset: u64) -> io::Result<()> {
+        self.inner.write_vectored_at(bufs, offset)?;
+        let mut at = offset;
+        for b in bufs {
+            self.state.record_write(self.block_size, &self.path, at, b.len());
+            at += b.len() as u64;
+        }
+        Ok(())
+    }
+
+    fn read_lease(&self, offset: u64, max_len: usize) -> Option<ByteLease> {
+        self.inner.read_lease(offset, max_len)
+    }
+
     fn set_len(&self, len: u64) -> io::Result<()> {
         self.inner.set_len(len)
     }
@@ -291,6 +309,24 @@ mod tests {
         let msg = err.downcast_ref::<String>().unwrap();
         assert!(msg.contains("[block-contention]"), "{msg}");
         assert!(msg.contains("FS block 0"), "{msg}");
+    }
+
+    #[test]
+    fn vectored_slices_are_attributed_like_scalar_writes() {
+        let fs = guarded();
+        let f = fs.create("a").unwrap();
+        set_task(0);
+        f.write_all_at(&[1u8; 64], 0).unwrap();
+        set_task(1);
+        // Slice 1 tail-ends block 0 (owned by task 0) — flagged; slice 2
+        // continues into block 1, which is untouched — fine.
+        f.write_vectored_at(&[IoSlice::new(&[2u8; 8]), IoSlice::new(&[3u8; 8])], 56)
+            .unwrap();
+        clear_task();
+        let v = fs.violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!((v[0].block, v[0].prev_task, v[0].task), (0, 0, 1));
+        assert_eq!(v[0].offset, 56, "violation is attributed to the slice's own offset");
     }
 
     #[test]

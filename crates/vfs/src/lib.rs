@@ -31,7 +31,52 @@ pub use local::LocalFs;
 pub use mem::{MemFs, MemFsStats};
 
 use std::io;
+pub use std::io::IoSlice;
 use std::sync::Arc;
+
+/// A zero-copy read lease: a refcounted borrow of a contiguous run of a
+/// file's backing storage, handed out by [`VfsFile::read_lease`].
+///
+/// The lease keeps the backing buffer alive (and its contents frozen from
+/// the lease holder's point of view — writers replace pages copy-on-write
+/// rather than mutating leased ones), so consumers can inspect file bytes
+/// without a memcpy into a caller-owned buffer.
+pub struct ByteLease {
+    buf: Arc<dyn AsRef<[u8]> + Send + Sync>,
+    start: usize,
+    len: usize,
+}
+
+impl ByteLease {
+    /// Lease `buf[start..start + len]`. Panics if the range is out of
+    /// bounds — backends construct leases from ranges they just validated.
+    pub fn new(buf: Arc<dyn AsRef<[u8]> + Send + Sync>, start: usize, len: usize) -> ByteLease {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= buf.as_ref().as_ref().len()),
+            "lease range out of bounds"
+        );
+        ByteLease { buf, start, len }
+    }
+
+    /// The leased bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf.as_ref().as_ref()[self.start..self.start + self.len]
+    }
+
+    /// Length of the leased run.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl std::ops::Deref for ByteLease {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
 
 /// A handle to an open file supporting positioned (pread/pwrite-style) I/O.
 ///
@@ -75,6 +120,41 @@ pub trait VfsFile: Send + Sync {
             done += n;
         }
         Ok(())
+    }
+
+    /// Write all of `bufs`, laid end to end, starting at `offset` — the
+    /// positioned `pwritev`: one submission for a whole iovec instead of
+    /// one call per slice.
+    ///
+    /// Error semantics match the scalar default below on every backend:
+    /// slices persist **in order**, so on failure the file holds some
+    /// prefix of the iovec (possibly cut mid-slice) and nothing beyond it.
+    /// The crash-consistency harness relies on this prefix guarantee.
+    ///
+    /// The provided default loops [`write_all_at`](Self::write_all_at) per
+    /// slice — correct everywhere; backends override it to batch the
+    /// submission ([`MemFs`] applies the whole iovec under one file lock,
+    /// [`LocalFs`] coalesces into a single syscall).
+    fn write_vectored_at(&self, bufs: &[IoSlice<'_>], offset: u64) -> io::Result<()> {
+        let mut at = offset;
+        for b in bufs {
+            self.write_all_at(b, at)?;
+            at += b.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Borrow up to `max_len` bytes at `offset` straight from the file's
+    /// backing storage, without copying. Returns a lease over **at most**
+    /// `max_len` bytes — however much of the range one contiguous backing
+    /// run can serve (at least one byte) — or `None` when the backend has
+    /// no shareable backing storage for the range (real disks, holes, or
+    /// `offset` at/past end of file). Callers must treat `None` and short
+    /// leases as a cue to fall back to [`read_at`](Self::read_at); the two
+    /// paths observe identical bytes.
+    fn read_lease(&self, offset: u64, max_len: usize) -> Option<ByteLease> {
+        let _ = (offset, max_len);
+        None
     }
 
     /// Write all of `buf` at `offset`, failing on short writes.

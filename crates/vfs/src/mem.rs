@@ -7,7 +7,7 @@
 //! empty blocks"), and lets tests assert on *physically allocated* bytes
 //! (e.g. that `siondefrag` removes gaps).
 
-use crate::{normalize_path, Vfs, VfsFile};
+use crate::{normalize_path, ByteLease, IoSlice, Vfs, VfsFile};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::io;
@@ -17,10 +17,20 @@ use std::sync::Arc;
 /// in tests exercise multi-page paths, large enough to stay fast.
 const PAGE: usize = 4096;
 
+/// One backing page: always exactly [`PAGE`] bytes once allocated,
+/// refcounted so [`VfsFile::read_lease`] can hand it out without copying.
+/// Writers that hit a leased page replace it copy-on-write
+/// ([`Arc::make_mut`]), so leases observe a consistent snapshot.
+type Page = Arc<Vec<u8>>;
+
+fn blank_page() -> Page {
+    Arc::new(vec![0u8; PAGE])
+}
+
 #[derive(Default)]
 struct FileData {
     /// page index -> page contents (always PAGE bytes once allocated)
-    pages: BTreeMap<u64, Box<[u8]>>,
+    pages: BTreeMap<u64, Page>,
     len: u64,
 }
 
@@ -59,13 +69,14 @@ impl FileData {
             if in_page == 0 && take == PAGE {
                 // Full-page overwrite: build the page straight from the
                 // source slice instead of zero-filling and copying over it.
-                self.pages.insert(page_idx, buf[done..done + PAGE].into());
+                // Outstanding leases keep the old page alive unchanged.
+                self.pages.insert(page_idx, Arc::new(buf[done..done + PAGE].to_vec()));
             } else {
-                let page = self
-                    .pages
-                    .entry(page_idx)
-                    .or_insert_with(|| vec![0u8; PAGE].into_boxed_slice());
-                page[in_page..in_page + take].copy_from_slice(&buf[done..done + take]);
+                let page = self.pages.entry(page_idx).or_insert_with(blank_page);
+                // Copy-on-write: clones the page only when a lease (or a
+                // sibling handle's lease) still holds the old contents.
+                Arc::make_mut(page)[in_page..in_page + take]
+                    .copy_from_slice(&buf[done..done + take]);
             }
             done += take;
         }
@@ -83,7 +94,7 @@ impl FileData {
             });
             if keep_into_boundary > 0 {
                 if let Some(page) = self.pages.get_mut(&boundary_page) {
-                    page[keep_into_boundary..].fill(0);
+                    Arc::make_mut(page)[keep_into_boundary..].fill(0);
                 }
             }
         }
@@ -103,6 +114,38 @@ impl VfsFile for MemFile {
     fn write_at(&self, buf: &[u8], offset: u64) -> io::Result<usize> {
         self.data.write().write_at(buf, offset);
         Ok(buf.len())
+    }
+
+    /// Native vectored write: the whole iovec is applied under ONE file
+    /// write-lock (each slice still taking the full-page fast path where
+    /// aligned), instead of one lock round-trip per slice.
+    fn write_vectored_at(&self, bufs: &[IoSlice<'_>], offset: u64) -> io::Result<()> {
+        let mut d = self.data.write();
+        let mut at = offset;
+        for b in bufs {
+            d.write_at(b, at);
+            at += b.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Zero-copy borrow of the backing page: the lease is an `Arc` clone of
+    /// the page plus a range — no byte is copied. A lease ends at the page
+    /// boundary, at end of file, or at a hole (`None`: holes have no
+    /// backing storage to borrow; callers fall back to `read_at`).
+    fn read_lease(&self, offset: u64, max_len: usize) -> Option<ByteLease> {
+        if max_len == 0 {
+            return None;
+        }
+        let d = self.data.read();
+        if offset >= d.len {
+            return None;
+        }
+        let page_idx = offset / PAGE as u64;
+        let in_page = (offset % PAGE as u64) as usize;
+        let page = d.pages.get(&page_idx)?;
+        let take = (PAGE - in_page).min(max_len).min((d.len - offset) as usize);
+        Some(ByteLease::new(page.clone(), in_page, take))
     }
 
     fn set_len(&self, len: u64) -> io::Result<()> {
@@ -376,6 +419,78 @@ mod tests {
         let f = fs.open("run/t3/file7").unwrap();
         f.read_exact_at(&mut buf, 0).unwrap();
         assert_eq!(buf, [3u8; 16]);
+    }
+
+    #[test]
+    fn lease_borrows_page_without_copy() {
+        let fs = MemFs::new();
+        let f = fs.create("l").unwrap();
+        let data: Vec<u8> = (0..PAGE).map(|i| (i % 241) as u8).collect();
+        f.write_all_at(&data, 0).unwrap();
+        // Full-page lease: same bytes, and zero-copy (the lease aliases the
+        // live page — dropping the read lock first proves no clone happened).
+        let lease = f.read_lease(0, PAGE).unwrap();
+        assert_eq!(lease.len(), PAGE);
+        assert_eq!(&lease[..], &data[..]);
+        // A lease never crosses a page boundary; mid-page start clamps.
+        let lease = f.read_lease(100, PAGE).unwrap();
+        assert_eq!(lease.len(), PAGE - 100);
+        assert_eq!(&lease[..], &data[100..]);
+    }
+
+    #[test]
+    fn lease_clamps_to_eof_and_skips_holes() {
+        let fs = MemFs::new();
+        let f = fs.create("l2").unwrap();
+        f.write_all_at(b"abcdef", 0).unwrap();
+        // Clamped at end of file.
+        let lease = f.read_lease(2, 100).unwrap();
+        assert_eq!(&lease[..], b"cdef");
+        // At/past EOF: no lease.
+        assert!(f.read_lease(6, 10).is_none());
+        assert!(f.read_lease(600, 10).is_none());
+        assert!(f.read_lease(0, 0).is_none());
+        // Holes have no backing page to borrow: callers fall back to
+        // read_at, which yields zeros.
+        f.write_all_at(b"z", 3 * PAGE as u64).unwrap();
+        assert!(f.read_lease(PAGE as u64, 10).is_none());
+    }
+
+    #[test]
+    fn lease_survives_overwrite_copy_on_write() {
+        let fs = MemFs::new();
+        let f = fs.create("cow").unwrap();
+        f.write_all_at(&[0x11; PAGE], 0).unwrap();
+        let lease = f.read_lease(0, PAGE).unwrap();
+        // Partial overwrite forces COW; full-page overwrite replaces the Arc.
+        f.write_all_at(&[0x22; 8], 100).unwrap();
+        f.write_all_at(&[0x33; PAGE], 0).unwrap();
+        // The lease still sees the snapshot it borrowed.
+        assert!(lease.iter().all(|&b| b == 0x11));
+        let mut now = [0u8; 8];
+        f.read_exact_at(&mut now, 100).unwrap();
+        assert_eq!(now, [0x33; 8]);
+    }
+
+    #[test]
+    fn vectored_write_matches_concatenated_scalar() {
+        let fs = MemFs::new();
+        let f = fs.create("v").unwrap();
+        let a = vec![1u8; 17];
+        let b = vec![2u8; PAGE];
+        let c = vec![3u8; PAGE / 2];
+        f.write_vectored_at(
+            &[IoSlice::new(&a), IoSlice::new(&b), IoSlice::new(&c)],
+            PAGE as u64 - 5,
+        )
+        .unwrap();
+        let mut flat = a.clone();
+        flat.extend_from_slice(&b);
+        flat.extend_from_slice(&c);
+        assert_eq!(f.len().unwrap(), PAGE as u64 - 5 + flat.len() as u64);
+        let mut back = vec![0u8; flat.len()];
+        f.read_exact_at(&mut back, PAGE as u64 - 5).unwrap();
+        assert_eq!(back, flat);
     }
 
     #[test]
