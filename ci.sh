@@ -85,6 +85,18 @@ cargo run --release -p sion-bench --bin throughput -- \
 grep -q '"bench": "throughput"' target/bench/BENCH_throughput.json
 grep -q '"backend": "tmpfs"' target/bench/BENCH_throughput.json
 
+echo "==> aggregation quick sweep (two-phase aggregated vs independent, parfs jugene)"
+# The binary exits 3 unless, on the parfs Jugene model, aggregated mode
+# reaches >= 2x the independent-mode write bandwidth at every <= 4 KiB
+# record point with >= 64 tasks per FS block, AND stays within 10% of
+# independent at the >= 1 MiB aligned-record point (where block-exclusive
+# chunks leave nothing for aggregation to win). Exit 2 on overrun.
+cargo run --release -p sion-bench --bin aggregation -- \
+    --quick --budget-secs 120 --out target/bench/BENCH_aggregation.json
+grep -q '"bench": "aggregation"' target/bench/BENCH_aggregation.json
+grep -q '"record_bytes": 4096' target/bench/BENCH_aggregation.json
+grep -q '"aligned": true' target/bench/BENCH_aggregation.json
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -111,6 +111,21 @@ pub trait CoComm: Send + Sync {
     /// deliverable.
     fn recv<'a>(&'a self, src: usize, tag: u64) -> BoxFut<'a, Vec<u8>>;
 
+    /// Non-blocking matched receive: the next already-deliverable
+    /// `(src, tag)` message, or `None` without parking; see
+    /// [`Comm::try_recv`]. The default returns `None`, which degrades
+    /// opportunistic drains to their blocking fallback — still correct.
+    fn try_recv(&self, src: usize, tag: u64) -> Option<Vec<u8>> {
+        let _ = (src, tag);
+        None
+    }
+
+    /// Return a consumed payload's backing storage to the runtime's frame
+    /// pool, if it has one; see [`Comm::recycle`]. The default drops it.
+    fn recycle(&self, buf: Vec<u8>) {
+        drop(buf);
+    }
+
     /// Parks until every rank has entered the barrier.
     fn barrier<'a>(&'a self) -> BoxFut<'a, ()>;
 
@@ -267,6 +282,14 @@ macro_rules! blocking_cocomm {
 
             fn recv<'a>(&'a self, src: usize, tag: u64) -> BoxFut<'a, Vec<u8>> {
                 Box::pin(ready(self.inner().recv(src, tag)))
+            }
+
+            fn try_recv(&self, src: usize, tag: u64) -> Option<Vec<u8>> {
+                self.inner().try_recv(src, tag)
+            }
+
+            fn recycle(&self, buf: Vec<u8>) {
+                self.inner().recycle(buf)
             }
 
             fn barrier<'a>(&'a self) -> BoxFut<'a, ()> {

@@ -146,6 +146,24 @@ pub trait Comm: Send + Sync {
     /// MPI-style message matching: other (source, tag) messages are queued).
     fn recv(&self, src: usize, tag: u64) -> Vec<u8>;
 
+    /// Non-blocking matched receive: the next already-deliverable message
+    /// from `src` with `tag`, or `None` without blocking. FIFO order per
+    /// `(src, tag)` matches [`recv`](Self::recv). The default returns
+    /// `None` — callers must treat that as "nothing yet" and fall back to
+    /// a blocking `recv` when they need the message.
+    fn try_recv(&self, src: usize, tag: u64) -> Option<Vec<u8>> {
+        let _ = (src, tag);
+        None
+    }
+
+    /// Return a payload received via [`recv`](Self::recv)/
+    /// [`try_recv`](Self::try_recv) to the runtime's frame pool, if it has
+    /// one, so steady-state point-to-point rounds allocate nothing. The
+    /// default drops the buffer.
+    fn recycle(&self, buf: Vec<u8>) {
+        drop(buf);
+    }
+
     /// Live op/byte counters for this rank's view of the communicator, when
     /// the runtime tracks them (`None` otherwise). The returned handle keeps
     /// counting after the communicator is dropped.

@@ -297,6 +297,22 @@ pub(super) fn mbox_send(
     }
 }
 
+/// Non-blocking matched receive: take the first queued `(src, tag)` match
+/// from `rank`'s mailbox, or `None` without parking — the poll half of
+/// [`Recv`]'s hit path, shared by both task communicators' `try_recv`.
+pub(super) fn mbox_try_take(
+    mboxes: &[Mutex<Mbox>],
+    rank: usize,
+    src: usize,
+    tag: u64,
+) -> Option<MsgBuf> {
+    let mut mb = mboxes[rank].lock();
+    let pos = mb.queue.iter().position(|(s, t, _)| *s == src && *t == tag)?;
+    let (_, _, payload) = mb.queue.remove(pos).expect("position valid");
+    mb.bytes -= payload.mbox_charge();
+    Some(payload)
+}
+
 /// Matched-receive future over a mailbox slice; the runtime's only
 /// point-to-point parking point.
 pub(super) struct Recv<'a> {
@@ -786,7 +802,11 @@ impl crate::co::CoComm for TaskComm {
             panic!("tags with top byte 0xC3 are reserved for internal collectives");
         }
         self.stats.bump_send();
-        self.isend(dest, tag, data.to_vec());
+        // Arena-backed payload: recycled through the world frame pool by
+        // the receiver so steady-state p2p rounds allocate nothing.
+        let mut payload = self.shared.world.arena().acquire(data.len());
+        payload.extend_from_slice(data);
+        self.isend(dest, tag, payload);
     }
 
     fn recv<'a>(&'a self, src: usize, tag: u64) -> crate::co::BoxFut<'a, Vec<u8>> {
@@ -795,6 +815,17 @@ impl crate::co::CoComm for TaskComm {
             self.stats.bump_recv();
             self.irecv(src, tag).await.into_vec()
         })
+    }
+
+    fn try_recv(&self, src: usize, tag: u64) -> Option<Vec<u8>> {
+        assert!(src < self.shared.size, "try_recv src {src} out of range");
+        let payload = mbox_try_take(&self.shared.mboxes, self.rank, src, tag)?;
+        self.stats.bump_recv();
+        Some(payload.into_vec())
+    }
+
+    fn recycle(&self, buf: Vec<u8>) {
+        self.shared.world.arena().recycle(buf);
     }
 
     fn barrier<'a>(&'a self) -> crate::co::BoxFut<'a, ()> {

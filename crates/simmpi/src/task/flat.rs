@@ -20,7 +20,7 @@
 //! used to stop terminating. The wire results are byte-identical; only
 //! who computes them changed.
 
-use super::comm::{mbox_send, Mbox, ParkKind, Parked, Recv, WorldRt};
+use super::comm::{mbox_send, mbox_try_take, Mbox, ParkKind, Parked, Recv, WorldRt};
 use crate::co::{AllGathered, BoxFut, CoComm};
 use crate::comm::CommStats;
 use crate::hook::{CheckHook, CollKind, CommCtx, LeakedMsg, COLL_TAG_MASK, COLL_TAG_PREFIX};
@@ -260,13 +260,17 @@ impl CoComm for FlatTaskComm {
         }
         self.stats.bump_send();
         self.stats.add_bytes(data.len() as u64);
+        // Arena-backed payload: recycled by the receiver through the world
+        // frame pool so steady-state p2p rounds allocate nothing.
+        let mut payload = self.shared.world.arena().acquire(data.len());
+        payload.extend_from_slice(data);
         mbox_send(
             &self.shared.mboxes,
             &self.shared.world,
             self.rank,
             dest,
             tag,
-            data.to_vec().into(),
+            payload.into(),
         );
     }
 
@@ -286,6 +290,17 @@ impl CoComm for FlatTaskComm {
             .await
             .into_vec()
         })
+    }
+
+    fn try_recv(&self, src: usize, tag: u64) -> Option<Vec<u8>> {
+        assert!(src < self.shared.size, "try_recv src {src} out of range");
+        let payload = mbox_try_take(&self.shared.mboxes, self.rank, src, tag)?;
+        self.stats.bump_recv();
+        Some(payload.into_vec())
+    }
+
+    fn recycle(&self, buf: Vec<u8>) {
+        self.shared.world.arena().recycle(buf);
     }
 
     fn barrier<'a>(&'a self) -> BoxFut<'a, ()> {

@@ -706,6 +706,31 @@ mod tests {
     }
 
     #[test]
+    fn steady_state_p2p_rounds_reuse_pooled_frames() {
+        // Point-to-point traffic draws from the same frame arena as the
+        // collectives: a recv'd payload handed back via `recycle` serves
+        // the next round's send without a fresh allocation.
+        const ROUNDS: u64 = 8;
+        let (_, stats) = TaskWorld::run_with(WS4, 2, |c| async move {
+            for r in 0..ROUNDS {
+                if c.rank() == 0 {
+                    c.send(1, 7, &[r as u8; 64]);
+                    let back = c.recv(1, 8).await;
+                    c.recycle(back);
+                } else {
+                    let msg = c.recv(0, 7).await;
+                    c.recycle(msg);
+                    c.send(0, 8, &[r as u8; 32]);
+                }
+            }
+        });
+        // 2 sends per round; only the first round may need fresh frames.
+        assert_eq!(stats.frame_allocs + stats.frame_reuses, 2 * ROUNDS, "{stats:?}");
+        assert!(stats.frame_allocs <= 2, "p2p allocations must not scale with rounds: {stats:?}");
+        assert!(stats.frame_reuses >= 2 * (ROUNDS - 1), "{stats:?}");
+    }
+
+    #[test]
     fn flat_task_world_runs_checked_too() {
         let san = Arc::new(Sanitizer::new());
         let run = FlatTaskWorld::run_checked(WS4, 4, san, |c| async move {

@@ -612,13 +612,49 @@ impl Comm for Communicator {
             panic!("tags with top byte 0xC3 are reserved for internal collectives");
         }
         self.stats.bump_send();
-        self.isend(dest, tag, data.to_vec());
+        // Arena-backed payload: point-to-point rounds recycle their frames
+        // through the world pool just like collective tree edges, so a
+        // steady-state send/recv/recycle loop allocates nothing.
+        let mut payload = self.shared.arena.acquire(data.len());
+        payload.extend_from_slice(data);
+        self.isend(dest, tag, payload);
     }
 
     fn recv(&self, src: usize, tag: u64) -> Vec<u8> {
         assert!(src < self.size(), "recv src {src} out of range");
         self.stats.bump_recv();
         self.irecv(src, tag)
+    }
+
+    fn try_recv(&self, src: usize, tag: u64) -> Option<Vec<u8>> {
+        assert!(src < self.size(), "try_recv src {src} out of range");
+        if let Some(payload) = self.stash_take(src, tag) {
+            self.stats.bump_recv();
+            return Some(payload);
+        }
+        if self.shared.hook.as_ref().is_some_and(|h| h.scheduling()) {
+            // Under the serialized scheduler, only blocking receives are
+            // schedule points; an opportunistic poll sees just the stash so
+            // the in-flight message model stays exact.
+            return None;
+        }
+        let rx = self.shared.receivers[self.rank].lock();
+        loop {
+            match rx.try_recv() {
+                Ok(msg) => {
+                    if msg.0 == src && msg.1 == tag {
+                        self.stats.bump_recv();
+                        return Some(msg.2);
+                    }
+                    self.stash.lock().push_back(msg);
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    fn recycle(&self, buf: Vec<u8>) {
+        self.shared.arena.recycle(buf);
     }
 }
 

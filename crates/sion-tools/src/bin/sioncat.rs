@@ -15,21 +15,34 @@ fn main() {
         std::process::exit(2);
     });
     let fs = LocalFs::new(".");
-    match sion_tools::cat(&fs, &args[1], rank) {
-        Ok(data) => {
-            // A closed pipe (e.g. `sioncat f 0 | head`) is a normal way for
-            // this stream to end, not a crash.
-            if let Err(e) = std::io::stdout().write_all(&data) {
-                if e.kind() == std::io::ErrorKind::BrokenPipe {
-                    std::process::exit(0);
-                }
-                eprintln!("sioncat: stdout: {e}");
-                std::process::exit(1);
+    // Stream run by run instead of materializing the logical file: the
+    // lease-based pass hands each contiguous region straight to stdout.
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut write_err: Option<std::io::Error> = None;
+    let res = sion_tools::cat_into(&fs, &args[1], rank, &mut |run| {
+        if write_err.is_none() {
+            if let Err(e) = out.write_all(run) {
+                write_err = Some(e);
             }
         }
-        Err(e) => {
-            eprintln!("sioncat: {e}");
-            std::process::exit(1);
+    });
+    if write_err.is_none() {
+        if let Err(e) = out.flush() {
+            write_err = Some(e);
         }
+    }
+    if let Some(e) = write_err {
+        // A closed pipe (e.g. `sioncat f 0 | head`) is a normal way for
+        // this stream to end, not a crash.
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        eprintln!("sioncat: stdout: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = res {
+        eprintln!("sioncat: {e}");
+        std::process::exit(1);
     }
 }

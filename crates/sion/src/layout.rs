@@ -212,6 +212,38 @@ impl FileLayout {
         SharingStats { max_sharers: max, mean_sharers: mean }
     }
 
+    /// Whether a group boundary *before* local task `t` is FS-block clean:
+    /// task `t`'s chunk starts exactly on a real FS-block boundary in
+    /// **every** layout block, so writers on either side of the boundary
+    /// can never touch the same FS block. This requires the block stride
+    /// to preserve alignment (`block_size % fsblksize == 0`) on top of the
+    /// chunk start being aligned in block 0.
+    pub fn clean_boundary(&self, t: usize) -> bool {
+        self.block_size.is_multiple_of(self.fsblksize)
+            && (self.data_start + self.chunk_off[t]).is_multiple_of(self.fsblksize)
+    }
+
+    /// Aggregator election for two-phase collective writes: pack
+    /// consecutive local tasks into neighborhoods of at least
+    /// `tasks_per_aggregator`, placing boundaries only where they are
+    /// [clean](Self::clean_boundary). Returns the first local task of each
+    /// group, sorted, starting with 0 — that task is the group's
+    /// aggregator. On a layout with no clean internal boundary (unaligned
+    /// chunks), the whole file degenerates to one group: a single writer
+    /// trivially never shares an FS block with another.
+    pub fn aggregation_groups(&self, tasks_per_aggregator: usize) -> Vec<usize> {
+        let target = tasks_per_aggregator.max(1);
+        let mut starts = vec![0usize];
+        let mut last = 0usize;
+        for t in 1..self.ntasks() {
+            if t - last >= target && self.clean_boundary(t) {
+                starts.push(t);
+                last = t;
+            }
+        }
+        starts
+    }
+
     /// The real FS-block indices (relative to the start of one layout
     /// block) that more than one task's chunk overlaps — the static
     /// prediction the runtime block-contention sanitizer
@@ -324,6 +356,37 @@ mod tests {
         let l = FileLayout::compute(&reqs, 2 << 20, Alignment::Fixed(16 << 10), false).unwrap();
         let s = l.block_sharing(2 << 20);
         assert!(s.max_sharers >= 128, "expected heavy sharing, got {}", s.max_sharers);
+    }
+
+    #[test]
+    fn aggregation_groups_follow_clean_boundaries() {
+        // Fully aligned: every task boundary is clean, groups are exact.
+        let l = FileLayout::compute(&[100; 8], 4096, Alignment::FsBlock, false).unwrap();
+        assert_eq!(l.aggregation_groups(2), vec![0, 2, 4, 6]);
+        assert_eq!(l.aggregation_groups(3), vec![0, 3, 6]);
+        assert_eq!(l.aggregation_groups(100), vec![0]);
+        // Unaligned: no clean internal boundary, one group for the file.
+        let l = FileLayout::compute(&[100; 8], 4096, Alignment::None, false).unwrap();
+        assert_eq!(l.aggregation_groups(2), vec![0]);
+    }
+
+    #[test]
+    fn aggregation_groups_snap_to_fs_block_neighborhoods() {
+        // Table 1 scenario: 16 KiB chunks on 2 MiB FS blocks. Boundaries
+        // are clean only where a chunk starts a fresh 2 MiB block, so a
+        // requested group of 4 snaps out to 128-task neighborhoods.
+        let reqs = vec![16 << 10; 512];
+        let l = FileLayout::compute(&reqs, 2 << 20, Alignment::Fixed(16 << 10), false).unwrap();
+        let groups = l.aggregation_groups(4);
+        assert!(groups.len() > 1, "clean boundaries exist in this layout");
+        for &g in &groups[1..] {
+            assert!(l.clean_boundary(g), "boundary before task {g} is clean");
+        }
+        // Interior boundaries are 128 tasks (one 2 MiB block) apart; only
+        // the first group may be ragged (it absorbs the metadata offset).
+        for w in groups[1..].windows(2) {
+            assert_eq!((w[1] - w[0]) % 128, 0, "boundaries land on 2 MiB edges");
+        }
     }
 
     #[test]

@@ -94,6 +94,7 @@
 //! ```
 
 pub mod adapter;
+mod agg;
 pub mod error;
 pub mod format;
 pub mod keyval;
@@ -115,8 +116,31 @@ pub use par::{
     paropen_read, paropen_read_co, paropen_write, paropen_write_co, CloseStats, SionParReader,
     SionParWriter,
 };
+pub use agg::AggStats;
 pub use serial::{ChunkInfo, Locations, Multifile, RankReader, SerialWriter, TaskLocation};
 pub use stream::{IoCounters, DEFAULT_READ_AHEAD, DEFAULT_WRITE_BUFFER};
+
+/// How tasks issue their chunk writes in a collective open (ROADMAP item
+/// 2: two-phase aggregated I/O, beyond the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMode {
+    /// Every task writes its own chunks directly — the paper's model.
+    Independent,
+    /// Two-phase collective writes: within each file group, neighborhoods
+    /// of up to `tasks_per_aggregator` consecutive tasks elect one
+    /// *aggregator* (the lowest local rank whose extent starts a fresh FS
+    /// block). Members run the full chunk arithmetic against a shadow
+    /// stream and ship their bytes to the aggregator over point-to-point
+    /// messages; the aggregator replays them through per-member writers,
+    /// issuing large writes from a single task per FS-block neighborhood.
+    /// The on-disk multifile is byte-identical to `Independent` mode.
+    Aggregated {
+        /// Target neighborhood size; group boundaries snap outward to the
+        /// next FS-block-clean task boundary (a whole file group becomes
+        /// one neighborhood when the layout is unaligned).
+        tasks_per_aggregator: usize,
+    },
+}
 
 /// Parameters of a multifile, chosen at creation time (paper §3.1/§3.2).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -139,6 +163,10 @@ pub struct SionParams {
     /// what ends up in the file, so tasks may disagree on it and it is not
     /// part of the collective-open fingerprint.
     pub write_buffer: u64,
+    /// Independent (paper) vs two-phase aggregated writes. Part of the
+    /// collective-open fingerprint: all tasks must agree, since the modes
+    /// follow different communication protocols.
+    pub io_mode: IoMode,
 }
 
 impl SionParams {
@@ -153,6 +181,7 @@ impl SionParams {
             compressed: false,
             rescue: false,
             write_buffer: DEFAULT_WRITE_BUFFER,
+            io_mode: IoMode::Independent,
         }
     }
 
@@ -189,6 +218,12 @@ impl SionParams {
     /// Set the write-behind buffer capacity (0 = write-through).
     pub fn with_write_buffer(mut self, bytes: u64) -> Self {
         self.write_buffer = bytes;
+        self
+    }
+
+    /// Select the write I/O mode (see [`IoMode`]).
+    pub fn with_io_mode(mut self, io_mode: IoMode) -> Self {
+        self.io_mode = io_mode;
         self
     }
 

@@ -56,6 +56,8 @@
 //! guard's writer attribution would be meaningless; run `SIONCHECK` block
 //! guards on the thread runtimes.
 
+use crate::agg::{AggRole, AggState, AggStats, MemberState, OP_ENSURE, OP_FINISH, OP_FLUSH,
+    OP_WRITE, OP_WRITE_IN_CHUNK, TAG_ACK};
 use crate::error::{Result, SionError};
 use crate::format::{
     write_close_metadata, ChunkIndex, CloseRecord, MetaBlock1, MetaBlock2, OpenRecord, SionFlags,
@@ -64,7 +66,7 @@ use crate::format::{
 use crate::layout::FileLayout;
 use crate::physical_name;
 use crate::stream::{ChunkGeom, IoCounters, TaskReader, TaskWriter, DEFAULT_READ_AHEAD};
-use crate::SionParams;
+use crate::{IoMode, SionParams};
 use simmpi::{drive_ready, BlockingRef, CoComm, Comm, CommStats};
 use std::sync::Arc;
 use vfs::{IoSlice, Vfs};
@@ -129,9 +131,16 @@ fn params_fingerprint(p: &SionParams) -> u64 {
         crate::Mapping::RoundRobin => 2u64 << 50,
         crate::Mapping::Grouped(g) => (3u64 << 50) ^ g.rotate_left(17),
     };
+    let mode = match p.io_mode {
+        IoMode::Independent => 0,
+        IoMode::Aggregated { tasks_per_aggregator } => {
+            (5u64 << 44) ^ (tasks_per_aggregator as u64).rotate_left(9)
+        }
+    };
     (p.nfiles as u64)
         ^ align
         ^ map
+        ^ mode
         ^ ((p.compressed as u64) << 60)
         ^ ((p.rescue as u64) << 61)
 }
@@ -147,17 +156,26 @@ pub struct CloseStats {
     pub blocks: u64,
     /// I/O-call accounting for this task's write stream: user-level calls
     /// vs. VFS calls actually issued, coalescing flushes, rescue patches.
+    /// On an aggregated-mode member this describes the *shadow* stream —
+    /// the calls an independent writer would have issued for this data.
     pub write_io: IoCounters,
+    /// Aggregated-mode shipment counters (all zeros in independent mode).
+    pub agg: AggStats,
 }
 
 /// Handle for writing one task's logical file of an open multifile
 /// (`sion_paropen_mpi` in write mode).
 pub struct SionParWriter {
+    /// This task's stream engine. In aggregated mode a *member*'s engine
+    /// runs over a [`vfs::NullFile`] shadow: identical chunk arithmetic,
+    /// validation, and close accounting, with the real bytes shipped to
+    /// the aggregator instead (see [`crate::agg`]).
     writer: TaskWriter,
     lcom: Box<dyn CoComm>,
     gcom: Box<dyn CoComm>,
     filenum: u32,
     grank: usize,
+    role: AggRole,
 }
 
 /// The file master's verdict on its group's gathered open records: either
@@ -215,13 +233,33 @@ fn master_open_setup(
             chunk_cap: layout.cap.clone(),
         };
         file.write_all_at(&mb1.encode(), 0)?;
+        // Aggregation election (IoMode::Aggregated): neighborhood starts,
+        // snapped to FS-block-clean task boundaries so aggregator extents
+        // never share an FS block with another writer. Every scatter part
+        // carries the same 9-word shape in both modes: 7 geometry words
+        // plus [aggregator lrank, neighborhood end) — a task that is its
+        // own aggregator with an empty neighborhood writes independently.
+        let groups = match params.io_mode {
+            IoMode::Independent => None,
+            IoMode::Aggregated { tasks_per_aggregator } => {
+                Some(layout.aggregation_groups(tasks_per_aggregator))
+            }
+        };
         let parts: Vec<Vec<u8>> = (0..layout.ntasks())
             .map(|t| {
-                ChunkGeom::from_layout(&layout, t, granks[t])
-                    .encode()
-                    .iter()
-                    .flat_map(|w| w.to_le_bytes())
-                    .collect()
+                let mut words = ChunkGeom::from_layout(&layout, t, granks[t]).encode();
+                let (agg, end) = match &groups {
+                    None => (t as u64, t as u64 + 1),
+                    Some(starts) => {
+                        let gi = starts.partition_point(|&s| s <= t) - 1;
+                        let end =
+                            starts.get(gi + 1).copied().unwrap_or(layout.ntasks()) as u64;
+                        (starts[gi] as u64, end)
+                    }
+                };
+                words.push(agg);
+                words.push(end);
+                words.iter().flat_map(|w| w.to_le_bytes()).collect()
             })
             .collect();
         Ok((parts, file))
@@ -307,7 +345,7 @@ pub async fn paropen_write_co(
     // Per-file-group phase. Any failure here is captured, not returned:
     // the global exchange below must run on every task or the healthy file
     // groups would hang.
-    let group_result: Result<(ChunkGeom, Arc<dyn vfs::VfsFile>)> = async {
+    let group_result: Result<(ChunkGeom, usize, usize, Arc<dyn vfs::VfsFile>)> = async {
         if status != STATUS_OK {
             // The task's own validation error is the most precise report;
             // the master returns the error it diagnosed; everyone else
@@ -329,14 +367,22 @@ pub async fn paropen_write_co(
         if lcom.rank() == 0 {
             let (parts, file) = setup_ok.expect("status was OK");
             let mine = lcom.scatter(Some(parts), 0).await;
-            Ok((decode_geom(&mine)?, file))
+            let (geom, agg, end) = decode_write_part(&mine)?;
+            Ok((geom, agg, end, file))
         } else {
             let mine = lcom.scatter(None, 0).await;
-            let geom = decode_geom(&mine)?;
-            // The master created the file before the status broadcast, so
-            // it exists by now.
-            let file = vfs.open_rw(&physical_name(base, filenum))?;
-            Ok((geom, file))
+            let (geom, agg, end) = decode_write_part(&mine)?;
+            let file: Arc<dyn vfs::VfsFile> = if agg == lcom.rank() {
+                // The master created the file before the status broadcast,
+                // so it exists by now.
+                vfs.open_rw(&physical_name(base, filenum))?
+            } else {
+                // Aggregated-mode member: its stream engine runs against a
+                // data-discarding shadow; only its aggregator touches the
+                // physical file.
+                Arc::new(vfs::NullFile::new())
+            };
+            Ok((geom, agg, end, file))
         }
     }
     .await;
@@ -360,8 +406,8 @@ pub async fn paropen_write_co(
         any_failed |= u64::from_le_bytes(b[..8].try_into().unwrap()) != 0;
         fp_mismatch |= u64::from_le_bytes(b[8..16].try_into().unwrap()) != fingerprint;
     }
-    let (geom, file) = match (any_failed || fp_mismatch, group_result) {
-        (false, Ok(pair)) => pair,
+    let (geom, agg, end, file) = match (any_failed || fp_mismatch, group_result) {
+        (false, Ok(tuple)) => tuple,
         (_, Err(e)) => return Err(e),
         (true, Ok(_)) => {
             return Err(SionError::CollectiveMismatch(if fp_mismatch {
@@ -372,16 +418,33 @@ pub async fn paropen_write_co(
         }
     };
 
+    let me = lcom.rank();
+    let role = if agg != me {
+        AggRole::Member(MemberState::new(agg, params.write_buffer as usize, &geom))
+    } else if end > me + 1 {
+        AggRole::Aggregator(AggState::new(
+            file.clone(),
+            params.compressed,
+            params.write_buffer,
+            me + 1..end,
+        ))
+    } else {
+        AggRole::Independent
+    };
+
     Ok(SionParWriter {
         writer: TaskWriter::new(file, geom, params.compressed, params.write_buffer),
         lcom,
         gcom,
         filenum,
         grank,
+        role,
     })
 }
 
-fn decode_geom(bytes: &[u8]) -> Result<ChunkGeom> {
+/// Decode a write-open scatter part: 7 geometry words plus the aggregation
+/// words `[aggregator lrank, neighborhood end)`.
+fn decode_write_part(bytes: &[u8]) -> Result<(ChunkGeom, usize, usize)> {
     if !bytes.len().is_multiple_of(8) {
         return Err(SionError::Format("bad chunk geometry payload".into()));
     }
@@ -389,14 +452,56 @@ fn decode_geom(bytes: &[u8]) -> Result<ChunkGeom> {
         .chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
         .collect();
-    ChunkGeom::decode(&words)
+    if words.len() < ChunkGeom::ENCODED_WORDS + 2 {
+        return Err(SionError::Format("truncated write-open payload".into()));
+    }
+    let geom = ChunkGeom::decode(&words)?;
+    let agg = words[ChunkGeom::ENCODED_WORDS] as usize;
+    let end = words[ChunkGeom::ENCODED_WORDS + 1] as usize;
+    Ok((geom, agg, end))
 }
 
 impl SionParWriter {
+    /// Run one op through the member protocol: validate against the shadow
+    /// stream first (so errors surface exactly as in independent mode and
+    /// nothing invalid is ever shipped), then stage it, shipping and
+    /// draining acks opportunistically. Aggregators instead take the
+    /// chance to replay any already-delivered shipments — the
+    /// compute/I/O overlap — before doing their own work.
+    fn member_op(
+        m: &mut MemberState,
+        lcom: &dyn CoComm,
+        shadow: Result<()>,
+        stage: impl FnOnce(&mut MemberState),
+    ) -> Result<()> {
+        if m.failed {
+            return Err(SionError::CollectiveMismatch(
+                "aggregator failed to apply shipped data".into(),
+            ));
+        }
+        shadow?;
+        stage(m);
+        m.ship_if_full(lcom);
+        m.drain_acks(lcom);
+        Ok(())
+    }
+
     /// `sion_ensure_free_space`: make room for a contiguous piece of
     /// `nbytes` in the current chunk, advancing to the next block if needed.
     pub fn ensure_free_space(&mut self, nbytes: u64) -> Result<()> {
-        self.writer.ensure_free_space(nbytes)
+        match &mut self.role {
+            AggRole::Independent => self.writer.ensure_free_space(nbytes),
+            AggRole::Member(m) => {
+                let shadow = self.writer.ensure_free_space(nbytes);
+                Self::member_op(m, self.lcom.as_ref(), shadow, |m| {
+                    m.stage_word(OP_ENSURE, nbytes)
+                })
+            }
+            AggRole::Aggregator(a) => {
+                a.try_drain(self.lcom.as_ref());
+                self.writer.ensure_free_space(nbytes)
+            }
+        }
     }
 
     /// Plain `fwrite` equivalent: write into the current chunk without
@@ -404,13 +509,37 @@ impl SionParWriter {
     ///
     /// [`ensure_free_space`]: Self::ensure_free_space
     pub fn write_in_chunk(&mut self, data: &[u8]) -> Result<()> {
-        self.writer.write_in_chunk(data)
+        match &mut self.role {
+            AggRole::Independent => self.writer.write_in_chunk(data),
+            AggRole::Member(m) => {
+                let shadow = self.writer.write_in_chunk(data);
+                Self::member_op(m, self.lcom.as_ref(), shadow, |m| {
+                    m.stage_data(OP_WRITE_IN_CHUNK, data)
+                })
+            }
+            AggRole::Aggregator(a) => {
+                a.try_drain(self.lcom.as_ref());
+                self.writer.write_in_chunk(data)
+            }
+        }
     }
 
     /// `sion_fwrite`: write data of any size, transparently split across
     /// chunk boundaries (and compressed in compressed mode).
     pub fn write(&mut self, data: &[u8]) -> Result<()> {
-        self.writer.write(data)
+        match &mut self.role {
+            AggRole::Independent => self.writer.write(data),
+            AggRole::Member(m) => {
+                let shadow = self.writer.write(data);
+                Self::member_op(m, self.lcom.as_ref(), shadow, |m| {
+                    m.stage_data(OP_WRITE, data)
+                })
+            }
+            AggRole::Aggregator(a) => {
+                a.try_drain(self.lcom.as_ref());
+                self.writer.write(data)
+            }
+        }
     }
 
     /// Bytes left in the current chunk.
@@ -420,13 +549,41 @@ impl SionParWriter {
 
     /// `sion_flush`: push buffered data (and the rescue header, if enabled)
     /// to the VFS so the bytes written so far are durable.
+    ///
+    /// On an aggregated-mode member this ships everything staged so far
+    /// without waiting for the acknowledgement: durability follows at the
+    /// aggregator's next replay, and an aggregator crash loses only
+    /// not-yet-acked shipments (see [`crate::agg`]).
     pub fn flush(&mut self) -> Result<()> {
-        self.writer.flush()
+        match &mut self.role {
+            AggRole::Independent => self.writer.flush(),
+            AggRole::Member(m) => {
+                let shadow = self.writer.flush();
+                Self::member_op(m, self.lcom.as_ref(), shadow, |m| m.stage_op(OP_FLUSH))?;
+                m.ship(self.lcom.as_ref());
+                Ok(())
+            }
+            AggRole::Aggregator(a) => {
+                a.try_drain(self.lcom.as_ref());
+                self.writer.flush()
+            }
+        }
     }
 
-    /// I/O-call accounting for this task's stream so far.
+    /// I/O-call accounting for this task's stream so far. On an
+    /// aggregated-mode member: the shadow stream's counters.
     pub fn io_counters(&self) -> IoCounters {
         self.writer.io_counters()
+    }
+
+    /// Aggregated-mode shipment counters so far (see [`AggStats`]); all
+    /// zeros in independent mode.
+    pub fn agg_stats(&self) -> AggStats {
+        match &self.role {
+            AggRole::Independent => AggStats::default(),
+            AggRole::Member(m) => m.stats,
+            AggRole::Aggregator(a) => a.stats,
+        }
     }
 
     /// Per-rank op/byte counters of this task's *file-group* communicator,
@@ -473,7 +630,40 @@ impl SionParWriter {
     /// [`close`](Self::close) as a resumable protocol; the task-runtime
     /// entry point.
     pub async fn close_co(mut self) -> Result<CloseStats> {
-        let finish_res = self.writer.finish();
+        // Aggregation epilogue, before the metadata exchange. A member
+        // finishes its shadow (the authoritative `used` vector), ships the
+        // final frame with OP_FINISH, and then collects every outstanding
+        // ack — so by the time it enters the close gather, its data is
+        // either durably replayed or its CloseRecord carries the failure.
+        // An aggregator exhaustively drains every member to OP_FINISH
+        // (acking as it replays) before finishing its own stream; member
+        // replay failures surface through the members' own records.
+        let role = std::mem::replace(&mut self.role, AggRole::Independent);
+        let (finish_res, agg_stats) = match role {
+            AggRole::Independent => (self.writer.finish(), AggStats::default()),
+            AggRole::Member(mut m) => {
+                let shadow = self.writer.finish();
+                m.stage_op(OP_FINISH);
+                m.ship(self.lcom.as_ref());
+                while !m.all_acked() {
+                    let buf = self.lcom.recv(m.agg, TAG_ACK).await;
+                    m.note_ack(&buf);
+                    self.lcom.recycle(buf);
+                }
+                let res = match (shadow, m.failed) {
+                    (Ok(used), false) => Ok(used),
+                    (Ok(_), true) => Err(SionError::CollectiveMismatch(
+                        "aggregator failed to apply shipped data".into(),
+                    )),
+                    (Err(e), _) => Err(e),
+                };
+                (res, m.stats)
+            }
+            AggRole::Aggregator(mut a) => {
+                a.drain_all(self.lcom.as_ref()).await;
+                (self.writer.finish(), a.stats)
+            }
+        };
 
         // Packed close exchange: the error flag rides in the same record
         // as the per-block usage, so the former standalone failure
@@ -539,6 +729,7 @@ impl SionParWriter {
             stored_bytes: used.iter().sum(),
             blocks: used.iter().filter(|&&u| u > 0).count() as u64,
             write_io: self.writer.io_counters(),
+            agg: agg_stats,
         })
     }
 }
@@ -820,15 +1011,15 @@ pub async fn paropen_read_co(
         } else {
             lcom.scatter(None, 0).await
         };
-        if mine.len() % 8 != 0 || mine.len() < 6 * 8 {
+        if mine.len() % 8 != 0 || mine.len() < ChunkGeom::ENCODED_WORDS * 8 {
             return Err(SionError::Format("bad read-open payload".into()));
         }
         let words: Vec<u64> = mine
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
             .collect();
-        let geom = ChunkGeom::decode(&words[..6])?;
-        let used = words[6..].to_vec();
+        let geom = ChunkGeom::decode(&words[..ChunkGeom::ENCODED_WORDS])?;
+        let used = words[ChunkGeom::ENCODED_WORDS..].to_vec();
         let file = vfs.open(&physical_name(base, filenum))?;
         Ok((geom, used, file))
     }

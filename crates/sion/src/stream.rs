@@ -31,6 +31,9 @@ pub(crate) struct ChunkGeom {
     pub rescue_overhead: u64,
     /// Global rank (recorded in rescue headers).
     pub global_rank: u64,
+    /// Real file-system block size — lets readers size their data-sieving
+    /// window to whole FS blocks (1 disables sieving).
+    pub fsblksize: u64,
 }
 
 impl ChunkGeom {
@@ -43,6 +46,7 @@ impl ChunkGeom {
             cap: layout.cap[ltask],
             rescue_overhead: layout.rescue_overhead,
             global_rank,
+            fsblksize: layout.fsblksize,
         }
     }
 
@@ -61,6 +65,9 @@ impl ChunkGeom {
         self.cap - self.rescue_overhead
     }
 
+    /// Words in the `u64` wire format of [`encode`](Self::encode).
+    pub const ENCODED_WORDS: usize = 7;
+
     /// Pack into a `u64` wire format for master→task scatter.
     pub fn encode(&self) -> Vec<u64> {
         vec![
@@ -70,12 +77,13 @@ impl ChunkGeom {
             self.cap,
             self.rescue_overhead,
             self.global_rank,
+            self.fsblksize,
         ]
     }
 
     /// Inverse of [`encode`](Self::encode).
     pub fn decode(words: &[u64]) -> Result<Self> {
-        if words.len() < 6 {
+        if words.len() < Self::ENCODED_WORDS {
             return Err(SionError::Format("truncated chunk geometry".into()));
         }
         Ok(ChunkGeom {
@@ -85,6 +93,7 @@ impl ChunkGeom {
             cap: words[3],
             rescue_overhead: words[4],
             global_rank: words[5],
+            fsblksize: words[6].max(1),
         })
     }
 }
@@ -421,7 +430,7 @@ impl TaskWriter {
     /// understates at worst, and `rescue::repair` recovers a prefix of
     /// what the task wrote. The crash_consistency integration tests pin
     /// this ordering via the FaultFs op log.
-    fn flush_pending(&mut self) -> Result<()> {
+    pub fn flush_pending(&mut self) -> Result<()> {
         if !self.wbuf.is_empty() {
             let at = self.geom.data_offset(self.block) + self.wbuf_start;
             let buf = std::mem::take(&mut self.wbuf);
@@ -573,17 +582,26 @@ pub(crate) struct TaskReader {
     /// Decoded bytes not yet handed to the caller (compressed mode).
     decoded: Vec<u8>,
     decoded_pos: usize,
-    /// Read-ahead cache: stored bytes of block `rbuf_block` starting at
-    /// chunk offset `rbuf_start`, backed either by an owned window
-    /// (`rbuf`, filled by a copying VFS read) or — when the backend can
-    /// lease its backing pages — by a zero-copy [`vfs::ByteLease`].
+    /// Read-ahead cache: stored file bytes starting at *absolute* file
+    /// offset `win_start`, backed either by an owned window (`rbuf`,
+    /// filled by a copying VFS read) or — when the backend can lease its
+    /// backing pages — by a zero-copy [`vfs::ByteLease`]. Addressing the
+    /// window by file offset (not chunk offset) lets one fetch serve
+    /// noncontiguous chunk segments that happen to be file-adjacent.
     rbuf: Vec<u8>,
     rlease: Option<vfs::ByteLease>,
-    rbuf_block: usize,
-    rbuf_start: u64,
+    win_start: u64,
     /// Read-ahead window; 0 disables caching (one VFS read per request
     /// segment, the pre-buffering behaviour).
     ra_cap: usize,
+    /// Data-sieving unit (Thakur/Gropp/Lusk): when > 0, cache misses
+    /// fetch the whole FS block containing the position, so all of this
+    /// task's chunk segments inside that block — across *layout* blocks —
+    /// are served by one VFS read instead of one per segment. Enabled when
+    /// whole FS blocks fit in the read-ahead budget.
+    sieve: u64,
+    /// File length, fetched lazily for clipping sieve windows at EOF.
+    flen: Option<u64>,
     /// Coalescing counters (user reads vs VFS reads).
     counters: IoCounters,
 }
@@ -597,6 +615,17 @@ impl TaskReader {
         read_ahead: u64,
     ) -> Self {
         let ra_cap = read_ahead.min(geom.usable()) as usize;
+        // Sieve when an FS block fits the read-ahead budget and sieving
+        // can actually coalesce anything (several layout blocks per FS
+        // block, i.e. small unaligned chunks).
+        let sieve = if geom.fsblksize > 1
+            && geom.fsblksize <= read_ahead
+            && geom.block_size < geom.fsblksize
+        {
+            geom.fsblksize
+        } else {
+            0
+        };
         let mut r = TaskReader {
             file,
             geom,
@@ -608,9 +637,10 @@ impl TaskReader {
             decoded_pos: 0,
             rbuf: Vec::new(),
             rlease: None,
-            rbuf_block: 0,
-            rbuf_start: 0,
+            win_start: 0,
             ra_cap,
+            sieve,
+            flen: None,
             counters: IoCounters::default(),
         };
         r.skip_empty_blocks();
@@ -679,11 +709,14 @@ impl TaskReader {
 
     /// Copy `take` stored bytes of the current chunk into
     /// `buf[done..done+take]`, through the read-ahead cache: a cache miss
-    /// fetches a whole window (up to `ra_cap`, capped by the chunk's
-    /// remaining stored bytes) in one VFS read. Requests at or above the
-    /// window size bypass the cache straight into the caller's buffer.
+    /// fetches a whole window in one VFS read — up to `ra_cap`, capped by
+    /// the chunk's remaining stored bytes, or (with sieving) the whole FS
+    /// block containing the position, which also serves this task's
+    /// segments in *later layout blocks* that share the FS block. Requests
+    /// at or above the window size bypass the cache straight into the
+    /// caller's buffer.
     fn read_stored(&mut self, done: usize, take: usize, buf: &mut [u8]) -> Result<()> {
-        if self.ra_cap == 0 || take >= self.ra_cap {
+        if self.sieve == 0 && (self.ra_cap == 0 || take >= self.ra_cap) {
             let at = self.geom.data_offset(self.block as u64) + self.off;
             self.file.read_exact_at(&mut buf[done..done + take], at)?;
             self.counters.vfs_calls += 1;
@@ -694,9 +727,9 @@ impl TaskReader {
         let mut done = done;
         let mut take = take;
         while take > 0 {
-            let cached = self.cached_range();
-            if let Some((start, len)) = cached {
-                let pos = (self.off - start) as usize;
+            let at = self.geom.data_offset(self.block as u64) + self.off;
+            if let Some((start, len)) = self.cached_range(at) {
+                let pos = (at - start) as usize;
                 let n = take.min(len - pos);
                 let src = match &self.rlease {
                     Some(lease) => &lease[pos..pos + n],
@@ -709,13 +742,27 @@ impl TaskReader {
                 take -= n;
                 continue;
             }
-            // Miss: fetch a window from the current position. A page lease
-            // covering the whole window serves it with zero copies into the
-            // engine; otherwise an owned window is filled by a copying read.
-            let avail = self.used[self.block] - self.off;
-            let window = (avail as usize).min(self.ra_cap);
-            let at = self.geom.data_offset(self.block as u64) + self.off;
-            match self.file.read_lease(at, window) {
+            // Miss: fetch a window. A page lease covering the whole window
+            // serves it with zero copies into the engine; otherwise an
+            // owned window is filled by a copying read.
+            let (win_lo, window) = if self.sieve > 0 {
+                // Data sieving: the whole FS block around the position,
+                // clipped at end of file.
+                let lo = at - at % self.sieve;
+                let flen = match self.flen {
+                    Some(l) => l,
+                    None => {
+                        let l = self.file.len()?;
+                        self.flen = Some(l);
+                        l
+                    }
+                };
+                (lo, (flen.min(lo + self.sieve) - lo) as usize)
+            } else {
+                let avail = self.used[self.block] - self.off;
+                (at, (avail as usize).min(self.ra_cap))
+            };
+            match self.file.read_lease(win_lo, window) {
                 Some(lease) if lease.len() == window => {
                     self.rlease = Some(lease);
                 }
@@ -725,31 +772,26 @@ impl TaskReader {
                         self.counters.allocs += 1;
                     }
                     self.rbuf.resize(window, 0);
-                    self.file.read_exact_at(&mut self.rbuf, at)?;
+                    self.file.read_exact_at(&mut self.rbuf, win_lo)?;
                     self.counters.bytes_copied += window as u64;
                 }
             }
             self.counters.vfs_calls += 1;
             self.counters.vfs_bytes += window as u64;
-            self.rbuf_block = self.block;
-            self.rbuf_start = self.off;
+            self.win_start = win_lo;
         }
         Ok(())
     }
 
-    /// The cache window covering the current position, if any, as
-    /// `(start, len)` in chunk offsets of the current block.
-    fn cached_range(&self) -> Option<(u64, usize)> {
+    /// The cache window covering absolute file offset `at`, if any, as
+    /// `(start, len)` in absolute file offsets.
+    fn cached_range(&self, at: u64) -> Option<(u64, usize)> {
         let len = match &self.rlease {
             Some(lease) => lease.len(),
             None => self.rbuf.len(),
         };
-        if self.rbuf_block == self.block
-            && len > 0
-            && self.off >= self.rbuf_start
-            && self.off < self.rbuf_start + len as u64
-        {
-            Some((self.rbuf_start, len))
+        if len > 0 && at >= self.win_start && at < self.win_start + len as u64 {
+            Some((self.win_start, len))
         } else {
             None
         }
@@ -1338,6 +1380,47 @@ mod tests {
     }
 
     #[test]
+    fn data_sieving_coalesces_cross_block_segments() {
+        // Small unaligned chunks: the layout block stride (4 × 24 bytes)
+        // is well under the 256-byte FS block, so one task's chunk
+        // segments from *several layout blocks* share each FS block.
+        // Sieving must serve them all from one block-sized fetch.
+        let (fs, layout) = setup(&[24, 24, 24, 24], Alignment::None, false);
+        let data: Vec<u8> = (0..120).map(|i| (i % 211) as u8).collect();
+        let mut used = Vec::new();
+        for t in 0..4 {
+            let mut w = writer(&fs, &layout, t, false);
+            for piece in data.chunks(24) {
+                w.write(piece).unwrap();
+            }
+            used = w.finish().unwrap();
+        }
+        assert_eq!(used, vec![24; 5]);
+        let read_all = |read_ahead: u64| {
+            let mut r = TaskReader::new(
+                fs.open("f").unwrap(),
+                ChunkGeom::from_layout(&layout, 1, 1),
+                used.clone(),
+                false,
+                read_ahead,
+            );
+            let mut back = vec![0u8; 120];
+            r.read_exact(&mut back).unwrap();
+            assert_eq!(back, data);
+            r.io_counters()
+        };
+        // 5 segments spread over at most 3 FS blocks (480 file bytes plus
+        // the metadata offset): sieving needs one fetch per FS block, not
+        // one per segment.
+        let sieved = read_all(DEFAULT_READ_AHEAD);
+        assert!(sieved.vfs_calls <= 3, "{sieved:?}");
+        // A read-ahead budget too small for an FS block disables sieving:
+        // every 24-byte segment bypasses the 16-byte window separately.
+        let plain = read_all(16);
+        assert!(plain.vfs_calls >= 5, "{plain:?}");
+    }
+
+    #[test]
     fn geom_encode_decode_roundtrip() {
         let g = ChunkGeom {
             data_start: 1,
@@ -1346,6 +1429,7 @@ mod tests {
             cap: 4,
             rescue_overhead: 32,
             global_rank: 6,
+            fsblksize: 7,
         };
         assert_eq!(ChunkGeom::decode(&g.encode()).unwrap(), g);
         assert!(ChunkGeom::decode(&[1, 2, 3]).is_err());

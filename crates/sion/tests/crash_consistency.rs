@@ -26,7 +26,7 @@
 
 use simmpi::{Comm, World};
 use sion::rescue::repair;
-use sion::{paropen_write, Multifile, SionParams};
+use sion::{paropen_write, IoMode, Multifile, SionParams};
 use vfs::{FaultFs, FaultKind, FaultRule, MemFs, Vfs};
 
 /// Fixed default seed: CI runs are reproducible bit-for-bit.
@@ -66,13 +66,21 @@ fn params() -> SionParams {
         .with_write_buffer(128)
 }
 
+/// [`params`] in two-phase aggregated mode: with two tasks per file and a
+/// two-task neighborhood target, each file group elects its first task as
+/// the aggregator of the other — every physical data write in the sweep
+/// goes through the shipment protocol.
+fn agg_params() -> SionParams {
+    params().with_io_mode(IoMode::Aggregated { tasks_per_aggregator: 2 })
+}
+
 /// The workload of the sweep: collective open, per-task piecewise writes,
 /// one explicit flush, writers dropped (never closed — a crash does not
 /// close). Every error is swallowed: under an armed kill switch each task
 /// simply stops making progress, like a dying process.
-fn crashy_workload(fs: &FaultFs<MemFs>, base: &str, seed: u64) {
+fn crashy_workload_with(fs: &FaultFs<MemFs>, base: &str, seed: u64, params: &SionParams) {
     World::run(NTASKS, |comm| {
-        let Ok(mut w) = paropen_write(fs, base, &params(), comm) else {
+        let Ok(mut w) = paropen_write(fs, base, params, comm) else {
             return;
         };
         for piece in payload(seed, comm.rank(), PAYLOAD_LEN).chunks(100) {
@@ -82,6 +90,10 @@ fn crashy_workload(fs: &FaultFs<MemFs>, base: &str, seed: u64) {
         }
         let _ = w.flush();
     });
+}
+
+fn crashy_workload(fs: &FaultFs<MemFs>, base: &str, seed: u64) {
+    crashy_workload_with(fs, base, seed, &params());
 }
 
 /// What the recovered image must satisfy for one rank.
@@ -309,6 +321,130 @@ fn failed_flush_is_never_followed_by_a_header_patch() {
     fs.clear();
     let mf = Multifile::open(&fs, "ord.sion").unwrap();
     assert_eq!(mf.read_rank(0).unwrap(), payload(seed, 0, 100));
+}
+
+#[test]
+fn every_crash_point_on_the_aggregated_path_yields_a_repairable_prefix() {
+    // The same exhaustive sweep over the two-phase aggregated transport:
+    // every physical byte now reaches the file through an aggregator
+    // replaying shipped frames, including the rescue headers and `used`
+    // patches it maintains on its members' behalf. A crash at any point —
+    // which kills aggregators mid-replay — must still leave every rank's
+    // recovered bytes a prefix of what that rank (logically) wrote.
+    // Members whose shipments were not yet applied simply lose those
+    // bytes; they must never gain corrupt ones.
+    let seed = seed();
+    let probe = FaultFs::new(MemFs::with_block_size(256));
+    crashy_workload_with(&probe, "probe.sion", seed, &agg_params());
+    let total_ops = probe.op_count();
+    assert!(total_ops > 20, "workload too small to be a meaningful sweep: {total_ops} ops");
+
+    let mut recovered_points = 0u64;
+    let mut unrecoverable_points = 0u64;
+    for n in 0..=total_ops {
+        let fs = FaultFs::new(MemFs::with_block_size(256));
+        fs.crash_after_ops(n);
+        crashy_workload_with(&fs, "crash.sion", seed, &agg_params());
+        let ctx = format!("aggregated crash point {n}/{total_ops} (seed {seed:#x})");
+        match check_crash_point(&fs, "crash.sion", seed, &ctx) {
+            Some(_) => recovered_points += 1,
+            None => unrecoverable_points += 1,
+        }
+    }
+    assert!(
+        recovered_points > unrecoverable_points,
+        "sweep recovered {recovered_points}, unrecoverable {unrecoverable_points} (seed {seed:#x})"
+    );
+    // A kill switch far beyond any reachable op count is no crash at all.
+    // (Unlike the independent sweep, the aggregated op count is not a
+    // stable constant: how often an aggregator's opportunistic drain runs
+    // — and thus how many `flush_pending` rounds it performs — depends on
+    // frame arrival timing. The prefix property is interleaving-safe, the
+    // exact count is not.) The aggregators (ranks 0 and 2) flushed their
+    // own streams directly, so their full payloads recover. The members
+    // shipped their final flush but were dropped without the collective
+    // close — the aggregator never drained those last frames, which is
+    // exactly the crash model: unapplied shipments are lost, never
+    // corrupted.
+    let fs = FaultFs::new(MemFs::with_block_size(256));
+    fs.crash_after_ops(total_ops * 4 + 1000);
+    crashy_workload_with(&fs, "crash.sion", seed, &agg_params());
+    fs.clear();
+    let report = repair(&fs, "crash.sion", false).unwrap();
+    assert!(report.is_clean());
+    let mf = Multifile::open(&fs, "crash.sion").unwrap();
+    for rank in [0, 2] {
+        assert_eq!(
+            mf.read_rank(rank).unwrap(),
+            payload(seed, rank, PAYLOAD_LEN),
+            "aggregator rank {rank} flushed directly; its payload must fully recover"
+        );
+    }
+    for rank in [1, 3] {
+        assert_rank_prefix(&mf, rank, seed, "uncrashed member");
+    }
+}
+
+#[test]
+fn torn_aggregated_writes_still_recover_a_prefix() {
+    // Torn-write sweep over the aggregated transport: the dying op —
+    // issued by an aggregator for one of its members — persists only a
+    // prefix of its buffer.
+    let seed = seed();
+    let probe = FaultFs::new(MemFs::with_block_size(256));
+    crashy_workload_with(&probe, "probe.sion", seed, &agg_params());
+    let total_ops = probe.op_count();
+
+    for n in (0..total_ops).step_by(3) {
+        for keep in [1u64, 7, 17] {
+            let fs = FaultFs::new(MemFs::with_block_size(256));
+            fs.crash_torn_write(n, keep);
+            crashy_workload_with(&fs, "torn.sion", seed, &agg_params());
+            let ctx = format!("aggregated torn op {n}/{total_ops} keep {keep} (seed {seed:#x})");
+            check_crash_point(&fs, "torn.sion", seed, &ctx);
+        }
+    }
+}
+
+#[test]
+fn killed_aggregator_mid_shipment_fails_members_and_stays_repairable() {
+    // Deterministic aggregator death between two shipment waves: frames
+    // applied before the fault are durable, frames after it are refused
+    // with a poisoned ack — so members see the failure at their next
+    // operation or at close, the collective close fails on EVERY task
+    // (metablock 2 is skipped), and repair recovers a per-rank prefix.
+    let seed = seed();
+    let fs = FaultFs::new(MemFs::with_block_size(256));
+    let results = World::run(NTASKS, |comm| {
+        let mut w = paropen_write(&fs, "kagg.sion", &agg_params(), comm).unwrap();
+        w.write(&payload(seed, comm.rank(), PAYLOAD_LEN)).unwrap();
+        w.flush().unwrap();
+        // The fault rules are shared state; arm them only after every
+        // task's pre-fault traffic is staged.
+        comm.barrier();
+        if comm.rank() == 0 {
+            fs.inject(FaultRule { kind: FaultKind::Write, from: 0, count: u64::MAX });
+            fs.inject(FaultRule { kind: FaultKind::Sync, from: 0, count: u64::MAX });
+        }
+        comm.barrier();
+        // This wave can never become durable: the aggregators' replay
+        // writes die. The member-side error may surface on a later write
+        // (via a poisoned ack) or at the collective close.
+        let late = w.write(&[0xAB; 64]);
+        let closed = w.close();
+        late.is_err() || closed.is_err()
+    });
+    assert!(
+        results.iter().all(|&failed| failed),
+        "a dead aggregator must fail the collective close on every task: {results:?}"
+    );
+    fs.clear();
+    let report = repair(&fs, "kagg.sion", false).unwrap();
+    assert!(report.is_clean(), "{:?}", report.problems);
+    let mf = Multifile::open(&fs, "kagg.sion").unwrap();
+    for rank in 0..NTASKS {
+        assert_rank_prefix(&mf, rank, seed, "killed aggregator");
+    }
 }
 
 #[test]

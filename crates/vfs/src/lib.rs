@@ -24,11 +24,13 @@ mod fault;
 pub mod guard;
 mod local;
 mod mem;
+mod null;
 
 pub use fault::{FaultFs, FaultKind, FaultRule, OpRecord};
 pub use guard::{BlockGuardFs, BlockViolation};
 pub use local::LocalFs;
 pub use mem::{MemFs, MemFsStats};
+pub use null::NullFile;
 
 use std::io;
 pub use std::io::IoSlice;
