@@ -25,11 +25,27 @@ echo "==> simcheck: schedule exploration + mutation detection (fixed seeds)"
 # chunks, cyclic deadlock) are flagged with replayable schedules.
 SIMCHECK_SEEDS=4 cargo test -p sion-simcheck -q
 
+echo "==> DPOR: exhaustive schedule enumeration over sion::par (both I/O modes)"
+# Dynamic partial-order reduction on the driven serial task runtime: every
+# inequivalent interleaving of small open/write/close configurations runs
+# under the full checker stack (sanitizer + happens-before engine +
+# OrderGuardFs). Explored-schedule counts are pinned in the test; the
+# first run's decision trace is a golden file.
+cargo test -p sion-simcheck --test dpor_sion -q
+
+echo "==> happens-before engine: clean protocol + seeded ship/ack mutations"
+# The 4-rank aggregated protocol must be race- and ack-violation-free on
+# all four runtimes; the three seeded mutations (ack-before-write,
+# dropped flush_pending, overlapping member extents) must each be
+# detected with a replayable seed, one race report golden-pinned.
+SIMCHECK=1 cargo test -p sion --test hb_mutations -q
+
 echo "==> runtime sanitizers: real workloads under SIMCHECK=1"
 # The full parallel round-trip matrix and one crash-consistency config run
 # with the passive sanitizer installed; any collective mismatch, reserved
 # tag, leaked message or hang would fail these.
 SIMCHECK=1 cargo test -p sion --test parallel_roundtrip -q
+SIMCHECK=1 cargo test -p sion --test aggregation -q
 SIMCHECK=1 CRASH_SEED=1359024137 cargo test -p sion --test crash_consistency -q crashed_task_cannot_hang_the_collective_close
 
 echo "==> par_smoke: real 64Ki-rank collective open/write/close (task runtime)"
@@ -96,6 +112,15 @@ cargo run --release -p sion-bench --bin aggregation -- \
 grep -q '"bench": "aggregation"' target/bench/BENCH_aggregation.json
 grep -q '"record_bytes": 4096' target/bench/BENCH_aggregation.json
 grep -q '"aligned": true' target/bench/BENCH_aggregation.json
+
+echo "==> dpor_stats quick sweep (schedule-space sizes, small cap)"
+# Regenerates the DPOR state-space numbers at a small cap; the committed
+# full-cap BENCH_dpor.json at the repo root is not clobbered. The pinned
+# exhaustive counts live in simcheck/tests/dpor_sion.rs (gated above).
+cargo run --release -p sion-bench --bin dpor_stats -- \
+    --cap 2000 --out target/bench/BENCH_dpor.json
+grep -q '"bench": "dpor_stats"' target/bench/BENCH_dpor.json
+grep -q '"capped": true' target/bench/BENCH_dpor.json
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

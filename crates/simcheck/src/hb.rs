@@ -1,0 +1,604 @@
+//! Vector-clock happens-before engine.
+//!
+//! [`HbEngine`] is a **passive** [`CheckHook`] + [`AccessSink`] pair: it
+//! listens to every `simmpi` event (sends, completed receives, collective
+//! entry/exit brackets, task finishes) to maintain one vector clock per
+//! world task, and to every byte-extent access an [`OrderGuardFs`]
+//! (`vfs::OrderGuardFs`) reports, to decide whether conflicting accesses
+//! are *ordered* by the protocol. Two conflicting extents with no
+//! happens-before path between them are a data race — exactly the
+//! ordering form of the paper's §3.2 invariant that the aggregated I/O
+//! mode relies on (several logical writers per file, serialized by the
+//! ship/ack message edges rather than by block ownership).
+//!
+//! # The happens-before relation
+//!
+//! * **program order** — every observed event of a task ticks the task's
+//!   own clock component, so a task's later events dominate its earlier
+//!   ones;
+//! * **message edges** — [`on_send`](CheckHook::on_send) pushes the
+//!   sender's clock snapshot onto a per-`(comm, from, to, tag)` FIFO;
+//!   [`on_recv_done`](CheckHook::on_recv_done) pops and joins it. Mailbox
+//!   matching is FIFO per `(source, tag)`, so the queues pair each receive
+//!   with its true send. This covers user messages *and* the runtimes'
+//!   internal collective tree frames;
+//! * **collective brackets** — the flat runtimes' slot-based collectives
+//!   exchange no mailbox messages, so the engine also joins, at each
+//!   rank's collective *exit* ([`on_collective_done`]
+//!   (CheckHook::on_collective_done)), the accumulated entry clocks of
+//!   that `(comm, seq)` collective: every entry happens-before every
+//!   exit. For rendezvous collectives this is exact; for tree collectives
+//!   it is a sound superset of the true dependence (the real tree edges
+//!   are already covered by the message rule).
+//!
+//! # Shadow writes and ack durability
+//!
+//! Aggregated-mode members write their chunk arithmetic through a
+//! [`Vfs::create_shadow`](vfs::Vfs) handle; under `OrderGuardFs` those
+//! surface as [`AccessKind::ShadowWrite`] extents against the real path —
+//! *logical* writes whose physical persistence is the elected aggregator's
+//! obligation. The engine turns the ship/ack framing contract
+//! ([`AGG_SHIP_TAG_PREFIX`]/[`AGG_ACK_TAG_PREFIX`]) into a durability
+//! check: a member's pending shadow extents are bound to the shipment
+//! sequence number the moment its `0xA6` frame is sent, and when the
+//! aggregator sends the matching `0xA7` success ack, every bound extent
+//! must already be covered by physical writes at that path. An aggregator
+//! acking a shipment *before* its bytes reach the VFS is reported with the
+//! member's shadow site and the uncovered byte range.
+//!
+//! Shadow-vs-physical overlaps are exempt from the race check (they are
+//! ordered by the ship edge and checked by the obligation rule instead);
+//! shadow-vs-shadow overlaps between two members are a race — two members
+//! believe they own the same logical bytes.
+
+use simmpi::hook::{CheckHook, CollKind, CommCtx};
+use simmpi::{AGG_ACK_TAG_PREFIX, AGG_SHIP_TAG_PREFIX, COLL_TAG_MASK};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::Mutex;
+use vfs::{AccessKind, AccessSink, FileAccess};
+
+/// A vector clock over world task ids. Sparse: absent components are zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock(BTreeMap<u64, u64>);
+
+impl VClock {
+    /// This task's own component.
+    pub fn get(&self, task: u64) -> u64 {
+        self.0.get(&task).copied().unwrap_or(0)
+    }
+
+    fn tick(&mut self, task: u64) {
+        *self.0.entry(task).or_insert(0) += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        for (&t, &v) in &other.0 {
+            let e = self.0.entry(t).or_insert(0);
+            if *e < v {
+                *e = v;
+            }
+        }
+    }
+}
+
+impl fmt::Display for VClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (t, v)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}:{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// One side of a reported race: the access and the issuing task's clock at
+/// the moment it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceSite {
+    /// The recorded access.
+    pub access: FileAccess,
+    /// The issuing task's vector clock when the access was recorded.
+    pub clock: VClock,
+}
+
+impl fmt::Display for RaceSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.access, self.clock)
+    }
+}
+
+/// Two conflicting, overlapping byte-extent accesses with no
+/// happens-before path between them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HbRace {
+    /// The earlier-recorded access.
+    pub a: RaceSite,
+    /// The later-recorded access.
+    pub b: RaceSite,
+}
+
+impl fmt::Display for HbRace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unordered {}/{} overlap on \"{}\":\n  a: {}\n  b: {}",
+            self.a.access.kind.label(),
+            self.b.access.kind.label(),
+            self.a.access.path,
+            self.a,
+            self.b
+        )
+    }
+}
+
+/// A `0xA7` success ack sent while some of the acked shipment's shadow
+/// extents had not physically reached the VFS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AckViolation {
+    /// The member's shadow extent the ack vouched for.
+    pub obligation: FileAccess,
+    /// Shipment sequence number the member bound the extent to.
+    pub seq: u64,
+    /// Acking task (the aggregator), if the event carried one.
+    pub acker: Option<u64>,
+    /// First unwritten byte range inside the obligated extent.
+    pub missing: (u64, u64),
+}
+
+impl fmt::Display for AckViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let acker = match self.acker {
+            Some(t) => format!("task {t}"),
+            None => "<unlabeled>".to_string(),
+        };
+        write!(
+            f,
+            "ack for shipment seq {} sent by {} before bytes [{}, {}) of \"{}\" reached the \
+             VFS (obligation: {})",
+            self.seq, acker, self.missing.0, self.missing.1, self.obligation.path, self.obligation
+        )
+    }
+}
+
+/// Cap on retained races/violations — dense bugs repeat the same site;
+/// the totals keep counting past the cap.
+const KEEP: usize = 32;
+
+#[derive(Default)]
+struct HbState {
+    /// Per world task vector clocks.
+    clocks: BTreeMap<u64, VClock>,
+    /// In-flight send snapshots, FIFO per `(comm, from, to, tag)`.
+    chan: BTreeMap<(u64, usize, usize, u64), VecDeque<VClock>>,
+    /// Accumulated entry clocks per `(comm, seq)` collective.
+    coll: BTreeMap<(u64, u64), VClock>,
+    /// Recorded accesses per path, in observation order.
+    accesses: BTreeMap<String, Vec<RaceSite>>,
+    /// Physically written byte intervals per path (start → end, merged).
+    written: BTreeMap<String, BTreeMap<u64, u64>>,
+    /// Shadow extents a task has written but not yet bound to a shipment.
+    pending_shadow: BTreeMap<u64, Vec<FileAccess>>,
+    /// Shipment obligations: `(comm, member local rank, seq)` → extents.
+    obligations: BTreeMap<(u64, usize, u64), Vec<FileAccess>>,
+    races: Vec<HbRace>,
+    races_total: usize,
+    acks: Vec<AckViolation>,
+    acks_total: usize,
+}
+
+impl HbState {
+    fn clock(&mut self, task: u64) -> &mut VClock {
+        self.clocks.entry(task).or_default()
+    }
+
+    /// Record `[start, end)` as physically written at `path`, merging with
+    /// adjacent/overlapping intervals.
+    fn mark_written(&mut self, path: &str, start: u64, end: u64) {
+        let iv = self.written.entry(path.to_string()).or_default();
+        let mut s = start;
+        let mut e = end;
+        // Absorb every interval that overlaps or abuts [s, e).
+        let keys: Vec<u64> = iv.range(..=e).map(|(&k, _)| k).collect();
+        for k in keys {
+            let ke = iv[&k];
+            if ke >= s {
+                s = s.min(k);
+                e = e.max(ke);
+                iv.remove(&k);
+            }
+        }
+        iv.insert(s, e);
+    }
+
+    /// First sub-range of `[start, end)` at `path` not covered by physical
+    /// writes, or `None` if fully covered.
+    fn first_uncovered(&self, path: &str, start: u64, end: u64) -> Option<(u64, u64)> {
+        let Some(iv) = self.written.get(path) else { return Some((start, end)) };
+        let mut at = start;
+        while at < end {
+            match iv.range(..=at).next_back() {
+                Some((_, &ke)) if ke > at => at = ke,
+                _ => {
+                    let gap_end =
+                        iv.range(at..end).next().map(|(&k, _)| k).unwrap_or(end);
+                    return Some((at, gap_end));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Whether two access kinds conflict when their extents overlap and the
+/// tasks differ. Shadow-vs-physical pairs are exempt: the ship edge orders
+/// them and the ack-durability rule checks them instead.
+fn conflicts(a: AccessKind, b: AccessKind) -> bool {
+    use AccessKind::*;
+    matches!(
+        (a, b),
+        (Write, Write) | (Read, Write) | (Write, Read) | (ShadowWrite, ShadowWrite)
+    )
+}
+
+/// The happens-before engine; see the module docs. Install the same
+/// instance as the run's [`CheckHook`] (or chain it from one) and as the
+/// [`OrderGuardFs`](vfs::OrderGuardFs) sink.
+#[derive(Default)]
+pub struct HbEngine {
+    inner: Mutex<HbState>,
+}
+
+impl HbEngine {
+    pub fn new() -> HbEngine {
+        HbEngine::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HbState> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Races found so far, sorted for stable rendering.
+    pub fn races(&self) -> Vec<HbRace> {
+        let g = self.lock();
+        let mut r = g.races.clone();
+        r.sort_by(|x, y| {
+            (&x.a.access, &x.b.access).cmp(&(&y.a.access, &y.b.access))
+        });
+        r
+    }
+
+    /// Ack-durability violations found so far, sorted for stable rendering.
+    pub fn ack_violations(&self) -> Vec<AckViolation> {
+        let g = self.lock();
+        let mut v = g.acks.clone();
+        v.sort_by(|x, y| (&x.obligation, x.seq).cmp(&(&y.obligation, y.seq)));
+        v
+    }
+
+    /// Whether any race or ack-durability violation was recorded.
+    pub fn is_clean(&self) -> bool {
+        let g = self.lock();
+        g.races_total == 0 && g.acks_total == 0
+    }
+
+    /// Deterministic rendering of every finding. `ctx` names the run (the
+    /// `ScheduleCfg` that replays it); byte-identical across replays of
+    /// the same schedule.
+    pub fn stable_report(&self, ctx: &str) -> String {
+        let races = self.races();
+        let acks = self.ack_violations();
+        let g = self.lock();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "hb report ({ctx}): {} race(s), {} ack-durability violation(s)\n",
+            g.races_total, g.acks_total
+        ));
+        drop(g);
+        for (i, r) in races.iter().enumerate() {
+            out.push_str(&format!("race {}: {r}\n", i + 1));
+        }
+        for (i, v) in acks.iter().enumerate() {
+            out.push_str(&format!("violation {}: {v}\n", i + 1));
+        }
+        out
+    }
+
+    /// Panic with the [`stable_report`](Self::stable_report) unless the
+    /// run was race- and violation-free.
+    pub fn assert_race_free(&self, ctx: &str) {
+        if !self.is_clean() {
+            panic!("simcheck hb: {}", self.stable_report(ctx));
+        }
+    }
+
+    fn acting_task() -> Option<u64> {
+        simmpi::current_task().map(|t| t as u64)
+    }
+}
+
+impl CheckHook for HbEngine {
+    fn on_send(&self, comm: &CommCtx, from: usize, to: usize, tag: u64, payload: &[u8]) {
+        let Some(task) = Self::acting_task() else { return };
+        let mut g = self.lock();
+        g.clock(task).tick(task);
+        let snap = g.clock(task).clone();
+        g.chan.entry((comm.id, from, to, tag)).or_default().push_back(snap);
+        let ns = tag & COLL_TAG_MASK;
+        if ns == AGG_SHIP_TAG_PREFIX && payload.len() >= 8 {
+            // Bind the member's pending shadow extents to this shipment.
+            let seq = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+            let pending = g.pending_shadow.remove(&task).unwrap_or_default();
+            g.obligations.entry((comm.id, from, seq)).or_default().extend(pending);
+        } else if ns == AGG_ACK_TAG_PREFIX && payload.len() >= 16 {
+            let seq = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+            let status = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+            // `to` is the member being acked; a failed channel (nonzero
+            // status) promises no durability.
+            let obligations = g.obligations.remove(&(comm.id, to, seq)).unwrap_or_default();
+            if status == 0 {
+                for ob in obligations {
+                    let missing =
+                        g.first_uncovered(&ob.path, ob.offset, ob.offset + ob.len);
+                    if let Some(missing) = missing {
+                        g.acks_total += 1;
+                        if g.acks.len() < KEEP {
+                            let v = AckViolation {
+                                obligation: ob,
+                                seq,
+                                acker: Some(task),
+                                missing,
+                            };
+                            g.acks.push(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_recv_done(&self, comm: &CommCtx, rank: usize, src: usize, tag: u64, _payload: &[u8]) {
+        let Some(task) = Self::acting_task() else { return };
+        let mut g = self.lock();
+        let snap = g
+            .chan
+            .get_mut(&(comm.id, src, rank, tag))
+            .and_then(|q| q.pop_front());
+        let clock = g.clock(task);
+        if let Some(snap) = snap {
+            clock.join(&snap);
+        }
+        clock.tick(task);
+    }
+
+    fn on_collective(
+        &self,
+        comm: &CommCtx,
+        _rank: usize,
+        seq: u64,
+        _kind: CollKind,
+        _root: Option<usize>,
+    ) {
+        let Some(task) = Self::acting_task() else { return };
+        let mut g = self.lock();
+        g.clock(task).tick(task);
+        let snap = g.clock(task).clone();
+        g.coll.entry((comm.id, seq)).or_default().join(&snap);
+    }
+
+    fn on_collective_done(&self, comm: &CommCtx, _rank: usize, seq: u64) {
+        let Some(task) = Self::acting_task() else { return };
+        let mut g = self.lock();
+        let acc = g.coll.get(&(comm.id, seq)).cloned();
+        let clock = g.clock(task);
+        if let Some(acc) = acc {
+            clock.join(&acc);
+        }
+        clock.tick(task);
+    }
+
+    fn on_task_finish(&self, task: usize, _panicked: bool) {
+        let mut g = self.lock();
+        g.clock(task as u64).tick(task as u64);
+    }
+}
+
+impl AccessSink for HbEngine {
+    fn on_access(&self, access: &FileAccess) {
+        let task = access.task;
+        let mut g = self.lock();
+        g.clock(task).tick(task);
+        let site = RaceSite { access: access.clone(), clock: g.clock(task).clone() };
+        match access.kind {
+            AccessKind::Write => {
+                g.mark_written(&access.path, access.offset, access.offset + access.len);
+            }
+            AccessKind::ShadowWrite => {
+                g.pending_shadow.entry(task).or_default().push(access.clone());
+            }
+            AccessKind::Read => {}
+        }
+        // Race check against every prior conflicting access of the path.
+        // Prior sites were recorded (under this lock) before `site`, so the
+        // only possible ordering is prior-happens-before-site; absent that
+        // edge the pair is concurrent.
+        let prior = g.accesses.entry(access.path.clone()).or_default();
+        let mut found: Vec<HbRace> = Vec::new();
+        for p in prior.iter() {
+            if p.access.task != task
+                && conflicts(p.access.kind, access.kind)
+                && p.access.overlaps(&site.access)
+                && p.clock.get(p.access.task) > site.clock.get(p.access.task)
+            {
+                found.push(HbRace { a: p.clone(), b: site.clone() });
+            }
+        }
+        prior.push(site);
+        g.races_total += found.len();
+        let room = KEEP.saturating_sub(g.races.len());
+        g.races.extend(found.into_iter().take(room));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmpi::CoComm;
+    use std::sync::Arc;
+
+    fn ctx(name: &str, size: usize) -> CommCtx {
+        CommCtx { id: 0x1000 + size as u64, name: name.into(), size }
+    }
+
+    fn access(task: u64, kind: AccessKind, offset: u64, len: u64) -> FileAccess {
+        FileAccess { path: "f".into(), kind, task, offset, len }
+    }
+
+    /// Drive hook events as if `task` were the acting rank. The engine
+    /// reads `simmpi::current_task()`, which is unset on plain test
+    /// threads — so these tests run inside a 1-task world per acting rank.
+    fn as_task<R: Send>(task: usize, f: impl Fn() -> R + Send + Sync) -> R {
+        let run = simmpi::TaskWorld::run_checked(
+            simmpi::SchedPolicy::WorkSteal { workers: 1 },
+            task + 1,
+            Arc::new(simmpi::Sanitizer::new()),
+            |c| {
+                let f = &f;
+                async move { (c.rank() == task).then(f) }
+            },
+        );
+        run.results
+            .into_iter()
+            .last()
+            .expect("world has ranks")
+            .expect("no panic")
+            .expect("acting rank produced the value")
+    }
+
+    #[test]
+    fn unordered_overlapping_writes_race() {
+        let eng = Arc::new(HbEngine::new());
+        eng.on_access(&access(0, AccessKind::Write, 0, 10));
+        eng.on_access(&access(1, AccessKind::Write, 5, 10));
+        let races = eng.races();
+        assert_eq!(races.len(), 1, "{races:?}");
+        assert_eq!(races[0].a.access.task, 0);
+        assert_eq!(races[0].b.access.task, 1);
+        assert!(!eng.is_clean());
+        let report = eng.stable_report("test");
+        assert!(report.contains("unordered write/write overlap"), "{report}");
+        assert_eq!(report, eng.stable_report("test"));
+    }
+
+    #[test]
+    fn disjoint_or_same_task_accesses_do_not_race() {
+        let eng = HbEngine::new();
+        eng.on_access(&access(0, AccessKind::Write, 0, 10));
+        eng.on_access(&access(1, AccessKind::Write, 10, 10)); // adjacent, disjoint
+        eng.on_access(&access(0, AccessKind::Write, 5, 5)); // same task
+        eng.on_access(&access(2, AccessKind::Read, 40, 8));
+        eng.on_access(&access(3, AccessKind::Read, 40, 8)); // read/read
+        eng.assert_race_free("test");
+    }
+
+    #[test]
+    fn a_message_edge_orders_the_writes() {
+        let eng = Arc::new(HbEngine::new());
+        let c = ctx("world", 2);
+        eng.on_access(&access(0, AccessKind::Write, 0, 10));
+        as_task(0, || eng.on_send(&c, 0, 1, 7, b"go"));
+        as_task(1, || eng.on_recv_done(&c, 1, 0, 7, b"go"));
+        eng.on_access(&access(1, AccessKind::Write, 5, 10));
+        eng.assert_race_free("test");
+        // ... but an access the sender makes *after* the send is not
+        // ordered before the receiver's.
+        eng.on_access(&access(0, AccessKind::Write, 100, 8));
+        eng.on_access(&access(1, AccessKind::Write, 100, 8));
+        assert_eq!(eng.races().len(), 1);
+    }
+
+    #[test]
+    fn collective_brackets_order_across_the_barrier() {
+        let eng = Arc::new(HbEngine::new());
+        let c = ctx("world", 2);
+        eng.on_access(&access(0, AccessKind::Write, 0, 10));
+        as_task(0, || eng.on_collective(&c, 0, 1, CollKind::Barrier, None));
+        as_task(1, || eng.on_collective(&c, 1, 1, CollKind::Barrier, None));
+        as_task(0, || eng.on_collective_done(&c, 0, 1));
+        as_task(1, || eng.on_collective_done(&c, 1, 1));
+        eng.on_access(&access(1, AccessKind::Write, 0, 10));
+        eng.assert_race_free("test");
+    }
+
+    #[test]
+    fn shadow_vs_physical_is_exempt_but_shadow_vs_shadow_races() {
+        let eng = HbEngine::new();
+        eng.on_access(&access(1, AccessKind::ShadowWrite, 0, 64));
+        eng.on_access(&access(0, AccessKind::Write, 0, 64)); // aggregator replay
+        eng.assert_race_free("test");
+        eng.on_access(&access(2, AccessKind::ShadowWrite, 32, 64)); // overlaps member 1
+        assert_eq!(eng.races().len(), 1);
+    }
+
+    #[test]
+    fn ack_before_physical_write_is_a_violation() {
+        let eng = Arc::new(HbEngine::new());
+        let c = ctx("lcom", 2);
+        let mut ship = 5u64.to_le_bytes().to_vec(); // seq 5
+        ship.extend_from_slice(b"ops");
+        let ok_ack: Vec<u8> =
+            [5u64.to_le_bytes(), 0u64.to_le_bytes()].concat();
+        // Member (local rank 1) shadow-writes, ships; aggregator (local 0)
+        // acks WITHOUT writing.
+        eng.on_access(&access(1, AccessKind::ShadowWrite, 0, 64));
+        as_task(1, || eng.on_send(&c, 1, 0, AGG_SHIP_TAG_PREFIX | 1, &ship));
+        as_task(0, || eng.on_send(&c, 0, 1, AGG_ACK_TAG_PREFIX | 1, &ok_ack));
+        let v = eng.ack_violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].seq, 5);
+        assert_eq!(v[0].missing, (0, 64));
+        assert!(eng.stable_report("s").contains("before bytes [0, 64)"));
+    }
+
+    #[test]
+    fn ack_after_covering_writes_is_clean_even_with_gappy_merging() {
+        let eng = Arc::new(HbEngine::new());
+        let c = ctx("lcom", 2);
+        let ship = 0u64.to_le_bytes().to_vec();
+        let ok_ack: Vec<u8> = [0u64.to_le_bytes(), 0u64.to_le_bytes()].concat();
+        eng.on_access(&access(1, AccessKind::ShadowWrite, 10, 20));
+        as_task(1, || eng.on_send(&c, 1, 0, AGG_SHIP_TAG_PREFIX, &ship));
+        // Aggregator covers [10, 30) in two out-of-order pieces.
+        eng.on_access(&access(0, AccessKind::Write, 20, 10));
+        eng.on_access(&access(0, AccessKind::Write, 5, 15));
+        as_task(0, || eng.on_send(&c, 0, 1, AGG_ACK_TAG_PREFIX, &ok_ack));
+        assert!(eng.is_clean(), "{}", eng.stable_report("s"));
+    }
+
+    #[test]
+    fn failed_channel_acks_promise_nothing() {
+        let eng = Arc::new(HbEngine::new());
+        let c = ctx("lcom", 2);
+        let ship = 1u64.to_le_bytes().to_vec();
+        let bad_ack: Vec<u8> = [1u64.to_le_bytes(), 9u64.to_le_bytes()].concat();
+        eng.on_access(&access(1, AccessKind::ShadowWrite, 0, 8));
+        as_task(1, || eng.on_send(&c, 1, 0, AGG_SHIP_TAG_PREFIX, &ship));
+        as_task(0, || eng.on_send(&c, 0, 1, AGG_ACK_TAG_PREFIX, &bad_ack));
+        assert!(eng.is_clean());
+    }
+
+    #[test]
+    fn interval_merge_covers_exactly() {
+        let mut st = HbState::default();
+        st.mark_written("p", 0, 10);
+        st.mark_written("p", 20, 30);
+        assert_eq!(st.first_uncovered("p", 0, 30), Some((10, 20)));
+        st.mark_written("p", 10, 20); // bridges the gap
+        assert_eq!(st.first_uncovered("p", 0, 30), None);
+        assert_eq!(st.first_uncovered("p", 29, 31), Some((30, 31)));
+        assert_eq!(st.first_uncovered("q", 0, 1), Some((0, 1)));
+    }
+}

@@ -44,15 +44,19 @@
 //! All diagnostics are deterministic — stable rank ordering, no hash-map
 //! iteration — so failing reports can be golden-file tested.
 
+pub mod dpor;
+pub mod hb;
 mod report;
 mod sched;
 
+pub use dpor::{Dpor, DporHarness, DporOutcome, HookChain, SinkChain};
+pub use hb::{AckViolation, HbEngine, HbRace, RaceSite, VClock};
 pub use report::{CheckFailure, DeadlockInfo, PendingOp, ScheduleCfg, TraceEv};
 pub use sched::{schedules, seed_budget, CheckedTaskWorld, CheckedWorld};
 
 pub use simmpi::{
-    current_task, decode_coll_tag, describe_tag, is_reserved_tag, simcheck_env_enabled, Aborted,
-    CheckHook, CollKind, CommCtx, Finding, FindingKind, LeakedMsg, Sanitizer, COLL_TAG_MASK,
-    COLL_TAG_PREFIX,
+    current_task, decode_coll_tag, describe_tag, is_agg_tag, is_reserved_tag,
+    simcheck_env_enabled, Aborted, CheckHook, CollKind, CommCtx, Finding, FindingKind, LeakedMsg,
+    Sanitizer, AGG_ACK_TAG_PREFIX, AGG_SHIP_TAG_PREFIX, COLL_TAG_MASK, COLL_TAG_PREFIX,
 };
-pub use vfs::{BlockGuardFs, BlockViolation};
+pub use vfs::{AccessKind, AccessSink, BlockGuardFs, BlockViolation, FileAccess, OrderGuardFs};

@@ -14,19 +14,33 @@ use std::fmt;
 /// One point of the schedule space: the interleaving is a pure function of
 /// this configuration and the program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ScheduleCfg {
-    /// Seed of the scheduler's pseudo-random choice stream.
-    pub seed: u64,
-    /// Maximum number of *preemptions* — decisions that switch away from a
-    /// task that could have kept running. Once exhausted the scheduler
-    /// always continues the last task while it remains runnable (CHESS-style
-    /// iterative context bounding).
-    pub preemption_bound: usize,
+pub enum ScheduleCfg {
+    /// Seeded random exploration (CHESS-style iterative context bounding).
+    Seeded {
+        /// Seed of the scheduler's pseudo-random choice stream.
+        seed: u64,
+        /// Maximum number of *preemptions* — decisions that switch away
+        /// from a task that could have kept running. Once exhausted the
+        /// scheduler always continues the last task while it remains
+        /// runnable.
+        preemption_bound: usize,
+    },
+    /// Systematic dynamic-partial-order-reduced exploration of the serial
+    /// task scheduler: every schedule distinct up to independent-step
+    /// commutation is run exactly once (see [`crate::dpor`]). A failure
+    /// found this way replays from [`CheckFailure::schedule`], not from a
+    /// seed.
+    Dpor,
 }
 
 impl fmt::Display for ScheduleCfg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "seed={:#018x}, preemption-bound={}", self.seed, self.preemption_bound)
+        match *self {
+            ScheduleCfg::Seeded { seed, preemption_bound } => {
+                write!(f, "seed={seed:#018x}, preemption-bound={preemption_bound}")
+            }
+            ScheduleCfg::Dpor => write!(f, "dpor"),
+        }
     }
 }
 
@@ -77,6 +91,11 @@ pub struct CheckFailure {
     pub deadlock: Option<DeadlockInfo>,
     /// Every scheduling decision of the run, in order.
     pub trace: Vec<TraceEv>,
+    /// For [`ScheduleCfg::Dpor`] failures: the full decision sequence
+    /// (chosen task per step) of the failing run. Forcing it as the
+    /// decision prefix of a driven serial run replays the failure exactly.
+    /// Empty for seeded failures (the seed is the replay handle there).
+    pub schedule: Vec<usize>,
 }
 
 impl CheckFailure {
@@ -86,6 +105,9 @@ impl CheckFailure {
     pub fn stable_report(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("simcheck failure ({})\n", self.cfg));
+        if !self.schedule.is_empty() {
+            out.push_str(&format!("replay schedule: {:?}\n", self.schedule));
+        }
         out.push_str(&format!("findings ({}):\n", self.findings.len()));
         for f in &self.findings {
             out.push_str(&format!("  {f}\n"));
@@ -129,7 +151,7 @@ mod tests {
     #[test]
     fn stable_report_is_reproducible_text() {
         let fail = CheckFailure {
-            cfg: ScheduleCfg { seed: 7, preemption_bound: 2 },
+            cfg: ScheduleCfg::Seeded { seed: 7, preemption_bound: 2 },
             findings: vec![Finding {
                 kind: FindingKind::Deadlock,
                 message: "whole-world deadlock: 2 task(s) blocked".into(),
@@ -143,11 +165,13 @@ mod tests {
                 backtraces: BTreeMap::from([(0, "0: somewhere".into())]),
             }),
             trace: vec![TraceEv { step: 0, task: 1, op: "send(to=0, tag=0x1, len=3)".into() }],
+            schedule: Vec::new(),
         };
         let a = fail.stable_report();
         let b = fail.stable_report();
         assert_eq!(a, b);
         assert!(a.contains("seed=0x0000000000000007"), "{a}");
+        assert!(!a.contains("replay schedule"), "seeded failures have no forced schedule: {a}");
         assert!(a.contains("#0 task 1"), "{a}");
         assert!(!a.contains("somewhere"), "stable report must exclude backtraces: {a}");
         let full = fail.to_string();

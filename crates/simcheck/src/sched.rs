@@ -102,22 +102,33 @@ struct SchedState {
 }
 
 struct Scheduler {
-    cfg: ScheduleCfg,
+    /// Preemption budget of the seeded configuration.
+    bound: usize,
     san: Sanitizer,
     inner: Mutex<SchedState>,
     cv: Condvar,
 }
 
 impl Scheduler {
+    /// Build a scheduler for a seeded configuration. DPOR configurations
+    /// never reach here: the thread runtimes share their protocol layer
+    /// with the task runtimes byte-for-byte, so systematic exploration
+    /// runs on the serial task executor (see [`crate::dpor`]).
     fn new(ntasks: usize, cfg: ScheduleCfg) -> Scheduler {
+        let ScheduleCfg::Seeded { seed, preemption_bound } = cfg else {
+            panic!(
+                "ScheduleCfg::Dpor drives the serial task scheduler; \
+                 use CheckedTaskWorld (or simcheck::dpor) instead of CheckedWorld"
+            )
+        };
         Scheduler {
-            cfg,
+            bound: preemption_bound,
             san: Sanitizer::new(),
             inner: Mutex::new(SchedState {
                 tasks: (0..ntasks).map(|_| TState::Executing).collect(),
                 executing: ntasks,
                 msgs: Vec::new(),
-                rng: cfg.seed,
+                rng: seed,
                 preemptions: 0,
                 last: None,
                 trace: Vec::new(),
@@ -225,7 +236,7 @@ impl Scheduler {
         // cands is in ascending task order by construction.
         let choice = match g.last {
             Some(last)
-                if cands.contains(&last) && g.preemptions >= self.cfg.preemption_bound =>
+                if cands.contains(&last) && g.preemptions >= self.bound =>
             {
                 // Preemption budget spent: keep running the last task while
                 // it remains runnable.
@@ -471,6 +482,7 @@ impl CheckedWorld {
             findings,
             deadlock: g.deadlock.take(),
             trace: std::mem::take(&mut g.trace),
+            schedule: Vec::new(),
         }))
     }
 
@@ -524,70 +536,34 @@ impl CheckedTaskWorld {
         F: Fn(simmpi::TaskComm) -> Fut,
         Fut: std::future::Future<Output = T> + Send,
     {
-        let san = Arc::new(Sanitizer::new());
-        let policy = simmpi::SchedPolicy::Serial {
-            seed: cfg.seed,
-            preemption_bound: cfg.preemption_bound,
-        };
-        let run = simmpi::TaskWorld::run_checked(policy, ntasks, san.clone(), f);
-        let mut findings = san.findings();
-        let deadlock = run.deadlock.map(|d| {
-            san.record_deadlock(format!(
-                "whole-world deadlock: {} task(s) parked with no runnable peer",
-                d.parked.len()
-            ));
-            DeadlockInfo {
-                pending: d
-                    .parked
-                    .into_iter()
-                    .map(|p| PendingOp { task: p.world_rank, comm: p.comm, op: p.op })
-                    .collect(),
-                backtraces: BTreeMap::new(),
+        match cfg {
+            ScheduleCfg::Seeded { seed, preemption_bound } => {
+                let san = Arc::new(Sanitizer::new());
+                let policy = simmpi::SchedPolicy::Serial { seed, preemption_bound };
+                let run = simmpi::TaskWorld::run_checked(policy, ntasks, san.clone(), f);
+                digest_task_run(ntasks, cfg, &san, run)
             }
-        });
-        if deadlock.is_some() {
-            findings = san.findings();
-        }
-        let mut vals = Vec::new();
-        for (rank, r) in run.results.into_iter().enumerate() {
-            match r {
-                Ok(v) => vals.push(v),
-                Err(p) if p.is::<Aborted>() => {}
-                Err(p) => {
-                    let msg = panic_message(p.as_ref());
-                    if !msg.starts_with("simcheck:") {
-                        findings.push(Finding {
-                            kind: FindingKind::Panic,
-                            message: format!("rank {rank} panicked: {msg}"),
-                        });
+            ScheduleCfg::Dpor => {
+                let mut vals = None;
+                let outcome = crate::dpor::Dpor::default().explore(|h| {
+                    let san = Arc::new(Sanitizer::new());
+                    let hook: Arc<dyn simmpi::CheckHook> =
+                        Arc::new(crate::dpor::HookChain::new(vec![h.recorder(), san.clone()]));
+                    let run = simmpi::TaskWorld::run_driven(ntasks, hook, h.driver(), &f);
+                    match digest_task_run(ntasks, cfg, &san, run) {
+                        Ok(v) => {
+                            vals = Some(v);
+                            None
+                        }
+                        Err(e) => Some(e),
                     }
+                });
+                match outcome.failure {
+                    Some(e) => Err(e),
+                    None => Ok(vals.expect("dpor explores at least one schedule")),
                 }
             }
         }
-        findings.extend(san.incomplete_collectives());
-        if findings.is_empty() && vals.len() != ntasks {
-            findings.push(Finding {
-                kind: FindingKind::Panic,
-                message: format!(
-                    "{} of {ntasks} rank(s) unwound without a recorded finding",
-                    ntasks - vals.len()
-                ),
-            });
-        }
-        if findings.is_empty() {
-            return Ok(vals);
-        }
-        Err(Box::new(CheckFailure {
-            cfg,
-            findings,
-            deadlock,
-            trace: run
-                .trace
-                .into_iter()
-                .enumerate()
-                .map(|(step, task)| TraceEv { step, task, op: "poll".to_string() })
-                .collect(),
-        }))
     }
 
     /// Run `f` once per configuration, stopping at the first failure (whose
@@ -612,6 +588,80 @@ impl CheckedTaskWorld {
     }
 }
 
+/// Turn a finished task-runtime run into the checked verdict: sanitizer
+/// findings + deadlock verdict + per-rank panics, or the per-rank values
+/// when clean. Shared by the seeded path, the DPOR explorer, and DPOR
+/// replay; for [`ScheduleCfg::Dpor`] the decision trace doubles as the
+/// replay [`CheckFailure::schedule`].
+pub(crate) fn digest_task_run<T: Send>(
+    ntasks: usize,
+    cfg: ScheduleCfg,
+    san: &Sanitizer,
+    run: simmpi::TaskRun<T>,
+) -> Result<Vec<T>, Box<CheckFailure>> {
+    let mut findings = san.findings();
+    let deadlock = run.deadlock.map(|d| {
+        san.record_deadlock(format!(
+            "whole-world deadlock: {} task(s) parked with no runnable peer",
+            d.parked.len()
+        ));
+        DeadlockInfo {
+            pending: d
+                .parked
+                .into_iter()
+                .map(|p| PendingOp { task: p.world_rank, comm: p.comm, op: p.op })
+                .collect(),
+            backtraces: BTreeMap::new(),
+        }
+    });
+    if deadlock.is_some() {
+        findings = san.findings();
+    }
+    let mut vals = Vec::new();
+    for (rank, r) in run.results.into_iter().enumerate() {
+        match r {
+            Ok(v) => vals.push(v),
+            Err(p) if p.is::<Aborted>() => {}
+            Err(p) => {
+                let msg = panic_message(p.as_ref());
+                if !msg.starts_with("simcheck:") {
+                    findings.push(Finding {
+                        kind: FindingKind::Panic,
+                        message: format!("rank {rank} panicked: {msg}"),
+                    });
+                }
+            }
+        }
+    }
+    findings.extend(san.incomplete_collectives());
+    if findings.is_empty() && vals.len() != ntasks {
+        findings.push(Finding {
+            kind: FindingKind::Panic,
+            message: format!(
+                "{} of {ntasks} rank(s) unwound without a recorded finding",
+                ntasks - vals.len()
+            ),
+        });
+    }
+    if findings.is_empty() {
+        return Ok(vals);
+    }
+    let schedule =
+        if matches!(cfg, ScheduleCfg::Dpor) { run.trace.clone() } else { Vec::new() };
+    Err(Box::new(CheckFailure {
+        cfg,
+        findings,
+        deadlock,
+        trace: run
+            .trace
+            .into_iter()
+            .enumerate()
+            .map(|(step, task)| TraceEv { step, task, op: "poll".to_string() })
+            .collect(),
+        schedule,
+    }))
+}
+
 /// The standard schedule sweep: `seeds` seeds at each preemption bound
 /// (iterative context bounding — low bounds first, where most concurrency
 /// bugs live).
@@ -619,7 +669,7 @@ pub fn schedules(seeds: u64, bounds: &[usize]) -> Vec<ScheduleCfg> {
     let mut out = Vec::new();
     for &preemption_bound in bounds {
         for seed in 0..seeds {
-            out.push(ScheduleCfg { seed, preemption_bound });
+            out.push(ScheduleCfg::Seeded { seed, preemption_bound });
         }
     }
     out

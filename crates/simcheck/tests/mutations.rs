@@ -12,7 +12,7 @@ use sion::{paropen_write, Alignment, FileLayout, SionParams};
 use std::sync::Arc;
 use vfs::MemFs;
 
-const CFG: ScheduleCfg = ScheduleCfg { seed: 11, preemption_bound: 2 };
+const CFG: ScheduleCfg = ScheduleCfg::Seeded { seed: 11, preemption_bound: 2 };
 
 fn assert_replayable(a: &CheckFailure, b: &CheckFailure) {
     assert_eq!(
@@ -142,7 +142,7 @@ fn misaligned_chunks_trigger_block_contention() {
 #[test]
 fn cyclic_recv_deadlocks_with_golden_report() {
     let run = || {
-        CheckedWorld::run(2, ScheduleCfg { seed: 5, preemption_bound: 1 }, |c| {
+        CheckedWorld::run(2, ScheduleCfg::Seeded { seed: 5, preemption_bound: 1 }, |c| {
             // Both ranks recv before anyone sends: classic head-to-head.
             let _ = c.recv(1 - c.rank(), 7);
             c.send(1 - c.rank(), 7, b"late");

@@ -1,10 +1,12 @@
-//! Tag-discipline properties: the reserved collective namespace (top byte
-//! 0xC3) and user tags can never collide, the wire encoding round-trips,
-//! and the runtime rejects crafted collisions.
+//! Tag-discipline properties: the reserved namespaces (collectives, top
+//! byte 0xC3; aggregation ship/ack, top bytes 0xA6/0xA7) and user tags can
+//! never collide, the wire encoding round-trips, and the runtime rejects
+//! crafted collisions.
 
 use proptest::prelude::*;
 use simcheck::{
-    decode_coll_tag, describe_tag, is_reserved_tag, CollKind, COLL_TAG_MASK, COLL_TAG_PREFIX,
+    decode_coll_tag, describe_tag, is_agg_tag, is_reserved_tag, CollKind, AGG_ACK_TAG_PREFIX,
+    AGG_SHIP_TAG_PREFIX, COLL_TAG_MASK, COLL_TAG_PREFIX,
 };
 
 /// Build a collective wire tag the way the runtime does: prefix, op-kind
@@ -28,13 +30,24 @@ proptest! {
     /// decodes as a collective, and can never equal any collective tag.
     #[test]
     fn user_tags_cannot_collide(user in any::<u64>(), kind_sel in 0usize..7, seq in any::<u64>(), round in any::<u8>()) {
-        prop_assume!(user & COLL_TAG_MASK != COLL_TAG_PREFIX);
+        prop_assume!(user & COLL_TAG_MASK != COLL_TAG_PREFIX && !is_agg_tag(user));
         prop_assert!(!is_reserved_tag(user));
         prop_assert!(decode_coll_tag(user).is_none());
         let coll = make_coll_tag(KINDS[kind_sel], seq, round);
         prop_assert!(is_reserved_tag(coll));
         // Disjoint namespaces cannot intersect.
         prop_assert_ne!(user, coll);
+        // The ship/ack namespaces are reserved like 0xC3 but are not
+        // collectives: they never decode, and they render by name (a leak
+        // report must say "agg-ship", not raw hex).
+        for ns in [AGG_SHIP_TAG_PREFIX, AGG_ACK_TAG_PREFIX] {
+            let agg = ns | (user & !COLL_TAG_MASK);
+            prop_assert!(is_agg_tag(agg) && is_reserved_tag(agg));
+            prop_assert!(decode_coll_tag(agg).is_none());
+            prop_assert_ne!(agg, coll);
+            let shown = describe_tag(agg);
+            prop_assert!(shown.starts_with("agg-ship:") || shown.starts_with("agg-ack:"), "{}", shown);
+        }
     }
 
     /// The wire encoding round-trips through the decoder.
@@ -60,7 +73,7 @@ fn runtime_rejects_crafted_collision() {
     use simmpi::Comm;
     for kind in KINDS {
         let crafted = make_coll_tag(kind, 3, 1);
-        let fail = CheckedWorld::run(2, ScheduleCfg { seed: 0, preemption_bound: 0 }, move |c| {
+        let fail = CheckedWorld::run(2, ScheduleCfg::Seeded { seed: 0, preemption_bound: 0 }, move |c| {
             if c.rank() == 1 {
                 c.send(0, crafted, &[1]);
             }

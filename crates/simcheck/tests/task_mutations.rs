@@ -14,7 +14,7 @@ use simmpi::CoComm;
 use sion::{paropen_read_co, paropen_write_co, Multifile, SionParams};
 use vfs::MemFs;
 
-const CFG: ScheduleCfg = ScheduleCfg { seed: 11, preemption_bound: 2 };
+const CFG: ScheduleCfg = ScheduleCfg::Seeded { seed: 11, preemption_bound: 2 };
 
 fn assert_replayable(a: &CheckFailure, b: &CheckFailure) {
     assert_eq!(
@@ -122,7 +122,7 @@ fn reserved_tag_collision_is_flagged_on_task_runtime() {
 #[test]
 fn cyclic_recv_deadlocks_on_task_runtime() {
     let run = || {
-        CheckedTaskWorld::run(2, ScheduleCfg { seed: 5, preemption_bound: 1 }, |c| async move {
+        CheckedTaskWorld::run(2, ScheduleCfg::Seeded { seed: 5, preemption_bound: 1 }, |c| async move {
             // Both ranks recv before anyone sends: classic head-to-head.
             let _ = c.recv(1 - c.rank(), 7).await;
             c.send(1 - c.rank(), 7, b"late");
@@ -156,7 +156,7 @@ fn cyclic_recv_deadlocks_on_task_runtime() {
 #[test]
 fn preemption_bound_zero_still_completes() {
     for seed in 0..4 {
-        let cfg = ScheduleCfg { seed, preemption_bound: 0 };
+        let cfg = ScheduleCfg::Seeded { seed, preemption_bound: 0 };
         let sums = CheckedTaskWorld::run(6, cfg, |c| async move {
             let all = c.allgather_u64(c.rank() as u64 * 3).await;
             c.barrier().await;

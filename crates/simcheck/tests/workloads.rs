@@ -83,7 +83,7 @@ fn crash_workload_clean_under_checker() {
 
     // Probe run: learn the op count so the kill switch lands mid-write.
     let probe = FaultFs::new(MemFs::with_block_size(256));
-    let cfg = ScheduleCfg { seed: 1, preemption_bound: 2 };
+    let cfg = ScheduleCfg::Seeded { seed: 1, preemption_bound: 2 };
     crashy_run(ntasks, &probe, &params, cfg)
         .unwrap_or_else(|fail| panic!("probe run flagged:\n{fail}"));
     let total_ops = probe.op_count();

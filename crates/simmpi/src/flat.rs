@@ -162,11 +162,24 @@ impl FlatCommunicator {
     }
 
     /// Report a collective entry to the hook, if one is installed, claiming
-    /// the next collective sequence number.
-    fn note_collective(&self, kind: CollKind, root: Option<usize>) {
+    /// the next collective sequence number (returned so the exit can be
+    /// reported against the same ordinal).
+    fn note_collective(&self, kind: CollKind, root: Option<usize>) -> u64 {
         let seq = self.coll_seq.fetch_add(1, Ordering::Relaxed);
         if let Some(h) = &self.shared.hook {
             h.on_collective(&self.shared.ctx, self.rank, seq, kind, root);
+        }
+        seq
+    }
+
+    /// Report a collective exit (the call returned on this rank). The flat
+    /// runtime's collectives move payloads through shared slots rather
+    /// than messages, so the entry/exit bracket is the only signal an
+    /// ordering checker gets — it must order every entry of `(ctx, seq)`
+    /// before every exit.
+    fn note_collective_done(&self, seq: u64) {
+        if let Some(h) = &self.shared.hook {
+            h.on_collective_done(&self.shared.ctx, self.rank, seq);
         }
     }
 
@@ -204,14 +217,15 @@ impl Comm for FlatCommunicator {
 
     fn barrier(&self) {
         self.stats.bump_barrier();
-        self.note_collective(CollKind::Barrier, None);
+        let seq = self.note_collective(CollKind::Barrier, None);
         self.wait();
+        self.note_collective_done(seq);
     }
 
     fn gather(&self, data: &[u8], root: usize) -> Option<Vec<Vec<u8>>> {
         assert!(root < self.size(), "gather root {root} out of range");
         self.stats.bump_gather();
-        self.note_collective(CollKind::Gather, Some(root));
+        let seq = self.note_collective(CollKind::Gather, Some(root));
         self.deposit(Some(data.to_vec()));
         self.wait();
         let result = if self.rank == root {
@@ -226,13 +240,14 @@ impl Comm for FlatCommunicator {
             None
         };
         self.wait();
+        self.note_collective_done(seq);
         result
     }
 
     fn scatter(&self, parts: Option<Vec<Vec<u8>>>, root: usize) -> Vec<u8> {
         assert!(root < self.size(), "scatter root {root} out of range");
         self.stats.bump_scatter();
-        self.note_collective(CollKind::Scatter, Some(root));
+        let seq = self.note_collective(CollKind::Scatter, Some(root));
         if self.rank == root {
             let parts = parts.expect("root must supply scatter parts");
             assert_eq!(parts.len(), self.size(), "scatter needs one part per rank");
@@ -247,13 +262,14 @@ impl Comm for FlatCommunicator {
             .take()
             .expect("root deposited a part for every rank");
         self.wait();
+        self.note_collective_done(seq);
         mine
     }
 
     fn bcast(&self, data: Option<Vec<u8>>, root: usize) -> Vec<u8> {
         assert!(root < self.size(), "bcast root {root} out of range");
         self.stats.bump_bcast();
-        self.note_collective(CollKind::Bcast, Some(root));
+        let seq = self.note_collective(CollKind::Bcast, Some(root));
         if self.rank == root {
             self.deposit(Some(data.expect("root must supply bcast data")));
         }
@@ -268,12 +284,13 @@ impl Comm for FlatCommunicator {
         // left in place: clearing it here would race against a subsequent
         // collective's deposits from other ranks.
         self.wait();
+        self.note_collective_done(seq);
         out
     }
 
     fn allgather(&self, data: &[u8]) -> Vec<Vec<u8>> {
         self.stats.bump_allgather();
-        self.note_collective(CollKind::Allgather, None);
+        let seq = self.note_collective(CollKind::Allgather, None);
         self.deposit(Some(data.to_vec()));
         self.wait();
         let out: Vec<Vec<u8>> = self
@@ -285,12 +302,13 @@ impl Comm for FlatCommunicator {
         // As in bcast: no post-barrier cleanup — a deposit after the second
         // barrier would race against the next collective's writes.
         self.wait();
+        self.note_collective_done(seq);
         out
     }
 
     fn split(&self, color: u64, key: u64) -> Box<dyn Comm> {
         self.stats.bump_split();
-        self.note_collective(CollKind::Split, None);
+        let coll_seq = self.note_collective(CollKind::Split, None);
         // Determine group membership: allgather (color, key, rank).
         let mut payload = Vec::with_capacity(24);
         payload.extend_from_slice(&color.to_le_bytes());
@@ -345,6 +363,7 @@ impl Comm for FlatCommunicator {
         // All ranks must have attached to their group's shared state before
         // the construction entries are retired from the map.
         self.wait();
+        self.note_collective_done(coll_seq);
         if new_rank == 0 {
             self.shared.splits.lock().remove(&(seq, color));
         }
@@ -353,14 +372,17 @@ impl Comm for FlatCommunicator {
 
     fn send(&self, dest: usize, tag: u64, data: &[u8]) {
         assert!(dest < self.size(), "send dest {dest} out of range");
-        if tag & hook::COLL_TAG_MASK == hook::COLL_TAG_PREFIX {
+        if hook::rejected_user_tag(tag) {
             if let Some(h) = &self.shared.hook {
                 h.on_reserved_tag(&self.shared.ctx, self.rank, dest, tag);
             }
-            panic!("tags with top byte 0xC3 are reserved for internal collectives");
+            panic!("{}", hook::reserved_tag_panic_text(tag));
         }
         self.stats.bump_send();
         self.stats.add_bytes(data.len() as u64);
+        if let Some(h) = &self.shared.hook {
+            h.on_send(&self.shared.ctx, self.rank, dest, tag, data);
+        }
         self.shared.senders[dest]
             .send((self.rank, tag, data.to_vec()))
             .expect("receiver mailbox alive for the world's lifetime");
@@ -369,6 +391,16 @@ impl Comm for FlatCommunicator {
     fn recv(&self, src: usize, tag: u64) -> Vec<u8> {
         assert!(src < self.size(), "recv src {src} out of range");
         self.stats.bump_recv();
+        let payload = self.recv_inner(src, tag);
+        if let Some(h) = &self.shared.hook {
+            h.on_recv_done(&self.shared.ctx, self.rank, src, tag, &payload);
+        }
+        payload
+    }
+}
+
+impl FlatCommunicator {
+    fn recv_inner(&self, src: usize, tag: u64) -> Vec<u8> {
         // Check previously stashed non-matching messages first.
         {
             let mut stash = self.stash.lock();

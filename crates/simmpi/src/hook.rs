@@ -37,6 +37,29 @@ pub const COLL_TAG_PREFIX: u64 = 0xC3 << 56;
 /// Mask selecting the tag's top (namespace) byte.
 pub const COLL_TAG_MASK: u64 = 0xFF << 56;
 
+/// Top byte of the aggregation *shipment* namespace: a member task sending
+/// a record-stream frame to its elected aggregator. Reserved like `0xC3` —
+/// user sends into this namespace are rejected unless they run inside an
+/// [`enter_agg_protocol`] scope.
+///
+/// Frame contract (stable; checkers decode it without depending on the
+/// `sion` crate): payload is `[u64 seq (LE)] [op stream…]` — the sequence
+/// number of this shipment on that member's channel, followed by the
+/// replayable op stream.
+pub const AGG_SHIP_TAG_PREFIX: u64 = 0xA6 << 56;
+/// Top byte of the aggregation *acknowledgement* namespace: the aggregator
+/// confirming a shipment is durably applied. Payload contract (stable):
+/// `[u64 seq (LE)] [u64 status (LE)]` — the acked shipment's sequence
+/// number and `0` for success / nonzero for a failed channel.
+pub const AGG_ACK_TAG_PREFIX: u64 = 0xA7 << 56;
+
+/// Whether `tag` lies in the aggregation ship/ack namespaces
+/// (`0xA6`/`0xA7` top byte).
+pub fn is_agg_tag(tag: u64) -> bool {
+    let ns = tag & COLL_TAG_MASK;
+    ns == AGG_SHIP_TAG_PREFIX || ns == AGG_ACK_TAG_PREFIX
+}
+
 /// The collective operation kinds carried in the op-kind byte of reserved
 /// tags and reported to check hooks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -122,20 +145,76 @@ pub fn decode_coll_tag(tag: u64) -> Option<(CollKind, u64, u8)> {
     Some((kind, (tag >> 8) & 0x00FF_FFFF_FFFF, (tag & 0xFF) as u8))
 }
 
-/// Whether `tag` lies in the reserved collective namespace (regardless of
-/// whether its op-kind byte decodes).
+/// Whether `tag` lies in a reserved namespace: the `0xC3` collective
+/// namespace (regardless of whether its op-kind byte decodes) or the
+/// `0xA6`/`0xA7` aggregation ship/ack namespaces.
 pub fn is_reserved_tag(tag: u64) -> bool {
-    tag & COLL_TAG_MASK == COLL_TAG_PREFIX
+    tag & COLL_TAG_MASK == COLL_TAG_PREFIX || is_agg_tag(tag)
 }
 
 /// Render a tag for diagnostics: decoded collective tags show kind, seq and
-/// round; user tags show hex.
+/// round; aggregation ship/ack tags name their namespace; user tags show
+/// hex.
 pub fn describe_tag(tag: u64) -> String {
     match decode_coll_tag(tag) {
         Some((kind, seq, round)) => format!("{}#{}:r{}", kind.name(), seq, round),
+        None if tag & COLL_TAG_MASK == AGG_SHIP_TAG_PREFIX => format!("agg-ship:{tag:#x}"),
+        None if tag & COLL_TAG_MASK == AGG_ACK_TAG_PREFIX => format!("agg-ack:{tag:#x}"),
         None if is_reserved_tag(tag) => format!("reserved:{tag:#x}"),
         None => format!("{tag:#x}"),
     }
+}
+
+/// Diagnostic text for a user send into a reserved tag namespace, shared
+/// by the runtimes' panic messages and the sanitizer's findings so the
+/// wording never drifts between them. The `0xC3` wording is pinned by
+/// long-standing tests; the aggregation namespaces get their own wording.
+pub fn reserved_tag_panic_text(tag: u64) -> &'static str {
+    if is_agg_tag(tag) {
+        "tags with top byte 0xA6/0xA7 are reserved for the aggregation ship/ack protocol"
+    } else {
+        "tags with top byte 0xC3 are reserved for internal collectives"
+    }
+}
+
+thread_local! {
+    static AGG_PROTOCOL_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// RAII marker placed around the aggregation protocol's own sends so the
+/// runtimes can tell a legitimate ship/ack frame from a crafted user send
+/// into the reserved `0xA6`/`0xA7` namespace. Scopes nest; the thread is
+/// back outside the protocol once every scope has dropped.
+///
+/// Public (not `pub(crate)`) so protocol-conformance tests can emit frames
+/// in the real namespaces.
+#[must_use = "the scope ends when this guard drops"]
+pub struct AggProtocolScope(());
+
+impl Drop for AggProtocolScope {
+    fn drop(&mut self) {
+        AGG_PROTOCOL_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// Enter an aggregation-protocol send scope on this thread (see
+/// [`AggProtocolScope`]).
+pub fn enter_agg_protocol() -> AggProtocolScope {
+    AGG_PROTOCOL_DEPTH.with(|d| d.set(d.get() + 1));
+    AggProtocolScope(())
+}
+
+/// Whether this thread is currently inside an [`enter_agg_protocol`] scope.
+pub fn in_agg_protocol() -> bool {
+    AGG_PROTOCOL_DEPTH.with(|d| d.get() > 0)
+}
+
+/// Whether a user-level send with `tag` must be rejected on this thread:
+/// reserved namespaces are always off-limits, except that the aggregation
+/// ship/ack namespaces are legal from inside an [`enter_agg_protocol`]
+/// scope.
+pub(crate) fn rejected_user_tag(tag: u64) -> bool {
+    is_reserved_tag(tag) && !(is_agg_tag(tag) && in_agg_protocol())
 }
 
 /// Deterministic identity of one communicator, identical on every rank and
@@ -213,6 +292,32 @@ pub trait CheckHook: Send + Sync {
     /// sequence number of the collective on that communicator, the
     /// operation kind, and its root (`None` for unrooted collectives).
     fn on_collective(&self, comm: &CommCtx, rank: usize, seq: u64, kind: CollKind, root: Option<usize>) {}
+
+    /// A rank *left* a collective (the call returned on that rank). With
+    /// [`on_collective`](Self::on_collective) this brackets every
+    /// collective: a happens-before checker may soundly order every entry
+    /// of collective `(comm, seq)` before every exit — a superset of the
+    /// true dependence of any correct collective implementation.
+    fn on_collective_done(&self, comm: &CommCtx, rank: usize, seq: u64) {}
+
+    /// Passive observation: a message (user or internal, including
+    /// reserved-namespace frames) was pushed into `to`'s mailbox. The
+    /// payload slice lets ordering checkers decode protocol frames (see
+    /// [`AGG_SHIP_TAG_PREFIX`] for the ship/ack framing contract) without
+    /// copying; it must not be retained past the call.
+    fn on_send(&self, comm: &CommCtx, from: usize, to: usize, tag: u64, payload: &[u8]) {}
+
+    /// Passive observation: a receive completed on `rank` with a matched
+    /// message from `src`. Fired for blocking receives and for successful
+    /// `try_recv`, on user and internal messages alike. The payload slice
+    /// must not be retained past the call.
+    fn on_recv_done(&self, comm: &CommCtx, rank: usize, src: usize, tag: u64, payload: &[u8]) {}
+
+    /// Passive observation: a `try_recv` poll ran on `rank` for `(src,
+    /// tag)` and either matched (`hit`, followed by
+    /// [`on_recv_done`](Self::on_recv_done)) or found nothing. Makes
+    /// polling drains visible as discrete events instead of opaque spins.
+    fn on_try_recv(&self, comm: &CommCtx, rank: usize, src: usize, tag: u64, hit: bool) {}
 
     /// A user-level send attempted to use a tag inside the reserved
     /// collective namespace. The runtime panics right after this returns;
@@ -345,5 +450,41 @@ mod tests {
         let t = coll_tag(CollKind::Gather, 7, 0);
         assert_eq!(describe_tag(t), "gather#7:r0");
         assert_eq!(describe_tag(0x2A), "0x2a");
+    }
+
+    #[test]
+    fn agg_namespaces_are_reserved_and_described() {
+        let ship = AGG_SHIP_TAG_PREFIX | 0x42;
+        let ack = AGG_ACK_TAG_PREFIX | 0x42;
+        assert!(is_agg_tag(ship) && is_agg_tag(ack));
+        assert!(is_reserved_tag(ship) && is_reserved_tag(ack));
+        assert!(!is_agg_tag(COLL_TAG_PREFIX));
+        assert_eq!(decode_coll_tag(ship), None);
+        assert_eq!(describe_tag(ship), format!("agg-ship:{ship:#x}"));
+        assert_eq!(describe_tag(ack), format!("agg-ack:{ack:#x}"));
+        // The 0xC3 wording is pinned; agg tags get their own.
+        assert!(reserved_tag_panic_text(coll_tag(CollKind::Barrier, 0, 0)).contains("0xC3"));
+        assert!(reserved_tag_panic_text(ship).contains("0xA6/0xA7"));
+    }
+
+    #[test]
+    fn agg_protocol_scope_nests_and_gates_rejection() {
+        let ship = AGG_SHIP_TAG_PREFIX | 1;
+        assert!(rejected_user_tag(ship));
+        assert!(rejected_user_tag(COLL_TAG_PREFIX | 1));
+        {
+            let _outer = enter_agg_protocol();
+            assert!(in_agg_protocol());
+            assert!(!rejected_user_tag(ship));
+            // Collective namespace stays rejected even inside the scope.
+            assert!(rejected_user_tag(COLL_TAG_PREFIX | 1));
+            {
+                let _inner = enter_agg_protocol();
+                assert!(in_agg_protocol());
+            }
+            assert!(in_agg_protocol());
+        }
+        assert!(!in_agg_protocol());
+        assert!(rejected_user_tag(ship));
     }
 }

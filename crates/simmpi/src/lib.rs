@@ -50,12 +50,14 @@ pub use comm::{Comm, CommStats, ReduceOp};
 pub use extra::CommExt;
 pub use flat::{FlatCommunicator, FlatWorld};
 pub use task::{
-    DeadlockReport, FlatTaskComm, FlatTaskWorld, ParkedOp, SchedPolicy, SchedStats, TaskComm,
-    TaskRun, TaskWorld,
+    DeadlockReport, FlatTaskComm, FlatTaskWorld, ParkedOp, SchedPolicy, SchedStats, ScheduleDriver,
+    TaskComm, TaskRun, TaskWorld,
 };
 pub use hook::{
-    current_task, decode_coll_tag, describe_tag, is_reserved_tag, simcheck_env_enabled, Aborted,
-    CheckHook, CollKind, CommCtx, LeakedMsg, COLL_TAG_MASK, COLL_TAG_PREFIX,
+    current_task, decode_coll_tag, describe_tag, enter_agg_protocol, in_agg_protocol, is_agg_tag,
+    is_reserved_tag, reserved_tag_panic_text, simcheck_env_enabled, Aborted, AggProtocolScope,
+    CheckHook, CollKind, CommCtx, LeakedMsg, AGG_ACK_TAG_PREFIX, AGG_SHIP_TAG_PREFIX,
+    COLL_TAG_MASK, COLL_TAG_PREFIX,
 };
 pub use sanitize::{Finding, FindingKind, Sanitizer};
 pub use serial::SerialComm;

@@ -13,7 +13,9 @@
 //!   ranks by the time the world ends (e.g. one rank ran an extra
 //!   broadcast) is reported at teardown.
 //! * **reserved-tag discipline** — user sends into the `0xC3` collective
-//!   namespace are rejected with a diagnostic naming the offending rank.
+//!   namespace, or into the `0xA6`/`0xA7` aggregation ship/ack namespaces
+//!   from outside the aggregation protocol, are rejected with a diagnostic
+//!   naming the offending rank.
 //! * **message leaks** — unconsumed messages found when a communicator
 //!   handle is dropped.
 //! * **suspected deadlock** — a receive blocked past the watchdog (see
@@ -27,7 +29,10 @@
 //! too instead of hanging the test run. All report text is deterministic:
 //! state lives in `BTreeMap`s and leak lists are sorted before reporting.
 
-use crate::hook::{describe_tag, Aborted, CheckHook, CollKind, CommCtx, LeakedMsg};
+use crate::hook::{
+    describe_tag, is_agg_tag, reserved_tag_panic_text, Aborted, CheckHook, CollKind, CommCtx,
+    LeakedMsg,
+};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -42,7 +47,9 @@ pub enum FindingKind {
     CollectiveMismatch,
     /// A collective was entered by some but not all ranks.
     IncompleteCollective,
-    /// A user send used a tag in the reserved collective namespace.
+    /// A user send used a tag in a reserved namespace (`0xC3`
+    /// collectives, or `0xA6`/`0xA7` aggregation ship/ack from outside the
+    /// aggregation protocol).
     ReservedTag,
     /// Messages were never consumed before communicator teardown.
     MessageLeak,
@@ -185,8 +192,9 @@ impl Sanitizer {
         }
     }
 
-    /// Build the reserved-tag finding for a crafted user send into the
-    /// collective namespace.
+    /// Build the reserved-tag finding for a crafted user send into a
+    /// reserved namespace (`0xC3` collectives, or the `0xA6`/`0xA7`
+    /// aggregation ship/ack namespaces from outside the protocol).
     pub fn check_reserved_tag(
         &self,
         comm: &CommCtx,
@@ -194,16 +202,24 @@ impl Sanitizer {
         dest: usize,
         tag: u64,
     ) -> Finding {
-        self.record(
-            FindingKind::ReservedTag,
+        let msg = if is_agg_tag(tag) {
+            format!(
+                "rank {rank} sent a user message to rank {dest} on comm \"{}\" with tag \
+                 {tag:#018x}, which lies in the 0xA6/0xA7 namespace reserved for the \
+                 aggregation ship/ack protocol ({})",
+                comm.name,
+                describe_tag(tag),
+            )
+        } else {
             format!(
                 "rank {rank} sent a user message to rank {dest} on comm \"{}\" with tag \
                  {tag:#018x}, which lies in the 0xC3 namespace reserved for internal \
                  collectives ({})",
                 comm.name,
                 describe_tag(tag),
-            ),
-        )
+            )
+        };
+        self.record(FindingKind::ReservedTag, msg)
     }
 
     /// Build the leak finding for unconsumed messages at teardown.
@@ -319,9 +335,10 @@ impl CheckHook for Sanitizer {
 
     fn on_reserved_tag(&self, comm: &CommCtx, rank: usize, dest: usize, tag: u64) {
         let f = self.check_reserved_tag(comm, rank, dest, tag);
-        // Keep the historical wording so callers matching on the plain
-        // runtime's panic message see the same contract.
-        panic!("simcheck: {f} — tags with top byte 0xC3 are reserved for internal collectives");
+        // Keep the historical 0xC3 wording so callers matching on the plain
+        // runtime's panic message see the same contract; the aggregation
+        // namespaces get the matching runtime wording too.
+        panic!("simcheck: {f} — {}", reserved_tag_panic_text(tag));
     }
 
     fn on_teardown(&self, comm: &CommCtx, rank: usize, leaked: &[LeakedMsg]) {

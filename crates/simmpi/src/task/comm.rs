@@ -18,9 +18,7 @@
 use crate::arena::FrameArena;
 use crate::co::AllGathered;
 use crate::comm::CommStats;
-use crate::hook::{
-    self, coll_tag, CheckHook, CollKind, CommCtx, LeakedMsg, COLL_TAG_MASK, COLL_TAG_PREFIX,
-};
+use crate::hook::{self, coll_tag, CheckHook, CollKind, CommCtx, LeakedMsg};
 use crate::wire::{frame, frame_into, frame_len, subtree_size, unframe};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -314,11 +312,14 @@ pub(super) fn mbox_try_take(
 }
 
 /// Matched-receive future over a mailbox slice; the runtime's only
-/// point-to-point parking point.
+/// point-to-point parking point. Carries the communicator context and the
+/// optional hook so the `Ready` transition can report the completed match
+/// ([`CheckHook::on_recv_done`]) exactly once, wherever it is awaited.
 pub(super) struct Recv<'a> {
     mboxes: &'a [Mutex<Mbox>],
     world: &'a WorldRt,
-    comm_name: &'a Arc<str>,
+    ctx: &'a CommCtx,
+    hook: &'a Option<Arc<dyn CheckHook>>,
     comm_rank: usize,
     world_rank: usize,
     src: usize,
@@ -331,13 +332,14 @@ impl<'a> Recv<'a> {
     pub(super) fn new(
         mboxes: &'a [Mutex<Mbox>],
         world: &'a WorldRt,
-        comm_name: &'a Arc<str>,
+        ctx: &'a CommCtx,
+        hook: &'a Option<Arc<dyn CheckHook>>,
         comm_rank: usize,
         world_rank: usize,
         src: usize,
         tag: u64,
     ) -> Recv<'a> {
-        Recv { mboxes, world, comm_name, comm_rank, world_rank, src, tag, parked: false }
+        Recv { mboxes, world, ctx, hook, comm_rank, world_rank, src, tag, parked: false }
     }
 }
 
@@ -359,6 +361,9 @@ impl Future for Recv<'_> {
                 this.parked = false;
                 *this.world.pending[this.world_rank].lock() = None;
             }
+            if let Some(h) = this.hook {
+                h.on_recv_done(this.ctx, this.comm_rank, this.src, this.tag, &payload);
+            }
             return Poll::Ready(payload);
         }
         mb.waiting = Some((this.src, this.tag, cx.waker().clone()));
@@ -367,7 +372,7 @@ impl Future for Recv<'_> {
         // world quiesces with this entry in place, this receive is what the
         // rank is stuck on.
         *this.world.pending[this.world_rank].lock() = Some(Parked {
-            comm: this.comm_name.clone(),
+            comm: this.ctx.name.clone(),
             comm_rank: this.comm_rank,
             kind: ParkKind::Recv { src: this.src, tag: this.tag },
         });
@@ -441,6 +446,13 @@ impl TaskComm {
         }
     }
 
+    /// Report a collective exit (the call returned on this rank).
+    fn note_collective_done(&self, seq: u64) {
+        if let Some(h) = &self.shared.hook {
+            h.on_collective_done(&self.shared.ctx, self.rank, seq);
+        }
+    }
+
     fn vrank(&self, root: usize) -> usize {
         (self.rank + self.shared.size - root) % self.shared.size
     }
@@ -451,6 +463,9 @@ impl TaskComm {
 
     fn isend(&self, dest: usize, tag: u64, payload: impl Into<MsgBuf>) {
         let payload = payload.into();
+        if let Some(h) = &self.shared.hook {
+            h.on_send(&self.shared.ctx, self.rank, dest, tag, &payload);
+        }
         self.stats.add_bytes(payload.len() as u64);
         mbox_send(&self.shared.mboxes, &self.shared.world, self.rank, dest, tag, payload);
     }
@@ -459,6 +474,9 @@ impl TaskComm {
     /// of one shared frame, which [`Self::bcast_frame_impl`] charges once
     /// per logical payload instead of once per edge.
     fn isend_uncharged(&self, dest: usize, tag: u64, payload: MsgBuf) {
+        if let Some(h) = &self.shared.hook {
+            h.on_send(&self.shared.ctx, self.rank, dest, tag, &payload);
+        }
         mbox_send(&self.shared.mboxes, &self.shared.world, self.rank, dest, tag, payload);
     }
 
@@ -466,7 +484,8 @@ impl TaskComm {
         Recv::new(
             &self.shared.mboxes,
             &self.shared.world,
-            &self.shared.ctx.name,
+            &self.shared.ctx,
+            &self.shared.hook,
             self.rank,
             self.world_rank,
             src,
@@ -773,6 +792,7 @@ impl TaskComm {
         let comm = TaskComm::new(new_rank, self.world_rank, sub);
         let seq = self.next_seq();
         self.barrier_impl(seq, CollKind::Split).await;
+        self.note_collective_done(seq_up);
         if new_rank == 0 {
             self.shared.splits.lock().remove(&(split_no, color));
         }
@@ -795,11 +815,11 @@ impl crate::co::CoComm for TaskComm {
 
     fn send(&self, dest: usize, tag: u64, data: &[u8]) {
         assert!(dest < self.shared.size, "send dest {dest} out of range");
-        if tag & COLL_TAG_MASK == COLL_TAG_PREFIX {
+        if hook::rejected_user_tag(tag) {
             if let Some(h) = &self.shared.hook {
                 h.on_reserved_tag(&self.shared.ctx, self.rank, dest, tag);
             }
-            panic!("tags with top byte 0xC3 are reserved for internal collectives");
+            panic!("{}", hook::reserved_tag_panic_text(tag));
         }
         self.stats.bump_send();
         // Arena-backed payload: recycled through the world frame pool by
@@ -819,7 +839,14 @@ impl crate::co::CoComm for TaskComm {
 
     fn try_recv(&self, src: usize, tag: u64) -> Option<Vec<u8>> {
         assert!(src < self.shared.size, "try_recv src {src} out of range");
-        let payload = mbox_try_take(&self.shared.mboxes, self.rank, src, tag)?;
+        let payload = mbox_try_take(&self.shared.mboxes, self.rank, src, tag);
+        if let Some(h) = &self.shared.hook {
+            h.on_try_recv(&self.shared.ctx, self.rank, src, tag, payload.is_some());
+            if let Some(p) = &payload {
+                h.on_recv_done(&self.shared.ctx, self.rank, src, tag, p);
+            }
+        }
+        let payload = payload?;
         self.stats.bump_recv();
         Some(payload.into_vec())
     }
@@ -834,6 +861,7 @@ impl crate::co::CoComm for TaskComm {
             let seq = self.next_seq();
             self.note_collective(seq, CollKind::Barrier, None);
             self.barrier_impl(seq, CollKind::Barrier).await;
+            self.note_collective_done(seq);
         })
     }
 
@@ -847,7 +875,9 @@ impl crate::co::CoComm for TaskComm {
             self.stats.bump_gather();
             let seq = self.next_seq();
             self.note_collective(seq, CollKind::Gather, Some(root));
-            self.gather_impl(data, root, seq, CollKind::Gather).await
+            let out = self.gather_impl(data, root, seq, CollKind::Gather).await;
+            self.note_collective_done(seq);
+            out
         })
     }
 
@@ -861,7 +891,9 @@ impl crate::co::CoComm for TaskComm {
             self.stats.bump_scatter();
             let seq = self.next_seq();
             self.note_collective(seq, CollKind::Scatter, Some(root));
-            self.scatter_impl(parts, root, seq, CollKind::Scatter).await
+            let out = self.scatter_impl(parts, root, seq, CollKind::Scatter).await;
+            self.note_collective_done(seq);
+            out
         })
     }
 
@@ -875,7 +907,9 @@ impl crate::co::CoComm for TaskComm {
             self.stats.bump_bcast();
             let seq = self.next_seq();
             self.note_collective(seq, CollKind::Bcast, Some(root));
-            self.bcast_impl(data, root, seq, CollKind::Bcast).await
+            let out = self.bcast_impl(data, root, seq, CollKind::Bcast).await;
+            self.note_collective_done(seq);
+            out
         })
     }
 
@@ -885,7 +919,9 @@ impl crate::co::CoComm for TaskComm {
             let seq_up = self.next_seq();
             let seq_down = self.next_seq();
             self.note_collective(seq_up, CollKind::Allgather, None);
-            self.allgather_impl(data, seq_up, seq_down, CollKind::Allgather).await
+            let out = self.allgather_impl(data, seq_up, seq_down, CollKind::Allgather).await;
+            self.note_collective_done(seq_up);
+            out
         })
     }
 
@@ -895,7 +931,9 @@ impl crate::co::CoComm for TaskComm {
             let seq_up = self.next_seq();
             let seq_down = self.next_seq();
             self.note_collective(seq_up, CollKind::Allgather, None);
-            self.allgather_arc_impl(data, seq_up, seq_down, CollKind::Allgather).await
+            let out = self.allgather_arc_impl(data, seq_up, seq_down, CollKind::Allgather).await;
+            self.note_collective_done(seq_up);
+            out
         })
     }
 
@@ -910,7 +948,9 @@ impl crate::co::CoComm for TaskComm {
             self.stats.bump_reduce();
             let seq = self.next_seq();
             self.note_collective(seq, CollKind::Reduce, Some(root));
-            self.reduce_impl(value, op, root, seq).await
+            let out = self.reduce_impl(value, op, root, seq).await;
+            self.note_collective_done(seq);
+            out
         })
     }
 

@@ -64,6 +64,21 @@ pub enum SchedPolicy {
     },
 }
 
+/// External owner of a [`SchedPolicy::Serial`] run's decisions: instead of
+/// the seeded splitmix64 stream, every dequeue asks the driver which of
+/// the runnable tasks to poll next. This is how `simcheck`'s DPOR explorer
+/// forces decision prefixes and enumerates schedules systematically.
+///
+/// `candidates` is the sorted, deduplicated set of runnable task ids at
+/// decision `step` (0-based, counting every serial dequeue of the run);
+/// the returned id must be one of them. Calls arrive strictly in `step`
+/// order from the single serial worker, under executor locks — drivers
+/// must not call back into the world.
+pub trait ScheduleDriver: Send + Sync {
+    /// Choose the task to poll at `step` from `candidates`.
+    fn choose(&self, step: usize, candidates: &[usize]) -> usize;
+}
+
 impl SchedPolicy {
     /// Work-stealing pool sized to the host: `SIMMPI_WORKERS` when set,
     /// else `std::thread::available_parallelism()`.
@@ -115,6 +130,8 @@ struct SerialState {
     preemptions: usize,
     last: Option<usize>,
     trace: Option<Vec<usize>>,
+    /// Serial decisions made so far (the `step` passed to a driver).
+    steps: usize,
 }
 
 struct Injector {
@@ -128,6 +145,9 @@ struct Injector {
 struct Core {
     workers: usize,
     policy: PolicyKind,
+    /// Present only with [`SchedPolicy::Serial`]: owns every decision in
+    /// place of the seeded stream.
+    driver: Option<Arc<dyn ScheduleDriver>>,
     serial: Mutex<SerialState>,
     locals: Vec<Mutex<VecDeque<usize>>>,
     /// The injector queue and sleeper count; a `std` mutex because the
@@ -201,7 +221,12 @@ impl Core {
         self.shared.lock().unwrap_or_else(|p| p.into_inner())
     }
 
-    fn new(policy: &SchedPolicy, ntasks: usize, trace: bool) -> Core {
+    fn new(
+        policy: &SchedPolicy,
+        ntasks: usize,
+        trace: bool,
+        driver: Option<Arc<dyn ScheduleDriver>>,
+    ) -> Core {
         let workers = policy.workers();
         let (kind, seed, bound) = match *policy {
             SchedPolicy::WorkSteal { .. } => (PolicyKind::WorkSteal, 0, usize::MAX),
@@ -209,15 +234,21 @@ impl Core {
                 (PolicyKind::Serial, seed, preemption_bound)
             }
         };
+        assert!(
+            driver.is_none() || matches!(kind, PolicyKind::Serial),
+            "a ScheduleDriver owns serial decisions; use SchedPolicy::Serial"
+        );
         Core {
             workers,
             policy: kind,
+            driver,
             serial: Mutex::new(SerialState {
                 rng: seed,
                 bound,
                 preemptions: 0,
                 last: None,
                 trace: trace.then(|| Vec::with_capacity(ntasks * 4)),
+                steps: 0,
             }),
             locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             shared: StdMutex::new(Injector {
@@ -268,27 +299,42 @@ impl Core {
                     return None;
                 }
                 let mut st = self.serial.lock();
-                // Preemption budget spent and the last-polled task is still
-                // runnable: keep running it. Otherwise pick seeded-randomly,
-                // counting a preemption whenever the pick switches away
-                // from a runnable last task.
-                let continued = match st.last {
-                    Some(last) if st.preemptions >= st.bound => {
-                        sh.queue.iter().position(|&t| t == last)
-                    }
-                    _ => None,
-                };
-                let i = continued.unwrap_or_else(|| {
-                    let i = (splitmix64(&mut st.rng) % sh.queue.len() as u64) as usize;
-                    if let Some(last) = st.last {
-                        if sh.queue[i] != last && sh.queue.contains(&last) {
-                            st.preemptions += 1;
+                let i = if let Some(driver) = &self.driver {
+                    // Driver mode: present the sorted runnable set and let
+                    // the driver own the decision (DPOR forces prefixes
+                    // this way). The preemption bound does not apply.
+                    let mut cands: Vec<usize> = sh.queue.iter().copied().collect();
+                    cands.sort_unstable();
+                    cands.dedup();
+                    let pick = driver.choose(st.steps, &cands);
+                    sh.queue
+                        .iter()
+                        .position(|&t| t == pick)
+                        .expect("driver chose one of the presented candidates")
+                } else {
+                    // Preemption budget spent and the last-polled task is
+                    // still runnable: keep running it. Otherwise pick
+                    // seeded-randomly, counting a preemption whenever the
+                    // pick switches away from a runnable last task.
+                    let continued = match st.last {
+                        Some(last) if st.preemptions >= st.bound => {
+                            sh.queue.iter().position(|&t| t == last)
                         }
-                    }
-                    i
-                });
+                        _ => None,
+                    };
+                    continued.unwrap_or_else(|| {
+                        let i = (splitmix64(&mut st.rng) % sh.queue.len() as u64) as usize;
+                        if let Some(last) = st.last {
+                            if sh.queue[i] != last && sh.queue.contains(&last) {
+                                st.preemptions += 1;
+                            }
+                        }
+                        i
+                    })
+                };
                 let id = sh.queue.remove(i).expect("index in bounds");
                 st.last = Some(id);
+                st.steps += 1;
                 if let Some(t) = &mut st.trace {
                     t.push(id);
                 }
@@ -387,6 +433,7 @@ pub(crate) fn execute<T, F, Fut>(
     policy: &SchedPolicy,
     ntasks: usize,
     hook: Option<Arc<dyn CheckHook>>,
+    driver: Option<Arc<dyn ScheduleDriver>>,
     trace: bool,
     mut make: F,
     on_deadlock: impl FnOnce(),
@@ -397,7 +444,7 @@ where
     Fut: Future<Output = T> + Send,
 {
     assert!(ntasks > 0, "world must have at least one task");
-    let core = Arc::new(Core::new(policy, ntasks, trace));
+    let core = Arc::new(Core::new(policy, ntasks, trace, driver));
     let wakers: Vec<Waker> = (0..ntasks)
         .map(|id| Waker::from(Arc::new(TaskWaker { id, core: core.clone() })))
         .collect();
@@ -490,6 +537,7 @@ mod tests {
             &SchedPolicy::WorkSteal { workers: 3 },
             16,
             None,
+            None,
             false,
             |id| async move { id * 2 },
             || {},
@@ -506,6 +554,7 @@ mod tests {
         let (results, report) = execute(
             &SchedPolicy::WorkSteal { workers: 2 },
             4,
+            None,
             None,
             false,
             |id| async move {
@@ -535,6 +584,7 @@ mod tests {
             &SchedPolicy::WorkSteal { workers: 2 },
             3,
             None,
+            None,
             false,
             |id| async move {
                 if id == 1 {
@@ -556,6 +606,7 @@ mod tests {
             execute(
                 &SchedPolicy::Serial { seed, preemption_bound: usize::MAX },
                 8,
+                None,
                 None,
                 true,
                 |id| async move { id },

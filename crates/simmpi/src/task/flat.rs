@@ -23,7 +23,7 @@
 use super::comm::{mbox_send, mbox_try_take, Mbox, ParkKind, Parked, Recv, WorldRt};
 use crate::co::{AllGathered, BoxFut, CoComm};
 use crate::comm::CommStats;
-use crate::hook::{CheckHook, CollKind, CommCtx, LeakedMsg, COLL_TAG_MASK, COLL_TAG_PREFIX};
+use crate::hook::{self, CheckHook, CollKind, CommCtx, LeakedMsg};
 use crate::ReduceOp;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -206,6 +206,15 @@ impl FlatTaskComm {
         seq
     }
 
+    /// Report a collective exit. The flat task runtime's collectives move
+    /// payloads through shared slots, so the entry/exit bracket is the
+    /// only ordering signal a checker gets for them.
+    fn note_collective_done(&self, seq: u64) {
+        if let Some(h) = &self.shared.hook {
+            h.on_collective_done(&self.shared.ctx, self.rank, seq);
+        }
+    }
+
     /// Between a collective's two rendezvous: the round's shared result,
     /// assembled from the slot array by the *first* rank to ask and handed
     /// to the other P−1 ranks as a clone of the cached `Arc` — the whole
@@ -252,14 +261,17 @@ impl CoComm for FlatTaskComm {
 
     fn send(&self, dest: usize, tag: u64, data: &[u8]) {
         assert!(dest < self.shared.size, "send dest {dest} out of range");
-        if tag & COLL_TAG_MASK == COLL_TAG_PREFIX {
+        if hook::rejected_user_tag(tag) {
             if let Some(h) = &self.shared.hook {
                 h.on_reserved_tag(&self.shared.ctx, self.rank, dest, tag);
             }
-            panic!("tags with top byte 0xC3 are reserved for internal collectives");
+            panic!("{}", hook::reserved_tag_panic_text(tag));
         }
         self.stats.bump_send();
         self.stats.add_bytes(data.len() as u64);
+        if let Some(h) = &self.shared.hook {
+            h.on_send(&self.shared.ctx, self.rank, dest, tag, data);
+        }
         // Arena-backed payload: recycled by the receiver through the world
         // frame pool so steady-state p2p rounds allocate nothing.
         let mut payload = self.shared.world.arena().acquire(data.len());
@@ -281,7 +293,8 @@ impl CoComm for FlatTaskComm {
             Recv::new(
                 &self.shared.mboxes,
                 &self.shared.world,
-                &self.shared.ctx.name,
+                &self.shared.ctx,
+                &self.shared.hook,
                 self.rank,
                 self.world_rank,
                 src,
@@ -294,7 +307,14 @@ impl CoComm for FlatTaskComm {
 
     fn try_recv(&self, src: usize, tag: u64) -> Option<Vec<u8>> {
         assert!(src < self.shared.size, "try_recv src {src} out of range");
-        let payload = mbox_try_take(&self.shared.mboxes, self.rank, src, tag)?;
+        let payload = mbox_try_take(&self.shared.mboxes, self.rank, src, tag);
+        if let Some(h) = &self.shared.hook {
+            h.on_try_recv(&self.shared.ctx, self.rank, src, tag, payload.is_some());
+            if let Some(p) = &payload {
+                h.on_recv_done(&self.shared.ctx, self.rank, src, tag, p);
+            }
+        }
+        let payload = payload?;
         self.stats.bump_recv();
         Some(payload.into_vec())
     }
@@ -306,8 +326,9 @@ impl CoComm for FlatTaskComm {
     fn barrier<'a>(&'a self) -> BoxFut<'a, ()> {
         Box::pin(async move {
             self.stats.bump_barrier();
-            self.note_collective(CollKind::Barrier, None);
+            let seq = self.note_collective(CollKind::Barrier, None);
             self.wait().await;
+            self.note_collective_done(seq);
         })
     }
 
@@ -315,7 +336,7 @@ impl CoComm for FlatTaskComm {
         Box::pin(async move {
             assert!(root < self.shared.size, "gather root {root} out of range");
             self.stats.bump_gather();
-            self.note_collective(CollKind::Gather, Some(root));
+            let seq = self.note_collective(CollKind::Gather, Some(root));
             self.deposit(Some(data.to_vec()));
             self.wait().await;
             let result = if self.rank == root {
@@ -330,6 +351,7 @@ impl CoComm for FlatTaskComm {
                 None
             };
             self.wait().await;
+            self.note_collective_done(seq);
             result
         })
     }
@@ -338,7 +360,7 @@ impl CoComm for FlatTaskComm {
         Box::pin(async move {
             assert!(root < self.shared.size, "scatter root {root} out of range");
             self.stats.bump_scatter();
-            self.note_collective(CollKind::Scatter, Some(root));
+            let seq = self.note_collective(CollKind::Scatter, Some(root));
             if self.rank == root {
                 let parts = parts.expect("root must supply scatter parts");
                 assert_eq!(parts.len(), self.shared.size, "scatter needs one part per rank");
@@ -353,6 +375,7 @@ impl CoComm for FlatTaskComm {
                 .take()
                 .expect("root deposited a part for every rank");
             self.wait().await;
+            self.note_collective_done(seq);
             mine
         })
     }
@@ -361,7 +384,7 @@ impl CoComm for FlatTaskComm {
         Box::pin(async move {
             assert!(root < self.shared.size, "bcast root {root} out of range");
             self.stats.bump_bcast();
-            self.note_collective(CollKind::Bcast, Some(root));
+            let seq = self.note_collective(CollKind::Bcast, Some(root));
             if self.rank == root {
                 self.deposit(Some(data.expect("root must supply bcast data")));
             }
@@ -375,6 +398,7 @@ impl CoComm for FlatTaskComm {
             // payload stays in the slot; clearing it here would race against
             // a later collective's deposits.
             self.wait().await;
+            self.note_collective_done(seq);
             out
         })
     }
@@ -391,6 +415,7 @@ impl CoComm for FlatTaskComm {
                 unreachable!("allgather round assembled a non-frame result")
             };
             self.wait().await;
+            self.note_collective_done(seq);
             all.to_parts()
         })
     }
@@ -408,6 +433,7 @@ impl CoComm for FlatTaskComm {
                 unreachable!("allgather round assembled a non-frame result")
             };
             self.wait().await;
+            self.note_collective_done(seq);
             all
         })
     }
@@ -447,6 +473,7 @@ impl CoComm for FlatTaskComm {
                 unreachable!("split round assembled a non-membership result")
             };
             self.wait().await;
+            let coll_seq = seq;
             let members = &groups[&color];
             let new_size = members.len();
             let new_rank = members
@@ -474,6 +501,7 @@ impl CoComm for FlatTaskComm {
             };
             let comm = FlatTaskComm::new(new_rank, self.world_rank, sub);
             self.wait().await;
+            self.note_collective_done(coll_seq);
             if new_rank == 0 {
                 self.shared.splits.lock().remove(&(seq, color));
             }

@@ -27,7 +27,7 @@ mod exec;
 mod flat;
 
 pub use comm::TaskComm;
-pub use exec::SchedPolicy;
+pub use exec::{SchedPolicy, ScheduleDriver};
 pub use flat::FlatTaskComm;
 
 use crate::hook::{self, Aborted, CheckHook, CommCtx};
@@ -134,6 +134,7 @@ pub struct TaskRun<T> {
 fn run_engine<T, C, F, Fut>(
     policy: &SchedPolicy,
     hook: Option<Arc<dyn CheckHook>>,
+    driver: Option<Arc<dyn ScheduleDriver>>,
     trace: bool,
     world: &Arc<WorldRt>,
     comms: Vec<C>,
@@ -158,6 +159,7 @@ where
         policy,
         ntasks,
         hook,
+        driver,
         trace,
         |rank| f(pool[rank].take().expect("one future per rank")),
         || world.abort(),
@@ -280,7 +282,7 @@ impl TaskWorld {
         ));
         let comms: Vec<TaskComm> =
             (0..ntasks).map(|r| TaskComm::new(r, r, shared.clone())).collect();
-        finish_plain(run_engine(&policy, None, false, &world, comms, f))
+        finish_plain(run_engine(&policy, None, None, false, &world, comms, f))
     }
 
     /// Run `f` under a [`CheckHook`], catching each rank's panic, with the
@@ -309,7 +311,35 @@ impl TaskWorld {
         ));
         let comms: Vec<TaskComm> =
             (0..ntasks).map(|r| TaskComm::new(r, r, shared.clone())).collect();
-        run_engine(&policy, Some(check), trace, &world, comms, f)
+        run_engine(&policy, Some(check), None, trace, &world, comms, f)
+    }
+
+    /// [`TaskWorld::run_checked`] with every serial scheduling decision
+    /// owned by `driver` instead of the seeded stream — the entry point
+    /// `simcheck`'s DPOR explorer forces decision prefixes through.
+    /// `policy` must be [`SchedPolicy::Serial`] (its seed and preemption
+    /// bound are ignored in driver mode).
+    pub fn run_driven<T, F, Fut>(
+        ntasks: usize,
+        check: Arc<dyn CheckHook>,
+        driver: Arc<dyn ScheduleDriver>,
+        f: F,
+    ) -> TaskRun<T>
+    where
+        T: Send,
+        F: Fn(TaskComm) -> Fut,
+        Fut: Future<Output = T> + Send,
+    {
+        let policy = SchedPolicy::Serial { seed: 0, preemption_bound: usize::MAX };
+        let world = Arc::new(WorldRt::new(ntasks));
+        let shared = Arc::new(CoShared::new(
+            CommCtx::new("world".into(), ntasks),
+            Some(check.clone()),
+            world.clone(),
+        ));
+        let comms: Vec<TaskComm> =
+            (0..ntasks).map(|r| TaskComm::new(r, r, shared.clone())).collect();
+        run_engine(&policy, Some(check), Some(driver), true, &world, comms, f)
     }
 }
 
@@ -355,7 +385,7 @@ impl FlatTaskWorld {
         ));
         let comms: Vec<FlatTaskComm> =
             (0..ntasks).map(|r| FlatTaskComm::new(r, r, shared.clone())).collect();
-        finish_plain(run_engine(&policy, None, false, &world, comms, f))
+        finish_plain(run_engine(&policy, None, None, false, &world, comms, f))
     }
 
     /// Checked flat-task run; see [`TaskWorld::run_checked`].
@@ -379,7 +409,31 @@ impl FlatTaskWorld {
         ));
         let comms: Vec<FlatTaskComm> =
             (0..ntasks).map(|r| FlatTaskComm::new(r, r, shared.clone())).collect();
-        run_engine(&policy, Some(check), trace, &world, comms, f)
+        run_engine(&policy, Some(check), None, trace, &world, comms, f)
+    }
+
+    /// Driver-owned serial run; see [`TaskWorld::run_driven`].
+    pub fn run_driven<T, F, Fut>(
+        ntasks: usize,
+        check: Arc<dyn CheckHook>,
+        driver: Arc<dyn ScheduleDriver>,
+        f: F,
+    ) -> TaskRun<T>
+    where
+        T: Send,
+        F: Fn(FlatTaskComm) -> Fut,
+        Fut: Future<Output = T> + Send,
+    {
+        let policy = SchedPolicy::Serial { seed: 0, preemption_bound: usize::MAX };
+        let world = Arc::new(WorldRt::new(ntasks));
+        let shared = Arc::new(FlatShared::new(
+            CommCtx::new("world".into(), ntasks),
+            Some(check.clone()),
+            world.clone(),
+        ));
+        let comms: Vec<FlatTaskComm> =
+            (0..ntasks).map(|r| FlatTaskComm::new(r, r, shared.clone())).collect();
+        run_engine(&policy, Some(check), Some(driver), true, &world, comms, f)
     }
 }
 

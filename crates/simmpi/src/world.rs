@@ -46,7 +46,7 @@ use std::time::Instant;
 type Message = (usize, u64, Vec<u8>);
 
 use crate::arena::FrameArena;
-use crate::hook::{coll_tag, COLL_TAG_MASK, COLL_TAG_PREFIX};
+use crate::hook::coll_tag;
 use crate::wire::{frame, frame_into, frame_len, unframe};
 
 /// State shared by every rank of one communicator: the mailboxes, the
@@ -141,6 +141,13 @@ impl Communicator {
         }
     }
 
+    /// Report a collective exit (the call returned on this rank).
+    fn note_collective_done(&self, seq: u64) {
+        if let Some(h) = &self.shared.hook {
+            h.on_collective_done(&self.shared.ctx, self.rank, seq);
+        }
+    }
+
     /// This rank's virtual rank in a tree rooted at `root`.
     fn vrank(&self, root: usize) -> usize {
         (self.rank + self.shared.size - root) % self.shared.size
@@ -159,6 +166,7 @@ impl Communicator {
                 // so the scheduler's in-flight model matches the mailbox.
                 h.before_send(&self.shared.ctx, self.rank, dest, tag, payload.len());
             }
+            h.on_send(&self.shared.ctx, self.rank, dest, tag, &payload);
         }
         self.stats.add_bytes(payload.len() as u64);
         self.shared.senders[dest]
@@ -175,8 +183,17 @@ impl Communicator {
             .map(|pos| stash.remove(pos).expect("position valid").2)
     }
 
-    /// Internal matched receive (not counted as a user receive).
+    /// Internal matched receive (not counted as a user receive). Reports
+    /// the completed match to a passive hook.
     fn irecv(&self, src: usize, tag: u64) -> Vec<u8> {
+        let payload = self.irecv_inner(src, tag);
+        if let Some(h) = &self.shared.hook {
+            h.on_recv_done(&self.shared.ctx, self.rank, src, tag, &payload);
+        }
+        payload
+    }
+
+    fn irecv_inner(&self, src: usize, tag: u64) -> Vec<u8> {
         match self.shared.hook.clone() {
             Some(h) if h.scheduling() => return self.irecv_scheduled(&h, src, tag),
             Some(h) => return self.irecv_watched(&h, src, tag),
@@ -478,6 +495,7 @@ impl Comm for Communicator {
         let seq = self.next_seq();
         self.note_collective(seq, CollKind::Barrier, None);
         self.barrier_impl(seq, CollKind::Barrier);
+        self.note_collective_done(seq);
     }
 
     fn gather(&self, data: &[u8], root: usize) -> Option<Vec<Vec<u8>>> {
@@ -485,7 +503,9 @@ impl Comm for Communicator {
         self.stats.bump_gather();
         let seq = self.next_seq();
         self.note_collective(seq, CollKind::Gather, Some(root));
-        self.gather_impl(data, root, seq, CollKind::Gather)
+        let out = self.gather_impl(data, root, seq, CollKind::Gather);
+        self.note_collective_done(seq);
+        out
     }
 
     fn scatter(&self, parts: Option<Vec<Vec<u8>>>, root: usize) -> Vec<u8> {
@@ -493,7 +513,9 @@ impl Comm for Communicator {
         self.stats.bump_scatter();
         let seq = self.next_seq();
         self.note_collective(seq, CollKind::Scatter, Some(root));
-        self.scatter_impl(parts, root, seq, CollKind::Scatter)
+        let out = self.scatter_impl(parts, root, seq, CollKind::Scatter);
+        self.note_collective_done(seq);
+        out
     }
 
     fn bcast(&self, data: Option<Vec<u8>>, root: usize) -> Vec<u8> {
@@ -501,7 +523,9 @@ impl Comm for Communicator {
         self.stats.bump_bcast();
         let seq = self.next_seq();
         self.note_collective(seq, CollKind::Bcast, Some(root));
-        self.bcast_impl(data, root, seq, CollKind::Bcast)
+        let out = self.bcast_impl(data, root, seq, CollKind::Bcast);
+        self.note_collective_done(seq);
+        out
     }
 
     fn allgather(&self, data: &[u8]) -> Vec<Vec<u8>> {
@@ -509,7 +533,9 @@ impl Comm for Communicator {
         let seq_up = self.next_seq();
         let seq_down = self.next_seq();
         self.note_collective(seq_up, CollKind::Allgather, None);
-        self.allgather_impl(data, seq_up, seq_down, CollKind::Allgather)
+        let out = self.allgather_impl(data, seq_up, seq_down, CollKind::Allgather);
+        self.note_collective_done(seq_up);
+        out
     }
 
     fn reduce_u64(&self, value: u64, op: ReduceOp, root: usize) -> Option<u64> {
@@ -527,6 +553,7 @@ impl Comm for Communicator {
         while mask < size {
             if v & mask != 0 {
                 self.isend(self.rank_of(v - mask, root), tag, acc.to_le_bytes().to_vec());
+                self.note_collective_done(seq);
                 return None;
             }
             let child = v + mask;
@@ -541,6 +568,7 @@ impl Comm for Communicator {
             }
             mask <<= 1;
         }
+        self.note_collective_done(seq);
         Some(acc)
     }
 
@@ -595,6 +623,7 @@ impl Comm for Communicator {
         // the construction entries are retired from the map.
         let seq = self.next_seq();
         self.barrier_impl(seq, CollKind::Split);
+        self.note_collective_done(seq_up);
         if new_rank == 0 {
             self.shared.splits.lock().remove(&(split_no, color));
         }
@@ -603,13 +632,13 @@ impl Comm for Communicator {
 
     fn send(&self, dest: usize, tag: u64, data: &[u8]) {
         assert!(dest < self.size(), "send dest {dest} out of range");
-        if tag & COLL_TAG_MASK == COLL_TAG_PREFIX {
+        if hook::rejected_user_tag(tag) {
             if let Some(h) = &self.shared.hook {
                 // The hook panics with a richer diagnostic (rank, dest,
-                // decoded namespace); the assert below is the fallback.
+                // decoded namespace); the panic below is the fallback.
                 h.on_reserved_tag(&self.shared.ctx, self.rank, dest, tag);
             }
-            panic!("tags with top byte 0xC3 are reserved for internal collectives");
+            panic!("{}", hook::reserved_tag_panic_text(tag));
         }
         self.stats.bump_send();
         // Arena-backed payload: point-to-point rounds recycle their frames
@@ -628,6 +657,23 @@ impl Comm for Communicator {
 
     fn try_recv(&self, src: usize, tag: u64) -> Option<Vec<u8>> {
         assert!(src < self.size(), "try_recv src {src} out of range");
+        let got = self.try_recv_inner(src, tag);
+        if let Some(h) = &self.shared.hook {
+            h.on_try_recv(&self.shared.ctx, self.rank, src, tag, got.is_some());
+            if let Some(payload) = &got {
+                h.on_recv_done(&self.shared.ctx, self.rank, src, tag, payload);
+            }
+        }
+        got
+    }
+
+    fn recycle(&self, buf: Vec<u8>) {
+        self.shared.arena.recycle(buf);
+    }
+}
+
+impl Communicator {
+    fn try_recv_inner(&self, src: usize, tag: u64) -> Option<Vec<u8>> {
         if let Some(payload) = self.stash_take(src, tag) {
             self.stats.bump_recv();
             return Some(payload);
@@ -651,10 +697,6 @@ impl Comm for Communicator {
                 Err(_) => return None,
             }
         }
-    }
-
-    fn recycle(&self, buf: Vec<u8>) {
-        self.shared.arena.recycle(buf);
     }
 }
 

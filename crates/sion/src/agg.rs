@@ -32,6 +32,12 @@
 //! The aggregator drains shipments *opportunistically* (non-parking
 //! [`CoComm::try_recv`]) from inside its own write calls — overlapping
 //! members' compute with its I/O, TASIO-style — and exhaustively at close.
+//! Every such poll is a discrete schedule point, not an opaque spin: the
+//! runtimes report each attempt (hit or miss) through
+//! `CheckHook::on_try_recv`, so a model checker exploring schedules (see
+//! `simcheck`'s DPOR mode) sees the drain as an ordinary visible event it
+//! can commute against the members' ships, and a happens-before checker
+//! can pair each drained frame with the send that produced it.
 //! After replaying a frame it makes the bytes durable with
 //! `flush_pending` (never a full `flush`, which would end an LZSS frame in
 //! compressed mode and diverge from the independent-mode bytes) and acks
@@ -171,6 +177,9 @@ impl MemberState {
         if self.frame.is_empty() {
             return;
         }
+        // The ship tag lives in a reserved namespace; the scope tells the
+        // runtime this send is the protocol itself, not a stray user send.
+        let _protocol = simmpi::enter_agg_protocol();
         lcom.send(self.agg, TAG_SHIP, &self.frame);
         self.stats.shipments += 1;
         self.stats.shipped_bytes += self.frame.len() as u64;
@@ -179,11 +188,13 @@ impl MemberState {
         self.frame.clear();
     }
 
-    /// Ship if the staged payload reached the ship capacity.
-    pub fn ship_if_full(&mut self, lcom: &dyn CoComm) {
-        if self.frame.len().saturating_sub(8) >= self.ship_cap {
-            self.ship(lcom);
-        }
+    /// Whether the staged payload reached the ship capacity. Callers flush
+    /// the shadow stream's buffered bytes *before* the matching
+    /// [`ship`](Self::ship): the shadow extents on record at send time are
+    /// exactly the replay obligations this frame carries, which is what
+    /// lets an ordering checker hold the eventual ack to them.
+    pub fn ship_due(&self) -> bool {
+        self.frame.len().saturating_sub(8) >= self.ship_cap
     }
 
     /// Consume every already-delivered ack without parking.
@@ -234,6 +245,9 @@ pub(crate) struct AggState {
     file: Arc<dyn VfsFile>,
     compressed: bool,
     write_buffer: u64,
+    /// This aggregator's global rank: the task label its replay writes
+    /// carry for the block/ordering guards.
+    grank: u64,
     pub members: Vec<MemberSlot>,
     pub stats: AggStats,
 }
@@ -243,12 +257,14 @@ impl AggState {
         file: Arc<dyn VfsFile>,
         compressed: bool,
         write_buffer: u64,
+        grank: u64,
         member_lranks: std::ops::Range<usize>,
     ) -> AggState {
         AggState {
             file,
             compressed,
             write_buffer,
+            grank,
             members: member_lranks
                 .map(|lrank| MemberSlot {
                     lrank,
@@ -296,6 +312,12 @@ impl AggState {
     /// produced by [`MemberState`] in this same build, so malformed framing
     /// is a bug, not an input: parsing panics rather than limping on.
     fn apply(&mut self, i: usize, buf: &[u8], lcom: &dyn CoComm) {
+        // Re-arm the thread's task label: on the task runtimes this
+        // coroutine shares its worker thread with other ranks (and
+        // `drain_all` parks between frames), so whatever label the thread
+        // carries may be stale. Replay writes are the aggregator's own
+        // physical I/O and must be attributed to it.
+        vfs::guard::set_task(self.grank);
         let slot = &mut self.members[i];
         let seq = u64::from_le_bytes(buf[..8].try_into().expect("frame seq"));
         debug_assert_eq!(seq, slot.next_seq, "frames arrive in ship order");
@@ -377,6 +399,10 @@ impl AggState {
         let mut ack = [0u8; 16];
         ack[..8].copy_from_slice(&seq.to_le_bytes());
         ack[8..].copy_from_slice(&(slot.failed as u64).to_le_bytes());
+        // Reserved-namespace send, like the ship: scope it as protocol
+        // traffic. The ack leaves only after `flush_pending` above — an
+        // ordering checker verifies exactly that (ack covers obligations).
+        let _protocol = simmpi::enter_agg_protocol();
         lcom.send(slot.lrank, TAG_ACK, &ack);
         self.stats.shipments += 1;
         self.stats.shipped_bytes += buf.len() as u64;

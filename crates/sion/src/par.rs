@@ -332,6 +332,9 @@ pub async fn paropen_write_co(
     let gathered = lcom.gather(&encoded, 0).await;
 
     let (word, setup_ok, setup_err) = if lcom.rank() == 0 {
+        // The master's metablock-1 write below happens after the gather
+        // parked this coroutine; arm its task label for the guards.
+        vfs::guard::set_task(grank as u64);
         let raw = gathered.expect("master receives the gather");
         match master_open_setup(vfs, base, params, fingerprint, filenum, ntasks, raw) {
             Ok(setup) => (Some(STATUS_OK), Some(setup), None),
@@ -378,9 +381,14 @@ pub async fn paropen_write_co(
                 vfs.open_rw(&physical_name(base, filenum))?
             } else {
                 // Aggregated-mode member: its stream engine runs against a
-                // data-discarding shadow; only its aggregator touches the
-                // physical file.
-                Arc::new(vfs::NullFile::new())
+                // data-discarding shadow of the physical file; only its
+                // aggregator touches the file itself. On a plain VFS the
+                // shadow is a `NullFile`; an ordering checker's VFS
+                // (`vfs::OrderGuardFs`) instead hands back a handle that
+                // records each write as a *logical* access to the real
+                // path, so the member's extents are checkable against the
+                // aggregator's replay without any physical I/O.
+                vfs.create_shadow(&physical_name(base, filenum))?
             };
             Ok((geom, agg, end, file))
         }
@@ -426,6 +434,7 @@ pub async fn paropen_write_co(
             file.clone(),
             params.compressed,
             params.write_buffer,
+            grank as u64,
             me + 1..end,
         ))
     } else {
@@ -468,7 +477,14 @@ impl SionParWriter {
     /// draining acks opportunistically. Aggregators instead take the
     /// chance to replay any already-delivered shipments — the
     /// compute/I/O overlap — before doing their own work.
+    ///
+    /// Before a due ship the member pushes the shadow stream's buffered
+    /// bytes out (`flush_pending`, which never ends a compression frame):
+    /// the shadow accesses on record at the moment the frame is sent are
+    /// exactly the frame's replay obligations, the invariant an ordering
+    /// checker holds the aggregator's ack to.
     fn member_op(
+        writer: &mut TaskWriter,
         m: &mut MemberState,
         lcom: &dyn CoComm,
         shadow: Result<()>,
@@ -481,7 +497,10 @@ impl SionParWriter {
         }
         shadow?;
         stage(m);
-        m.ship_if_full(lcom);
+        if m.ship_due() {
+            writer.flush_pending()?;
+            m.ship(lcom);
+        }
         m.drain_acks(lcom);
         Ok(())
     }
@@ -489,11 +508,16 @@ impl SionParWriter {
     /// `sion_ensure_free_space`: make room for a contiguous piece of
     /// `nbytes` in the current chunk, advancing to the next block if needed.
     pub fn ensure_free_space(&mut self, nbytes: u64) -> Result<()> {
+        // Task-label attribution for the block/ordering guards. Under the
+        // task runtimes ranks migrate across worker threads, so the label
+        // is re-armed at every synchronous entry (no awaits until this
+        // call returns) instead of once per thread.
+        vfs::guard::set_task(self.grank as u64);
         match &mut self.role {
             AggRole::Independent => self.writer.ensure_free_space(nbytes),
             AggRole::Member(m) => {
                 let shadow = self.writer.ensure_free_space(nbytes);
-                Self::member_op(m, self.lcom.as_ref(), shadow, |m| {
+                Self::member_op(&mut self.writer, m, self.lcom.as_ref(), shadow, |m| {
                     m.stage_word(OP_ENSURE, nbytes)
                 })
             }
@@ -509,11 +533,16 @@ impl SionParWriter {
     ///
     /// [`ensure_free_space`]: Self::ensure_free_space
     pub fn write_in_chunk(&mut self, data: &[u8]) -> Result<()> {
+        // Task-label attribution for the block/ordering guards. Under the
+        // task runtimes ranks migrate across worker threads, so the label
+        // is re-armed at every synchronous entry (no awaits until this
+        // call returns) instead of once per thread.
+        vfs::guard::set_task(self.grank as u64);
         match &mut self.role {
             AggRole::Independent => self.writer.write_in_chunk(data),
             AggRole::Member(m) => {
                 let shadow = self.writer.write_in_chunk(data);
-                Self::member_op(m, self.lcom.as_ref(), shadow, |m| {
+                Self::member_op(&mut self.writer, m, self.lcom.as_ref(), shadow, |m| {
                     m.stage_data(OP_WRITE_IN_CHUNK, data)
                 })
             }
@@ -527,11 +556,16 @@ impl SionParWriter {
     /// `sion_fwrite`: write data of any size, transparently split across
     /// chunk boundaries (and compressed in compressed mode).
     pub fn write(&mut self, data: &[u8]) -> Result<()> {
+        // Task-label attribution for the block/ordering guards. Under the
+        // task runtimes ranks migrate across worker threads, so the label
+        // is re-armed at every synchronous entry (no awaits until this
+        // call returns) instead of once per thread.
+        vfs::guard::set_task(self.grank as u64);
         match &mut self.role {
             AggRole::Independent => self.writer.write(data),
             AggRole::Member(m) => {
                 let shadow = self.writer.write(data);
-                Self::member_op(m, self.lcom.as_ref(), shadow, |m| {
+                Self::member_op(&mut self.writer, m, self.lcom.as_ref(), shadow, |m| {
                     m.stage_data(OP_WRITE, data)
                 })
             }
@@ -555,11 +589,18 @@ impl SionParWriter {
     /// aggregator's next replay, and an aggregator crash loses only
     /// not-yet-acked shipments (see [`crate::agg`]).
     pub fn flush(&mut self) -> Result<()> {
+        // Task-label attribution for the block/ordering guards. Under the
+        // task runtimes ranks migrate across worker threads, so the label
+        // is re-armed at every synchronous entry (no awaits until this
+        // call returns) instead of once per thread.
+        vfs::guard::set_task(self.grank as u64);
         match &mut self.role {
             AggRole::Independent => self.writer.flush(),
             AggRole::Member(m) => {
                 let shadow = self.writer.flush();
-                Self::member_op(m, self.lcom.as_ref(), shadow, |m| m.stage_op(OP_FLUSH))?;
+                Self::member_op(&mut self.writer, m, self.lcom.as_ref(), shadow, |m| {
+                    m.stage_op(OP_FLUSH)
+                })?;
                 m.ship(self.lcom.as_ref());
                 Ok(())
             }
@@ -638,6 +679,7 @@ impl SionParWriter {
         // An aggregator exhaustively drains every member to OP_FINISH
         // (acking as it replays) before finishing its own stream; member
         // replay failures surface through the members' own records.
+        vfs::guard::set_task(self.grank as u64);
         let role = std::mem::replace(&mut self.role, AggRole::Independent);
         let (finish_res, agg_stats) = match role {
             AggRole::Independent => (self.writer.finish(), AggStats::default()),
@@ -684,10 +726,12 @@ impl SionParWriter {
         // sharded assembly so no task — the master included — ever
         // materializes O(ranks·blocks) usage rows.
         let finalize: Result<u64> = if self.lcom.size() > SHARDED_CLOSE_THRESHOLD {
-            close_sharded(self.lcom.as_ref(), &self.writer, &encoded).await
+            close_sharded(self.lcom.as_ref(), &self.writer, self.grank as u64, &encoded).await
         } else {
             let gathered = self.lcom.gather(&encoded, 0).await;
             if self.lcom.rank() == 0 {
+                // The gather parked; re-arm before the metadata writes.
+                vfs::guard::set_task(self.grank as u64);
                 (|| {
                     let per_task: Vec<CloseRecord> = gathered
                         .expect("master receives the gather")
@@ -752,6 +796,7 @@ impl SionParWriter {
 async fn close_sharded(
     lcom: &dyn CoComm,
     writer: &TaskWriter,
+    grank: u64,
     record: &[u8],
 ) -> Result<u64> {
     let n = lcom.size();
@@ -803,6 +848,9 @@ async fn close_sharded(
         nblocks = nblocks.max(u64::from_le_bytes(b[8..16].try_into().unwrap()));
     }
 
+    // Both the slice writes below and the trailer writes at the end run
+    // after collective parks: re-arm the sub-master's task label.
+    vfs::guard::set_task(grank);
     let slice_res: Result<()> = (|| {
         let per_task = decoded?;
         if any_failed {
@@ -857,6 +905,7 @@ async fn close_sharded(
             "a close shard failed to write its metadata slice".into(),
         ));
     }
+    vfs::guard::set_task(grank);
     let file = writer.file();
     let mb2_off = writer.mb2_offset(nblocks);
     let mb2_len = MB2_FIXED_LEN + 8 * nblocks * n as u64;

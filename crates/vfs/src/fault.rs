@@ -468,6 +468,13 @@ impl<F: Vfs> Vfs for FaultFs<F> {
     fn list(&self, prefix: &str) -> io::Result<Vec<String>> {
         self.inner.list(prefix)
     }
+
+    /// Shadow writes are logical, not physical I/O: they consume no fault
+    /// budget and are not op-logged, so forward straight to the inner
+    /// namespace.
+    fn create_shadow(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
+        self.inner.create_shadow(path)
+    }
 }
 
 #[cfg(test)]

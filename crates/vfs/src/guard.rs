@@ -254,6 +254,12 @@ impl Vfs for BlockGuardFs {
     fn list(&self, prefix: &str) -> io::Result<Vec<String>> {
         self.inner.list(prefix)
     }
+
+    /// Shadow writes never reach the physical file, so they claim no block
+    /// ownership; forward unwrapped.
+    fn create_shadow(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
+        self.inner.create_shadow(path)
+    }
 }
 
 #[cfg(test)]

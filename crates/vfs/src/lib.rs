@@ -25,12 +25,14 @@ pub mod guard;
 mod local;
 mod mem;
 mod null;
+pub mod order_guard;
 
 pub use fault::{FaultFs, FaultKind, FaultRule, OpRecord};
 pub use guard::{BlockGuardFs, BlockViolation};
 pub use local::LocalFs;
 pub use mem::{MemFs, MemFsStats};
 pub use null::NullFile;
+pub use order_guard::{AccessKind, AccessSink, FileAccess, OrderGuardFs};
 
 use std::io;
 pub use std::io::IoSlice;
@@ -202,6 +204,18 @@ pub trait Vfs: Send + Sync {
 
     /// List files whose path starts with `prefix`, in sorted order.
     fn list(&self, prefix: &str) -> io::Result<Vec<String>>;
+
+    /// Open a *shadow* handle for `path`: a sink a task writes into when
+    /// another task owns the physical bytes of `path` (the aggregated-I/O
+    /// member side runs its chunk arithmetic against one of these while the
+    /// elected aggregator replays the ops against the real file). The
+    /// default discards the bytes ([`NullFile`]); checking decorators
+    /// override it to record the shadow extents as *durability
+    /// obligations* — bytes the owner must persist before acknowledging.
+    fn create_shadow(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
+        let _ = path;
+        Ok(Arc::new(NullFile::new()))
+    }
 }
 
 /// Normalize a path: collapse duplicate slashes, strip a leading `./` and a

@@ -1,0 +1,375 @@
+//! [`OrderGuardFs`]: a byte-extent access recorder for happens-before
+//! checking.
+//!
+//! [`BlockGuardFs`](crate::BlockGuardFs) checks the paper's §3.2 invariant
+//! in its strongest static form — one writer per FS block, ever. The
+//! aggregated I/O mode is correct under a weaker, *ordering* form: several
+//! logical writers may touch the same file (an aggregator replays every
+//! member's stream), as long as all conflicting byte-extent accesses are
+//! happens-before ordered by the protocol's messages. Whether they are is
+//! not a property a [`Vfs`] decorator can decide on its own — it depends on
+//! the send/recv edges of the run — so this decorator does the recording
+//! half only: every read, write, and shadow write that flows through it is
+//! reported to an [`AccessSink`] (the `simcheck` crate's vector-clock
+//! engine), attributed to the logical task labeled on the issuing thread
+//! via [`guard::set_task`](crate::guard::set_task).
+//!
+//! Three access kinds are distinguished:
+//!
+//! * [`AccessKind::Write`] — bytes physically persisted at the path.
+//! * [`AccessKind::Read`] — bytes observed from the path.
+//! * [`AccessKind::ShadowWrite`] — bytes a task wrote through a
+//!   [`Vfs::create_shadow`] handle: *logical* writes whose physical
+//!   persistence is another task's obligation (the aggregated-mode member
+//!   side). The sink receives them against the shadowed path, so it can
+//!   pair each member's logical extents with the aggregator's physical
+//!   replay of them.
+//!
+//! Accesses from unlabeled threads are not reported, mirroring
+//! [`BlockGuardFs`](crate::BlockGuardFs): test scaffolding and serial
+//! tools stay invisible.
+
+use crate::guard::current_writer;
+use crate::{ByteLease, IoSlice, NullFile, Vfs, VfsFile};
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+
+/// How a recorded access touched the file. Ordered so access lists sort
+/// deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AccessKind {
+    /// Bytes observed from the file.
+    Read,
+    /// Bytes physically persisted to the file.
+    Write,
+    /// Bytes logically written through a shadow handle — persisting them
+    /// is some other task's obligation.
+    ShadowWrite,
+}
+
+impl AccessKind {
+    /// Stable lowercase label used in rendered reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::ShadowWrite => "shadow-write",
+        }
+    }
+}
+
+/// One recorded byte-extent access.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FileAccess {
+    /// Normalized path of the (shadowed) file.
+    pub path: String,
+    /// What the access did.
+    pub kind: AccessKind,
+    /// Logical task the issuing thread was labeled with.
+    pub task: u64,
+    /// Byte offset of the extent.
+    pub offset: u64,
+    /// Length of the extent in bytes (never zero).
+    pub len: u64,
+}
+
+impl FileAccess {
+    /// Whether two accesses touch overlapping byte ranges of the same
+    /// path.
+    pub fn overlaps(&self, other: &FileAccess) -> bool {
+        self.path == other.path
+            && self.offset < other.offset + other.len
+            && other.offset < self.offset + self.len
+    }
+}
+
+impl fmt::Display for FileAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "task {} {} [{}, {}) of \"{}\"",
+            self.task,
+            self.kind.label(),
+            self.offset,
+            self.offset + self.len,
+            self.path
+        )
+    }
+}
+
+/// Consumer of the access stream (the `simcheck` happens-before engine).
+/// Called synchronously on the accessing thread, after the inner backend
+/// succeeded, so the sink observes accesses in each task's program order.
+pub trait AccessSink: Send + Sync {
+    /// One access flowed through the decorator.
+    fn on_access(&self, access: &FileAccess);
+}
+
+/// Decorator reporting every labeled byte-extent access to an
+/// [`AccessSink`]; see the module docs.
+pub struct OrderGuardFs {
+    inner: Arc<dyn Vfs>,
+    sink: Arc<dyn AccessSink>,
+}
+
+impl OrderGuardFs {
+    /// Wrap `inner`, reporting labeled accesses to `sink`.
+    pub fn new(inner: Arc<dyn Vfs>, sink: Arc<dyn AccessSink>) -> OrderGuardFs {
+        OrderGuardFs { inner, sink }
+    }
+
+    fn wrap(&self, path: &str, file: Arc<dyn VfsFile>, shadow: bool) -> Arc<dyn VfsFile> {
+        Arc::new(OrderGuardFile {
+            inner: file,
+            path: crate::normalize_path(path),
+            shadow,
+            sink: self.sink.clone(),
+        })
+    }
+}
+
+struct OrderGuardFile {
+    inner: Arc<dyn VfsFile>,
+    path: String,
+    /// Shadow handles report writes as [`AccessKind::ShadowWrite`] and
+    /// reads not at all (a shadow read observes nothing real).
+    shadow: bool,
+    sink: Arc<dyn AccessSink>,
+}
+
+impl OrderGuardFile {
+    fn report(&self, kind: AccessKind, offset: u64, len: usize) {
+        let Some(task) = current_writer() else { return };
+        if len == 0 {
+            return;
+        }
+        self.sink.on_access(&FileAccess {
+            path: self.path.clone(),
+            kind,
+            task,
+            offset,
+            len: len as u64,
+        });
+    }
+
+    fn write_kind(&self) -> AccessKind {
+        if self.shadow {
+            AccessKind::ShadowWrite
+        } else {
+            AccessKind::Write
+        }
+    }
+}
+
+impl VfsFile for OrderGuardFile {
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        let n = self.inner.read_at(buf, offset)?;
+        if !self.shadow {
+            self.report(AccessKind::Read, offset, n);
+        }
+        Ok(n)
+    }
+
+    fn write_at(&self, buf: &[u8], offset: u64) -> io::Result<usize> {
+        let n = self.inner.write_at(buf, offset)?;
+        self.report(self.write_kind(), offset, n);
+        Ok(n)
+    }
+
+    /// Forward the whole iovec batched, then report per-slice extents —
+    /// the same extents a scalar submission would have produced.
+    fn write_vectored_at(&self, bufs: &[IoSlice<'_>], offset: u64) -> io::Result<()> {
+        self.inner.write_vectored_at(bufs, offset)?;
+        let mut at = offset;
+        for b in bufs {
+            self.report(self.write_kind(), at, b.len());
+            at += b.len() as u64;
+        }
+        Ok(())
+    }
+
+    fn read_lease(&self, offset: u64, max_len: usize) -> Option<ByteLease> {
+        let lease = self.inner.read_lease(offset, max_len)?;
+        if !self.shadow {
+            self.report(AccessKind::Read, offset, lease.len());
+        }
+        Some(lease)
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.inner.set_len(len)
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        self.inner.len()
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.inner.sync()
+    }
+}
+
+impl Vfs for OrderGuardFs {
+    fn create(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
+        let f = self.inner.create(path)?;
+        Ok(self.wrap(path, f, false))
+    }
+
+    fn open(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
+        let f = self.inner.open(path)?;
+        Ok(self.wrap(path, f, false))
+    }
+
+    fn open_rw(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
+        let f = self.inner.open_rw(path)?;
+        Ok(self.wrap(path, f, false))
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        self.inner.remove(path)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn block_size(&self) -> u64 {
+        self.inner.block_size()
+    }
+
+    fn list(&self, prefix: &str) -> io::Result<Vec<String>> {
+        self.inner.list(prefix)
+    }
+
+    /// Shadow handles discard bytes (the inner backend never sees them)
+    /// but report every write as a [`AccessKind::ShadowWrite`] against the
+    /// shadowed path.
+    fn create_shadow(&self, path: &str) -> io::Result<Arc<dyn VfsFile>> {
+        Ok(self.wrap(path, Arc::new(NullFile::new()), true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::{clear_task, set_task};
+    use crate::MemFs;
+    use parking_lot::Mutex;
+
+    #[derive(Default)]
+    struct Log(Mutex<Vec<FileAccess>>);
+
+    impl AccessSink for Log {
+        fn on_access(&self, access: &FileAccess) {
+            self.0.lock().push(access.clone());
+        }
+    }
+
+    fn guarded() -> (OrderGuardFs, Arc<Log>) {
+        let log = Arc::new(Log::default());
+        (OrderGuardFs::new(Arc::new(MemFs::new()), log.clone()), log)
+    }
+
+    #[test]
+    fn labeled_reads_and_writes_are_reported_in_order() {
+        let (fs, log) = guarded();
+        let f = fs.create("dir/a").unwrap();
+        set_task(3);
+        f.write_all_at(&[1u8; 10], 5).unwrap();
+        let mut buf = [0u8; 4];
+        f.read_at(&mut buf, 7).unwrap();
+        clear_task();
+        let got = log.0.lock().clone();
+        assert_eq!(
+            got,
+            vec![
+                FileAccess {
+                    path: "dir/a".into(),
+                    kind: AccessKind::Write,
+                    task: 3,
+                    offset: 5,
+                    len: 10
+                },
+                FileAccess {
+                    path: "dir/a".into(),
+                    kind: AccessKind::Read,
+                    task: 3,
+                    offset: 7,
+                    len: 4
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn unlabeled_and_empty_accesses_are_invisible() {
+        let (fs, log) = guarded();
+        let f = fs.create("a").unwrap();
+        clear_task();
+        f.write_all_at(&[1u8; 8], 0).unwrap();
+        set_task(0);
+        f.write_all_at(&[], 0).unwrap();
+        clear_task();
+        assert!(log.0.lock().is_empty());
+    }
+
+    #[test]
+    fn shadow_writes_report_against_the_real_path_and_discard_bytes() {
+        let (fs, log) = guarded();
+        fs.create("real").unwrap();
+        let sh = fs.create_shadow("real").unwrap();
+        set_task(9);
+        sh.write_all_at(&[7u8; 16], 32).unwrap();
+        let mut buf = [1u8; 4];
+        sh.read_at(&mut buf, 32).unwrap();
+        clear_task();
+        let got = log.0.lock().clone();
+        // The read reported nothing; the write reported as a shadow write.
+        assert_eq!(
+            got,
+            vec![FileAccess {
+                path: "real".into(),
+                kind: AccessKind::ShadowWrite,
+                task: 9,
+                offset: 32,
+                len: 16
+            }]
+        );
+        // Shadow bytes never reached the real file.
+        assert_eq!(fs.open("real").unwrap().len().unwrap(), 0);
+        // NullFile reads yield zeros.
+        assert_eq!(buf, [0u8; 4]);
+    }
+
+    #[test]
+    fn vectored_slices_report_like_scalar_writes() {
+        let (fs, log) = guarded();
+        let f = fs.create("a").unwrap();
+        set_task(1);
+        f.write_vectored_at(&[IoSlice::new(&[2u8; 8]), IoSlice::new(&[3u8; 4])], 100)
+            .unwrap();
+        clear_task();
+        let got = log.0.lock().clone();
+        assert_eq!(got.len(), 2);
+        assert_eq!((got[0].offset, got[0].len), (100, 8));
+        assert_eq!((got[1].offset, got[1].len), (108, 4));
+    }
+
+    #[test]
+    fn overlap_predicate_matches_half_open_extents() {
+        let a = FileAccess {
+            path: "p".into(),
+            kind: AccessKind::Write,
+            task: 0,
+            offset: 0,
+            len: 10,
+        };
+        let b = FileAccess { offset: 9, len: 1, task: 1, ..a.clone() };
+        let c = FileAccess { offset: 10, len: 1, task: 1, ..a.clone() };
+        let d = FileAccess { path: "q".into(), offset: 0, len: 10, task: 1, kind: AccessKind::Write };
+        assert!(a.overlaps(&b) && b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(!a.overlaps(&d));
+    }
+}
